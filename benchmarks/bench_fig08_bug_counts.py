@@ -1,0 +1,62 @@
+"""Figure 8: the bug-hunting campaign (status / type / logic tables).
+
+Runs YinYang against the fault-injected "z3-like" and "cvc4-like"
+solvers over all nine corpora and regenerates the paper's three Figure
+8 tables side by side with the paper's numbers.
+
+The offline campaign is a compressed version of the paper's four-month
+run; the *shape* must hold: more findings in the z3-like solver than
+the cvc4-like one, soundness and crash bugs dominating, and the hot
+logics being NRA and QF_S.
+"""
+
+from _util import emit, once
+
+from repro.campaign import (
+    figure8a_rows,
+    figure8b_rows,
+    figure8c_rows,
+    render_table,
+    run_campaign,
+)
+from repro.seeds import build_all_corpora
+
+SCALE = 0.002
+ITERATIONS_PER_CELL = 20
+
+
+def _campaign():
+    corpora = build_all_corpora(scale=SCALE, seed=3)
+    return run_campaign(corpora, iterations_per_cell=ITERATIONS_PER_CELL, seed=9)
+
+
+def test_figure8_campaign(benchmark):
+    result = once(benchmark, _campaign)
+
+    headers = ["", "Z3", "CVC4", "Z3(paper)", "CVC4(paper)"]
+    text = "\n\n".join(
+        [
+            f"Campaign: {result.summary()}",
+            render_table(headers, figure8a_rows(result), "Figure 8a — status of reported bugs"),
+            render_table(headers, figure8b_rows(result), "Figure 8b — types of confirmed bugs"),
+            render_table(headers, figure8c_rows(result), "Figure 8c — affected logics"),
+            "(a longer campaign converges toward the paper counts; see EXPERIMENTS.md)",
+        ]
+    )
+    emit("fig08_bug_counts", text)
+
+    # --- shape assertions -------------------------------------------------
+    rows8a = {r[0]: r for r in figure8a_rows(result)}
+    z3_reported, cvc4_reported = rows8a["Reported"][1], rows8a["Reported"][2]
+    assert z3_reported > 0, "the campaign must find z3-like bugs"
+    assert z3_reported > cvc4_reported, "Z3 yields more findings (paper: 44 vs 13)"
+    assert rows8a["Confirmed"][1] <= z3_reported
+
+    rows8b = {r[0]: r for r in figure8b_rows(result)}
+    assert rows8b["Soundness"][1] >= 1, "soundness bugs are the headline finding"
+    assert rows8b["Crash"][1] >= 1
+
+    rows8c = {r[0]: r for r in figure8c_rows(result)}
+    hot = rows8c["NRA"][1] + rows8c["QF_S"][1]
+    cold = rows8c["QF_NRA"][1] + rows8c["NIA"][1]
+    assert hot >= cold, "NRA and QF_S dominate the Z3 findings (paper: 15 + 15)"

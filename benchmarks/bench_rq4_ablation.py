@@ -1,0 +1,116 @@
+"""RQ4 (retrigger half) and design-choice ablations.
+
+The paper re-ran ConcatFuzz on the ancestor seeds of 50 reported bugs:
+only 5/50 retriggered, showing the variable fusion/inversion step is
+necessary. We replay that protocol: collect bug-triggering fusions from
+a campaign, then feed the *same ancestor seed pairs* through ConcatFuzz
+and count how many still expose their bug.
+
+Also benchmarks the DESIGN.md ablations: fusion with substitution
+probability 0 (concatenation plus fusion constraints but no inversion
+terms in the seed bodies) finds fewer faults than the default.
+"""
+
+from _util import emit, once
+
+from repro.core.concatfuzz import concat_scripts
+from repro.core.config import FusionConfig, YinYangConfig
+from repro.core.yinyang import YinYang
+from repro.campaign.runner import default_solvers
+from repro.seeds import build_corpus
+from repro.solver.result import SolverCrash, SolverResult
+
+
+def _collect_bugs(solver, corpora_specs, iterations):
+    tool = YinYang(solver, YinYangConfig(seed=17))
+    bugs = []
+    seed_lists = {}
+    for family, oracle, scale in corpora_specs:
+        corpus = build_corpus(family, scale=scale, seed=17)
+        seeds = corpus.by_oracle(oracle)
+        seed_lists[(family, oracle)] = seeds
+        report = tool.test(oracle, seeds, iterations=iterations)
+        for bug in report.bugs:
+            bugs.append((family, oracle, bug))
+    return bugs, seed_lists
+
+
+def _retriggers(solver, script, oracle, kind):
+    try:
+        outcome = solver.check_script(script)
+    except SolverCrash:
+        return kind == "crash"
+    if kind == "soundness":
+        return outcome.result.is_definite and str(outcome.result) != oracle
+    return False
+
+
+def test_rq4_concatfuzz_retrigger(benchmark):
+    z3 = default_solvers()[0]
+    specs = [
+        ("QF_S", "unsat", 0.002),
+        ("QF_S", "sat", 0.001),
+        ("LRA", "unsat", 0.003),
+        ("QF_LIA", "sat", 0.002),
+    ]
+    bugs, seed_lists = once(
+        benchmark, lambda: _collect_bugs(z3, specs, iterations=18)
+    )
+    sample = [b for b in bugs if b[2].kind in ("soundness", "crash")][:50]
+    assert sample, "campaign found no bugs to ablate"
+
+    retriggered = 0
+    for family, oracle, bug in sample:
+        seeds = seed_lists[(family, oracle)]
+        i, j = bug.seed_indices
+        concatenated = concat_scripts(oracle, seeds[i].script, seeds[j].script)
+        if _retriggers(z3, concatenated, oracle, bug.kind):
+            retriggered += 1
+
+    fraction = retriggered / len(sample)
+    emit(
+        "rq4_retrigger",
+        (
+            "RQ4 — ConcatFuzz on the ancestor seeds of found bugs\n"
+            f"retriggered: {retriggered}/{len(sample)} ({100*fraction:.0f}%)\n"
+            "paper: 5/50 (10%) — concatenation alone misses most bugs\n"
+        ),
+    )
+    assert fraction <= 0.5, "concatenation alone must miss most bugs"
+
+
+def test_ablation_substitution_probability(benchmark):
+    """DESIGN.md ablation: inversion substitution probability 0 vs 0.5.
+
+    SAT fusion isolates the effect: with probability 0 no inversion
+    term ever enters the formula and SAT fusion degenerates to plain
+    conjunction (ConcatFuzz with fresh z declarations), so the
+    structure-triggered faults go quiet.
+    """
+    z3 = default_solvers()[0]
+    corpus = build_corpus("QF_S", scale=0.0015, seed=23)
+
+    def run(probability):
+        config = YinYangConfig(
+            fusion=FusionConfig(substitution_probability=probability), seed=23
+        )
+        tool = YinYang(z3, config)
+        report = tool.test("sat", corpus.sat_seeds, iterations=25)
+        distinct = set()
+        for bug in report.bugs:
+            distinct.add((bug.kind, bug.note))
+        return len(distinct)
+
+    with_inversion = once(benchmark, lambda: run(0.5))
+    without_inversion = run(0.0)
+    emit(
+        "ablation_substitution",
+        (
+            "Ablation — distinct bug signatures in 25 SAT-fusion rounds (QF_S)\n"
+            f"substitution probability 0.5 (default): {with_inversion}\n"
+            f"substitution probability 0.0 (no inversion terms): {without_inversion}\n"
+            "With no inversion terms SAT fusion degenerates to concatenation,\n"
+            "so the structure-keyed defects stay hidden (the RQ4 mechanism).\n"
+        ),
+    )
+    assert with_inversion > without_inversion, "inversion must drive bug yield"

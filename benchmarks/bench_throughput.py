@@ -1,0 +1,69 @@
+"""RQ1 throughput: fused formulas generated per second.
+
+The paper: "On average, YinYang generates 41.5 test formulas per second
+when run in the single-threaded mode." This bench measures our fusion
+pipeline's generation throughput (fusing only — solver time excluded,
+as in the paper's figure, which measures the generator).
+"""
+
+import random
+
+from _util import emit
+
+from repro.core.config import FusionConfig
+from repro.core.fusion import fuse
+from repro.seeds import build_corpus
+
+PAPER_THROUGHPUT = 41.5
+
+
+def test_fusion_throughput(benchmark):
+    corpus = build_corpus("QF_LIA", scale=0.004, seed=21)
+    scripts = [s.script for s in corpus.seeds]
+    rng = random.Random(0)
+    config = FusionConfig()
+
+    def fuse_one():
+        i = rng.randrange(len(scripts))
+        j = rng.randrange(len(scripts))
+        return fuse("sat" , scripts[i], scripts[j], rng, config)
+
+    result = benchmark(fuse_one)
+    assert result.script.asserts
+
+    per_second = 1.0 / benchmark.stats.stats.mean
+    emit(
+        "throughput",
+        (
+            f"RQ1 throughput — fused formulas per second (single-threaded)\n"
+            f"ours : {per_second:,.1f}/s\n"
+            f"paper: {PAPER_THROUGHPUT}/s (on their 2019 hardware, with file I/O)\n"
+        ),
+    )
+    # Shape: generation is nowhere near the bottleneck (>= paper's rate).
+    assert per_second > PAPER_THROUGHPUT
+
+
+def test_multithreaded_mode_runs(benchmark):
+    """The paper's multi-threaded mode: same loop, sharded across threads."""
+    from repro.core.config import YinYangConfig
+    from repro.core.yinyang import YinYang
+
+    corpus = build_corpus("QF_LIA", scale=0.002, seed=22)
+
+    class NullSolver:
+        name = "null"
+
+        def check_script(self, script):
+            from repro.solver.result import CheckOutcome, SolverResult
+
+            return CheckOutcome(SolverResult.UNKNOWN)
+
+    tool = YinYang(NullSolver(), YinYangConfig(seed=3))
+
+    def run():
+        return tool.test("sat", corpus.sat_seeds, iterations=64, threads=4)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.fused > 0
+    assert report.iterations == 64

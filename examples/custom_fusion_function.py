@@ -1,0 +1,65 @@
+"""Extending Semantic Fusion with a custom fusion function.
+
+The paper (Sections 3.3 and 6) notes that "a richer set of fusion and
+inversion functions can be designed based on the generic Definitions 1
+and 2". This example registers a new Int family
+
+    z = f(x, y) = 2*x + y        r_x = (z - y) div 2,   r_y = z - 2*x
+
+and verifies on the spot that fusion with it preserves satisfiability.
+
+Run:  python examples/custom_fusion_function.py
+"""
+
+import random
+
+from repro import ReferenceSolver, parse_script, print_script
+from repro.core.config import FusionConfig
+from repro.core.fusion import fuse
+from repro.core.fusion_functions import (
+    FusionInstance,
+    FusionScheme,
+    all_scheme_names,
+    register_scheme,
+)
+from repro.smtlib import builder as b
+from repro.smtlib.sorts import INT
+
+
+def _instantiate(rng, config):
+    return FusionInstance(
+        scheme="int-double-plus",
+        sort=INT,
+        fusion=lambda x, y: b.add(b.mul(2, x), y),
+        invert_x=lambda x, y, z: b.idiv(b.sub(z, y), b.lift(2)),
+        invert_y=lambda x, y, z: b.sub(z, b.mul(2, x)),
+    )
+
+
+def main():
+    if "int-double-plus" not in all_scheme_names():
+        register_scheme(FusionScheme("int-double-plus", INT, _instantiate))
+    print("registered fusion schemes:", ", ".join(all_scheme_names()))
+
+    phi1 = parse_script(
+        "(declare-fun x () Int)(assert (= (* x x) 9))(assert (< x 0))(check-sat)"
+    )
+    phi2 = parse_script(
+        "(declare-fun y () Int)(assert (> (+ y y) 5))(check-sat)"
+    )
+
+    # Restrict fusion to the new family only.
+    config = FusionConfig(schemes=("int-double-plus",), max_pairs=1)
+    solver = ReferenceSolver()
+    rng = random.Random(3)
+
+    for trial in range(3):
+        result = fuse("sat", phi1, phi2, rng, config)
+        verdict = solver.check_script(result.script).result
+        print(f"\n--- trial {trial}: solver says {verdict} (oracle sat)")
+        print(print_script(result.script))
+        assert str(verdict) != "unsat", "a sound solver must never refute SAT fusion"
+
+
+if __name__ == "__main__":
+    main()

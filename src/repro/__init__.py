@@ -1,0 +1,57 @@
+"""Reproduction of "Validating SMT Solvers via Semantic Fusion" (PLDI 2020).
+
+The package implements the Semantic Fusion methodology and the YinYang
+testing tool, together with every substrate the paper depends on: an
+SMT-LIB v2 frontend, a reference SMT solver, fault-injected solver
+variants standing in for buggy Z3/CVC4 builds, labeled seed-formula
+generators, a formula reducer, probe-based coverage, and a campaign
+harness that regenerates the paper's tables and figures.
+
+Quickstart::
+
+    from repro import parse_script, fuse_scripts, ReferenceSolver
+
+    phi1 = parse_script("(declare-fun x () Int) (assert (> x 0)) (check-sat)")
+    phi2 = parse_script("(declare-fun y () Int) (assert (< y 0)) (check-sat)")
+    fused = fuse_scripts("sat", phi1, phi2, seed=42)
+    print(ReferenceSolver().check_script(fused))   # -> sat
+"""
+
+__all__ = [
+    "parse_script",
+    "parse_term",
+    "print_script",
+    "print_term",
+    "SolverResult",
+    "ReferenceSolver",
+    "fuse_scripts",
+    "YinYang",
+    "YinYangReport",
+]
+
+__version__ = "1.0.0"
+
+# Exports are resolved lazily so that importing one layer (e.g. the
+# SMT-LIB frontend) does not pull in every other layer.
+_EXPORTS = {
+    "parse_script": ("repro.smtlib.parser", "parse_script"),
+    "parse_term": ("repro.smtlib.parser", "parse_term"),
+    "print_script": ("repro.smtlib.printer", "print_script"),
+    "print_term": ("repro.smtlib.printer", "print_term"),
+    "SolverResult": ("repro.solver.result", "SolverResult"),
+    "ReferenceSolver": ("repro.solver.solver", "ReferenceSolver"),
+    "fuse_scripts": ("repro.core.fusion", "fuse_scripts"),
+    "YinYang": ("repro.core.yinyang", "YinYang"),
+    "YinYangReport": ("repro.core.yinyang", "YinYangReport"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)

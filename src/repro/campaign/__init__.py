@@ -1,0 +1,28 @@
+"""Campaign orchestration: run YinYang against the fault-injected
+solvers over the Figure 7 corpora and regenerate the paper's tables.
+"""
+
+from repro.campaign.runner import CampaignResult, run_campaign, default_solvers
+from repro.campaign.classify import attribute_fault, collect_found_faults
+from repro.campaign.report import (
+    figure8a_rows,
+    figure8b_rows,
+    figure8c_rows,
+    figure9_rows,
+    figure10_rows,
+    render_table,
+)
+
+__all__ = [
+    "CampaignResult",
+    "run_campaign",
+    "default_solvers",
+    "attribute_fault",
+    "collect_found_faults",
+    "figure8a_rows",
+    "figure8b_rows",
+    "figure8c_rows",
+    "figure9_rows",
+    "figure10_rows",
+    "render_table",
+]

@@ -1,0 +1,62 @@
+"""Attribution of bug records to catalog faults (bug triage).
+
+In the paper, each bug-triggering formula is reduced and reported, and
+developers map reports to root causes. Here the triage is mechanical:
+each :class:`~repro.core.yinyang.BugRecord` carries the internal fault
+note the buggy solver emitted (the equivalent of the stderr/stack
+signature a human would match on), and records whose notes name the
+same fault are duplicates of one report.
+"""
+
+from __future__ import annotations
+
+import re
+
+_FAULT_NOTE = re.compile(r"fault:([A-Za-z0-9_.-]+)")
+
+
+def attribute_fault(record):
+    """The fault id responsible for a bug record, or ``""``."""
+    note = record.note or ""
+    match = _FAULT_NOTE.search(note)
+    if match:
+        return match.group(1)
+    # Crash records carry the bare fault id; unknown records embed it
+    # in parentheses.
+    match = re.search(r"\(([A-Za-z0-9_.-]+)\)", note)
+    if match and "-" in match.group(1):
+        return match.group(1)
+    if note and " " not in note:
+        return note
+    return ""
+
+
+def collect_found_faults(records, catalogs):
+    """Map bug records to catalog faults.
+
+    ``catalogs`` maps solver name to its fault list. Returns
+    ``{solver_name: {fault_id: [records...]}}`` covering only records
+    that attribute to a known fault.
+    """
+    by_id = {}
+    for solver_name, faults in catalogs.items():
+        by_id[solver_name] = {f.fault_id: f for f in faults}
+    found = {name: {} for name in catalogs}
+    for record in records:
+        fault_id = attribute_fault(record)
+        if not fault_id:
+            continue
+        for solver_name, table in by_id.items():
+            if record.solver == solver_name and fault_id in table:
+                found[solver_name].setdefault(fault_id, []).append(record)
+    return found
+
+
+def found_fault_objects(found, catalogs):
+    """Flatten a ``collect_found_faults`` result into fault objects."""
+    out = []
+    for solver_name, faults in catalogs.items():
+        table = {f.fault_id: f for f in faults}
+        for fault_id in found.get(solver_name, {}):
+            out.append(table[fault_id])
+    return out

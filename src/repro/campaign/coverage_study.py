@@ -1,0 +1,114 @@
+"""The RQ3/RQ4 coverage experiments (paper Figures 11 and 12).
+
+Protocol, mirroring Section 4.2:
+
+1. Run the solver on all seed formulas of a benchmark — coverage
+   labeled **Benchmark**.
+2. Continue with YinYang-fused formulas for a budget — coverage labeled
+   **YinYang** (cumulative, like re-running Gcov after the fuzzing
+   session).
+3. For RQ4, repeat with **ConcatFuzz** (concatenation only).
+
+Coverage is probe-based (see :mod:`repro.coverage`): the reference
+solver's line/function/branch probes stand in for Gcov counters.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.concatfuzz import concat_scripts
+from repro.core.config import FusionConfig
+from repro.core.fusion import fuse
+from repro.coverage.probes import coverage_session
+from repro.coverage.report import CoverageComparison, CoverageReport, average_reports
+from repro.errors import FusionError
+from repro.solver.result import SolverCrash
+
+
+def _run_scripts(solver, scripts, session_label):
+    with coverage_session(session_label) as session:
+        for script in scripts:
+            try:
+                solver.check_script(script)
+            except SolverCrash:
+                pass
+    return session
+
+
+def _fused_scripts(oracle, scripts, budget, seed, mode):
+    rng = random.Random(seed)
+    config = FusionConfig()
+    out = []
+    attempts = 0
+    while len(out) < budget and attempts < budget * 4:
+        attempts += 1
+        i = rng.randrange(len(scripts))
+        j = rng.randrange(len(scripts))
+        try:
+            if mode == "yinyang":
+                out.append(fuse(oracle, scripts[i], scripts[j], rng, config).script)
+            else:
+                out.append(concat_scripts(oracle, scripts[i], scripts[j]))
+        except FusionError:
+            continue
+    return out
+
+
+def coverage_cell(solver, corpus, oracle, fuzz_budget=30, seed=0, with_concatfuzz=False):
+    """One Figure 11 cell: Benchmark vs YinYang (vs ConcatFuzz) coverage.
+
+    Returns a :class:`~repro.coverage.report.CoverageComparison`.
+    """
+    seeds = corpus.by_oracle(oracle)
+    scripts = [s.script for s in seeds]
+    if not scripts:
+        empty = CoverageReport(f"{corpus.name}-{oracle}", 0.0, 0.0, 0.0)
+        return CoverageComparison(corpus.name, oracle, empty, empty, empty)
+
+    benchmark_session = _run_scripts(solver, scripts, "benchmark")
+    benchmark = CoverageReport.from_session(
+        benchmark_session, f"{corpus.name}/{oracle}/benchmark"
+    )
+
+    # YinYang coverage is cumulative on top of the benchmark run.
+    fused = _fused_scripts(oracle, scripts, fuzz_budget, seed, "yinyang")
+    yy_session = _run_scripts(solver, fused, "yinyang")
+    yy_session.merge(benchmark_session)
+    yinyang = CoverageReport.from_session(yy_session, f"{corpus.name}/{oracle}/yinyang")
+
+    concat = None
+    if with_concatfuzz:
+        concatenated = _fused_scripts(oracle, scripts, fuzz_budget, seed, "concat")
+        cf_session = _run_scripts(solver, concatenated, "concatfuzz")
+        cf_session.merge(benchmark_session)
+        concat = CoverageReport.from_session(
+            cf_session, f"{corpus.name}/{oracle}/concatfuzz"
+        )
+
+    return CoverageComparison(corpus.name, oracle, benchmark, yinyang, concat)
+
+
+def coverage_table(solver, corpora, families, fuzz_budget=30, seed=0, with_concatfuzz=False):
+    """Figure 11: comparisons for each (family, oracle) cell."""
+    cells = []
+    for family in families:
+        corpus = corpora[family]
+        for oracle in ("sat", "unsat"):
+            if not corpus.by_oracle(oracle):
+                continue
+            cells.append(
+                coverage_cell(
+                    solver, corpus, oracle, fuzz_budget, seed, with_concatfuzz
+                )
+            )
+    return cells
+
+
+def figure12_averages(cells):
+    """Figure 12: Benchmark / ConcatFuzz / YinYang averaged over cells."""
+    benchmark = average_reports([c.benchmark for c in cells], "Benchmark")
+    yinyang = average_reports([c.yinyang for c in cells], "YinYang")
+    concat_cells = [c.concatfuzz for c in cells if c.concatfuzz is not None]
+    concatfuzz = average_reports(concat_cells, "ConcatFuzz")
+    return benchmark, concatfuzz, yinyang

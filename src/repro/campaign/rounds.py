@@ -1,0 +1,130 @@
+"""The paper's testing-round protocol (Section 4.2, RQ1).
+
+"To avoid duplicate bug reports, we always use the trunk versions of
+the solvers for testing. Once the developers have fixed a bug, we
+validate the fixed version on the rest of the formulas which triggered
+bugs in the previous testing round. If the solvers passed all formulas
+and no bug was triggered, we started a new testing round."
+
+:func:`run_fix_rounds` simulates that loop: each round runs YinYang,
+triages the findings, *fixes* the implicated faults (removes them from
+the solver build — the developers' patch), revalidates the previous
+round's triggering formulas against the patched build, and goes again
+until a round finds nothing new.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.campaign.classify import attribute_fault
+from repro.core.config import YinYangConfig
+from repro.core.yinyang import YinYang
+from repro.faults.faulty_solver import FaultySolver
+from repro.solver.result import SolverCrash
+
+
+@dataclass
+class Round:
+    """One testing round's outcome."""
+
+    index: int
+    new_fault_ids: list
+    bug_count: int
+    revalidation_failures: int = 0
+
+
+@dataclass
+class FixRoundsResult:
+    rounds: list = field(default_factory=list)
+    fixed_fault_ids: list = field(default_factory=list)
+
+    @property
+    def total_rounds(self):
+        return len(self.rounds)
+
+    def summary(self):
+        per_round = ", ".join(
+            f"round {r.index}: {len(r.new_fault_ids)} new" for r in self.rounds
+        )
+        return f"{len(self.fixed_fault_ids)} faults fixed over {self.total_rounds} rounds ({per_round})"
+
+
+def run_fix_rounds(
+    base_solver,
+    catalog,
+    solver_name,
+    oracle,
+    seeds,
+    iterations_per_round=40,
+    max_rounds=8,
+    seed=0,
+):
+    """Run fix-validate-retest rounds until a round finds nothing.
+
+    Returns a :class:`FixRoundsResult`. Each round's finds are "fixed"
+    by dropping them from the active fault set before the next round —
+    so round counts decrease monotonically toward zero, mirroring the
+    paper's campaign cadence.
+    """
+    remaining = list(catalog)
+    result = FixRoundsResult()
+    previous_triggers = []
+
+    for index in range(1, max_rounds + 1):
+        solver = FaultySolver(base_solver, remaining, solver_name)
+
+        # Revalidate the previous round's triggering formulas against
+        # the patched build. A formula that still misbehaves either
+        # (a) implicates a fault that was supposedly fixed — a failed
+        # fix, which must not happen with our mechanical patches — or
+        # (b) uncovers a *different*, still-active fault, which the
+        # paper reported as a fresh bug; we fold those into this
+        # round's finds.
+        revalidation_failures = 0
+        revalidation_finds = []
+        for script, expected in previous_triggers:
+            implicated = ""
+            try:
+                outcome = solver.check_script(script)
+            except SolverCrash as crash:
+                implicated = getattr(crash, "fault_id", "")
+            else:
+                if outcome.result.is_definite and str(outcome.result) != expected:
+                    triggered = solver.triggered_faults(script)
+                    implicated = triggered[0].fault_id if triggered else ""
+            if not implicated:
+                continue
+            if implicated in result.fixed_fault_ids:
+                revalidation_failures += 1
+            else:
+                revalidation_finds.append(implicated)
+
+        tool = YinYang(solver, YinYangConfig(seed=seed + index))
+        report = tool.test(oracle, seeds, iterations=iterations_per_round)
+
+        new_ids = []
+        for fault_id in revalidation_finds:
+            if fault_id not in new_ids:
+                new_ids.append(fault_id)
+        for bug in report.bugs:
+            fault_id = attribute_fault(bug)
+            if fault_id and fault_id not in new_ids:
+                new_ids.append(fault_id)
+        result.rounds.append(
+            Round(
+                index=index,
+                new_fault_ids=new_ids,
+                bug_count=len(report.bugs),
+                revalidation_failures=revalidation_failures,
+            )
+        )
+        if not new_ids:
+            break
+
+        # "The developers fixed the bugs": drop them from the build.
+        result.fixed_fault_ids.extend(new_ids)
+        remaining = [f for f in remaining if f.fault_id not in new_ids]
+        previous_triggers = [(bug.script, bug.oracle) for bug in report.bugs][:40]
+
+    return result

@@ -1,0 +1,91 @@
+"""The campaign runner: YinYang against buggy solvers over all corpora.
+
+This is the offline equivalent of the paper's four-month testing
+campaign, compressed: for each (solver, corpus, oracle) cell the runner
+fuses seed pairs and records every bug-triggering formula, then triage
+(:mod:`repro.campaign.classify`) maps records to catalog faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.campaign.classify import collect_found_faults, found_fault_objects
+from repro.core.config import FusionConfig, YinYangConfig
+from repro.core.yinyang import YinYang
+from repro.faults.catalog import cvc4_like_catalog, z3_like_catalog
+from repro.faults.faulty_solver import FaultySolver
+from repro.solver.solver import ReferenceSolver, SolverConfig
+
+
+def default_solvers(release="trunk", base_config=None):
+    """The two solvers under test, with their catalogs attached.
+
+    The base solver runs with the fast (short-timeout) configuration,
+    the standard fuzzing setup for real solvers too.
+    """
+    base = ReferenceSolver(base_config or SolverConfig.fast())
+    z3 = FaultySolver(base, z3_like_catalog(), "z3-like", release=release)
+    cvc4 = FaultySolver(base, cvc4_like_catalog(), "cvc4-like", release=release)
+    return [z3, cvc4]
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced."""
+
+    records: list = field(default_factory=list)  # all BugRecords
+    reports: dict = field(default_factory=dict)  # (solver, corpus, oracle) -> report
+    catalogs: dict = field(default_factory=dict)  # solver name -> fault list
+    fused_total: int = 0
+    elapsed_total: float = 0.0
+
+    def found_faults(self):
+        """{solver: {fault_id: [records]}} via triage."""
+        return collect_found_faults(self.records, self.catalogs)
+
+    def found_fault_objects(self):
+        return found_fault_objects(self.found_faults(), self.catalogs)
+
+    def summary(self):
+        found = self.found_faults()
+        parts = [f"{self.fused_total} fused formulas"]
+        for solver_name, faults in found.items():
+            parts.append(f"{solver_name}: {len(faults)} distinct faults")
+        return ", ".join(parts)
+
+
+def run_campaign(
+    corpora,
+    solvers=None,
+    iterations_per_cell=120,
+    seed=0,
+    fusion_config=None,
+    performance_threshold=0.3,
+):
+    """Run the full campaign.
+
+    ``corpora`` maps family name to
+    :class:`~repro.core.oracle.SeedCorpus`. Returns a
+    :class:`CampaignResult`.
+    """
+    solvers = solvers or default_solvers()
+    result = CampaignResult(
+        catalogs={s.name: s.active_faults() for s in solvers}
+    )
+    config = YinYangConfig(
+        fusion=fusion_config or FusionConfig(), seed=seed
+    )
+    for solver in solvers:
+        tool = YinYang(solver, config, performance_threshold=performance_threshold)
+        for family, corpus in corpora.items():
+            for oracle in ("sat", "unsat"):
+                seeds = corpus.by_oracle(oracle)
+                if len(seeds) < 1:
+                    continue
+                report = tool.test(oracle, seeds, iterations=iterations_per_cell)
+                result.reports[(solver.name, family, oracle)] = report
+                result.records.extend(report.bugs)
+                result.fused_total += report.fused
+                result.elapsed_total += report.elapsed
+    return result

@@ -1,0 +1,239 @@
+"""The ``yinyang`` command line.
+
+Mirrors the paper's tool surface: point it at seed files (or a
+generated corpus) and a solver under test, and it fuses seed pairs and
+reports inconsistencies. The reproduction adds subcommands for the
+built-in buggy solvers, seed generation, single-shot fusion, and bug
+reduction.
+
+Examples::
+
+    yinyang fuse --oracle sat seed1.smt2 seed2.smt2
+    yinyang test --oracle unsat --solver z3-like --corpus QF_S --iterations 200
+    yinyang generate --family QF_NRA --oracle unsat --count 5
+    yinyang check formula.smt2 --solver reference
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import FusionConfig, YinYangConfig
+from repro.core.fusion import fuse_scripts
+from repro.core.yinyang import YinYang
+from repro.faults.catalog import catalog_for
+from repro.faults.faulty_solver import FaultySolver
+from repro.seeds import build_corpus
+from repro.smtlib.parser import parse_script
+from repro.smtlib.printer import print_script
+from repro.solver.result import SolverCrash
+from repro.solver.solver import ReferenceSolver
+
+
+def _load_script(path):
+    with open(path, encoding="utf-8") as handle:
+        return parse_script(handle.read())
+
+
+def make_solver(name, release="trunk"):
+    """Instantiate a solver by name: reference | z3-like | cvc4-like."""
+    if name == "reference":
+        return ReferenceSolver()
+    return FaultySolver(ReferenceSolver(), catalog_for(name), name, release=release)
+
+
+def _cmd_fuse(args):
+    phi1 = _load_script(args.seeds[0])
+    phi2 = _load_script(args.seeds[1])
+    config = FusionConfig(
+        max_pairs=args.pairs, substitution_probability=args.probability
+    )
+    fused = fuse_scripts(args.oracle, phi1, phi2, seed=args.seed, config=config)
+    sys.stdout.write(print_script(fused))
+    return 0
+
+
+def _cmd_check(args):
+    solver = make_solver(args.solver, args.release)
+    script = _load_script(args.file)
+    try:
+        outcome = solver.check_script(script)
+    except SolverCrash as crash:
+        print(f"crash: {crash}")
+        return 2
+    print(outcome.result)
+    return 0
+
+
+def _cmd_generate(args):
+    corpus = build_corpus(args.family, scale=0.0001, seed=args.seed)
+    wanted = [s for s in corpus.seeds if s.oracle == args.oracle]
+    import random
+
+    from repro.seeds.corpus import _generate
+
+    rng = random.Random(args.seed)
+    while len(wanted) < args.count:
+        wanted.append(_generate(args.family, args.oracle, rng))
+    for seed in wanted[: args.count]:
+        sys.stdout.write(f"; oracle: {seed.oracle}  logic: {seed.logic}\n")
+        sys.stdout.write(print_script(seed.script))
+        sys.stdout.write("\n")
+    return 0
+
+
+def _cmd_reduce(args):
+    buggy = make_solver(args.solver, args.release)
+    trusted = make_solver("reference")
+    script = _load_script(args.file)
+    from repro.reduce import reduce_script
+    from repro.solver.result import SolverResult
+
+    if args.expect == "crash":
+
+        def still_buggy(candidate):
+            try:
+                buggy.check_script(candidate)
+            except SolverCrash:
+                return True
+            return False
+
+    else:
+        expected = SolverResult.from_string(args.expect)
+
+        def still_buggy(candidate):
+            try:
+                outcome = buggy.check_script(candidate)
+            except SolverCrash:
+                return False
+            if outcome.result is not expected.flipped():
+                return False
+            return trusted.check_script(candidate).result is not expected.flipped()
+
+    reduced = reduce_script(script, still_buggy)
+    sys.stdout.write(print_script(reduced))
+    return 0
+
+
+def _cmd_campaign(args):
+    from repro.campaign import (
+        figure8a_rows,
+        figure8b_rows,
+        figure8c_rows,
+        render_table,
+        run_campaign,
+    )
+    from repro.seeds import build_all_corpora
+
+    corpora = build_all_corpora(scale=args.scale, seed=args.seed)
+    result = run_campaign(
+        corpora, iterations_per_cell=args.iterations, seed=args.seed
+    )
+    print(result.summary())
+    headers = ["", "Z3", "CVC4", "Z3(paper)", "CVC4(paper)"]
+    print(render_table(headers, figure8a_rows(result), "Figure 8a"))
+    print(render_table(headers, figure8b_rows(result), "Figure 8b"))
+    print(render_table(headers, figure8c_rows(result), "Figure 8c"))
+    return 0
+
+
+def _cmd_test(args):
+    solver = make_solver(args.solver, args.release)
+    corpus = build_corpus(args.corpus, scale=args.scale, seed=args.seed)
+    seeds = corpus.by_oracle(args.oracle)
+    if not seeds:
+        print(f"no {args.oracle} seeds in corpus {args.corpus}", file=sys.stderr)
+        return 1
+    config = YinYangConfig(
+        fusion=FusionConfig(
+            max_pairs=args.pairs, substitution_probability=args.probability
+        ),
+        seed=args.seed,
+    )
+    tool = YinYang(solver, config, performance_threshold=args.perf_threshold)
+    report = tool.test(args.oracle, seeds, iterations=args.iterations, threads=args.threads)
+    print(report.summary())
+    print(f"throughput: {report.throughput:.1f} fused formulas/s")
+    for i, bug in enumerate(report.bugs[: args.show]):
+        print(f"--- bug {i}: {bug}")
+        sys.stdout.write(print_script(bug.script))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="yinyang",
+        description="Semantic Fusion testing for SMT solvers (PLDI 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fuse = sub.add_parser("fuse", help="fuse two seed scripts once")
+    p_fuse.add_argument("seeds", nargs=2, help="two SMT-LIB files with equal satisfiability")
+    p_fuse.add_argument("--oracle", choices=["sat", "unsat"], required=True)
+    p_fuse.add_argument("--seed", type=int, default=0)
+    p_fuse.add_argument("--pairs", type=int, default=2)
+    p_fuse.add_argument("--probability", type=float, default=0.5)
+    p_fuse.set_defaults(func=_cmd_fuse)
+
+    p_check = sub.add_parser("check", help="run a solver on one script")
+    p_check.add_argument("file")
+    p_check.add_argument(
+        "--solver", choices=["reference", "z3-like", "cvc4-like"], default="reference"
+    )
+    p_check.add_argument("--release", default="trunk")
+    p_check.set_defaults(func=_cmd_check)
+
+    p_gen = sub.add_parser("generate", help="generate labeled seed formulas")
+    p_gen.add_argument("--family", required=True)
+    p_gen.add_argument("--oracle", choices=["sat", "unsat"], default="sat")
+    p_gen.add_argument("--count", type=int, default=3)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_reduce = sub.add_parser("reduce", help="reduce a bug-triggering script")
+    p_reduce.add_argument("file")
+    p_reduce.add_argument("--solver", choices=["z3-like", "cvc4-like"], default="z3-like")
+    p_reduce.add_argument("--release", default="trunk")
+    p_reduce.add_argument(
+        "--expect",
+        choices=["sat", "unsat", "crash"],
+        required=True,
+        help="the ground-truth oracle (or 'crash' for crash bugs)",
+    )
+    p_reduce.set_defaults(func=_cmd_reduce)
+
+    p_campaign = sub.add_parser("campaign", help="run the full Figure 8 campaign")
+    p_campaign.add_argument("--scale", type=float, default=0.002)
+    p_campaign.add_argument("--iterations", type=int, default=30)
+    p_campaign.add_argument("--seed", type=int, default=0)
+    p_campaign.set_defaults(func=_cmd_campaign)
+
+    p_test = sub.add_parser("test", help="run the YinYang loop (Algorithm 1)")
+    p_test.add_argument(
+        "--solver", choices=["reference", "z3-like", "cvc4-like"], default="z3-like"
+    )
+    p_test.add_argument("--release", default="trunk")
+    p_test.add_argument("--corpus", default="QF_S")
+    p_test.add_argument("--oracle", choices=["sat", "unsat"], required=True)
+    p_test.add_argument("--iterations", type=int, default=100)
+    p_test.add_argument("--scale", type=float, default=0.002)
+    p_test.add_argument("--seed", type=int, default=0)
+    p_test.add_argument("--pairs", type=int, default=2)
+    p_test.add_argument("--probability", type=float, default=0.5)
+    p_test.add_argument("--threads", type=int, default=1)
+    p_test.add_argument("--perf-threshold", type=float, default=0.3)
+    p_test.add_argument("--show", type=int, default=2, help="bug scripts to print")
+    p_test.set_defaults(func=_cmd_test)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

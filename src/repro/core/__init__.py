@@ -1,0 +1,26 @@
+"""Semantic Fusion: the paper's primary contribution.
+
+- :mod:`repro.core.fusion_functions` — the Figure 6 fusion/inversion
+  function families (and the extension hook for user-defined ones).
+- :mod:`repro.core.substitution` — random-occurrence substitution
+  ``phi[e/x]_R``.
+- :mod:`repro.core.fusion` — Algorithm 2 (``fuse``), SAT / UNSAT / mixed
+  fusion over scripts.
+- :mod:`repro.core.concatfuzz` — the RQ4 ablation baseline.
+- :mod:`repro.core.yinyang` — Algorithm 1, the YinYang testing loop.
+"""
+
+from repro.core.config import FusionConfig
+from repro.core.fusion import FusionResult, fuse_scripts
+from repro.core.concatfuzz import concat_scripts
+from repro.core.yinyang import BugRecord, YinYang, YinYangReport
+
+__all__ = [
+    "FusionConfig",
+    "FusionResult",
+    "fuse_scripts",
+    "concat_scripts",
+    "YinYang",
+    "YinYangReport",
+    "BugRecord",
+]

@@ -1,0 +1,48 @@
+"""Configuration for Semantic Fusion and the YinYang loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FusionConfig:
+    """Knobs of the fusion algorithm (paper Section 3.4).
+
+    - ``max_pairs`` — how many variable pairs (x, y) to fuse per run
+      (each gets its own fresh ``z`` and fusion function).
+    - ``substitution_probability`` — the chance that any given free
+      occurrence of a fused variable is replaced by its inversion term
+      (the paper replaces "randomly chosen occurrences ... possibly
+      none").
+    - ``coefficient_range`` — random coefficients ``c, c1..c3`` of the
+      affine fusion functions are drawn from ``[1, coefficient_range]``
+      (sign randomized; divisor coefficients are never zero).
+    - ``schemes`` — restrict fusion-function families by name (empty =
+      all families of Figure 6 plus registered extensions).
+    """
+
+    max_pairs: int = 2
+    substitution_probability: float = 0.5
+    coefficient_range: int = 4
+    schemes: tuple = ()
+
+    def __post_init__(self):
+        if not 0.0 <= self.substitution_probability <= 1.0:
+            raise ValueError("substitution_probability must be in [0, 1]")
+        if self.max_pairs < 1:
+            raise ValueError("max_pairs must be at least 1")
+        if self.coefficient_range < 1:
+            raise ValueError("coefficient_range must be at least 1")
+
+
+@dataclass
+class YinYangConfig:
+    """Knobs of the YinYang main loop (Algorithm 1)."""
+
+    fusion: FusionConfig = field(default_factory=FusionConfig)
+    # Per the paper: "the solvers may report unknown, which could be
+    # either seen as a crash or ignored".
+    unknown_is_crash: bool = False
+    max_iterations: int = 1000
+    seed: int = 0

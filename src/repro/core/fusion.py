@@ -1,0 +1,354 @@
+"""Semantic Fusion of SMT-LIB scripts (the paper's Algorithm 2).
+
+SAT fusion (Proposition 1)::
+
+    phi_sat = phi1[r_x(y,z)/x]_R  AND  phi2[r_y(x,z)/y]_R
+
+UNSAT fusion (Proposition 2)::
+
+    phi_unsat = (phi1[r_x/x]_R OR phi2[r_y/y]_R) AND z = f(x,y)
+                AND x = r_x(y,z) AND y = r_y(x,z)
+
+Mixed fusion (Section 3.2) combines one satisfiable and one
+unsatisfiable seed: disjunction preserves satisfiability, conjunction
+plus fusion constraints preserves unsatisfiability.
+
+The entry points operate on whole :class:`~repro.smtlib.ast.Script`
+objects: variable sets are made disjoint by renaming, declarations are
+merged, and the result is a runnable script ending in ``check-sat`` —
+exactly the artifact YinYang feeds to a solver under test.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.config import FusionConfig
+from repro.core.fusion_functions import pick_instance
+from repro.core.substitution import random_occurrence_substitution
+from repro.errors import FusionError
+from repro.semantics.evaluator import evaluate
+from repro.semantics.model import Model
+from repro.smtlib import builder as b
+from repro.smtlib.ast import (
+    Assert,
+    CheckSat,
+    DeclareFun,
+    Script,
+    SetLogic,
+    Var,
+    fresh_name,
+    substitute,
+)
+from repro.smtlib.sorts import INT, REAL, STRING
+
+FUSIBLE_SORTS = (INT, REAL, STRING)
+
+
+@dataclass
+class FusionTriplet:
+    """One fused variable pair: ``z = f(x, y)`` with its inversions."""
+
+    z: Var
+    x: Var
+    y: Var
+    instance: object
+
+    @property
+    def scheme(self):
+        return self.instance.scheme
+
+
+@dataclass
+class FusionResult:
+    """The fused script plus the provenance YinYang's reports need."""
+
+    script: Script
+    oracle: str
+    triplets: list
+    renaming: dict = field(default_factory=dict)  # phi2 old name -> new name
+    replaced_occurrences: int = 0
+    total_occurrences: int = 0
+
+    def __str__(self):
+        return str(self.script)
+
+
+def _typed_free_vars(script):
+    """Free variables of a script grouped by sort, deterministic order."""
+    grouped = {}
+    for var in script.free_variables():
+        grouped.setdefault(var.sort, []).append(var)
+    return grouped
+
+
+def _rename_apart(phi1, phi2):
+    """Rename phi2's variables that collide with phi1's.
+
+    Returns ``(renamed_phi2_asserts, declarations, renaming_dict)``.
+    """
+    taken = {v.name for v in phi1.free_variables()}
+    taken |= set(phi1.declarations)
+    mapping = {}
+    renaming = {}
+    declarations = []
+    for name, var in phi2.declarations.items():
+        if name in taken:
+            new_name = fresh_name(name)
+            mapping[var] = Var(new_name, var.sort)
+            renaming[name] = new_name
+            declarations.append(Var(new_name, var.sort))
+        else:
+            declarations.append(var)
+    asserts = [substitute(t, mapping) for t in phi2.asserts] if mapping else list(phi2.asserts)
+    return asserts, declarations, renaming
+
+
+def _random_pairs(vars1, vars2, rng, config):
+    """The paper's ``random_map``: same-sort variable pairs to fuse."""
+    pairs = []
+    for sort in FUSIBLE_SORTS:
+        xs = list(vars1.get(sort, []))
+        ys = list(vars2.get(sort, []))
+        if not xs or not ys:
+            continue
+        rng.shuffle(xs)
+        rng.shuffle(ys)
+        pairs.extend(zip(xs, ys))
+    if not pairs:
+        raise FusionError("no same-sort variable pair to fuse")
+    rng.shuffle(pairs)
+    return pairs[: config.max_pairs]
+
+
+def _build_triplets(pairs, rng, config):
+    triplets = []
+    for x, y in pairs:
+        z = Var(fresh_name("z"), x.sort)
+        instance = pick_instance(x.sort, rng, config)
+        triplets.append(FusionTriplet(z, x, y, instance))
+    return triplets
+
+
+def _variable_fusion(asserts1, asserts2, triplets, rng, config):
+    """Algorithm 2's ``variable_fusion``: random inversion substitution."""
+    replaced = total = 0
+    for triplet in triplets:
+        rx = triplet.instance.invert_x(triplet.x, triplet.y, triplet.z)
+        ry = triplet.instance.invert_y(triplet.x, triplet.y, triplet.z)
+        new1 = []
+        for term in asserts1:
+            term, r, t = random_occurrence_substitution(
+                term, triplet.x, rx, rng, config.substitution_probability
+            )
+            replaced += r
+            total += t
+            new1.append(term)
+        asserts1 = new1
+        new2 = []
+        for term in asserts2:
+            term, r, t = random_occurrence_substitution(
+                term, triplet.y, ry, rng, config.substitution_probability
+            )
+            replaced += r
+            total += t
+            new2.append(term)
+        asserts2 = new2
+    return asserts1, asserts2, replaced, total
+
+
+def _merged_declarations(phi1, phi2_decls, triplets):
+    out = []
+    seen = set()
+    for var in list(phi1.declarations.values()) + list(phi2_decls):
+        if var.name not in seen:
+            seen.add(var.name)
+            out.append(var)
+    for triplet in triplets:
+        out.append(triplet.z)
+    return out
+
+
+def _assemble(logic, declarations, asserts):
+    commands = []
+    if logic:
+        commands.append(SetLogic(logic))
+    for var in declarations:
+        commands.append(DeclareFun(var.name, (), var.sort))
+    for term in asserts:
+        commands.append(Assert(term))
+    commands.append(CheckSat())
+    return Script(commands)
+
+
+def _merged_logic(phi1, phi2):
+    """Keep the seeds' logic only when both agree (fusion may leave it
+    anyway, e.g. multiplication makes linear seeds nonlinear — so the
+    merged script drops the annotation unless the seeds share one)."""
+    if phi1.logic is not None and phi1.logic == phi2.logic:
+        return None
+    return None
+
+
+def fuse(oracle, phi1, phi2, rng=None, config=None):
+    """Fuse two equisatisfiable scripts (Algorithm 2).
+
+    ``oracle`` is ``"sat"`` or ``"unsat"`` — the shared satisfiability
+    of the two seeds, which the fused script preserves by construction.
+    Returns a :class:`FusionResult`.
+    """
+    if oracle not in ("sat", "unsat"):
+        raise FusionError(f"oracle must be 'sat' or 'unsat', got {oracle!r}")
+    rng = rng or random.Random()
+    config = config or FusionConfig()
+
+    asserts1 = list(phi1.asserts)
+    asserts2, phi2_decls, renaming = _rename_apart(phi1, phi2)
+    phi2_view = Script(
+        [DeclareFun(v.name, (), v.sort) for v in phi2_decls]
+        + [Assert(t) for t in asserts2]
+    )
+
+    vars1 = _typed_free_vars(phi1)
+    vars2 = _typed_free_vars(phi2_view)
+    pairs = _random_pairs(vars1, vars2, rng, config)
+    triplets = _build_triplets(pairs, rng, config)
+
+    asserts1, asserts2, replaced, total = _variable_fusion(
+        asserts1, asserts2, triplets, rng, config
+    )
+
+    declarations = _merged_declarations(phi1, phi2_decls, triplets)
+    if oracle == "sat":
+        # Formula conjunction: merge the assert blocks.
+        fused_asserts = asserts1 + asserts2
+    else:
+        # Formula disjunction plus the fusion constraints.
+        disjunction = b.or_(
+            _conjoin(asserts1),
+            _conjoin(asserts2),
+        )
+        fused_asserts = [disjunction]
+        for triplet in triplets:
+            fused_asserts.extend(
+                triplet.instance.constraints(triplet.x, triplet.y, triplet.z)
+            )
+
+    script = _assemble(_merged_logic(phi1, phi2), declarations, fused_asserts)
+    return FusionResult(
+        script=script,
+        oracle=oracle,
+        triplets=triplets,
+        renaming=renaming,
+        replaced_occurrences=replaced,
+        total_occurrences=total,
+    )
+
+
+def fuse_mixed(phi_sat, phi_unsat, want, rng=None, config=None):
+    """Mixed fusion (Section 3.2): one satisfiable and one unsatisfiable seed.
+
+    ``want="sat"`` uses disjunction (satisfiable by the sat seed);
+    ``want="unsat"`` uses conjunction plus fusion constraints
+    (unsatisfiable because the unsat seed's conjunct cannot hold).
+    """
+    if want not in ("sat", "unsat"):
+        raise FusionError(f"want must be 'sat' or 'unsat', got {want!r}")
+    rng = rng or random.Random()
+    config = config or FusionConfig()
+
+    asserts1 = list(phi_sat.asserts)
+    asserts2, phi2_decls, renaming = _rename_apart(phi_sat, phi_unsat)
+    phi2_view = Script(
+        [DeclareFun(v.name, (), v.sort) for v in phi2_decls]
+        + [Assert(t) for t in asserts2]
+    )
+    pairs = _random_pairs(
+        _typed_free_vars(phi_sat), _typed_free_vars(phi2_view), rng, config
+    )
+    triplets = _build_triplets(pairs, rng, config)
+    asserts1, asserts2, replaced, total = _variable_fusion(
+        asserts1, asserts2, triplets, rng, config
+    )
+    declarations = _merged_declarations(phi_sat, phi2_decls, triplets)
+    if want == "sat":
+        fused_asserts = [b.or_(_conjoin(asserts1), _conjoin(asserts2))]
+    else:
+        fused_asserts = asserts1 + asserts2
+        for triplet in triplets:
+            fused_asserts.extend(
+                triplet.instance.constraints(triplet.x, triplet.y, triplet.z)
+            )
+    script = _assemble(None, declarations, fused_asserts)
+    return FusionResult(
+        script=script,
+        oracle=want,
+        triplets=triplets,
+        renaming=renaming,
+        replaced_occurrences=replaced,
+        total_occurrences=total,
+    )
+
+
+def _conjoin(asserts):
+    if not asserts:
+        return b.lift(True)
+    if len(asserts) == 1:
+        return asserts[0]
+    return b.and_(*asserts)
+
+
+def fuse_scripts(oracle, phi1, phi2, seed=0, config=None):
+    """Convenience wrapper returning just the fused :class:`Script`."""
+    return fuse(oracle, phi1, phi2, random.Random(seed), config).script
+
+
+class _RecordingModel(Model):
+    """A model copy that records which division-at-zero keys are consulted."""
+
+    def __init__(self, base):
+        super().__init__(dict(base.items()))
+        self.requested = []
+
+    def div_at_zero(self, op, numerator):
+        self.requested.append((op, numerator))
+        return super().div_at_zero(op, numerator)
+
+
+def fused_model(result, model1, model2):
+    """The constructed model of Proposition 1: ``M1 ∪ M2 ∪ {z -> f(x,y)}``.
+
+    ``model2`` is keyed by the *original* phi2 variable names; the
+    renaming recorded in ``result`` is applied. Only meaningful for SAT
+    fusion.
+
+    Proposition 1's proof needs ``M(r_x(y, z)) = M(x)``. When an
+    inversion function divides by zero under the model (e.g. the
+    multiplication scheme's ``z div y`` with ``M(y) = 0``), SMT-LIB
+    leaves the division uninterpreted — so the constructed model *pins*
+    the division-at-zero choice to the value that makes the inversion
+    exact, exactly as the proof's model is free to do.
+    """
+    merged = Model()
+    for name, value in model1.items():
+        merged[name] = value
+    for name, value in model2.items():
+        merged[result.renaming.get(name, name)] = value
+    for triplet in result.triplets:
+        fusion_term = triplet.instance.fusion(triplet.x, triplet.y)
+        merged[triplet.z.name] = evaluate(fusion_term, merged)
+    for triplet in result.triplets:
+        for build, target in (
+            (triplet.instance.invert_x, triplet.x),
+            (triplet.instance.invert_y, triplet.y),
+        ):
+            inversion = build(triplet.x, triplet.y, triplet.z)
+            expected = merged[target.name]
+            probe = _RecordingModel(merged)
+            if evaluate(inversion, probe) == expected:
+                continue
+            if len(set(probe.requested)) == 1:
+                op, numerator = probe.requested[0]
+                merged.set_div_at_zero(op, numerator, expected)
+    return merged

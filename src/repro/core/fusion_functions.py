@@ -1,0 +1,244 @@
+"""Fusion and inversion functions (the paper's Figure 6).
+
+A *fusion scheme* describes, for one sort, how a fresh variable ``z``
+relates to a variable pair ``(x, y)``:
+
+- ``z = f(x, y)``            (Definition 1, the fusion function)
+- ``x = r_x(y, z)``          (Definition 2, inversion for x)
+- ``y = r_y(x, z)``          (inversion for y)
+
+Instantiating a scheme draws random coefficients, yielding a
+:class:`FusionInstance` with concrete term builders. As the paper notes,
+inversion terms may mention the original variable (the string schemes
+use ``str.len x`` inside ``r_x``) — the identities still hold under any
+model where ``z = f(x, y)``.
+
+The table is extensible: :func:`register_scheme` adds user-defined
+families (the paper's "richer set of fusion and inversion functions can
+be designed based on the generic Definitions 1 and 2").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.errors import FusionError
+from repro.smtlib import builder as b
+from repro.smtlib.ast import Const
+from repro.smtlib.sorts import INT, REAL, STRING
+
+_LETTERS = "abcdef"
+
+
+@dataclass(frozen=True)
+class FusionInstance:
+    """A concrete fusion function with its two inversion functions.
+
+    ``fusion(x, y)`` builds the term ``f(x, y)``;
+    ``invert_x(x, y, z)`` builds ``r_x`` (may mention ``x`` itself);
+    ``invert_y(x, y, z)`` builds ``r_y``.
+    """
+
+    scheme: str
+    sort: object
+    fusion: object
+    invert_x: object
+    invert_y: object
+
+    def constraints(self, x, y, z):
+        """The three fusion constraints of UNSAT fusion (Section 2.2)."""
+        return [
+            b.eq(z, self.fusion(x, y)),
+            b.eq(x, self.invert_x(x, y, z)),
+            b.eq(y, self.invert_y(x, y, z)),
+        ]
+
+
+@dataclass(frozen=True)
+class FusionScheme:
+    """A family of fusion functions for one sort."""
+
+    name: str
+    sort: object
+    instantiate: object  # (rng, config) -> FusionInstance
+
+
+def _nonzero(rng, bound):
+    value = rng.randint(1, bound)
+    return value if rng.random() < 0.5 else -value
+
+
+def _any_coeff(rng, bound):
+    return rng.randint(-bound, bound)
+
+
+# -- Int / Real arithmetic families (rows 1-4 of Figure 6) ----------------
+
+
+def _make_addition(sort, divider):
+    def instantiate(rng, config):
+        return FusionInstance(
+            scheme=f"{sort.name.lower()}-addition",
+            sort=sort,
+            fusion=lambda x, y: b.add(x, y),
+            invert_x=lambda x, y, z: b.sub(z, y),
+            invert_y=lambda x, y, z: b.sub(z, x),
+        )
+
+    return instantiate
+
+
+def _make_addition_constant(sort, divider):
+    def instantiate(rng, config):
+        c = Const(_any_coeff(rng, config.coefficient_range), INT)
+        if sort == REAL:
+            c = Const(Fraction(c.value), REAL)
+        return FusionInstance(
+            scheme=f"{sort.name.lower()}-addition-constant",
+            sort=sort,
+            fusion=lambda x, y: b.add(x, c, y),
+            invert_x=lambda x, y, z: b.sub(z, c, y),
+            invert_y=lambda x, y, z: b.sub(z, c, x),
+        )
+
+    return instantiate
+
+
+def _make_multiplication(sort, divider):
+    def instantiate(rng, config):
+        return FusionInstance(
+            scheme=f"{sort.name.lower()}-multiplication",
+            sort=sort,
+            fusion=lambda x, y: b.mul(x, y),
+            invert_x=lambda x, y, z: divider(z, y),
+            invert_y=lambda x, y, z: divider(z, x),
+        )
+
+    return instantiate
+
+
+def _make_affine(sort, divider):
+    def instantiate(rng, config):
+        bound = config.coefficient_range
+        c1_val = _nonzero(rng, bound)
+        c2_val = _nonzero(rng, bound)
+        c3_val = _any_coeff(rng, bound)
+        if sort == REAL:
+            c1 = Const(Fraction(c1_val), REAL)
+            c2 = Const(Fraction(c2_val), REAL)
+            c3 = Const(Fraction(c3_val), REAL)
+        else:
+            c1 = Const(c1_val, INT)
+            c2 = Const(c2_val, INT)
+            c3 = Const(c3_val, INT)
+        return FusionInstance(
+            scheme=f"{sort.name.lower()}-affine",
+            sort=sort,
+            fusion=lambda x, y: b.add(b.mul(c1, x), b.mul(c2, y), c3),
+            invert_x=lambda x, y, z: divider(b.sub(z, b.mul(c2, y), c3), c1),
+            invert_y=lambda x, y, z: divider(b.sub(z, b.mul(c1, x), c3), c2),
+        )
+
+    return instantiate
+
+
+# -- String families (rows 5-7 of Figure 6) ------------------------------
+
+
+def _string_concat_substr(rng, config):
+    return FusionInstance(
+        scheme="string-concat-substr",
+        sort=STRING,
+        fusion=lambda x, y: b.concat(x, y),
+        invert_x=lambda x, y, z: b.substr(z, 0, b.length(x)),
+        invert_y=lambda x, y, z: b.substr(z, b.length(x), b.length(y)),
+    )
+
+
+def _string_concat_replace(rng, config):
+    return FusionInstance(
+        scheme="string-concat-replace",
+        sort=STRING,
+        fusion=lambda x, y: b.concat(x, y),
+        invert_x=lambda x, y, z: b.substr(z, 0, b.length(x)),
+        invert_y=lambda x, y, z: b.replace(z, x, b.lift("")),
+    )
+
+
+def _string_concat_infix(rng, config):
+    infix = "".join(
+        rng.choice(_LETTERS) for _ in range(rng.randint(1, config.coefficient_range))
+    )
+    c = b.lift(infix)
+    return FusionInstance(
+        scheme="string-concat-infix",
+        sort=STRING,
+        fusion=lambda x, y: b.concat(x, c, y),
+        invert_x=lambda x, y, z: b.substr(z, 0, b.length(x)),
+        invert_y=lambda x, y, z: b.replace(b.replace(z, x, b.lift("")), c, b.lift("")),
+    )
+
+
+_SCHEMES = {}
+
+
+def register_scheme(scheme):
+    """Register a fusion-function family (extension hook)."""
+    if scheme.name in _SCHEMES:
+        raise FusionError(f"fusion scheme {scheme.name!r} already registered")
+    _SCHEMES[scheme.name] = scheme
+
+
+def _register_builtins():
+    from repro.smtlib import builder
+
+    for sort, divider in ((INT, builder.idiv), (REAL, builder.div)):
+        prefix = sort.name.lower()
+        register_scheme(
+            FusionScheme(f"{prefix}-addition", sort, _make_addition(sort, divider))
+        )
+        register_scheme(
+            FusionScheme(
+                f"{prefix}-addition-constant", sort, _make_addition_constant(sort, divider)
+            )
+        )
+        register_scheme(
+            FusionScheme(
+                f"{prefix}-multiplication", sort, _make_multiplication(sort, divider)
+            )
+        )
+        register_scheme(
+            FusionScheme(f"{prefix}-affine", sort, _make_affine(sort, divider))
+        )
+    register_scheme(FusionScheme("string-concat-substr", STRING, _string_concat_substr))
+    register_scheme(FusionScheme("string-concat-replace", STRING, _string_concat_replace))
+    register_scheme(FusionScheme("string-concat-infix", STRING, _string_concat_infix))
+
+
+_register_builtins()
+
+
+def schemes_for_sort(sort, names=()):
+    """All registered schemes for ``sort``, optionally filtered by name."""
+    out = [s for s in _SCHEMES.values() if s.sort == sort]
+    if names:
+        out = [s for s in out if s.name in names]
+    return out
+
+
+def all_scheme_names():
+    return sorted(_SCHEMES)
+
+
+def pick_instance(sort, rng, config):
+    """Randomly instantiate a fusion scheme for ``sort``.
+
+    Raises :class:`FusionError` if no scheme supports the sort (e.g.
+    Bool variables are never fused).
+    """
+    available = schemes_for_sort(sort, config.schemes)
+    if not available:
+        raise FusionError(f"no fusion scheme for sort {sort}")
+    scheme = rng.choice(sorted(available, key=lambda s: s.name))
+    return scheme.instantiate(rng, config)

@@ -1,0 +1,75 @@
+"""Labeled seed formulas and oracle bookkeeping.
+
+YinYang's guarantee ("absence of false positives, given that the seed
+formulas are correctly labeled") rests on the seed labels, so seeds are
+first-class objects carrying their oracle, originating logic, and —
+when the generator built the formula around a model — that model, which
+property tests use to double-check labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.solver.result import SolverResult
+
+
+@dataclass
+class LabeledSeed:
+    """A seed formula with its ground-truth satisfiability."""
+
+    script: object  # Script
+    oracle: str  # "sat" | "unsat"
+    logic: str = ""
+    model: object = None  # Model witnessing "sat" labels, when known
+    origin: str = ""  # generator name / benchmark family
+
+    def __post_init__(self):
+        if self.oracle not in ("sat", "unsat"):
+            raise ValueError(f"bad oracle {self.oracle!r}")
+
+
+@dataclass
+class SeedCorpus:
+    """A collection of labeled seeds, split by oracle (paper Figure 7)."""
+
+    name: str
+    seeds: list = field(default_factory=list)
+
+    def add(self, seed):
+        self.seeds.append(seed)
+
+    def by_oracle(self, oracle):
+        return [s for s in self.seeds if s.oracle == oracle]
+
+    @property
+    def sat_seeds(self):
+        return self.by_oracle("sat")
+
+    @property
+    def unsat_seeds(self):
+        return self.by_oracle("unsat")
+
+    def counts(self):
+        """(unsat_count, sat_count, total) — the Figure 7 row shape."""
+        unsat = len(self.unsat_seeds)
+        sat = len(self.sat_seeds)
+        return unsat, sat, unsat + sat
+
+    def validate(self, solver, max_seeds=None):
+        """Cross-check seed labels against a solver (Section 4.1's
+        "preprocessed all formulas with Z3 ... cross-checked with CVC4").
+
+        Returns a list of (index, seed, solver_result) disagreements;
+        ``unknown`` results are not disagreements.
+        """
+        mismatches = []
+        seeds = self.seeds if max_seeds is None else self.seeds[:max_seeds]
+        for index, seed in enumerate(seeds):
+            outcome = solver.check_script(seed.script)
+            if (
+                outcome.result.is_definite
+                and outcome.result is not SolverResult.from_string(seed.oracle)
+            ):
+                mismatches.append((index, seed, outcome.result))
+        return mismatches

@@ -1,0 +1,72 @@
+"""Random-occurrence substitution: the paper's ``phi[e/x]_R``.
+
+``phi[e/x]_R`` replaces *some* free occurrences of ``x`` in ``phi``
+(possibly none) by the term ``e``. The model-count inequality
+``C(phi[e/x]) <= C(phi[e/x]_R)`` from Section 3.1 is exercised by the
+property tests.
+"""
+
+from __future__ import annotations
+
+from repro.smtlib.ast import App, Quantifier, Var
+
+
+def count_free_occurrences(term, var):
+    """Number of free occurrences of ``var`` in ``term``."""
+    if isinstance(term, Var):
+        return 1 if term == var else 0
+    if isinstance(term, App):
+        return sum(count_free_occurrences(a, var) for a in term.args)
+    if isinstance(term, Quantifier):
+        if var.name in term.bound_names:
+            return 0
+        return count_free_occurrences(term.body, var)
+    return 0
+
+
+def substitute_occurrences(term, var, replacement, selected):
+    """Replace the free occurrences of ``var`` whose index is in ``selected``.
+
+    Occurrences are numbered left-to-right starting at 0. Returns the
+    rewritten term; occurrences inside ``replacement`` are never
+    re-visited (the substitution is simultaneous, not iterated).
+    """
+    selected = frozenset(selected)
+    counter = [0]
+
+    def walk(node):
+        if isinstance(node, Var):
+            if node == var:
+                index = counter[0]
+                counter[0] += 1
+                if index in selected:
+                    return replacement
+            return node
+        if isinstance(node, App):
+            new_args = tuple(walk(a) for a in node.args)
+            if new_args == node.args:
+                return node
+            return App(node.op, new_args, node.sort)
+        if isinstance(node, Quantifier):
+            if var.name in node.bound_names:
+                return node
+            new_body = walk(node.body)
+            if new_body is node.body:
+                return node
+            return Quantifier(node.kind, node.bindings, new_body)
+        return node
+
+    return walk(term)
+
+
+def random_occurrence_substitution(term, var, replacement, rng, probability):
+    """``phi[e/x]_R``: each free occurrence is replaced with ``probability``.
+
+    Returns ``(new_term, replaced_count, total_count)``.
+    """
+    total = count_free_occurrences(term, var)
+    if total == 0:
+        return term, 0, 0
+    selected = [i for i in range(total) if rng.random() < probability]
+    new_term = substitute_occurrences(term, var, replacement, selected)
+    return new_term, len(selected), total

@@ -1,0 +1,281 @@
+"""YinYang's main process (the paper's Algorithm 1).
+
+The loop repeatedly draws two random seeds of the same satisfiability,
+fuses them, and feeds the fused formula to each solver under test:
+
+- a solver **crash** (abnormal termination / internal error) is a crash
+  bug;
+- a definite answer **inconsistent with the oracle** is a soundness bug;
+- a check exceeding the performance threshold is recorded as a
+  performance issue (the paper found these during reduction);
+- ``unknown`` is either ignored or treated as a crash, per config.
+
+Everything is deterministic given the config seed. A multi-threaded
+mode mirrors the paper's implementation note ("YinYang is able to run
+in multiple-threaded mode").
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.config import YinYangConfig
+from repro.core.fusion import fuse
+from repro.errors import FusionError
+from repro.solver.result import SolverCrash, SolverResult
+
+SOUNDNESS = "soundness"
+CRASH = "crash"
+PERFORMANCE = "performance"
+UNKNOWN_BUG = "unknown"
+
+
+@dataclass
+class BugRecord:
+    """One bug-triggering fused formula."""
+
+    kind: str  # soundness | crash | performance | unknown
+    solver: str
+    oracle: str
+    reported: str  # what the solver answered / crash message
+    script: object  # the fused Script
+    seed_indices: tuple = (0, 0)
+    schemes: tuple = ()
+    logic: str = ""
+    elapsed: float = 0.0
+    note: str = ""  # solver-side detail (e.g. internal fault id / stderr)
+
+    def __str__(self):
+        return (
+            f"[{self.kind}] {self.solver}: expected {self.oracle}, "
+            f"got {self.reported} (schemes: {', '.join(self.schemes) or '-'})"
+        )
+
+
+@dataclass
+class YinYangReport:
+    """Outcome of a testing run: Algorithm 1's ``incorrects``/``crashes``."""
+
+    iterations: int = 0
+    fused: int = 0
+    elapsed: float = 0.0
+    bugs: list = field(default_factory=list)
+    fusion_failures: int = 0
+    unknowns: int = 0
+
+    @property
+    def incorrects(self):
+        return [b for b in self.bugs if b.kind == SOUNDNESS]
+
+    @property
+    def crashes(self):
+        return [b for b in self.bugs if b.kind == CRASH]
+
+    @property
+    def performance_issues(self):
+        return [b for b in self.bugs if b.kind == PERFORMANCE]
+
+    @property
+    def throughput(self):
+        """Fused formulas per second (the paper reports 41.5/s)."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.fused / self.elapsed
+
+    def merge(self, other):
+        self.iterations += other.iterations
+        self.fused += other.fused
+        self.elapsed = max(self.elapsed, other.elapsed)
+        self.bugs.extend(other.bugs)
+        self.fusion_failures += other.fusion_failures
+        self.unknowns += other.unknowns
+
+    def summary(self):
+        return (
+            f"{self.iterations} iterations, {self.fused} fused formulas, "
+            f"{len(self.incorrects)} soundness, {len(self.crashes)} crash, "
+            f"{len(self.performance_issues)} performance"
+        )
+
+
+class YinYang:
+    """The YinYang testing tool.
+
+    ``solvers`` is one solver or a list; each must expose ``name`` and
+    ``check_script(script) -> CheckOutcome`` and may raise
+    :class:`~repro.solver.result.SolverCrash`.
+    """
+
+    def __init__(self, solvers, config=None, performance_threshold=None):
+        self.solvers = solvers if isinstance(solvers, (list, tuple)) else [solvers]
+        self.config = config or YinYangConfig()
+        self.performance_threshold = performance_threshold
+
+    # -- Algorithm 1 -----------------------------------------------------
+
+    def test(self, oracle, seeds, iterations=None, threads=1):
+        """Run the main loop over ``seeds`` (all labeled ``oracle``).
+
+        ``seeds`` is a list of Scripts or
+        :class:`~repro.core.oracle.LabeledSeed`. Returns a
+        :class:`YinYangReport`.
+        """
+        scripts = [getattr(s, "script", s) for s in seeds]
+        logics = [getattr(s, "logic", "") for s in seeds]
+        if len(scripts) < 1:
+            raise ValueError("need at least one seed")
+        iterations = iterations if iterations is not None else self.config.max_iterations
+        if threads <= 1:
+            return self._run(oracle, scripts, logics, iterations, self.config.seed)
+        chunk = iterations // threads
+        report = YinYangReport()
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            futures = [
+                pool.submit(
+                    self._run, oracle, scripts, logics, chunk, self.config.seed + t
+                )
+                for t in range(threads)
+            ]
+            for future in futures:
+                report.merge(future.result())
+        return report
+
+    def _run(self, oracle, scripts, logics, iterations, seed):
+        rng = random.Random(seed)
+        report = YinYangReport()
+        start = time.perf_counter()
+        for _ in range(iterations):
+            report.iterations += 1
+            i = rng.randrange(len(scripts))
+            j = rng.randrange(len(scripts))
+            try:
+                result = fuse(oracle, scripts[i], scripts[j], rng, self.config.fusion)
+            except FusionError:
+                report.fusion_failures += 1
+                continue
+            report.fused += 1
+            logic = logics[i] or logics[j]
+            self._check_one(result, (i, j), logic, report)
+        report.elapsed = time.perf_counter() - start
+        return report
+
+    def _check_one(self, fusion_result, seed_indices, logic, report):
+        schemes = tuple(t.scheme for t in fusion_result.triplets)
+        for solver in self.solvers:
+            began = time.perf_counter()
+            try:
+                outcome = solver.check_script(fusion_result.script)
+            except SolverCrash as crash:
+                report.bugs.append(
+                    BugRecord(
+                        kind=CRASH,
+                        solver=solver.name,
+                        oracle=fusion_result.oracle,
+                        reported=str(crash),
+                        script=fusion_result.script,
+                        seed_indices=seed_indices,
+                        schemes=schemes,
+                        logic=logic,
+                        elapsed=time.perf_counter() - began,
+                        note=getattr(crash, "fault_id", ""),
+                    )
+                )
+                continue
+            elapsed = time.perf_counter() - began
+            if (
+                self.performance_threshold is not None
+                and elapsed > self.performance_threshold
+            ):
+                slow_faults = outcome.stats.get("slow_faults", [])
+                report.bugs.append(
+                    BugRecord(
+                        kind=PERFORMANCE,
+                        solver=solver.name,
+                        oracle=fusion_result.oracle,
+                        reported=f"{elapsed:.2f}s",
+                        script=fusion_result.script,
+                        seed_indices=seed_indices,
+                        schemes=schemes,
+                        logic=logic,
+                        elapsed=elapsed,
+                        note=slow_faults[0] if slow_faults else "",
+                    )
+                )
+            if outcome.result is SolverResult.UNKNOWN:
+                report.unknowns += 1
+                # An unknown accompanied by an internal error note is a
+                # bug in its own right; a plain unknown is a bug only
+                # under the strict (unknown-is-crash) policy.
+                internal_error = outcome.reason.startswith("error:")
+                if internal_error or self.config.unknown_is_crash:
+                    report.bugs.append(
+                        BugRecord(
+                            kind=UNKNOWN_BUG,
+                            solver=solver.name,
+                            oracle=fusion_result.oracle,
+                            reported="unknown",
+                            script=fusion_result.script,
+                            seed_indices=seed_indices,
+                            schemes=schemes,
+                            logic=logic,
+                            elapsed=elapsed,
+                            note=outcome.reason,
+                        )
+                    )
+                continue
+            if str(outcome.result) != fusion_result.oracle:
+                report.bugs.append(
+                    BugRecord(
+                        kind=SOUNDNESS,
+                        solver=solver.name,
+                        oracle=fusion_result.oracle,
+                        reported=str(outcome.result),
+                        script=fusion_result.script,
+                        seed_indices=seed_indices,
+                        schemes=schemes,
+                        logic=logic,
+                        elapsed=elapsed,
+                        note=outcome.reason,
+                    )
+                )
+
+    def test_mixed(self, want, sat_seeds, unsat_seeds, iterations=None):
+        """Mixed fusion mode (paper Section 3.2): one satisfiable and one
+        unsatisfiable seed per iteration; ``want`` selects whether the
+        fused formula is satisfiable (disjunction) or unsatisfiable
+        (conjunction plus fusion constraints)."""
+        from repro.core.fusion import fuse_mixed
+
+        sat_scripts = [getattr(s, "script", s) for s in sat_seeds]
+        unsat_scripts = [getattr(s, "script", s) for s in unsat_seeds]
+        if not sat_scripts or not unsat_scripts:
+            raise ValueError("mixed fusion needs seeds of both labels")
+        iterations = (
+            iterations if iterations is not None else self.config.max_iterations
+        )
+        rng = random.Random(self.config.seed)
+        report = YinYangReport()
+        start = time.perf_counter()
+        for _ in range(iterations):
+            report.iterations += 1
+            phi_sat = sat_scripts[rng.randrange(len(sat_scripts))]
+            phi_unsat = unsat_scripts[rng.randrange(len(unsat_scripts))]
+            try:
+                result = fuse_mixed(phi_sat, phi_unsat, want, rng, self.config.fusion)
+            except FusionError:
+                report.fusion_failures += 1
+                continue
+            report.fused += 1
+            self._check_one(result, (0, 0), "", report)
+        report.elapsed = time.perf_counter() - start
+        return report
+
+    # -- single-shot helpers --------------------------------------------------
+
+    def fuse_once(self, oracle, phi1, phi2, seed=0):
+        """Fuse one pair (for examples and debugging)."""
+        rng = random.Random(seed)
+        return fuse(oracle, phi1, phi2, rng, self.config.fusion)

@@ -1,0 +1,21 @@
+"""Probe-based coverage instrumentation (the reproduction's Gcov stand-in)."""
+
+from repro.coverage.probes import (
+    CoverageSession,
+    branch_probe,
+    coverage_session,
+    function_probe,
+    line_probe,
+    registry_snapshot,
+)
+from repro.coverage.report import CoverageReport
+
+__all__ = [
+    "CoverageSession",
+    "coverage_session",
+    "line_probe",
+    "branch_probe",
+    "function_probe",
+    "registry_snapshot",
+    "CoverageReport",
+]

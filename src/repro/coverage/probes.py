@@ -1,0 +1,148 @@
+"""Coverage probes: the reproduction's stand-in for Gcov (paper RQ3/RQ4).
+
+The reference solver is instrumented with named probes of three kinds —
+``line``, ``function`` and ``branch`` — mirroring Gcov's line/function/
+branch coverage metrics. A probe site *registers* itself the first time
+its module is imported and *fires* whenever execution passes it while a
+:class:`CoverageSession` is active.
+
+Coverage of a run = fired probes / registered probes, per kind. As in
+the paper, absolute percentages stay well below 100% because a solver
+run in one logic never touches the other theories' probes.
+
+Probes are deliberately cheap (a set lookup and add) and are no-ops
+when no session is active.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+_LOCK = threading.Lock()
+
+# All probe ids ever declared, by kind.
+_REGISTRY = {"line": set(), "function": set(), "branch": set()}
+
+# Stack of active sessions (innermost last). Each session is a dict
+# kind -> set of fired probe ids.
+_ACTIVE = []
+
+
+class CoverageSession:
+    """Collects the probes fired while the session is active."""
+
+    def __init__(self, label=""):
+        self.label = label
+        self.fired = {"line": set(), "function": set(), "branch": set()}
+
+    def merge(self, other):
+        """Accumulate another session's fired probes into this one."""
+        for kind in self.fired:
+            self.fired[kind] |= other.fired[kind]
+
+    def counts(self):
+        """Mapping kind -> (fired, registered)."""
+        with _LOCK:
+            return {
+                kind: (len(self.fired[kind]), len(_REGISTRY[kind]))
+                for kind in self.fired
+            }
+
+    def percentages(self):
+        """Mapping kind -> percentage of registered probes fired."""
+        out = {}
+        for kind, (fired, registered) in self.counts().items():
+            out[kind] = 100.0 * fired / registered if registered else 0.0
+        return out
+
+
+@contextmanager
+def coverage_session(label=""):
+    """Context manager activating a :class:`CoverageSession`."""
+    session = CoverageSession(label)
+    _ACTIVE.append(session)
+    try:
+        yield session
+    finally:
+        _ACTIVE.remove(session)
+
+
+def _declare(kind, probe_id):
+    with _LOCK:
+        _REGISTRY[kind].add(probe_id)
+
+
+def _fire(kind, probe_id):
+    if not _ACTIVE:
+        return
+    for session in _ACTIVE:
+        session.fired[kind].add(probe_id)
+
+
+def line_probe(probe_id):
+    """Fire (and on first use declare) a line probe."""
+    if probe_id not in _REGISTRY["line"]:
+        _declare("line", probe_id)
+    _fire("line", probe_id)
+
+
+def branch_probe(probe_id, taken):
+    """Fire the ``taken``/``not-taken`` arm of a two-way branch probe."""
+    arm = f"{probe_id}:{'T' if taken else 'F'}"
+    if arm not in _REGISTRY["branch"]:
+        _declare("branch", arm)
+        # Declare the sibling arm so untaken branches count as uncovered.
+        sibling = f"{probe_id}:{'F' if taken else 'T'}"
+        _declare("branch", sibling)
+    _fire("branch", arm)
+    return taken
+
+
+def function_probe(probe_id):
+    """Fire (and on first use declare) a function-entry probe."""
+    if probe_id not in _REGISTRY["function"]:
+        _declare("function", probe_id)
+    _fire("function", probe_id)
+
+
+def declare_probes(kind, probe_ids):
+    """Pre-declare probe ids so they count as uncovered until fired."""
+    for probe_id in probe_ids:
+        if kind == "branch":
+            _declare("branch", f"{probe_id}:T")
+            _declare("branch", f"{probe_id}:F")
+        else:
+            _declare(kind, probe_id)
+
+
+def registry_snapshot():
+    """Mapping kind -> number of registered probes (for reports)."""
+    with _LOCK:
+        return {kind: len(ids) for kind, ids in _REGISTRY.items()}
+
+
+_PROBE_CALL = None
+
+
+def declare_module_probes(source_file):
+    """Pre-declare every probe site that appears in a module's source.
+
+    Instrumented modules call this at import time with ``__file__``; the
+    function scans the source text for ``line_probe("...")``,
+    ``branch_probe("...")`` and ``function_probe("...")`` call sites and
+    registers their ids, so code that never executes still counts as
+    uncovered — matching Gcov's denominator semantics.
+    """
+    global _PROBE_CALL
+    import re
+
+    if _PROBE_CALL is None:
+        _PROBE_CALL = re.compile(
+            r"\b(line_probe|branch_probe|function_probe)\(\s*['\"]([^'\"]+)['\"]"
+        )
+    with open(source_file, encoding="utf-8") as handle:
+        text = handle.read()
+    for func, probe_id in _PROBE_CALL.findall(text):
+        kind = func.split("_", 1)[0]
+        declare_probes(kind, [probe_id])

@@ -1,0 +1,75 @@
+"""Coverage report objects used by the RQ3/RQ4 benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CoverageReport:
+    """Line/function/branch coverage percentages for one measured run."""
+
+    label: str
+    line: float
+    function: float
+    branch: float
+
+    @classmethod
+    def from_session(cls, session, label=None):
+        pct = session.percentages()
+        return cls(
+            label=label if label is not None else session.label,
+            line=pct["line"],
+            function=pct["function"],
+            branch=pct["branch"],
+        )
+
+    def row(self):
+        """The (l, f, b) triple formatted like the paper's Figure 11."""
+        return (round(self.line, 1), round(self.function, 1), round(self.branch, 1))
+
+    def dominates(self, other):
+        """True if every metric is >= the other report's (paper's shading)."""
+        return (
+            self.line >= other.line
+            and self.function >= other.function
+            and self.branch >= other.branch
+        )
+
+    def __str__(self):
+        return (
+            f"{self.label}: l={self.line:.1f}% f={self.function:.1f}% "
+            f"b={self.branch:.1f}%"
+        )
+
+
+@dataclass
+class CoverageComparison:
+    """Benchmark-vs-YinYang comparison for one (logic, oracle) cell."""
+
+    logic: str
+    oracle: str
+    benchmark: CoverageReport
+    yinyang: CoverageReport
+    concatfuzz: CoverageReport = None
+
+    def improvement(self):
+        """Mapping metric -> YinYang minus Benchmark, in percentage points."""
+        return {
+            "line": self.yinyang.line - self.benchmark.line,
+            "function": self.yinyang.function - self.benchmark.function,
+            "branch": self.yinyang.branch - self.benchmark.branch,
+        }
+
+
+def average_reports(reports, label):
+    """Average several reports metric-wise (used by Figure 12)."""
+    if not reports:
+        return CoverageReport(label, 0.0, 0.0, 0.0)
+    n = len(reports)
+    return CoverageReport(
+        label,
+        sum(r.line for r in reports) / n,
+        sum(r.function for r in reports) / n,
+        sum(r.branch for r in reports) / n,
+    )

@@ -1,0 +1,42 @@
+"""Exception hierarchy shared across the package."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SmtLibError(ReproError):
+    """Malformed SMT-LIB input (lexing, parsing, or command structure)."""
+
+
+class ParseError(SmtLibError):
+    """Syntax error while parsing SMT-LIB text.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class SortError(SmtLibError):
+    """A term is ill-sorted (wrong operator arity or argument sorts)."""
+
+
+class EvaluationError(ReproError):
+    """A term could not be evaluated under the given model."""
+
+
+class FusionError(ReproError):
+    """Semantic Fusion could not be applied (e.g. no fusible variable pair)."""
+
+
+class ReductionError(ReproError):
+    """The formula reducer was driven with an inconsistent oracle."""

@@ -1,0 +1,25 @@
+"""Fault-injected solver variants: the stand-in for buggy Z3/CVC4 builds.
+
+- :mod:`repro.faults.fault` — the fault model (structural triggers +
+  effects) and the formula-analysis pattern library.
+- :mod:`repro.faults.catalog` — the "z3-like" and "cvc4-like" fault
+  catalogs, shaped after the paper's Figure 8.
+- :mod:`repro.faults.faulty_solver` — a solver wrapper that applies a
+  catalog's faults.
+- :mod:`repro.faults.releases` — simulated release histories (Figure 10).
+- :mod:`repro.faults.tracker` — the historic issue-tracker survey data
+  (Figure 9).
+"""
+
+from repro.faults.fault import Fault, FormulaInfo, analyze_script
+from repro.faults.catalog import cvc4_like_catalog, z3_like_catalog
+from repro.faults.faulty_solver import FaultySolver
+
+__all__ = [
+    "Fault",
+    "FormulaInfo",
+    "analyze_script",
+    "z3_like_catalog",
+    "cvc4_like_catalog",
+    "FaultySolver",
+]

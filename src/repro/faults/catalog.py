@@ -1,0 +1,360 @@
+"""Fault catalogs for the simulated "z3-like" and "cvc4-like" solvers.
+
+The catalogs reproduce the *shape* of the paper's findings (Figure 8):
+
+=========  ====  =====
+status     Z3    CVC4
+=========  ====  =====
+reported   44    13
+confirmed  37    8
+fixed      35    6
+duplicate  4     1
+won't fix  2     0
+=========  ====  =====
+
+with confirmed bugs typed soundness 24/5, crash 11/1, performance 1/2,
+unknown 1/0, distributed over logics as in Figure 8c, and soundness
+bugs carrying affected-release windows that regenerate Figure 10.
+
+Six entries correspond to the paper's Figure 13 samples: their
+(logic, pattern) keys fire on our transcriptions of the exact reduced
+formulas the paper shows.
+"""
+
+from __future__ import annotations
+
+from repro.faults.fault import Fault
+
+Z3_RELEASES = ("4.5.0", "4.6.0", "4.7.1", "4.8.1", "4.8.3", "4.8.4", "4.8.5", "trunk")
+CVC4_RELEASES = ("1.5", "1.6", "1.7", "trunk")
+
+_FULL_Z3 = Z3_RELEASES
+_FULL_CVC4 = CVC4_RELEASES
+
+# Release windows for the 24 z3-like soundness faults, chosen so the
+# per-release counts come out as Figure 10's Z3 bars:
+# 4.5.0:8  4.6.0:5  4.7.1:5  4.8.1:5  4.8.3:5  4.8.4:8  4.8.5:10  trunk:24
+_Z3_SOUNDNESS_WINDOWS = (
+    [_FULL_Z3] * 5
+    + [("4.5.0", "trunk")] * 3  # regressions re-introduced after 4.5.0
+    + [("4.8.4", "4.8.5", "trunk")] * 3
+    + [("4.8.5", "trunk")] * 2
+    + [("trunk",)] * 11
+)
+
+# CVC4 bars: 1.5:2  1.6:1  1.7:2  trunk:5
+_CVC4_SOUNDNESS_WINDOWS = (
+    [_FULL_CVC4]
+    + [("1.5", "trunk")]
+    + [("1.7", "trunk")]
+    + [("trunk",)] * 2
+)
+
+
+def _make(solver, index, kind, logic, pattern, **kw):
+    prefix = "z3" if solver == "z3-like" else "cvc4"
+    fault_id = kw.pop("fault_id", f"{prefix}-{kind}-{index:03d}")
+    defaults = {
+        "wrong_answer": "sat",
+        "status": "fixed",
+        "affected_releases": ("trunk",),
+        "description": f"{kind} defect in {logic} triggered by {pattern}",
+    }
+    defaults.update(kw)
+    return Fault(
+        fault_id=fault_id,
+        solver=solver,
+        kind=kind,
+        logic=logic,
+        pattern=pattern,
+        effect=kw.get(
+            "effect",
+            {"soundness": "answer", "crash": "crash", "performance": "slow", "unknown": "unknown"}[
+                kind
+            ],
+        ),
+        **{k: v for k, v in defaults.items() if k != "effect"},
+    )
+
+
+def z3_like_catalog():
+    """All 44 reported z3-like faults (37 confirmed, Figure 8 shape)."""
+    faults = []
+    # --- 24 confirmed soundness bugs -------------------------------------
+    # (logic, pattern, wrong_answer, salt, modulus, note)
+    soundness = [
+        # NRA (10) — most Z3 soundness bugs were in NRA (Fig. 8c).
+        ("NRA", "var-divisor", "sat", 0, 2, ""),
+        ("NRA", "var-product", "sat", 0, 2, ""),
+        ("NRA", "affine-inversion", "sat", 0, 1, ""),
+        ("NRA", "fusion-constraint", "sat", 1, 2, ""),
+        ("NRA", "compare-division", "sat", 0, 2, ""),
+        ("NRA", "var-divisor", "unsat", 0, 2, ""),
+        ("NRA", "var-product", "unsat", 1, 3, ""),
+        ("NRA", "fusion-constraint", "sat", 0, 3, ""),
+        ("NRA", "affine-inversion", "unsat", 1, 3, ""),
+        ("NRA", "compare-division", "unsat", 0, 3, ""),
+        # NIA (2)
+        ("NIA", "var-divisor", "sat", 0, 1, ""),
+        ("NIA", "affine-inversion", "unsat", 0, 2, ""),
+        # QF_NRA (2)
+        ("QF_NRA", "compare-division&ite-on-division|fusion-constraint", "sat", 0, 1, "figure-13c / figure-5"),
+        ("QF_NRA", "var-product", "unsat", 0, 2, ""),
+        # QF_S (8)
+        ("QF_S", "to-int-of-term", "sat", 0, 1, "figure-13a"),
+        ("QF_S", "substr-by-len", "sat", 0, 1, "figure-13e"),
+        ("QF_S", "nested-replace", "unsat", 0, 2, ""),
+        ("QF_S", "replace-with-empty", "sat", 1, 2, ""),
+        ("QF_S", "regex&substr-by-len|nested-replace|replace-with-empty|fusion-constraint", "unsat", 0, 3, ""),
+        ("QF_S", "replace-var-pattern&substr-by-len|nested-replace|replace-with-empty|fusion-constraint", "sat", 1, 3, ""),
+        ("QF_S", "concat-definition&substr-by-len|nested-replace|replace-with-empty|fusion-constraint", "sat", 2, 3, ""),
+        ("QF_S", "indexof", "sat", 0, 2, ""),
+        # QF_SLIA (2)
+        ("QF_SLIA", "string-int-mix", "sat", 0, 1, ""),
+        ("QF_SLIA", "substr-by-len", "unsat", 0, 2, ""),
+    ]
+    for i, ((logic, pattern, wrong, salt, modulus, note), window) in enumerate(
+        zip(soundness, _Z3_SOUNDNESS_WINDOWS)
+    ):
+        status = "fixed" if i < 23 else "confirmed"  # 1 confirmed-not-yet-fixed
+        faults.append(
+            _make(
+                "z3-like",
+                i,
+                "soundness",
+                logic,
+                pattern,
+                wrong_answer=wrong,
+                salt=salt,
+                modulus=modulus,
+                status=status,
+                affected_releases=tuple(window),
+                description=note or f"unsound simplification in {logic} ({pattern})",
+            )
+        )
+    # --- 11 confirmed crash bugs -----------------------------------------
+    crashes = [
+        ("NRA", "compare-division", 0, 1, "figure-13f"),
+        ("NRA", "var-divisor", 2, 3, ""),
+        ("NRA", "affine-inversion", 2, 2, ""),
+        ("NRA", "var-product", 2, 3, ""),
+        ("NRA", "fusion-constraint", 1, 3, ""),
+        ("QF_S", "nested-replace", 1, 2, ""),
+        ("QF_S", "at-computed-index", 0, 2, ""),
+        ("QF_S", "regex&substr-by-len|nested-replace|replace-with-empty|fusion-constraint", 1, 2, ""),
+        ("QF_S", "substr-by-len", 1, 2, ""),
+        ("QF_S", "replace-with-empty", 0, 2, ""),
+        ("QF_S", "indexof", 1, 3, ""),
+    ]
+    for i, (logic, pattern, salt, modulus, note) in enumerate(crashes):
+        status = "fixed" if i < 11 else "confirmed"
+        faults.append(
+            _make(
+                "z3-like",
+                i,
+                "crash",
+                logic,
+                pattern,
+                salt=salt,
+                modulus=modulus,
+                status=status,
+                description=note or f"assertion violation in {logic} ({pattern})",
+            )
+        )
+    # One of the 37 confirmed is not fixed: flip the last crash.
+    faults[-1] = Fault(
+        **{**faults[-1].__dict__, "status": "confirmed"}
+    )
+    # --- 1 performance, 1 unknown ---------------------------------------
+    faults.append(
+        _make("z3-like", 0, "performance", "QF_S", "regex&substr-by-len|nested-replace|replace-with-empty|fusion-constraint", status="fixed")
+    )
+    faults.append(
+        _make("z3-like", 0, "unknown", "QF_SLIA", "string-int-mix", status="fixed")
+    )
+    # Totals so far: 24 + 11 + 1 + 1 = 37 confirmed (35 fixed).
+    # --- 4 duplicates, 2 won't-fix, 1 pending ---------------------------
+    duplicates = [
+        ("NRA", "var-divisor", "z3-soundness-000", 0, 2),
+        ("NRA", "var-product", "z3-soundness-001", 1, 1),
+        ("QF_S", "nested-replace", "z3-soundness-016", 1, 1),
+        ("QF_S", "regex&substr-by-len|nested-replace|replace-with-empty|fusion-constraint", "z3-soundness-018", 1, 1),
+    ]
+    for i, (logic, pattern, root, salt, modulus) in enumerate(duplicates):
+        faults.append(
+            _make(
+                "z3-like",
+                i,
+                "soundness",
+                logic,
+                pattern,
+                fault_id=f"z3-duplicate-{i:03d}",
+                status="duplicate",
+                duplicate_of=root,
+                salt=salt,
+                modulus=modulus,
+                description=f"duplicate of {root}",
+            )
+        )
+    wontfix = [("NRA", "many-asserts"), ("QF_S", "many-asserts")]
+    for i, (logic, pattern) in enumerate(wontfix):
+        faults.append(
+            _make(
+                "z3-like",
+                i,
+                "soundness",
+                logic,
+                pattern,
+                fault_id=f"z3-wontfix-{i:03d}",
+                status="wontfix",
+                wrong_answer="unsat",
+                salt=i,
+                modulus=3,
+                description="behaves as documented; developers declined to change",
+            )
+        )
+    faults.append(
+        _make(
+            "z3-like",
+            0,
+            "crash",
+            "QF_SLIA",
+            "at-computed-index",
+            fault_id="z3-pending-000",
+            status="pending",
+            salt=1,
+            modulus=2,
+            description="reported, awaiting triage",
+        )
+    )
+    assert len(faults) == 44
+    return faults
+
+
+def cvc4_like_catalog():
+    """All 13 reported cvc4-like faults (8 confirmed, Figure 8 shape)."""
+    faults = []
+    soundness = [
+        ("NIA", "var-divisor", "sat", 1, 2, ""),
+        ("NRA", "fusion-constraint", "sat", 2, 2, ""),
+        ("QF_NIA", "affine-inversion", "sat", 0, 1, ""),
+        ("QF_S", "nested-replace", "sat", 0, 1, "figure-13b"),
+        ("QF_SLIA", "at-computed-index", "sat", 0, 1, "figure-13d"),
+    ]
+    for i, ((logic, pattern, wrong, salt, modulus, note), window) in enumerate(
+        zip(soundness, _CVC4_SOUNDNESS_WINDOWS)
+    ):
+        status = "fixed" if i < 4 else "confirmed"
+        faults.append(
+            _make(
+                "cvc4-like",
+                i,
+                "soundness",
+                logic,
+                pattern,
+                wrong_answer=wrong,
+                salt=salt,
+                modulus=modulus,
+                status=status,
+                affected_releases=tuple(window),
+                description=note or f"unsound rewrite in {logic} ({pattern})",
+            )
+        )
+    faults.append(
+        _make("cvc4-like", 0, "crash", "QF_S", "regex&substr-by-len|nested-replace|replace-with-empty|fusion-constraint", salt=2, modulus=2, status="fixed")
+    )
+    faults.append(
+        _make(
+            "cvc4-like", 0, "performance", "QF_S", "indexof", status="fixed",
+        )
+    )
+    faults.append(
+        _make(
+            "cvc4-like",
+            1,
+            "performance",
+            "QF_S",
+            "substr-by-len",
+            status="confirmed",
+            salt=1,
+            modulus=2,
+        )
+    )
+    # 8 confirmed so far (6 fixed). Now 1 duplicate + 4 pending.
+    faults.append(
+        _make(
+            "cvc4-like",
+            0,
+            "soundness",
+            "QF_S",
+            "nested-replace",
+            fault_id="cvc4-duplicate-000",
+            status="duplicate",
+            duplicate_of="cvc4-soundness-003",
+            salt=1,
+            modulus=1,
+        )
+    )
+    pending = [
+        ("QF_S", "replace-with-empty", "soundness", "unsat"),
+        ("QF_SLIA", "string-int-mix", "crash", "sat"),
+        ("NRA", "var-product", "soundness", "unsat"),
+        ("QF_NRA", "compare-division", "soundness", "sat"),
+    ]
+    for i, (logic, pattern, kind, wrong) in enumerate(pending):
+        faults.append(
+            _make(
+                "cvc4-like",
+                i,
+                kind,
+                logic,
+                pattern,
+                fault_id=f"cvc4-pending-{i:03d}",
+                status="pending",
+                wrong_answer=wrong,
+                salt=i,
+                modulus=2,
+            )
+        )
+    assert len(faults) == 13
+    return faults
+
+
+def demo_rewrite_faults():
+    """Realistic *rewrite-mechanism* faults, for examples and tests.
+
+    These model the actual root causes the paper describes — e.g.
+    "a missed corner case in the str.to.int reduction function for an
+    empty string" (Figure 13b) — by rewriting the formula unsoundly
+    before solving, rather than short-circuiting the answer.
+    """
+    return [
+        Fault(
+            fault_id="demo-toint-empty",
+            solver="demo",
+            kind="soundness",
+            logic="QF_S",
+            pattern="to-int-of-term",
+            effect="rewrite",
+            status="confirmed",
+            description="str.to.int treats the empty string as 0 instead of -1",
+        ),
+        Fault(
+            fault_id="demo-replace-var",
+            solver="demo",
+            kind="soundness",
+            logic="QF_S",
+            pattern="replace-var-pattern",
+            effect="rewrite",
+            status="confirmed",
+            description="str.replace assumes a variable pattern never occurs",
+        ),
+    ]
+
+
+def catalog_for(solver_name):
+    if solver_name == "z3-like":
+        return z3_like_catalog()
+    if solver_name == "cvc4-like":
+        return cvc4_like_catalog()
+    raise KeyError(f"no catalog for {solver_name!r}")

@@ -1,0 +1,239 @@
+"""The fault model: structural triggers and solver-level effects.
+
+A :class:`Fault` is a simulated solver defect. Its *trigger* is a
+structural predicate over the formula (logic family plus a syntactic
+pattern); its *effect* determines what the buggy solver does when the
+trigger fires:
+
+- ``"answer"`` — a broken fast path returns a fixed (wrong for one
+  oracle) verdict without solving;
+- ``"rewrite"`` — an unsound simplification rewrites the formula before
+  the real solver runs (e.g. the ``str.to.int ""`` corner of the
+  paper's Figure 13b);
+- ``"crash"`` — an internal assertion fires (segfault / internal
+  error);
+- ``"slow"`` — a pathological code path burns time;
+- ``"unknown"`` — the solver gives up with an internal error note.
+
+Triggers key on the patterns Semantic Fusion introduces — inversion
+terms like ``(div z y)`` with a variable divisor, ``str.substr`` guided
+by ``str.len``, nested ``str.replace``, products of variables inside
+fusion constraints — which is exactly why fusion finds these bugs and
+plain concatenation (RQ4's ConcatFuzz) mostly does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.smtlib.ast import App, Const, Quantifier, Var
+from repro.smtlib.sorts import INT, REAL, STRING
+
+# ---------------------------------------------------------------------------
+# Formula analysis
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FormulaInfo:
+    """Structural summary of a script, used by fault triggers."""
+
+    logic_family: str
+    patterns: set = field(default_factory=set)
+    num_asserts: int = 0
+    num_vars: int = 0
+    ops: set = field(default_factory=set)
+
+    def has(self, pattern):
+        return pattern in self.patterns
+
+
+def _is_constant(term):
+    return isinstance(term, Const)
+
+
+def analyze_script(script):
+    """Compute the :class:`FormulaInfo` for a script."""
+    patterns = set()
+    ops = set()
+    sorts = set()
+    quantified = False
+    nonlinear = False
+    var_names = set()
+
+    asserts = script.asserts
+    for term in asserts:
+        for node in term.walk():
+            if isinstance(node, Var):
+                sorts.add(node.sort)
+                var_names.add(node.name)
+            elif isinstance(node, Quantifier):
+                quantified = True
+            elif isinstance(node, App):
+                ops.add(node.op)
+                _collect_patterns(node, patterns)
+                if node.op == "*" and sum(
+                    0 if _is_constant(a) else 1 for a in node.args
+                ) >= 2:
+                    nonlinear = True
+                if node.op in ("/", "div", "mod") and not _is_constant(node.args[-1]):
+                    nonlinear = True
+
+    if len(asserts) >= 4:
+        patterns.add("many-asserts")
+    if STRING in sorts and INT in sorts:
+        patterns.add("string-int-mix")
+    if {INT, REAL} & sorts and (STRING in sorts):
+        patterns.add("cross-theory")
+
+    logic_family = _infer_logic(sorts, ops, quantified, nonlinear)
+    return FormulaInfo(
+        logic_family=logic_family,
+        patterns=patterns,
+        num_asserts=len(asserts),
+        num_vars=len(var_names),
+        ops=ops,
+    )
+
+
+def _collect_patterns(node, patterns):
+    op = node.op
+    if op in ("div", "/") and not _is_constant(node.args[-1]):
+        patterns.add("var-divisor")
+        first = node.args[0]
+        if isinstance(first, App) and first.op == "-" and any(
+            isinstance(a, App) and a.op == "*" for a in first.args
+        ):
+            patterns.add("affine-inversion")
+    if op == "mod" and not _is_constant(node.args[-1]):
+        patterns.add("var-divisor")
+    if op == "*" and sum(0 if _is_constant(a) else 1 for a in node.args) >= 2:
+        patterns.add("var-product")
+    if op == "=":
+        for a, b in ((node.args[0], node.args[-1]), (node.args[-1], node.args[0])):
+            if isinstance(a, Var) and isinstance(b, App) and b.op == "*":
+                patterns.add("fusion-constraint")
+            if isinstance(a, Var) and isinstance(b, App) and b.op == "str.++":
+                patterns.add("concat-definition")
+    if op == "str.substr":
+        if any(isinstance(a, App) and a.op == "str.len" for a in node.args[1:]):
+            patterns.add("substr-by-len")
+    if op == "str.replace":
+        if any(isinstance(a, App) and a.op == "str.replace" for a in node.args):
+            patterns.add("nested-replace")
+        if isinstance(node.args[2], Const) and node.args[2].value == "":
+            patterns.add("replace-with-empty")
+        if isinstance(node.args[1], Var):
+            patterns.add("replace-var-pattern")
+    if op == "str.to.int":
+        inner = node.args[0]
+        if isinstance(inner, App):
+            patterns.add("to-int-of-term")
+    if op == "str.at":
+        if isinstance(node.args[1], App):
+            patterns.add("at-computed-index")
+    if op == "str.indexof":
+        patterns.add("indexof")
+    if op == "str.in.re":
+        patterns.add("regex")
+    if op == "ite":
+        if any(isinstance(a, App) and a.op in ("/", "div") for a in node.args[0].walk() if isinstance(a, App)):
+            patterns.add("ite-on-division")
+    if op == "or":
+        if all(isinstance(a, App) and a.op in ("and", "not") for a in node.args):
+            patterns.add("or-of-ands")
+    if op in ("<", "<=", ">", ">="):
+        if any(isinstance(a, App) and a.op in ("/", "div") for a in node.args):
+            patterns.add("compare-division")
+
+
+def _infer_logic(sorts, ops, quantified, nonlinear):
+    """Classify a formula into the paper's logic families (Figure 8c).
+
+    A string formula counts as QF_SLIA when it has free *integer
+    variables* (pure ``str.len`` facts keep it in QF_S, matching how
+    the paper's benchmark suites are split).
+    """
+    has_strings = STRING in sorts or any(op.startswith(("str.", "re.")) for op in ops)
+    if has_strings:
+        if INT in sorts:
+            return "QF_SLIA"
+        return "QF_S"
+    real = REAL in sorts
+    if quantified:
+        if nonlinear:
+            return "NRA" if real else "NIA"
+        return "LRA" if real else "LIA"
+    if nonlinear:
+        return "QF_NRA" if real else "QF_NIA"
+    return "QF_LRA" if real else "QF_LIA"
+
+
+ALL_PATTERNS = (
+    "var-divisor",
+    "affine-inversion",
+    "var-product",
+    "fusion-constraint",
+    "concat-definition",
+    "substr-by-len",
+    "nested-replace",
+    "replace-with-empty",
+    "replace-var-pattern",
+    "to-int-of-term",
+    "at-computed-index",
+    "indexof",
+    "regex",
+    "ite-on-division",
+    "or-of-ands",
+    "compare-division",
+    "many-asserts",
+    "string-int-mix",
+    "cross-theory",
+)
+
+
+# ---------------------------------------------------------------------------
+# Faults
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One simulated solver defect.
+
+    ``status`` ∈ {fixed, confirmed, duplicate, wontfix, pending} models
+    the lifecycle of Figure 8a; ``duplicate_of`` names the root fault.
+    ``affected_releases`` is the set of release tags the bug is present
+    in (always including "trunk" — the campaign tests trunk).
+    """
+
+    fault_id: str
+    solver: str  # "z3-like" | "cvc4-like"
+    kind: str  # soundness | crash | performance | unknown
+    logic: str  # NRA / NIA / QF_NRA / QF_NIA / QF_S / QF_SLIA / ...
+    pattern: str  # entry of ALL_PATTERNS
+    effect: str  # answer | rewrite | crash | slow | unknown
+    wrong_answer: str = "sat"  # for "answer" effects
+    status: str = "fixed"
+    duplicate_of: str = ""
+    affected_releases: tuple = ("trunk",)
+    description: str = ""
+    salt: int = 0
+    modulus: int = 1  # trigger fires when (num_vars + salt) % modulus == 0
+
+    def triggers_on(self, info):
+        """True if this fault fires on a formula with ``info``.
+
+        ``pattern`` supports a small combination language mirroring how
+        real bugs need several code paths to interact: ``a&b`` requires
+        both patterns, ``a|b`` accepts either; ``&`` binds looser than
+        ``|`` (so ``a&b|c`` means ``a and (b or c)``).
+        """
+        if info.logic_family != self.logic:
+            return False
+        for conjunct in self.pattern.split("&"):
+            if not any(info.has(p) for p in conjunct.split("|")):
+                return False
+        if self.modulus > 1 and (info.num_vars + self.salt) % self.modulus != 0:
+            return False
+        return True

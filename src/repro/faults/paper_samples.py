@@ -1,0 +1,182 @@
+"""The paper's Figure 13: six reduced bug-triggering formulas, verbatim.
+
+Each sample records the solver the paper blamed, the bug kind, the
+logic, and the ground-truth satisfiability. Our transcriptions parse
+with this package's frontend, and the corresponding catalog faults
+(``figure-13a`` ... ``figure-13f`` in their descriptions) trigger on
+exactly these formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperSample:
+    figure: str
+    solver: str  # which simulated solver exhibits the bug
+    kind: str  # soundness | crash
+    logic: str
+    oracle: str  # ground truth satisfiability ("unsat" for all soundness samples)
+    issue: str  # the paper's issue-tracker URL
+    smt2: str
+
+
+FIGURE_13 = (
+    PaperSample(
+        figure="13a",
+        solver="z3-like",
+        kind="soundness",
+        logic="QF_S",
+        oracle="unsat",
+        issue="https://github.com/Z3Prover/z3/issues/2618",
+        smt2="""
+(declare-fun a () String)
+(declare-fun b () String)
+(declare-fun c () String)
+(assert
+  (and
+    (str.in.re c (re.* (str.to.re "aa")))
+    (= 0 (str.to.int (str.replace a b (str.at a (str.len a)))))))
+(assert (= a (str.++ b c)))
+(check-sat)
+""",
+    ),
+    PaperSample(
+        figure="13b",
+        solver="cvc4-like",
+        kind="soundness",
+        logic="QF_S",
+        oracle="unsat",
+        issue="https://github.com/CVC4/CVC4/issues/3357",
+        smt2="""
+(declare-const a String)
+(declare-const b String)
+(declare-const c String)
+(declare-const d String)
+(declare-const e String)
+(declare-const f String)
+(assert (or
+  (and (= c (str.++ e d))
+       (str.in.re e (re.* (str.to.re "aaa")))
+       (> 0 (str.to.int d))
+       (= 1 (str.len e))
+       (= 2 (str.len c)))
+  (and (str.in.re f (re.* (str.to.re "aa")))
+       (= 0 (str.to.int (str.replace (str.replace a b "") "a" ""))))))
+(assert (= a (str.++ (str.++ b "a") f)))
+(check-sat)
+""",
+    ),
+    PaperSample(
+        figure="13c",
+        solver="z3-like",
+        kind="soundness",
+        logic="QF_NRA",
+        oracle="unsat",
+        issue="https://github.com/Z3Prover/z3/issues/2391",
+        smt2="""
+(declare-fun a () Real)
+(declare-fun b () Real)
+(declare-fun c () Real)
+(declare-fun d () Real)
+(declare-fun e () Real)
+(declare-fun f () Real)
+(assert
+  (and
+    (> 0 (- d f))
+    (= d (ite (>= (/ a c) f) (+ b f) f))
+    (> 0 (/ a (/ c e)))
+    (or (= e 1.0) (= e 2.0))
+    (> d 0) (= c 0)))
+(check-sat)
+""",
+    ),
+    PaperSample(
+        figure="13d",
+        solver="cvc4-like",
+        kind="soundness",
+        logic="QF_SLIA",
+        oracle="unsat",
+        issue="https://github.com/CVC4/CVC4/issues/3203",
+        smt2="""
+(declare-fun a () String)
+(declare-fun b () String)
+(declare-fun d () String)
+(declare-fun e () String)
+(declare-fun f () Int)
+(declare-fun g () String)
+(declare-fun h () String)
+(assert (or
+  (not (= (str.replace "B" (str.at "A" f) "") "B"))
+  (not (= (str.replace "B" (str.replace "B" g "") "")
+          (str.at (str.replace (str.replace a d "") "C" "")
+                  (str.indexof "B"
+                               (str.replace (str.replace a d "") "C" "")
+                               0))))))
+(assert (= a (str.++ (str.++ d "C") g)))
+(assert (= b (str.++ e g)))
+(check-sat)
+""",
+    ),
+    PaperSample(
+        figure="13e",
+        solver="z3-like",
+        kind="soundness",
+        logic="QF_S",
+        oracle="unsat",
+        issue="https://github.com/Z3Prover/z3/issues/2513",
+        smt2="""
+(declare-fun a () String)
+(declare-fun b () String)
+(declare-fun c () String)
+(declare-fun d () String)
+(assert (= a (str.++ b d)))
+(assert (or
+  (and
+    (= (str.indexof (str.substr a 0 (str.len b)) "=" 0) 0)
+    (= (str.indexof b "=" 0) 1))
+  (not (= (str.suffixof "A" d)
+          (str.suffixof "A" (str.replace c c d))))))
+(check-sat)
+""",
+    ),
+    PaperSample(
+        figure="13f",
+        solver="z3-like",
+        kind="crash",
+        logic="NRA",
+        oracle="unknown",  # the paper reports the crash, not a verdict
+        issue="https://github.com/Z3Prover/z3/issues/2449",
+        smt2="""
+(declare-fun a () Real)
+(declare-fun b () Real)
+(declare-fun c () Real)
+(declare-fun d () Real)
+(declare-fun i () Real)
+(declare-fun e () Real)
+(declare-fun ep () Real)
+(declare-fun f () Real)
+(declare-fun j () Real)
+(declare-fun g () Real)
+(assert (or
+  (not (exists ((h Real))
+    (=> (and (= 0.0 (/ b j)) (< 0.0 e))
+        (=> (= 0.0 i)
+            (= (= (<= 0.0 h) (<= h ep)) (= 1.0 2.0))))))
+  (not (exists ((h Real))
+    (=> (<= 0.0 (/ a h)) (= 0 (/ c e)))))))
+(assert (= c (/ c g) g 0))
+(assert (= ep (/ d f)))
+(check-sat)
+""",
+    ),
+)
+
+
+def sample_by_figure(figure):
+    for sample in FIGURE_13:
+        if sample.figure == figure:
+            return sample
+    raise KeyError(f"no Figure {figure} sample")

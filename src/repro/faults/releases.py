@@ -1,0 +1,49 @@
+"""Simulated release histories (the paper's Figure 10 study).
+
+Each solver has a sequence of release tags ending in ``trunk``.
+Soundness faults carry ``affected_releases`` windows; given the set of
+soundness bugs a campaign found in trunk, :func:`release_impact` counts
+how many of them also affect each historical release — the paper's
+"number of found soundness bugs that affect corresponding release
+versions".
+"""
+
+from __future__ import annotations
+
+from repro.faults.catalog import CVC4_RELEASES, Z3_RELEASES
+
+RELEASE_DATES = {
+    # The paper: "Z3 4.5.0 was released on November 8, 2016, and CVC4
+    # 1.5 was released on July 10, 2017" — 3- and 2-year latencies.
+    ("z3-like", "4.5.0"): "2016-11-08",
+    ("cvc4-like", "1.5"): "2017-07-10",
+}
+
+# Figure 10's bars, used by the benchmark as the paper-reported shape.
+PAPER_RELEASE_IMPACT = {
+    "z3-like": dict(
+        zip(Z3_RELEASES, (8, 5, 5, 5, 5, 8, 10, 24))
+    ),
+    "cvc4-like": dict(zip(CVC4_RELEASES, (2, 1, 2, 5))),
+}
+
+
+def releases_for(solver_name):
+    if solver_name == "z3-like":
+        return Z3_RELEASES
+    if solver_name == "cvc4-like":
+        return CVC4_RELEASES
+    raise KeyError(f"no release history for {solver_name!r}")
+
+
+def release_impact(found_faults, solver_name):
+    """Per-release counts of found soundness faults affecting the release."""
+    releases = releases_for(solver_name)
+    impact = {}
+    soundness = [
+        f for f in found_faults if f.kind == "soundness" and f.solver == solver_name
+        and f.status in ("fixed", "confirmed")
+    ]
+    for release in releases:
+        impact[release] = sum(1 for f in soundness if release in f.affected_releases)
+    return impact

@@ -1,0 +1,7 @@
+"""Bug reduction: the offline stand-in for C-Reduce plus the paper's
+pretty-printer passes (Section 4.1)."""
+
+from repro.reduce.ddmin import ddmin
+from repro.reduce.reducer import Reducer, reduce_script
+
+__all__ = ["ddmin", "Reducer", "reduce_script"]

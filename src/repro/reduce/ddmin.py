@@ -1,0 +1,54 @@
+"""Delta debugging (ddmin) over sequences.
+
+Zeller & Hildebrandt's ddmin algorithm: find a 1-minimal subsequence of
+``items`` that still makes ``still_fails`` true.
+"""
+
+from __future__ import annotations
+
+
+def ddmin(items, still_fails, max_tests=2000):
+    """Minimize ``items`` while preserving ``still_fails(subset) == True``.
+
+    ``still_fails`` receives a list. The input must itself fail.
+    Returns the minimized list.
+    """
+    items = list(items)
+    if not still_fails(items):
+        raise ValueError("ddmin requires a failing input")
+    tests = 0
+    granularity = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // granularity)
+        subsets = [items[i : i + chunk] for i in range(0, len(items), chunk)]
+        reduced = False
+        # Try each subset alone.
+        for subset in subsets:
+            tests += 1
+            if tests > max_tests:
+                return items
+            if len(subset) < len(items) and still_fails(subset):
+                items = subset
+                granularity = 2
+                reduced = True
+                break
+        if reduced:
+            continue
+        # Try each complement.
+        if granularity > 2:
+            for i in range(len(subsets)):
+                complement = [x for j, s in enumerate(subsets) if j != i for x in s]
+                tests += 1
+                if tests > max_tests:
+                    return items
+                if complement and len(complement) < len(items) and still_fails(complement):
+                    items = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+        if reduced:
+            continue
+        if granularity >= len(items):
+            break
+        granularity = min(len(items), granularity * 2)
+    return items

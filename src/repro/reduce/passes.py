@@ -1,0 +1,130 @@
+"""Reduction passes: candidate shrinking rewrites for a script.
+
+Each pass yields candidate scripts strictly smaller than the input; the
+reducer keeps any candidate on which the bug predicate still holds.
+Includes the paper's pretty-printer transformations (flattening,
+neutral-element removal) as a final cleanup.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.smtlib.ast import App, Const, Quantifier, Script, term_size
+from repro.smtlib.pretty import prettify_script
+from repro.smtlib.sorts import BOOL, INT, REAL, STRING
+
+_NEUTRAL_BY_SORT = {
+    BOOL: Const(True, BOOL),
+    INT: Const(0, INT),
+    REAL: Const(Fraction(0), REAL),
+    STRING: Const("", STRING),
+}
+
+
+def drop_assert_candidates(script):
+    """Scripts with one assert removed."""
+    asserts = script.asserts
+    for i in range(len(asserts)):
+        yield script.with_asserts(asserts[:i] + asserts[i + 1 :])
+
+
+def hoist_candidates(script):
+    """Replace an assert by one of its Bool-sorted proper subterms."""
+    asserts = script.asserts
+    for i, term in enumerate(asserts):
+        for sub in term.walk():
+            if sub is term or sub.sort != BOOL:
+                continue
+            if isinstance(sub, (Const,)):
+                continue
+            new = asserts[:i] + [sub] + asserts[i + 1 :]
+            yield script.with_asserts(new)
+
+
+def _replace_at(term, target_id, replacement):
+    if id(term) == target_id:
+        return replacement
+    if isinstance(term, App):
+        new_args = tuple(_replace_at(a, target_id, replacement) for a in term.args)
+        if new_args == term.args:
+            return term
+        return App(term.op, new_args, term.sort)
+    if isinstance(term, Quantifier):
+        new_body = _replace_at(term.body, target_id, replacement)
+        if new_body is term.body:
+            return term
+        return Quantifier(term.kind, term.bindings, new_body)
+    return term
+
+
+def subterm_to_neutral_candidates(script, per_assert_limit=40):
+    """Replace subterms by a neutral constant of their sort."""
+    asserts = script.asserts
+    for i, term in enumerate(asserts):
+        tried = 0
+        for sub in term.walk():
+            if sub is term or isinstance(sub, Const):
+                continue
+            neutral = _NEUTRAL_BY_SORT.get(sub.sort)
+            if neutral is None or sub == neutral:
+                continue
+            tried += 1
+            if tried > per_assert_limit:
+                break
+            new_term = _replace_at(term, id(sub), neutral)
+            if term_size(new_term) < term_size(term):
+                yield script.with_asserts(asserts[:i] + [new_term] + asserts[i + 1 :])
+
+
+def shrink_nary_candidates(script, per_assert_limit=40):
+    """Drop one argument of an n-ary and/or/+/* application."""
+    asserts = script.asserts
+    for i, term in enumerate(asserts):
+        tried = 0
+        for sub in term.walk():
+            if not isinstance(sub, App) or len(sub.args) <= 2:
+                continue
+            if sub.op not in ("and", "or", "+", "*", "str.++"):
+                continue
+            for k in range(len(sub.args)):
+                tried += 1
+                if tried > per_assert_limit:
+                    break
+                smaller = App(sub.op, sub.args[:k] + sub.args[k + 1 :], sub.sort)
+                new_term = _replace_at(term, id(sub), smaller)
+                yield script.with_asserts(
+                    asserts[:i] + [new_term] + asserts[i + 1 :]
+                )
+            if tried > per_assert_limit:
+                break
+
+
+def drop_unused_declarations(script):
+    """Remove declarations of variables no assert mentions."""
+    used = {v.name for v in script.free_variables()}
+    from repro.smtlib.ast import DeclareFun
+
+    commands = []
+    changed = False
+    for cmd in script.commands:
+        if isinstance(cmd, DeclareFun) and cmd.name not in used:
+            changed = True
+            continue
+        commands.append(cmd)
+    if changed:
+        return Script(commands)
+    return None
+
+
+def cleanup(script):
+    """The paper's pretty-printer pass (semantics preserving)."""
+    return prettify_script(script)
+
+
+ALL_PASSES = (
+    drop_assert_candidates,
+    hoist_candidates,
+    shrink_nary_candidates,
+    subterm_to_neutral_candidates,
+)

@@ -1,0 +1,83 @@
+"""The reduction driver: shrink a bug-triggering script.
+
+Greedy fixpoint over the candidate passes: any candidate on which the
+bug predicate still holds replaces the current script. The assert list
+is first minimized with ddmin, then structural passes shrink the
+surviving terms, and the pretty-printer cleans up — mirroring the
+paper's C-Reduce-plus-pretty-printer pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReductionError
+from repro.reduce.ddmin import ddmin
+from repro.reduce.passes import ALL_PASSES, cleanup, drop_unused_declarations
+from repro.smtlib.ast import term_size
+
+
+def _script_size(script):
+    return sum(term_size(t) for t in script.asserts)
+
+
+class Reducer:
+    """Reduce scripts while preserving a bug predicate."""
+
+    def __init__(self, still_fails, max_checks=4000):
+        """``still_fails(script) -> bool`` must hold on the input."""
+        self.still_fails = still_fails
+        self.max_checks = max_checks
+        self.checks = 0
+
+    def _check(self, script):
+        self.checks += 1
+        if self.checks > self.max_checks:
+            return False
+        try:
+            return bool(self.still_fails(script))
+        except Exception:
+            return False
+
+    def reduce(self, script):
+        """Return a 1-minimal-ish script still triggering the bug."""
+        if not self._check(script):
+            raise ReductionError("input script does not trigger the bug")
+
+        # Phase 1: ddmin over the assert list.
+        asserts = script.asserts
+        if len(asserts) > 1:
+            minimal = ddmin(
+                asserts,
+                lambda subset: self._check(script.with_asserts(list(subset))),
+                max_tests=self.max_checks // 2,
+            )
+            script = script.with_asserts(minimal)
+
+        # Phase 2: structural passes to fixpoint.
+        improved = True
+        while improved and self.checks < self.max_checks:
+            improved = False
+            current_size = _script_size(script)
+            for candidate_pass in ALL_PASSES:
+                for candidate in candidate_pass(script):
+                    if _script_size(candidate) >= current_size:
+                        continue
+                    if self._check(candidate):
+                        script = candidate
+                        improved = True
+                        break
+                if improved:
+                    break
+
+        # Phase 3: cleanup.
+        smaller = drop_unused_declarations(script)
+        if smaller is not None and self._check(smaller):
+            script = smaller
+        pretty = cleanup(script)
+        if self._check(pretty):
+            script = pretty
+        return script
+
+
+def reduce_script(script, still_fails, max_checks=4000):
+    """One-shot convenience wrapper around :class:`Reducer`."""
+    return Reducer(still_fails, max_checks).reduce(script)

@@ -1,0 +1,24 @@
+"""Labeled seed-formula generators: the offline stand-in for the
+SMT-LIB and StringFuzz benchmark suites (paper Figure 7).
+
+Satisfiable seeds are built around an explicit model (so the label is
+certain and the witnessing model travels with the seed); unsatisfiable
+seeds embed a known contradiction under satisfiable-looking noise.
+"""
+
+from repro.seeds.spec import LOGICS, LogicSpec, PAPER_SEED_COUNTS
+from repro.seeds.arith_gen import generate_arith_seed
+from repro.seeds.string_gen import generate_string_seed
+from repro.seeds.stringfuzz_gen import generate_stringfuzz_seed
+from repro.seeds.corpus import build_corpus, build_all_corpora
+
+__all__ = [
+    "LOGICS",
+    "LogicSpec",
+    "PAPER_SEED_COUNTS",
+    "generate_arith_seed",
+    "generate_string_seed",
+    "generate_stringfuzz_seed",
+    "build_corpus",
+    "build_all_corpora",
+]

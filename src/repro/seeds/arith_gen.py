@@ -1,0 +1,267 @@
+"""Arithmetic seed generation (LIA/LRA/NRA/NIA and QF variants).
+
+Satisfiable seeds are generated *from a model*: random terms are built
+over the variables, evaluated exactly under the model, and a relation
+that holds is asserted — so the ``sat`` label is certain and the model
+ships with the seed. Unsatisfiable seeds embed one of a library of
+contradiction templates (several lifted straight from the paper's
+examples) under satisfiable-looking noise.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.core.oracle import LabeledSeed
+from repro.errors import EvaluationError
+from repro.seeds.spec import LOGICS
+from repro.semantics.evaluator import evaluate
+from repro.semantics.model import Model
+from repro.smtlib import builder as b
+from repro.smtlib.ast import Assert, CheckSat, Const, DeclareFun, Script, SetLogic, Var
+from repro.smtlib.sorts import BOOL, INT, REAL
+
+
+def _random_value(sort, rng):
+    # Values stay inside the evaluator's quantifier-enumeration domain
+    # so quantified seeds remain checkable.
+    if sort == INT:
+        return rng.randint(-4, 4)
+    return Fraction(rng.randint(-5, 5), rng.choice([1, 1, 2]))
+
+
+def _const(value, sort):
+    if sort == REAL:
+        return Const(Fraction(value), REAL)
+    return Const(int(value), INT)
+
+
+def _random_term(variables, rng, sort, nonlinear, depth=2):
+    """A random arithmetic term over ``variables`` (all of ``sort``)."""
+    roll = rng.random()
+    if depth <= 0 or roll < 0.35:
+        if rng.random() < 0.7 and variables:
+            return rng.choice(variables)
+        return _const(_random_value(sort, rng), sort)
+    left = _random_term(variables, rng, sort, nonlinear, depth - 1)
+    right = _random_term(variables, rng, sort, nonlinear, depth - 1)
+    ops = ["+", "+", "-"]
+    if nonlinear:
+        ops.append("*")
+    op = rng.choice(ops)
+    if op == "+":
+        return b.add(left, right)
+    if op == "-":
+        return b.sub(left, right)
+    return b.mul(left, right)
+
+
+def _true_atom(term, model, rng, sort):
+    """An atom over ``term`` that holds under ``model``."""
+    value = evaluate(term, model)
+    roll = rng.random()
+    if roll < 0.25:
+        return b.eq(term, _const(value, sort))
+    if roll < 0.45:
+        gap = _random_value(sort, rng)
+        bound = value + abs(gap) + 1
+        return b.lt(term, _const(bound, sort))
+    if roll < 0.65:
+        gap = _random_value(sort, rng)
+        bound = value - abs(gap) - 1
+        return b.gt(term, _const(bound, sort))
+    if roll < 0.85:
+        return b.le(term, _const(value, sort))
+    return b.ge(term, _const(value, sort))
+
+
+def _structured_assert(atom, variables, model, rng, bool_pool):
+    """Wrap a true atom in boolean structure that stays true."""
+    roll = rng.random()
+    if roll < 0.5:
+        return [atom]
+    if roll < 0.65:
+        # Paper phi1 style: (= w atom) and assert w.
+        w = Var(f"w{len(bool_pool)}", BOOL)
+        bool_pool.append(w)
+        model[w.name] = True
+        return [b.eq(w, atom), w]
+    if roll < 0.8:
+        # Disjunction with an arbitrary second branch.
+        sort = variables[0].sort
+        other = _random_term(variables, rng, sort, nonlinear=False)
+        noise = b.lt(other, _const(_random_value(sort, rng), sort))
+        branches = [atom, noise]
+        rng.shuffle(branches)
+        return [b.or_(*branches)]
+    if roll < 0.9:
+        return [b.not_(b.not_(atom))]
+    # ite with the condition known under the model.
+    sort = variables[0].sort
+    cond_term = rng.choice(variables)
+    cond_value = model[cond_term.name]
+    cond = b.ge(cond_term, _const(cond_value, sort))
+    return [b.ite(cond, atom, b.eq(cond_term, cond_term))]
+
+
+def _quantified_extras(variables, rng, sort):
+    """Benign quantified assertions (true in every model)."""
+    extras = []
+    x = rng.choice(variables)
+    kind = rng.random()
+    h = Var("h", sort)
+    if kind < 0.5:
+        # exists h. h > x  (true over Int and Real)
+        extras.append(b.exists([h], b.gt(h, x)))
+    else:
+        # bounded forall over Int, or a trivially-true real forall guard.
+        if sort == INT:
+            lo, hi = sorted((rng.randint(-3, 0), rng.randint(1, 3)))
+            guard = b.and_(b.ge(h, lo), b.le(h, hi))
+            body = b.ge(b.add(x, h), b.add(x, lo))
+            extras.append(b.forall([h], b.implies(guard, body)))
+        else:
+            extras.append(b.exists([h], b.eq(h, x)))
+    return extras
+
+
+# ---------------------------------------------------------------------------
+# Contradiction templates (the UNSAT library)
+# ---------------------------------------------------------------------------
+
+
+def _contradiction(variables, rng, spec):
+    """A list of assertions that cannot all hold."""
+    sort = spec.sort
+    x = rng.choice(variables)
+    y = rng.choice(variables)
+    c = _random_value(sort, rng)
+    picks = ["window", "two-values", "shift", "sum-window", "diseq"]
+    if sort == INT:
+        picks.append("parity")
+    if spec.nonlinear:
+        picks.extend(["square-negative", "square-equation"])
+    if sort == REAL and spec.nonlinear:
+        picks.append("sign-division")
+    kind = rng.choice(picks)
+    if kind == "window":
+        return [b.gt(x, _const(c, sort)), b.lt(x, _const(c, sort))]
+    if kind == "two-values":
+        return [b.eq(x, _const(c, sort)), b.eq(x, _const(c + 1, sort))]
+    if kind == "shift":
+        # The paper's phi3: ((c1 + x) + c2) != ((c1 + c2) + x).
+        c1 = _random_value(sort, rng)
+        c2 = _random_value(sort, rng)
+        lhs = b.add(b.add(_const(c1, sort), x), _const(c2, sort))
+        rhs = b.add(_const(c1 + c2, sort), x)
+        return [b.not_(b.eq(lhs, rhs))]
+    if kind == "sum-window":
+        total = b.add(x, y)
+        return [b.gt(total, _const(c, sort)), b.lt(total, _const(c, sort))]
+    if kind == "diseq":
+        return [b.distinct(x, x)]
+    if kind == "parity":
+        return [b.eq(b.mul(2, x), _const(2 * int(c) + 1, INT))]
+    if kind == "square-negative":
+        return [b.lt(b.mul(x, x), _const(0, sort))]
+    if kind == "square-equation":
+        return [b.eq(b.mul(x, x), _const(-1 - abs(c), sort))]
+    # sign-division: the paper's phi4 (0 < y < v <= w and w/v < 0).
+    v = Var("v.t", REAL)
+    w = Var("w.t", REAL)
+    yy = rng.choice(variables)
+    return [
+        b.and_(
+            b.lt(yy, v),
+            b.ge(w, v),
+            b.lt(b.div(w, v), 0),
+            b.gt(yy, 0),
+        )
+    ]
+
+
+def _noise_atom(variables, rng, spec):
+    term = _random_term(variables, rng, spec.sort, spec.nonlinear)
+    bound = _const(_random_value(spec.sort, rng), spec.sort)
+    op = rng.choice([b.lt, b.le, b.gt, b.ge, b.eq])
+    return op(term, bound)
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def generate_arith_seed(logic_name, oracle, rng=None, num_vars=None):
+    """Generate one labeled arithmetic seed for ``logic_name``.
+
+    Returns a :class:`~repro.core.oracle.LabeledSeed`; sat seeds carry
+    their witnessing model.
+    """
+    spec = LOGICS[logic_name]
+    rng = rng or random.Random()
+    n = num_vars or rng.randint(2, 4)
+    variables = [Var(f"{'x' if spec.sort == INT else 'r'}{i}", spec.sort) for i in range(n)]
+
+    if oracle == "sat":
+        return _generate_sat(spec, variables, rng)
+    return _generate_unsat(spec, variables, rng)
+
+
+def _generate_sat(spec, variables, rng):
+    model = Model({v.name: _random_value(spec.sort, rng) for v in variables})
+    bool_pool = []
+    asserts = []
+    for _ in range(rng.randint(2, 5)):
+        term = _random_term(variables, rng, spec.sort, spec.nonlinear)
+        try:
+            atom = _true_atom(term, model, rng, spec.sort)
+        except EvaluationError:  # pragma: no cover - defensive
+            continue
+        asserts.extend(_structured_assert(atom, variables, model, rng, bool_pool))
+    if not asserts:
+        asserts = [b.ge(variables[0], _const(model[variables[0].name], spec.sort))]
+    # Verify the quantifier-free core against the model (the quantified
+    # extras below are true in every model by construction, but cannot
+    # be certified by bounded enumeration).
+    complete = model.complete(variables)
+    for term in asserts:
+        if not evaluate(term, complete):  # pragma: no cover - generator invariant
+            raise AssertionError("generated sat seed is not satisfied by its model")
+    if spec.quantified:
+        asserts.extend(_quantified_extras(variables, rng, spec.sort))
+    script = _finish(spec, variables + bool_pool, asserts)
+    return LabeledSeed(script, "sat", spec.name, complete, origin="arith-gen")
+
+
+def _generate_unsat(spec, variables, rng):
+    asserts = list(_contradiction(variables, rng, spec))
+    for _ in range(rng.randint(0, 3)):
+        asserts.append(_noise_atom(variables, rng, spec))
+    if spec.quantified and rng.random() < 0.5:
+        h = Var("h", spec.sort)
+        asserts.append(b.exists([h], b.gt(h, rng.choice(variables))))
+    rng.shuffle(asserts)
+    extra_vars = sorted(
+        {v for t in asserts for v in _free_typed(t)} - set(variables),
+        key=lambda v: v.name,
+    )
+    script = _finish(spec, variables + extra_vars, asserts)
+    return LabeledSeed(script, "unsat", spec.name, None, origin="arith-gen")
+
+
+def _free_typed(term):
+    from repro.smtlib.ast import free_vars
+
+    return free_vars(term)
+
+
+def _finish(spec, variables, asserts):
+    commands = [SetLogic(spec.name)]
+    for var in variables:
+        commands.append(DeclareFun(var.name, (), var.sort))
+    for term in asserts:
+        commands.append(Assert(term))
+    commands.append(CheckSat())
+    return Script(commands)

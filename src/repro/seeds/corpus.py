@@ -1,0 +1,60 @@
+"""Seed corpora in the shape of the paper's Figure 7.
+
+The paper uses 75,097 seeds across nine benchmark families. Offline we
+generate scaled-down corpora with the same per-family SAT/UNSAT
+proportions; ``scale`` controls the size (``scale=1.0`` reproduces the
+full counts, the default ``0.01`` keeps test runs fast).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.core.oracle import SeedCorpus
+from repro.seeds.arith_gen import generate_arith_seed
+from repro.seeds.spec import PAPER_SEED_COUNTS
+from repro.seeds.string_gen import generate_string_seed
+from repro.seeds.stringfuzz_gen import generate_stringfuzz_seed
+
+
+def _scaled(count, scale, keep_zero):
+    if count == 0 and keep_zero:
+        return 0
+    return max(1, math.ceil(count * scale)) if count else 0
+
+
+def build_corpus(family, scale=0.01, seed=0):
+    """Build one family's corpus (a Figure 7 row), labels included."""
+    if family not in PAPER_SEED_COUNTS:
+        raise KeyError(f"unknown benchmark family {family!r}")
+    unsat_count, sat_count = PAPER_SEED_COUNTS[family]
+    rng = random.Random(seed ^ hash(family) & 0xFFFF)
+    corpus = SeedCorpus(family)
+    for oracle, count in (("unsat", unsat_count), ("sat", sat_count)):
+        for _ in range(_scaled(count, scale, keep_zero=True)):
+            corpus.add(_generate(family, oracle, rng))
+    return corpus
+
+
+def _generate(family, oracle, rng):
+    if family == "StringFuzz":
+        return generate_stringfuzz_seed(oracle, rng)
+    if family in ("QF_S", "QF_SLIA"):
+        return generate_string_seed(family, oracle, rng)
+    return generate_arith_seed(family, oracle, rng)
+
+
+def build_all_corpora(scale=0.01, seed=0):
+    """All nine Figure 7 corpora, keyed by family name."""
+    return {family: build_corpus(family, scale, seed) for family in PAPER_SEED_COUNTS}
+
+
+def figure7_rows(corpora):
+    """Render corpora counts as (family, #unsat, #sat, total) rows."""
+    rows = []
+    for family in PAPER_SEED_COUNTS:
+        corpus = corpora[family]
+        unsat, sat, total = corpus.counts()
+        rows.append((family, unsat, sat, total))
+    return rows

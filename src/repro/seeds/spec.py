@@ -1,0 +1,58 @@
+"""Logic descriptors and the paper's seed-corpus shape (Figure 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.smtlib.sorts import INT, REAL, STRING
+
+
+@dataclass(frozen=True)
+class LogicSpec:
+    """An SMT-LIB logic as used in the paper's evaluation."""
+
+    name: str
+    sort: object  # dominant variable sort
+    quantified: bool
+    nonlinear: bool
+    strings: bool = False
+
+    @property
+    def family(self):
+        if self.strings:
+            return "string"
+        return "arithmetic"
+
+
+LOGICS = {
+    "LIA": LogicSpec("LIA", INT, quantified=True, nonlinear=False),
+    "LRA": LogicSpec("LRA", REAL, quantified=True, nonlinear=False),
+    "NRA": LogicSpec("NRA", REAL, quantified=True, nonlinear=True),
+    "NIA": LogicSpec("NIA", INT, quantified=True, nonlinear=True),
+    "QF_LIA": LogicSpec("QF_LIA", INT, quantified=False, nonlinear=False),
+    "QF_LRA": LogicSpec("QF_LRA", REAL, quantified=False, nonlinear=False),
+    "QF_NRA": LogicSpec("QF_NRA", REAL, quantified=False, nonlinear=True),
+    "QF_NIA": LogicSpec("QF_NIA", INT, quantified=False, nonlinear=True),
+    "QF_S": LogicSpec("QF_S", STRING, quantified=False, nonlinear=False, strings=True),
+    "QF_SLIA": LogicSpec(
+        "QF_SLIA", STRING, quantified=False, nonlinear=False, strings=True
+    ),
+}
+
+# Figure 7 of the paper: formula counts per benchmark (#UNSAT, #SAT).
+# NRA has no satisfiable seeds in the SMT-LIB suite the paper used.
+PAPER_SEED_COUNTS = {
+    "LIA": (203, 139),
+    "LRA": (1316, 714),
+    "NRA": (3798, 0),
+    "QF_LIA": (1191, 1318),
+    "QF_LRA": (384, 522),
+    "QF_NRA": (4660, 4751),
+    "QF_SLIA": (5492, 22657),
+    "QF_S": (6390, 12561),
+    "StringFuzz": (4903, 4098),
+}
+
+PAPER_TOTAL_SEEDS = 75097
+PAPER_TOTAL_SAT = 46760
+PAPER_TOTAL_UNSAT = 28337

@@ -1,0 +1,202 @@
+"""String seed generation (QF_S, QF_SLIA).
+
+Same construction discipline as the arithmetic generator: sat seeds are
+built from an explicit assignment of short strings and assert only
+facts that hold under it (equalities over concatenations, lengths,
+prefix/suffix/contains, regex membership, ``str.to.int`` facts, and —
+for QF_SLIA — integer bridges); unsat seeds embed a contradiction
+template from the shapes the paper's bug hunt revolved around.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.oracle import LabeledSeed
+from repro.seeds.spec import LOGICS
+from repro.semantics.evaluator import evaluate
+from repro.semantics.model import Model
+from repro.smtlib import builder as b
+from repro.smtlib.ast import Assert, CheckSat, DeclareFun, Script, SetLogic, Var
+from repro.smtlib.sorts import INT, STRING
+
+_ALPHABET = "ab01"
+
+
+def _random_string(rng, max_len=3):
+    return "".join(rng.choice(_ALPHABET) for _ in range(rng.randint(0, max_len)))
+
+
+def _random_digits(rng, max_len=2):
+    return "".join(rng.choice("0123456789") for _ in range(rng.randint(1, max_len)))
+
+
+def _true_string_facts(variables, model, rng, with_ints, bound_ints):
+    """Assertions that hold under ``model``."""
+    facts = []
+    svars = [v for v in variables if v.sort == STRING]
+    x = rng.choice(svars)
+    y = rng.choice(svars)
+    vx, vy = model[x.name], model[y.name]
+    kind = rng.random()
+    if kind < 0.2:
+        # Concatenation equality: fresh variable names the concat.
+        facts.append(b.eq(b.concat(x, y), b.lift(vx + vy)))
+    elif kind < 0.35:
+        facts.append(b.eq(b.length(x), len(vx)))
+    elif kind < 0.45:
+        prefix = vx[: rng.randint(0, len(vx))]
+        facts.append(b.prefixof(b.lift(prefix), x))
+    elif kind < 0.55:
+        suffix = vx[len(vx) - rng.randint(0, len(vx)) :]
+        facts.append(b.suffixof(b.lift(suffix), x))
+    elif kind < 0.65:
+        if vx:
+            start = rng.randrange(len(vx))
+            end = rng.randint(start + 1, len(vx))
+            facts.append(b.contains(x, b.lift(vx[start:end])))
+        else:
+            facts.append(b.eq(x, b.lift("")))
+    elif kind < 0.75:
+        # Regex membership true under the model: (value)* accepts value.
+        if vx:
+            facts.append(b.in_re(x, b.re_star(b.to_re(b.lift(vx)))))
+        else:
+            facts.append(b.in_re(x, b.re_star(b.re_allchar())))
+    elif kind < 0.85:
+        # Replace with a *constant* pattern (variable patterns are a
+        # structure only fusion introduces, per the fault triggers).
+        pattern = vx[:1] if vx else "z"
+        replaced = vx.replace(pattern, "", 1)
+        facts.append(b.eq(b.replace(x, b.lift(pattern), b.lift("")), b.lift(replaced)))
+    elif with_ints and kind < 0.95:
+        # Integer bridge: assert i = len(x) for an integer variable
+        # whose model value agrees (bind it on first use).
+        ivars = [v for v in variables if v.sort == INT]
+        free = [v for v in ivars if v.name not in bound_ints]
+        if free:
+            i = free[0]
+            model[i.name] = len(vx)
+            bound_ints.add(i.name)
+            facts.append(b.eq(i, b.length(x)))
+        else:
+            facts.append(b.eq(b.length(x), len(vx)))
+    else:
+        digits = _random_digits(rng)
+        facts.append(b.eq(b.str_to_int(b.lift(digits)), int(digits)))
+    return facts
+
+
+def _string_contradiction(variables, rng):
+    svars = [v for v in variables if v.sort == STRING]
+    x = rng.choice(svars)
+    y = rng.choice(svars)
+    kind = rng.choice(
+        [
+            "negative-length",
+            "concat-length",
+            "regex-length",
+            "to-int-empty",
+            "contains-conflict",
+            "prefix-length",
+            "distinct-self",
+        ]
+    )
+    if kind == "negative-length":
+        return [b.lt(b.length(x), 0)]
+    if kind == "concat-length":
+        # x = y ++ "a" forces len(x) = len(y) + 1.
+        return [b.eq(x, b.concat(y, b.lift("a"))), b.eq(b.length(x), b.length(y))]
+    if kind == "regex-length":
+        stride = rng.choice(["aa", "aaa", "ab"])
+        return [
+            b.in_re(x, b.re_star(b.to_re(b.lift(stride)))),
+            b.eq(b.length(x), len(stride) + 1),
+        ]
+    if kind == "to-int-empty":
+        # str.to.int of the empty string is -1 (the Figure 13b corner).
+        return [b.eq(x, b.lift("")), b.ge(b.str_to_int(x), 0)]
+    if kind == "contains-conflict":
+        return [b.contains(x, b.lift("a")), b.eq(x, b.lift("b"))]
+    if kind == "prefix-length":
+        return [b.prefixof(b.lift("ab"), x), b.eq(b.length(x), 1)]
+    return [b.distinct(x, x)]
+
+
+def _string_noise(variables, rng):
+    svars = [v for v in variables if v.sort == STRING]
+    x = rng.choice(svars)
+    kind = rng.random()
+    if kind < 0.3:
+        return b.le(b.length(x), rng.randint(0, 4))
+    if kind < 0.6:
+        return b.contains(x, b.lift(rng.choice(_ALPHABET)))
+    return b.in_re(x, b.re_star(b.re_allchar()))
+
+
+def generate_string_seed(logic_name, oracle, rng=None, num_vars=None):
+    """Generate one labeled string seed for QF_S or QF_SLIA."""
+    spec = LOGICS[logic_name]
+    rng = rng or random.Random()
+    n = num_vars or rng.randint(2, 3)
+    variables = [Var(f"s{i}", STRING) for i in range(n)]
+    with_ints = logic_name == "QF_SLIA"
+    if with_ints:
+        variables.append(Var("i0", INT))
+
+    if oracle == "sat":
+        model = Model(
+            {
+                v.name: (_random_string(rng) if v.sort == STRING else 0)
+                for v in variables
+            }
+        )
+        asserts = []
+        bound_ints = set()
+        for _ in range(rng.randint(2, 4)):
+            asserts.extend(
+                _true_string_facts(variables, model, rng, with_ints, bound_ints)
+            )
+        if with_ints and not bound_ints:
+            # QF_SLIA seeds always exercise the string-integer bridge.
+            i = next(v for v in variables if v.sort == INT)
+            x = next(v for v in variables if v.sort == STRING)
+            model[i.name] = len(model[x.name])
+            bound_ints.add(i.name)
+            asserts.append(b.eq(i, b.length(x)))
+        from repro.smtlib.ast import free_vars as _free_vars
+
+        if not any(_free_vars(t) for t in asserts):
+            # Every fact landed on constants: anchor at least one
+            # variable so the seed is fusible.
+            x = variables[0]
+            asserts.append(b.le(b.length(x), len(model[x.name])))
+        complete = model.complete(variables)
+        for term in asserts:  # pragma: no branch - generator invariant
+            if not evaluate(term, complete):
+                raise AssertionError("generated string seed violates its model")
+        script = _finish(spec, variables, asserts)
+        return LabeledSeed(script, "sat", spec.name, complete, origin="string-gen")
+
+    asserts = list(_string_contradiction(variables, rng))
+    for _ in range(rng.randint(0, 2)):
+        asserts.append(_string_noise(variables, rng))
+    if with_ints:
+        # Keep the integer bridge present in QF_SLIA seeds (harmless
+        # noise: conjunction with the contradiction stays unsat).
+        i = next(v for v in variables if v.sort == INT)
+        x = next(v for v in variables if v.sort == STRING)
+        asserts.append(b.le(b.length(x), i))
+    rng.shuffle(asserts)
+    script = _finish(spec, variables, asserts)
+    return LabeledSeed(script, "unsat", spec.name, None, origin="string-gen")
+
+
+def _finish(spec, variables, asserts):
+    commands = [SetLogic(spec.name)]
+    for var in variables:
+        commands.append(DeclareFun(var.name, (), var.sort))
+    for term in asserts:
+        commands.append(Assert(term))
+    commands.append(CheckSat())
+    return Script(commands)

@@ -1,0 +1,92 @@
+"""StringFuzz-style seed generation.
+
+The paper also seeds YinYang with the StringFuzz benchmark suite
+(QF_S). StringFuzz generates structurally extreme string formulas —
+long concatenation chains, deeply nested regexes, big character
+classes. This generator reproduces that *flavor* while keeping labels
+certain: sat instances assert facts of an explicit assignment over
+deep structures; unsat instances plant a contradiction deep inside
+the chain.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.oracle import LabeledSeed
+from repro.semantics.evaluator import evaluate
+from repro.semantics.model import Model
+from repro.smtlib import builder as b
+from repro.smtlib.ast import Assert, CheckSat, DeclareFun, Script, SetLogic, Var
+from repro.smtlib.sorts import STRING
+
+_ALPHABET = "abc"
+
+
+def _chain(parts):
+    if len(parts) == 1:
+        return parts[0]
+    return b.concat(*parts)
+
+
+def _deep_regex(rng, depth, values):
+    """A nested regex guaranteed to accept every string in ``values``."""
+    if depth <= 0 or rng.random() < 0.3:
+        return b.re_star(b.re_allchar())
+    kind = rng.random()
+    inner = _deep_regex(rng, depth - 1, values)
+    if kind < 0.4:
+        return b.re_union(inner, b.to_re(b.lift(rng.choice(_ALPHABET))))
+    if kind < 0.7:
+        return b.re_star(inner)
+    # Intersection with the universal language keeps acceptance.
+    return b.re_inter(inner, b.re_star(b.re_allchar()))
+
+
+def generate_stringfuzz_seed(oracle, rng=None, chain_length=None):
+    """Generate one StringFuzz-style labeled QF_S seed."""
+    rng = rng or random.Random()
+    n = chain_length or rng.randint(3, 5)
+    variables = [Var(f"t{i}", STRING) for i in range(n)]
+    values = {
+        v.name: "".join(rng.choice(_ALPHABET) for _ in range(rng.randint(0, 2)))
+        for v in variables
+    }
+    whole = "".join(values[v.name] for v in variables)
+
+    asserts = []
+    if oracle == "sat":
+        model = Model(dict(values))
+        # Chain equation pinning the concatenation of everything.
+        asserts.append(b.eq(_chain(list(variables)), b.lift(whole)))
+        # A deep regex that accepts the first variable's value.
+        regex = _deep_regex(rng, rng.randint(2, 4), values)
+        asserts.append(b.in_re(variables[0], regex))
+        # Length ladder.
+        for var in variables[: rng.randint(1, n)]:
+            asserts.append(b.le(b.length(var), len(values[var.name])))
+        for term in asserts:  # pragma: no branch - generator invariant
+            if not evaluate(term, model):
+                raise AssertionError("stringfuzz seed violates its model")
+        script = _finish(variables, asserts)
+        return LabeledSeed(script, "sat", "QF_S", model, origin="stringfuzz-gen")
+
+    # Unsat: the chain equals a constant shorter than a forced part.
+    forced = rng.choice(variables)
+    asserts.append(b.eq(_chain(list(variables)), b.lift(whole)))
+    asserts.append(b.ge(b.length(forced), len(whole) + rng.randint(1, 3)))
+    if rng.random() < 0.5:
+        asserts.append(b.in_re(forced, b.re_star(b.re_allchar())))
+    rng.shuffle(asserts)
+    script = _finish(variables, asserts)
+    return LabeledSeed(script, "unsat", "QF_S", None, origin="stringfuzz-gen")
+
+
+def _finish(variables, asserts):
+    commands = [SetLogic("QF_S")]
+    for var in variables:
+        commands.append(DeclareFun(var.name, (), var.sort))
+    for term in asserts:
+        commands.append(Assert(term))
+    commands.append(CheckSat())
+    return Script(commands)

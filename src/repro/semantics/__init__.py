@@ -1,0 +1,6 @@
+"""Model-level semantics: values, models, regex engine, term evaluation."""
+
+from repro.semantics.model import Model
+from repro.semantics.evaluator import evaluate, evaluate_script
+
+__all__ = ["Model", "evaluate", "evaluate_script"]

@@ -1,0 +1,295 @@
+"""Evaluation of SMT-LIB terms under a model.
+
+Implements SMT-LIB 2.6 semantics for every supported operator,
+including the string-edge cases the paper's bugs revolve around
+(``str.to.int`` of the empty string is -1, ``str.replace`` with an
+empty pattern prepends, ``str.substr`` out of range is the empty
+string, Euclidean integer division, and uninterpreted-but-consistent
+division at zero).
+
+Quantifiers are handled best-effort by bounded enumeration: the
+evaluator only returns a definite verdict when enumeration suffices,
+and raises :class:`~repro.errors.EvaluationError` otherwise.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.coverage.probes import declare_probes, line_probe
+from repro.errors import EvaluationError
+from repro.semantics import regex as rx
+from repro.semantics.values import euclidean_div, euclidean_mod
+from repro.smtlib.ast import App, Const, Quantifier, Var
+from repro.smtlib.sorts import BOOL, INT, REAL, STRING
+
+# Bounded quantifier enumeration domain (integers and a few rationals).
+_QUANT_INT_DOMAIN = tuple(range(-6, 7))
+_QUANT_REAL_DOMAIN = tuple(
+    Fraction(n, d) for d in (1, 2, 3) for n in range(-6, 7)
+)
+_QUANT_STRING_DOMAIN = ("", "a", "b", "aa", "ab", "A", "0", "1", "=", "C")
+
+
+def evaluate(term, model):
+    """Evaluate ``term`` under ``model``; returns a Python value.
+
+    Raises :class:`EvaluationError` when a free variable has no
+    assignment or a quantifier cannot be decided by bounded enumeration.
+    """
+    return _eval(term, model, {})
+
+
+def evaluate_script(script, model):
+    """Evaluate the conjunction of a script's assertions under ``model``."""
+    complete = model.complete(script.free_variables())
+    return all(evaluate(t, complete) for t in script.asserts)
+
+
+def _eval(term, model, bound):
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, Var):
+        if term.name in bound:
+            return bound[term.name]
+        if term.name not in model:
+            raise EvaluationError(f"no assignment for variable {term.name!r}")
+        return model[term.name]
+    if isinstance(term, Quantifier):
+        return _eval_quantifier(term, model, bound)
+    if isinstance(term, App):
+        return _eval_app(term, model, bound)
+    raise TypeError(f"not a term: {term!r}")
+
+
+def _eval_quantifier(term, model, bound):
+    # Guard-bounded *universals* are decided exactly: outside the guard
+    # range the implication body is vacuously true, so checking the
+    # finite range suffices. (The same is NOT true for existentials —
+    # any out-of-range value witnesses the implication vacuously — so
+    # those take the generic enumeration below.)
+    from repro.smtlib.quantbounds import guarded_integer_bounds
+
+    if term.kind == "forall":
+        exact_bounds = guarded_integer_bounds(term)
+        if exact_bounds is not None:
+            names = list(exact_bounds)
+
+            def exact(i, env):
+                if i == len(names):
+                    return bool(_eval(term.body, model, env))
+                lo, hi = exact_bounds[names[i]]
+                for value in range(lo, hi + 1):
+                    env2 = dict(env)
+                    env2[names[i]] = value
+                    if not exact(i + 1, env2):
+                        return False
+                return True
+
+            return exact(0, dict(bound))
+
+    # Enumeration domains are adaptive: constants appearing in the body
+    # (and their neighbors, for Int) join the base domain, so witnesses
+    # and counterexamples built from the formula's own constants are
+    # always found.
+    harvested = {INT: [], REAL: [], STRING: []}
+    for node in term.body.walk():
+        if isinstance(node, Const) and node.sort in harvested:
+            values = harvested[node.sort]
+            if node.value not in values and len(values) < 12:
+                values.append(node.value)
+                if node.sort == INT:
+                    values.extend((node.value - 1, node.value + 1))
+
+    domains = []
+    for _, sort in term.bindings:
+        if sort == INT:
+            domains.append(_QUANT_INT_DOMAIN + tuple(harvested[INT]))
+        elif sort == REAL:
+            domains.append(
+                _QUANT_REAL_DOMAIN + tuple(Fraction(v) for v in harvested[REAL])
+            )
+        elif sort == BOOL:
+            domains.append((False, True))
+        elif sort == STRING:
+            domains.append(_QUANT_STRING_DOMAIN + tuple(harvested[STRING]))
+        else:
+            raise EvaluationError(f"cannot enumerate sort {sort}")
+
+    names = [name for name, _ in term.bindings]
+    want_witness = term.kind == "exists"
+
+    def search(i, env):
+        if i == len(names):
+            return _eval(term.body, model, env)
+        for value in domains[i]:
+            env2 = dict(env)
+            env2[names[i]] = value
+            result = search(i + 1, env2)
+            if want_witness and result:
+                return True
+            if not want_witness and not result:
+                return False
+        return not want_witness
+
+    found = search(0, bound)
+    if want_witness and found:
+        return True
+    if not want_witness and not found:
+        return False
+    # Enumeration exhausted without a decisive answer: the bounded
+    # domain cannot prove a universal or refute an existential.
+    raise EvaluationError(
+        f"cannot decide {term.kind} by bounded enumeration"
+    )
+
+
+def _eval_app(term, model, bound):
+    op = term.op
+    line_probe(f"eval.{op}")
+
+    # Lazy/short-circuit operators first.
+    if op == "and":
+        return all(_eval(a, model, bound) for a in term.args)
+    if op == "or":
+        return any(_eval(a, model, bound) for a in term.args)
+    if op == "ite":
+        if _eval(term.args[0], model, bound):
+            return _eval(term.args[1], model, bound)
+        return _eval(term.args[2], model, bound)
+    if op == "=>":
+        *hyps, conclusion = term.args
+        if all(_eval(h, model, bound) for h in hyps):
+            return bool(_eval(conclusion, model, bound))
+        return True
+    if op == "str.in.re":
+        text = _eval(term.args[0], model, bound)
+        regex = rx.regex_from_term(
+            term.args[1], lambda t: _eval(t, model, bound)
+        )
+        return rx.matches(regex, text)
+
+    args = [_eval(a, model, bound) for a in term.args]
+
+    # --- core -----------------------------------------------------------
+    if op == "not":
+        return not args[0]
+    if op == "xor":
+        result = False
+        for a in args:
+            result ^= bool(a)
+        return result
+    if op == "=":
+        return all(a == args[0] for a in args[1:])
+    if op == "distinct":
+        return all(
+            args[i] != args[j]
+            for i in range(len(args))
+            for j in range(i + 1, len(args))
+        )
+
+    # --- arithmetic --------------------------------------------------------
+    if op == "+":
+        return _resort(sum(args), term.sort)
+    if op == "-":
+        if len(args) == 1:
+            return _resort(-args[0], term.sort)
+        return _resort(args[0] - sum(args[1:]), term.sort)
+    if op == "*":
+        result = args[0]
+        for a in args[1:]:
+            result *= a
+        return _resort(result, term.sort)
+    if op == "/":
+        result = Fraction(args[0])
+        for denominator in args[1:]:
+            if denominator == 0:
+                result = model.div_at_zero("/", result)
+            else:
+                result = result / denominator
+        return Fraction(result)
+    if op == "div":
+        if args[1] == 0:
+            return model.div_at_zero("div", args[0])
+        return euclidean_div(args[0], args[1])
+    if op == "mod":
+        if args[1] == 0:
+            return model.div_at_zero("mod", args[0])
+        return euclidean_mod(args[0], args[1])
+    if op == "abs":
+        return abs(args[0])
+    if op == "<":
+        return all(a < b for a, b in zip(args, args[1:]))
+    if op == "<=":
+        return all(a <= b for a, b in zip(args, args[1:]))
+    if op == ">":
+        return all(a > b for a, b in zip(args, args[1:]))
+    if op == ">=":
+        return all(a >= b for a, b in zip(args, args[1:]))
+    if op == "to_real":
+        return Fraction(args[0])
+    if op == "to_int":
+        # SMT-LIB to_int is the floor.
+        return args[0].numerator // args[0].denominator
+    if op == "is_int":
+        return Fraction(args[0]).denominator == 1
+
+    # --- strings -----------------------------------------------------------
+    if op == "str.++":
+        return "".join(args)
+    if op == "str.len":
+        return len(args[0])
+    if op == "str.at":
+        s, i = args
+        if 0 <= i < len(s):
+            return s[i]
+        return ""
+    if op == "str.substr":
+        s, offset, count = args
+        if offset < 0 or offset >= len(s) or count <= 0:
+            return ""
+        return s[offset : offset + count]
+    if op == "str.indexof":
+        s, needle, start = args
+        if start < 0 or start > len(s):
+            return -1
+        found = s.find(needle, start)
+        return found
+    if op == "str.replace":
+        s, pattern, replacement = args
+        if pattern == "":
+            return replacement + s
+        index = s.find(pattern)
+        if index < 0:
+            return s
+        return s[:index] + replacement + s[index + len(pattern) :]
+    if op == "str.prefixof":
+        return args[1].startswith(args[0])
+    if op == "str.suffixof":
+        return args[1].endswith(args[0])
+    if op == "str.contains":
+        return args[1] in args[0]
+    if op == "str.to.int":
+        s = args[0]
+        if s and all(c.isdigit() and c.isascii() for c in s):
+            return int(s)
+        return -1
+    if op == "str.from.int":
+        n = args[0]
+        return str(n) if n >= 0 else ""
+
+    raise EvaluationError(f"cannot evaluate operator {op!r}")
+
+
+def _resort(value, sort):
+    if sort == REAL:
+        return Fraction(value)
+    return value
+
+
+# Pre-declare one probe per interpreted operator so coverage reflects
+# which theory operations a workload actually exercises (like Gcov over
+# a real solver's per-operator evaluation code).
+from repro.smtlib.typecheck import ALL_OPS as _ALL_OPS
+
+declare_probes("line", [f"eval.{op}" for op in sorted(_ALL_OPS)])

@@ -1,0 +1,124 @@
+"""Models: assignments of values to free variables.
+
+SMT-LIB leaves real division, integer division, and modulo
+*uninterpreted* at a zero divisor: a model is free to choose any value,
+as long as the choice is functionally consistent. The paper's Figure 13c
+bug hinges on exactly this point, so models here carry an explicit
+division-by-zero interpretation: a table from (operation, numerator
+value) to the chosen result, with a configurable default.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.semantics.values import check_value, default_value, value_sort
+from repro.smtlib.sorts import INT, REAL
+
+
+class Model:
+    """A mapping from variable names to values, plus division-at-zero choices.
+
+    Use item access for assignments::
+
+        m = Model({"x": 3, "y": Fraction(1, 2)})
+        m["x"]          # -> 3
+    """
+
+    def __init__(self, assignment=None, div0=None):
+        self._assignment = dict(assignment or {})
+        # (op, numerator_value) -> chosen result, op in {"/", "div", "mod"}
+        self._div0 = dict(div0 or {})
+
+    # -- assignment access ------------------------------------------------
+
+    def __getitem__(self, name):
+        return self._assignment[name]
+
+    def __setitem__(self, name, value):
+        self._assignment[name] = value
+
+    def __contains__(self, name):
+        return name in self._assignment
+
+    def get(self, name, default=None):
+        return self._assignment.get(name, default)
+
+    def names(self):
+        return list(self._assignment)
+
+    def items(self):
+        return self._assignment.items()
+
+    def copy(self):
+        return Model(self._assignment, self._div0)
+
+    def complete(self, variables):
+        """Copy of this model with defaults for any missing variables."""
+        out = self.copy()
+        for var in variables:
+            if var.name not in out:
+                out[var.name] = default_value(var.sort)
+        return out
+
+    # -- division at zero ---------------------------------------------------
+
+    def div_at_zero(self, op, numerator):
+        """The model's value for ``op(numerator, 0)``.
+
+        Consistent across occurrences: the first lookup fixes the value.
+        The default interpretation returns 0 (of the proper sort), a
+        choice real solvers commonly make.
+        """
+        key = (op, numerator)
+        if key not in self._div0:
+            self._div0[key] = Fraction(0) if op == "/" else 0
+        return self._div0[key]
+
+    def set_div_at_zero(self, op, numerator, value):
+        """Pin the interpretation of ``op(numerator, 0)``."""
+        if op == "/":
+            value = check_value(value, REAL)
+        else:
+            value = check_value(value, INT)
+        self._div0[(op, numerator)] = value
+
+    # -- niceties -----------------------------------------------------------
+
+    def merged_with(self, other):
+        """Union of two models over disjoint variable sets.
+
+        Used by the SAT-fusion soundness proof: ``M = M1 ∪ M2 ∪ {z ...}``.
+        Raises ``ValueError`` on conflicting assignments.
+        """
+        out = self.copy()
+        for name, value in other.items():
+            if name in out and out[name] != value:
+                raise ValueError(f"conflicting assignment for {name!r}")
+            out[name] = value
+        for key, value in other._div0.items():
+            if key in out._div0 and out._div0[key] != value:
+                raise ValueError(f"conflicting div-at-zero choice for {key!r}")
+            out._div0[key] = value
+        return out
+
+    def __repr__(self):
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self._assignment.items()))
+        return f"Model({inner})"
+
+    def __eq__(self, other):
+        if not isinstance(other, Model):
+            return NotImplemented
+        return self._assignment == other._assignment and self._div0 == other._div0
+
+    def to_smtlib(self):
+        """Render the model as SMT-LIB ``define-fun`` lines (like get-model)."""
+        from repro.smtlib.ast import Const
+        from repro.smtlib.printer import print_term
+
+        lines = []
+        for name, value in sorted(self._assignment.items()):
+            sort = value_sort(value)
+            body = print_term(Const(value, sort))
+            lines.append(f"(define-fun {name} () {sort} {body})")
+        return "\n".join(lines)

@@ -1,0 +1,402 @@
+"""Regular-expression engine based on Brzozowski derivatives.
+
+Supports the SMT-LIB regular-expression operators used by the paper's
+string logics: ``str.to.re``, ``re.none``, ``re.all``, ``re.allchar``,
+``re.++``, ``re.union``, ``re.inter``, ``re.*``, ``re.+``, ``re.opt``,
+``re.range`` and ``re.comp``.
+
+Smart constructors keep regexes in a canonical-enough form that the set
+of derivatives stays finite, so language emptiness and bounded member
+enumeration terminate. The alphabet is printable ASCII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+ALPHABET = tuple(chr(c) for c in range(32, 127))
+
+
+class Regex:
+    """Base class for canonical regex nodes (immutable, hashable)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class RNone(Regex):
+    """The empty language."""
+
+
+@dataclass(frozen=True)
+class REpsilon(Regex):
+    """The language containing only the empty string."""
+
+
+@dataclass(frozen=True)
+class RChar(Regex):
+    """A single-character class given by an inclusive range."""
+
+    lo: str
+    hi: str
+
+    def admits(self, ch):
+        return self.lo <= ch <= self.hi
+
+
+@dataclass(frozen=True)
+class RConcat(Regex):
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class RUnion(Regex):
+    parts: tuple  # sorted, deduplicated
+
+
+@dataclass(frozen=True)
+class RInter(Regex):
+    parts: tuple  # sorted, deduplicated
+
+
+@dataclass(frozen=True)
+class RStar(Regex):
+    inner: Regex
+
+
+@dataclass(frozen=True)
+class RComp(Regex):
+    inner: Regex
+
+
+NONE = RNone()
+EPSILON = REpsilon()
+ALLCHAR = RChar(ALPHABET[0], ALPHABET[-1])
+ALL = RStar(ALLCHAR)
+
+
+def _key(r):
+    return repr(r)
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors
+# ---------------------------------------------------------------------------
+
+
+def literal(text):
+    """The singleton language ``{text}``."""
+    if not text:
+        return EPSILON
+    return concat(*[RChar(ch, ch) for ch in text])
+
+
+def char_range(lo, hi):
+    """``re.range``: all single characters in ``[lo, hi]``.
+
+    Per SMT-LIB, if either bound is not a single character or the range
+    is empty, the language is empty.
+    """
+    if len(lo) != 1 or len(hi) != 1 or lo > hi:
+        return NONE
+    return RChar(lo, hi)
+
+
+def concat(*parts):
+    flat = []
+    for part in parts:
+        if isinstance(part, RConcat):
+            flat.extend(part.parts)
+        elif isinstance(part, RNone):
+            return NONE
+        elif isinstance(part, REpsilon):
+            continue
+        else:
+            flat.append(part)
+    if not flat:
+        return EPSILON
+    if len(flat) == 1:
+        return flat[0]
+    return RConcat(tuple(flat))
+
+
+def union(*parts):
+    flat = {}
+    for part in parts:
+        if isinstance(part, RUnion):
+            for p in part.parts:
+                flat[_key(p)] = p
+        elif isinstance(part, RNone):
+            continue
+        elif part == ALL or (isinstance(part, RComp) and isinstance(part.inner, RNone)):
+            return ALL
+        else:
+            flat[_key(part)] = part
+    if not flat:
+        return NONE
+    items = tuple(flat[k] for k in sorted(flat))
+    if len(items) == 1:
+        return items[0]
+    return RUnion(items)
+
+
+def inter(*parts):
+    flat = {}
+    for part in parts:
+        if isinstance(part, RInter):
+            for p in part.parts:
+                flat[_key(p)] = p
+        elif isinstance(part, RNone):
+            return NONE
+        elif part == ALL:
+            continue
+        else:
+            flat[_key(part)] = part
+    if not flat:
+        return ALL
+    items = tuple(flat[k] for k in sorted(flat))
+    if len(items) == 1:
+        return items[0]
+    return RInter(items)
+
+
+def star(inner):
+    if isinstance(inner, (RNone, REpsilon)):
+        return EPSILON
+    if isinstance(inner, RStar):
+        return inner
+    return RStar(inner)
+
+
+def plus(inner):
+    return concat(inner, star(inner))
+
+
+def opt(inner):
+    return union(EPSILON, inner)
+
+
+def complement(inner):
+    if isinstance(inner, RComp):
+        return inner.inner
+    if isinstance(inner, RNone):
+        return ALL
+    return RComp(inner)
+
+
+# ---------------------------------------------------------------------------
+# Derivatives
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=65536)
+def nullable(r):
+    """True iff the language of ``r`` contains the empty string."""
+    if isinstance(r, REpsilon):
+        return True
+    if isinstance(r, (RNone, RChar)):
+        return False
+    if isinstance(r, RStar):
+        return True
+    if isinstance(r, RConcat):
+        return all(nullable(p) for p in r.parts)
+    if isinstance(r, RUnion):
+        return any(nullable(p) for p in r.parts)
+    if isinstance(r, RInter):
+        return all(nullable(p) for p in r.parts)
+    if isinstance(r, RComp):
+        return not nullable(r.inner)
+    raise TypeError(f"not a regex: {r!r}")
+
+
+@lru_cache(maxsize=65536)
+def derivative(r, ch):
+    """The Brzozowski derivative of ``r`` with respect to character ``ch``."""
+    if isinstance(r, (RNone, REpsilon)):
+        return NONE
+    if isinstance(r, RChar):
+        return EPSILON if r.admits(ch) else NONE
+    if isinstance(r, RConcat):
+        head, tail = r.parts[0], concat(*r.parts[1:])
+        first = concat(derivative(head, ch), tail)
+        if nullable(head):
+            return union(first, derivative(tail, ch))
+        return first
+    if isinstance(r, RUnion):
+        return union(*(derivative(p, ch) for p in r.parts))
+    if isinstance(r, RInter):
+        return inter(*(derivative(p, ch) for p in r.parts))
+    if isinstance(r, RStar):
+        return concat(derivative(r.inner, ch), r)
+    if isinstance(r, RComp):
+        return complement(derivative(r.inner, ch))
+    raise TypeError(f"not a regex: {r!r}")
+
+
+def matches(r, text):
+    """True iff ``text`` belongs to the language of ``r``."""
+    for ch in text:
+        r = derivative(r, ch)
+        if isinstance(r, RNone):
+            return False
+    return nullable(r)
+
+
+# ---------------------------------------------------------------------------
+# Language analysis
+# ---------------------------------------------------------------------------
+
+
+def _relevant_chars(r):
+    """Representative characters that can distinguish derivative behaviour.
+
+    Collects the boundaries of every character class plus one character
+    from each gap between classes, which partitions the alphabet into
+    equivalence classes with identical derivatives.
+    """
+    boundaries = set()
+    stack = [r]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, RChar):
+            boundaries.add(node.lo)
+            boundaries.add(node.hi)
+            # A character just outside the class, if any, to represent
+            # the "rejected" partition.
+            if node.lo > ALPHABET[0]:
+                boundaries.add(chr(ord(node.lo) - 1))
+            if node.hi < ALPHABET[-1]:
+                boundaries.add(chr(ord(node.hi) + 1))
+        elif isinstance(node, (RConcat, RUnion, RInter)):
+            stack.extend(node.parts)
+        elif isinstance(node, (RStar, RComp)):
+            stack.append(node.inner)
+    boundaries.add(ALPHABET[0])
+    return sorted(boundaries)
+
+
+def is_empty(r, max_states=4000):
+    """True iff the language of ``r`` is empty.
+
+    Explores the derivative graph; exact for the regexes the canonical
+    constructors produce. Raises ``RuntimeError`` if the state bound is
+    exceeded (defensive; not expected in practice).
+    """
+    chars = _relevant_chars(r)
+    seen = set()
+    stack = [r]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, RNone):
+            continue
+        key = _key(node)
+        if key in seen:
+            continue
+        seen.add(key)
+        if len(seen) > max_states:
+            raise RuntimeError("regex derivative state bound exceeded")
+        if nullable(node):
+            return False
+        for ch in chars:
+            stack.append(derivative(node, ch))
+    return True
+
+
+def shortest_member(r, max_length=64):
+    """A shortest string in the language of ``r``, or ``None`` if empty.
+
+    Breadth-first search over derivative states up to ``max_length``.
+    """
+    from collections import deque
+
+    chars = _relevant_chars(r)
+    if nullable(r):
+        return ""
+    queue = deque([(r, "")])
+    seen = {_key(r)}
+    while queue:
+        node, prefix = queue.popleft()
+        if len(prefix) >= max_length:
+            continue
+        for ch in chars:
+            nxt = derivative(node, ch)
+            if isinstance(nxt, RNone):
+                continue
+            if nullable(nxt):
+                return prefix + ch
+            key = _key(nxt)
+            if key not in seen:
+                seen.add(key)
+                queue.append((nxt, prefix + ch))
+    return None
+
+
+def enumerate_members(r, limit=10, max_length=16):
+    """Enumerate up to ``limit`` members of the language, shortest first."""
+    from collections import deque
+
+    chars = _relevant_chars(r)
+    out = []
+    queue = deque([(r, "")])
+    visited_words = 0
+    while queue and len(out) < limit:
+        node, prefix = queue.popleft()
+        if nullable(node):
+            out.append(prefix)
+            if len(out) >= limit:
+                break
+        if len(prefix) >= max_length:
+            continue
+        for ch in chars:
+            nxt = derivative(node, ch)
+            if isinstance(nxt, RNone):
+                continue
+            visited_words += 1
+            if visited_words > 100000:
+                return out
+            queue.append((nxt, prefix + ch))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Conversion from SMT-LIB terms
+# ---------------------------------------------------------------------------
+
+
+def regex_from_term(term, eval_string):
+    """Build a :class:`Regex` from a RegLan-sorted term.
+
+    ``eval_string`` maps String-sorted argument terms (e.g. the argument
+    of ``str.to.re``) to their string values; pass an evaluator closure.
+    """
+    from repro.smtlib.ast import App
+
+    if not isinstance(term, App):
+        raise TypeError(f"not a regex term: {term!r}")
+    op = term.op
+    if op == "str.to.re":
+        return literal(eval_string(term.args[0]))
+    if op == "re.none":
+        return NONE
+    if op == "re.all":
+        return ALL
+    if op == "re.allchar":
+        return ALLCHAR
+    if op == "re.++":
+        return concat(*(regex_from_term(a, eval_string) for a in term.args))
+    if op == "re.union":
+        return union(*(regex_from_term(a, eval_string) for a in term.args))
+    if op == "re.inter":
+        return inter(*(regex_from_term(a, eval_string) for a in term.args))
+    if op == "re.*":
+        return star(regex_from_term(term.args[0], eval_string))
+    if op == "re.+":
+        return plus(regex_from_term(term.args[0], eval_string))
+    if op == "re.opt":
+        return opt(regex_from_term(term.args[0], eval_string))
+    if op == "re.comp":
+        return complement(regex_from_term(term.args[0], eval_string))
+    if op == "re.range":
+        return char_range(eval_string(term.args[0]), eval_string(term.args[1]))
+    raise TypeError(f"unknown regex operator: {op!r}")

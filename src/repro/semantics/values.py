@@ -1,0 +1,83 @@
+"""Value domain of the supported sorts.
+
+Values are plain Python objects: ``bool`` for Bool, ``int`` for Int,
+:class:`fractions.Fraction` for Real (exact rational arithmetic — the
+solver never touches floats), and ``str`` for String.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.smtlib.ast import Const
+from repro.smtlib.sorts import BOOL, INT, REAL, STRING
+
+
+def default_value(sort):
+    """The canonical default value of a sort (used to complete models)."""
+    if sort == BOOL:
+        return False
+    if sort == INT:
+        return 0
+    if sort == REAL:
+        return Fraction(0)
+    if sort == STRING:
+        return ""
+    raise ValueError(f"no default value for sort {sort}")
+
+
+def value_sort(value):
+    """The sort a Python value belongs to."""
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, int):
+        return INT
+    if isinstance(value, Fraction):
+        return REAL
+    if isinstance(value, str):
+        return STRING
+    raise TypeError(f"not an SMT value: {value!r}")
+
+
+def check_value(value, sort):
+    """Coerce ``value`` into ``sort``'s domain, raising on mismatch."""
+    if sort == BOOL:
+        if isinstance(value, bool):
+            return value
+    elif sort == INT:
+        if isinstance(value, bool):
+            raise TypeError("bool is not an Int value")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, Fraction) and value.denominator == 1:
+            return int(value)
+    elif sort == REAL:
+        if isinstance(value, bool):
+            raise TypeError("bool is not a Real value")
+        if isinstance(value, (int, Fraction)):
+            return Fraction(value)
+    elif sort == STRING:
+        if isinstance(value, str):
+            return value
+    raise TypeError(f"value {value!r} does not belong to sort {sort}")
+
+
+def value_to_const(value):
+    """Wrap a Python value in a :class:`~repro.smtlib.ast.Const` term."""
+    return Const(value, value_sort(value))
+
+
+def euclidean_div(a, b):
+    """SMT-LIB integer division: ``a = b*q + r`` with ``0 <= r < |b|``."""
+    if b == 0:
+        raise ZeroDivisionError("div by zero")
+    # Floor quotient for positive divisors, ceiling for negative ones,
+    # keeps the remainder in [0, |b|).
+    return a // b if b > 0 else -(a // -b)
+
+
+def euclidean_mod(a, b):
+    """SMT-LIB integer modulo: the ``r`` in ``a = b*q + r``, ``0 <= r < |b|``."""
+    if b == 0:
+        raise ZeroDivisionError("mod by zero")
+    return a - b * euclidean_div(a, b)

@@ -1,0 +1,52 @@
+"""SMT-LIB v2 frontend: sorts, terms, lexer, parser, type checker, printers."""
+
+from repro.smtlib.sorts import BOOL, INT, REAL, STRING, REGLAN, Sort
+from repro.smtlib.ast import (
+    App,
+    Assert,
+    CheckSat,
+    Command,
+    Const,
+    DeclareFun,
+    DefineFun,
+    Exit,
+    GetModel,
+    Quantifier,
+    Script,
+    SetInfo,
+    SetLogic,
+    SetOption,
+    Term,
+    Var,
+)
+from repro.smtlib.parser import parse_script, parse_term
+from repro.smtlib.printer import print_script, print_term
+
+__all__ = [
+    "BOOL",
+    "INT",
+    "REAL",
+    "STRING",
+    "REGLAN",
+    "Sort",
+    "Term",
+    "Const",
+    "Var",
+    "App",
+    "Quantifier",
+    "Command",
+    "Script",
+    "Assert",
+    "CheckSat",
+    "DeclareFun",
+    "DefineFun",
+    "Exit",
+    "GetModel",
+    "SetInfo",
+    "SetLogic",
+    "SetOption",
+    "parse_script",
+    "parse_term",
+    "print_script",
+    "print_term",
+]

@@ -1,0 +1,376 @@
+"""Abstract syntax for SMT-LIB terms, commands, and scripts.
+
+Terms are immutable and structurally hashable. Every term node carries
+its sort; the smart constructors in :mod:`repro.smtlib.typecheck` infer
+sorts, so client code rarely constructs nodes directly.
+
+The command set mirrors what the paper's lightweight parser supports:
+``declare-fun`` / ``declare-const`` (zero-arity variables), ``define-fun``
+(expanded as a macro at parse time), ``assert``, ``check-sat``, plus the
+administrative commands needed to round-trip real benchmark scripts
+(``set-logic``, ``set-info``, ``set-option``, ``get-model``, ``exit``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.smtlib.sorts import BOOL, Sort
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+class Term:
+    """Base class for SMT-LIB terms. Instances are immutable."""
+
+    __slots__ = ()
+
+    sort: Sort
+
+    def walk(self):
+        """Yield this term and all subterms, preorder."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, App):
+                stack.extend(reversed(node.args))
+            elif isinstance(node, Quantifier):
+                stack.append(node.body)
+
+    def __str__(self):
+        from repro.smtlib.printer import print_term
+
+        return print_term(self)
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    """A literal constant.
+
+    ``value`` is a Python ``bool`` (Bool), ``int`` (Int),
+    :class:`fractions.Fraction` (Real), or ``str`` (String).
+    """
+
+    value: object
+    sort: Sort
+
+    def __post_init__(self):
+        if self.sort.name == "Real" and isinstance(self.value, int):
+            object.__setattr__(self, "value", Fraction(self.value))
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A variable occurrence (free, or bound by an enclosing quantifier)."""
+
+    name: str
+    sort: Sort
+
+
+@dataclass(frozen=True)
+class App(Term):
+    """Application of an interpreted operator, e.g. ``(+ x 1)``."""
+
+    op: str
+    args: tuple
+    sort: Sort
+
+    def __post_init__(self):
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+
+
+@dataclass(frozen=True)
+class Quantifier(Term):
+    """A ``forall`` or ``exists`` binder over one or more sorted variables."""
+
+    kind: str  # "forall" | "exists"
+    bindings: tuple  # tuple[(name, Sort), ...]
+    body: Term
+
+    def __post_init__(self):
+        if not isinstance(self.bindings, tuple):
+            object.__setattr__(self, "bindings", tuple(self.bindings))
+        if self.kind not in ("forall", "exists"):
+            raise ValueError(f"bad quantifier kind: {self.kind!r}")
+
+    @property
+    def sort(self):
+        return BOOL
+
+    @property
+    def bound_names(self):
+        return frozenset(name for name, _ in self.bindings)
+
+
+TRUE = Const(True, BOOL)
+FALSE = Const(False, BOOL)
+
+
+# ---------------------------------------------------------------------------
+# Term utilities
+# ---------------------------------------------------------------------------
+
+
+def free_vars(term):
+    """Return the set of free :class:`Var` nodes of ``term``.
+
+    Two occurrences of the same variable compare equal, so the result has
+    one entry per distinct free variable.
+    """
+    result = set()
+    _free_vars_into(term, frozenset(), result)
+    return result
+
+
+def _free_vars_into(term, bound, result):
+    if isinstance(term, Var):
+        if term.name not in bound:
+            result.add(term)
+    elif isinstance(term, App):
+        for arg in term.args:
+            _free_vars_into(arg, bound, result)
+    elif isinstance(term, Quantifier):
+        _free_vars_into(term.body, bound | term.bound_names, result)
+
+
+def count_occurrences(term, var):
+    """Count free occurrences of variable ``var`` in ``term``."""
+    if isinstance(term, Var):
+        return 1 if term == var else 0
+    if isinstance(term, App):
+        return sum(count_occurrences(arg, var) for arg in term.args)
+    if isinstance(term, Quantifier):
+        if var.name in term.bound_names:
+            return 0
+        return count_occurrences(term.body, var)
+    return 0
+
+
+_FRESH_COUNTER = itertools.count()
+
+
+def fresh_name(prefix="fv"):
+    """Return a globally fresh symbol name with the given prefix."""
+    return f"{prefix}!{next(_FRESH_COUNTER)}"
+
+
+def substitute(term, mapping):
+    """Capture-avoiding simultaneous substitution of free variables.
+
+    ``mapping`` maps :class:`Var` nodes to replacement terms. Bound
+    variables that would capture a free variable of a replacement term
+    are alpha-renamed.
+    """
+    if not mapping:
+        return term
+    return _substitute(term, dict(mapping))
+
+
+def _substitute(term, mapping):
+    if isinstance(term, Var):
+        return mapping.get(term, term)
+    if isinstance(term, Const):
+        return term
+    if isinstance(term, App):
+        new_args = tuple(_substitute(arg, mapping) for arg in term.args)
+        if new_args == term.args:
+            return term
+        return App(term.op, new_args, term.sort)
+    if isinstance(term, Quantifier):
+        live = {v: e for v, e in mapping.items() if v.name not in term.bound_names}
+        if not live:
+            return term
+        replacement_frees = set()
+        for repl in live.values():
+            replacement_frees |= {v.name for v in free_vars(repl)}
+        bindings = []
+        renames = {}
+        for name, sort in term.bindings:
+            if name in replacement_frees:
+                new = fresh_name(name)
+                renames[Var(name, sort)] = Var(new, sort)
+                bindings.append((new, sort))
+            else:
+                bindings.append((name, sort))
+        body = term.body
+        if renames:
+            body = _substitute(body, renames)
+        return Quantifier(term.kind, tuple(bindings), _substitute(body, live))
+    raise TypeError(f"not a term: {term!r}")
+
+
+def term_size(term):
+    """Number of AST nodes in ``term``."""
+    return sum(1 for _ in term.walk())
+
+
+def term_depth(term):
+    """Height of the term's AST (a leaf has depth 1)."""
+    if isinstance(term, App):
+        return 1 + max((term_depth(a) for a in term.args), default=0)
+    if isinstance(term, Quantifier):
+        return 1 + term_depth(term.body)
+    return 1
+
+
+def collect_ops(term):
+    """Return the multiset-free set of operator names appearing in ``term``."""
+    return {node.op for node in term.walk() if isinstance(node, App)}
+
+
+# ---------------------------------------------------------------------------
+# Commands and scripts
+# ---------------------------------------------------------------------------
+
+
+class Command:
+    """Base class for SMT-LIB script commands."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SetLogic(Command):
+    logic: str
+
+
+@dataclass(frozen=True)
+class SetInfo(Command):
+    keyword: str
+    value: str
+
+
+@dataclass(frozen=True)
+class SetOption(Command):
+    keyword: str
+    value: str
+
+
+@dataclass(frozen=True)
+class DeclareFun(Command):
+    """``declare-fun``/``declare-const``; only zero-arity (variables) here."""
+
+    name: str
+    arg_sorts: tuple
+    return_sort: Sort
+    const_syntax: bool = False  # printed as declare-const when True
+
+    def __post_init__(self):
+        if not isinstance(self.arg_sorts, tuple):
+            object.__setattr__(self, "arg_sorts", tuple(self.arg_sorts))
+
+
+@dataclass(frozen=True)
+class DefineFun(Command):
+    """A macro definition; applications are expanded at parse time."""
+
+    name: str
+    params: tuple  # tuple[(name, Sort), ...]
+    return_sort: Sort
+    body: Term
+
+    def __post_init__(self):
+        if not isinstance(self.params, tuple):
+            object.__setattr__(self, "params", tuple(self.params))
+
+
+@dataclass(frozen=True)
+class Assert(Command):
+    term: Term
+
+
+@dataclass(frozen=True)
+class CheckSat(Command):
+    pass
+
+
+@dataclass(frozen=True)
+class GetModel(Command):
+    pass
+
+
+@dataclass(frozen=True)
+class Exit(Command):
+    pass
+
+
+@dataclass
+class Script:
+    """An SMT-LIB script: an ordered list of commands.
+
+    Provides the views YinYang needs: declared variables, assertion
+    terms, and the conjunction of all assertions.
+    """
+
+    commands: list = field(default_factory=list)
+
+    @property
+    def logic(self):
+        """The declared logic name, or ``None`` if no ``set-logic``."""
+        for cmd in self.commands:
+            if isinstance(cmd, SetLogic):
+                return cmd.logic
+        return None
+
+    @property
+    def declarations(self):
+        """Mapping from declared variable name to :class:`Var` (arity 0 only)."""
+        result = {}
+        for cmd in self.commands:
+            if isinstance(cmd, DeclareFun) and not cmd.arg_sorts:
+                result[cmd.name] = Var(cmd.name, cmd.return_sort)
+        return result
+
+    @property
+    def asserts(self):
+        """The asserted terms, in script order."""
+        return [cmd.term for cmd in self.commands if isinstance(cmd, Assert)]
+
+    def conjunction(self):
+        """The conjunction of all assertions (``true`` if none)."""
+        terms = self.asserts
+        if not terms:
+            return TRUE
+        if len(terms) == 1:
+            return terms[0]
+        return App("and", tuple(terms), BOOL)
+
+    def free_variables(self):
+        """Free variables of all assertions, in deterministic order."""
+        seen = {}
+        for term in self.asserts:
+            for var in sorted(free_vars(term), key=lambda v: v.name):
+                seen.setdefault(var.name, var)
+        return list(seen.values())
+
+    def with_asserts(self, new_asserts):
+        """Copy of this script with the assert commands replaced."""
+        commands = []
+        inserted = False
+        for cmd in self.commands:
+            if isinstance(cmd, Assert):
+                if not inserted:
+                    commands.extend(Assert(t) for t in new_asserts)
+                    inserted = True
+            else:
+                commands.append(cmd)
+        if not inserted:
+            insert_at = len(commands)
+            for i, cmd in enumerate(commands):
+                if isinstance(cmd, (CheckSat, GetModel, Exit)):
+                    insert_at = i
+                    break
+            commands[insert_at:insert_at] = [Assert(t) for t in new_asserts]
+        return Script(commands)
+
+    def __str__(self):
+        from repro.smtlib.printer import print_script
+
+        return print_script(self)

@@ -1,0 +1,279 @@
+"""Convenience constructors for building SMT-LIB terms from Python.
+
+These helpers wrap the sort-checked smart constructor
+:func:`repro.smtlib.typecheck.app` and accept plain Python values
+(``int``, ``bool``, :class:`~fractions.Fraction`, ``str``) where a
+constant is expected, which keeps generator and test code readable::
+
+    from repro.smtlib import builder as b
+
+    x = b.int_var("x")
+    phi = b.and_(b.gt(x, 0), b.lt(x, 10))
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.smtlib.ast import Const, Quantifier, Term, Var
+from repro.smtlib.sorts import BOOL, INT, REAL, STRING
+from repro.smtlib.typecheck import app
+
+
+def int_var(name):
+    return Var(name, INT)
+
+
+def real_var(name):
+    return Var(name, REAL)
+
+
+def bool_var(name):
+    return Var(name, BOOL)
+
+
+def string_var(name):
+    return Var(name, STRING)
+
+
+def lift(value, sort_hint=None):
+    """Lift a Python value to a constant term; terms pass through."""
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, bool):
+        return Const(value, BOOL)
+    if isinstance(value, int):
+        if sort_hint == REAL:
+            return Const(Fraction(value), REAL)
+        return Const(value, INT)
+    if isinstance(value, Fraction):
+        return Const(value, REAL)
+    if isinstance(value, float):
+        return Const(Fraction(value).limit_denominator(10**9), REAL)
+    if isinstance(value, str):
+        return Const(value, STRING)
+    raise TypeError(f"cannot lift {value!r} to a term")
+
+
+def _lifted(op, *args):
+    return app(op, *(lift(a) for a in args))
+
+
+# Core ----------------------------------------------------------------------
+
+
+def not_(a):
+    return _lifted("not", a)
+
+
+def and_(*args):
+    return _lifted("and", *args)
+
+
+def or_(*args):
+    return _lifted("or", *args)
+
+
+def xor(*args):
+    return _lifted("xor", *args)
+
+
+def implies(a, b):
+    return _lifted("=>", a, b)
+
+
+def eq(*args):
+    return _lifted("=", *args)
+
+
+def distinct(*args):
+    return _lifted("distinct", *args)
+
+
+def ite(c, a, b):
+    return _lifted("ite", c, a, b)
+
+
+# Arithmetic ------------------------------------------------------------------
+
+
+def add(*args):
+    return _lifted("+", *args)
+
+
+def sub(*args):
+    return _lifted("-", *args)
+
+
+def neg(a):
+    return _lifted("-", a)
+
+
+def mul(*args):
+    return _lifted("*", *args)
+
+
+def div(a, b):
+    """Real division ``(/ a b)``."""
+    return _lifted("/", a, b)
+
+
+def idiv(a, b):
+    """Integer division ``(div a b)``."""
+    return _lifted("div", a, b)
+
+
+def mod(a, b):
+    return _lifted("mod", a, b)
+
+
+def abs_(a):
+    return _lifted("abs", a)
+
+
+def lt(a, b):
+    return _lifted("<", a, b)
+
+
+def le(a, b):
+    return _lifted("<=", a, b)
+
+
+def gt(a, b):
+    return _lifted(">", a, b)
+
+
+def ge(a, b):
+    return _lifted(">=", a, b)
+
+
+def to_real(a):
+    return _lifted("to_real", a)
+
+
+def to_int(a):
+    return _lifted("to_int", a)
+
+
+# Strings -----------------------------------------------------------------
+
+
+def concat(*args):
+    return _lifted("str.++", *args)
+
+
+def length(a):
+    return _lifted("str.len", a)
+
+
+def at(a, i):
+    return _lifted("str.at", a, i)
+
+
+def substr(a, offset, count):
+    return _lifted("str.substr", a, offset, count)
+
+
+def indexof(a, b, i):
+    return _lifted("str.indexof", a, b, i)
+
+
+def replace(a, b, c):
+    return _lifted("str.replace", a, b, c)
+
+
+def prefixof(a, b):
+    return _lifted("str.prefixof", a, b)
+
+
+def suffixof(a, b):
+    return _lifted("str.suffixof", a, b)
+
+
+def contains(a, b):
+    return _lifted("str.contains", a, b)
+
+
+def str_to_int(a):
+    return _lifted("str.to.int", a)
+
+
+def str_from_int(a):
+    return _lifted("str.from.int", a)
+
+
+def in_re(s, r):
+    return _lifted("str.in.re", s, r)
+
+
+def to_re(s):
+    return _lifted("str.to.re", s)
+
+
+# Regular expressions -------------------------------------------------------
+
+
+def re_none():
+    return _lifted("re.none")
+
+
+def re_all():
+    return _lifted("re.all")
+
+
+def re_allchar():
+    return _lifted("re.allchar")
+
+
+def re_concat(*args):
+    return _lifted("re.++", *args)
+
+
+def re_union(*args):
+    return _lifted("re.union", *args)
+
+
+def re_inter(*args):
+    return _lifted("re.inter", *args)
+
+
+def re_star(a):
+    return _lifted("re.*", a)
+
+
+def re_plus(a):
+    return _lifted("re.+", a)
+
+
+def re_opt(a):
+    return _lifted("re.opt", a)
+
+
+def re_comp(a):
+    return _lifted("re.comp", a)
+
+
+def re_range(lo, hi):
+    return _lifted("re.range", lo, hi)
+
+
+# Quantifiers ---------------------------------------------------------------
+
+
+def forall(bindings, body):
+    """``bindings`` is a list of (name, Sort) or Var."""
+    return Quantifier("forall", _normalize_bindings(bindings), lift(body))
+
+
+def exists(bindings, body):
+    return Quantifier("exists", _normalize_bindings(bindings), lift(body))
+
+
+def _normalize_bindings(bindings):
+    out = []
+    for binding in bindings:
+        if isinstance(binding, Var):
+            out.append((binding.name, binding.sort))
+        else:
+            out.append(tuple(binding))
+    return tuple(out)

@@ -1,0 +1,122 @@
+"""Tokenizer for the SMT-LIB v2 concrete syntax.
+
+Produces a flat stream of tokens; comments (``;`` to end of line) are
+skipped. String literals use the SMT-LIB 2.6 convention where ``""``
+inside a literal denotes one double quote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+LPAREN = "lparen"
+RPAREN = "rparen"
+SYMBOL = "symbol"
+NUMERAL = "numeral"
+DECIMAL = "decimal"
+STRING = "string"
+KEYWORD = "keyword"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+_SYMBOL_EXTRA = set("~!@$%^&*_-+=<>.?/")
+
+
+def _is_symbol_char(ch):
+    return ch.isalnum() or ch in _SYMBOL_EXTRA
+
+
+def tokenize(text):
+    """Tokenize SMT-LIB source text into a list of :class:`Token`."""
+    tokens = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        col = i - line_start + 1
+        if ch == "\n":
+            line += 1
+            line_start = i + 1
+            i += 1
+        elif ch.isspace():
+            i += 1
+        elif ch == ";":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch == "(":
+            tokens.append(Token(LPAREN, "(", line, col))
+            i += 1
+        elif ch == ")":
+            tokens.append(Token(RPAREN, ")", line, col))
+            i += 1
+        elif ch == '"':
+            i, literal = _scan_string(text, i, line, col)
+            tokens.append(Token(STRING, literal, line, col))
+        elif ch == "|":
+            end = text.find("|", i + 1)
+            if end < 0:
+                raise ParseError("unterminated quoted symbol", line, col)
+            tokens.append(Token(SYMBOL, text[i + 1 : end], line, col))
+            i = end + 1
+        elif ch == ":":
+            j = i + 1
+            while j < n and _is_symbol_char(text[j]):
+                j += 1
+            tokens.append(Token(KEYWORD, text[i:j], line, col))
+            i = j
+        elif ch.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            if j < n and text[j] == ".":
+                j += 1
+                while j < n and text[j].isdigit():
+                    j += 1
+                tokens.append(Token(DECIMAL, text[i:j], line, col))
+            else:
+                tokens.append(Token(NUMERAL, text[i:j], line, col))
+            i = j
+        elif _is_symbol_char(ch):
+            j = i
+            while j < n and _is_symbol_char(text[j]):
+                j += 1
+            tokens.append(Token(SYMBOL, text[i:j], line, col))
+            i = j
+        else:
+            raise ParseError(f"unexpected character {ch!r}", line, col)
+    return tokens
+
+
+def _scan_string(text, i, line, col):
+    """Scan a string literal starting at ``text[i] == '"'``.
+
+    Returns ``(next_index, decoded_value)``.
+    """
+    n = len(text)
+    j = i + 1
+    out = []
+    while j < n:
+        ch = text[j]
+        if ch == '"':
+            if j + 1 < n and text[j + 1] == '"':
+                out.append('"')
+                j += 2
+            else:
+                return j + 1, "".join(out)
+        else:
+            # SMT-LIB 2.6: backslash is an ordinary character inside
+            # string literals; only "" escapes a quote.
+            out.append(ch)
+            j += 1
+    raise ParseError("unterminated string literal", line, col)

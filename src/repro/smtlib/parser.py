@@ -1,0 +1,328 @@
+"""Parser for SMT-LIB v2 scripts and terms.
+
+This is the reproduction of the paper's "lightweight SMT-LIB v2 parser
+... for getting free variables and assertions" (Section 3.4), grown into
+a full structured parser: it builds typed ASTs, expands ``let`` binders
+and ``define-fun`` macros eagerly, and validates sorts as it goes, so
+everything downstream (fusion, solving, reduction) operates on
+well-sorted terms.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import ParseError
+from repro.smtlib import lexer
+from repro.smtlib.ast import (
+    Assert,
+    CheckSat,
+    Const,
+    DeclareFun,
+    DefineFun,
+    Exit,
+    GetModel,
+    Quantifier,
+    Script,
+    SetInfo,
+    SetLogic,
+    SetOption,
+    Var,
+    substitute,
+)
+from repro.smtlib.sorts import BOOL, INT, REAL, STRING, sort_by_name
+from repro.smtlib.typecheck import app, is_known_op
+
+
+# ---------------------------------------------------------------------------
+# S-expression layer
+# ---------------------------------------------------------------------------
+
+
+def _read_sexprs(tokens):
+    """Group a token list into nested S-expressions.
+
+    An S-expression is either a :class:`~repro.smtlib.lexer.Token` (atom)
+    or a list of S-expressions.
+    """
+    exprs = []
+    stack = [exprs]
+    for tok in tokens:
+        if tok.kind == lexer.LPAREN:
+            new = []
+            stack[-1].append(new)
+            stack.append(new)
+        elif tok.kind == lexer.RPAREN:
+            stack.pop()
+            if not stack:
+                raise ParseError("unbalanced ')'", tok.line, tok.column)
+        else:
+            stack[-1].append(tok)
+    if len(stack) != 1:
+        raise ParseError("unbalanced '(' at end of input")
+    return exprs
+
+
+def _atom_text(sexpr):
+    if isinstance(sexpr, lexer.Token):
+        return sexpr.text
+    return None
+
+
+def _loc(sexpr):
+    while isinstance(sexpr, list):
+        if not sexpr:
+            return None, None
+        sexpr = sexpr[0]
+    return sexpr.line, sexpr.column
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+_NULLARY_REGEX = {"re.none", "re.all", "re.allchar", "re.nostr"}
+
+
+class _Env:
+    """Symbol environment: declared variables, macros, and bound names."""
+
+    def __init__(self):
+        self.variables = {}
+        self.macros = {}
+
+    def copy_with(self, extra_vars):
+        env = _Env()
+        env.variables = dict(self.variables)
+        env.variables.update(extra_vars)
+        env.macros = self.macros
+        return env
+
+
+def _parse_sort(sexpr):
+    name = _atom_text(sexpr)
+    if name is None:
+        raise ParseError("expected a sort", *_loc(sexpr))
+    try:
+        return sort_by_name(name)
+    except KeyError as exc:
+        raise ParseError(str(exc), sexpr.line, sexpr.column) from exc
+
+
+def _parse_term(sexpr, env):
+    if isinstance(sexpr, lexer.Token):
+        return _parse_atom(sexpr, env)
+    if not sexpr:
+        raise ParseError("empty application")
+    head = sexpr[0]
+    head_text = _atom_text(head)
+    if head_text is None:
+        raise ParseError("application head must be a symbol", *_loc(sexpr))
+    if head_text == "let":
+        return _parse_let(sexpr, env)
+    if head_text in ("forall", "exists"):
+        return _parse_quantifier(sexpr, env)
+    if head_text == "!":
+        # Attributed term: keep the inner term, drop annotations.
+        if len(sexpr) < 2:
+            raise ParseError("malformed annotation", head.line, head.column)
+        return _parse_term(sexpr[1], env)
+    args = [_parse_term(e, env) for e in sexpr[1:]]
+    if head_text in env.macros:
+        return _expand_macro(env.macros[head_text], args, head)
+    if not is_known_op(head_text):
+        raise ParseError(f"unknown operator {head_text!r}", head.line, head.column)
+    try:
+        return app(head_text, *args)
+    except Exception as exc:
+        raise ParseError(str(exc), head.line, head.column) from exc
+
+
+def _parse_atom(tok, env):
+    if tok.kind == lexer.NUMERAL:
+        return Const(int(tok.text), INT)
+    if tok.kind == lexer.DECIMAL:
+        whole, _, frac = tok.text.partition(".")
+        denominator = 10 ** len(frac)
+        return Const(Fraction(int(whole) * denominator + int(frac or 0), denominator), REAL)
+    if tok.kind == lexer.STRING:
+        return Const(tok.text, STRING)
+    if tok.kind == lexer.SYMBOL:
+        text = tok.text
+        if text == "true":
+            return Const(True, BOOL)
+        if text == "false":
+            return Const(False, BOOL)
+        if text in env.variables:
+            return env.variables[text]
+        if text in env.macros:
+            return _expand_macro(env.macros[text], [], tok)
+        if text in _NULLARY_REGEX:
+            return app("re.none" if text == "re.nostr" else text)
+        raise ParseError(f"undeclared symbol {text!r}", tok.line, tok.column)
+    raise ParseError(f"unexpected token {tok.text!r}", tok.line, tok.column)
+
+
+def _parse_let(sexpr, env):
+    head = sexpr[0]
+    if len(sexpr) != 3 or not isinstance(sexpr[1], list):
+        raise ParseError("malformed let", head.line, head.column)
+    bindings = {}
+    for binding in sexpr[1]:
+        if not (isinstance(binding, list) and len(binding) == 2):
+            raise ParseError("malformed let binding", head.line, head.column)
+        name = _atom_text(binding[0])
+        if name is None:
+            raise ParseError("let binding name must be a symbol", head.line, head.column)
+        # Let bindings are simultaneous: right-hand sides see the outer env.
+        bindings[name] = _parse_term(binding[1], env)
+    inner = env.copy_with({name: Var(name, value.sort) for name, value in bindings.items()})
+    body = _parse_term(sexpr[2], inner)
+    # Expand the binder eagerly: substitute values for the bound names.
+    mapping = {Var(name, value.sort): value for name, value in bindings.items()}
+    return substitute(body, mapping)
+
+
+def _parse_quantifier(sexpr, env):
+    head = sexpr[0]
+    if len(sexpr) != 3 or not isinstance(sexpr[1], list):
+        raise ParseError(f"malformed {head.text}", head.line, head.column)
+    bindings = []
+    extra = {}
+    for binding in sexpr[1]:
+        if not (isinstance(binding, list) and len(binding) == 2):
+            raise ParseError("malformed quantifier binding", head.line, head.column)
+        name = _atom_text(binding[0])
+        sort = _parse_sort(binding[1])
+        bindings.append((name, sort))
+        extra[name] = Var(name, sort)
+    body = _parse_term(sexpr[2], env.copy_with(extra))
+    if body.sort != BOOL:
+        raise ParseError("quantifier body must be Bool", head.line, head.column)
+    return Quantifier(head.text, tuple(bindings), body)
+
+
+def _expand_macro(definition, args, head):
+    if len(args) != len(definition.params):
+        raise ParseError(
+            f"macro {definition.name!r} expects {len(definition.params)} arguments",
+            head.line,
+            head.column,
+        )
+    mapping = {}
+    for (name, sort), value in zip(definition.params, args):
+        if value.sort != sort:
+            raise ParseError(
+                f"macro {definition.name!r}: argument sort mismatch", head.line, head.column
+            )
+        mapping[Var(name, sort)] = value
+    return substitute(definition.body, mapping)
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def _attr_value_text(sexpr):
+    if isinstance(sexpr, lexer.Token):
+        return sexpr.text
+    return " ".join(filter(None, (_attr_value_text(e) for e in sexpr)))
+
+
+def _parse_command(sexpr, env):
+    if not isinstance(sexpr, list) or not sexpr:
+        raise ParseError("expected a command", *_loc(sexpr))
+    head = sexpr[0]
+    name = _atom_text(head)
+    if name == "set-logic":
+        return SetLogic(_atom_text(sexpr[1]))
+    if name in ("set-info", "set-option"):
+        keyword = _atom_text(sexpr[1])
+        value = _attr_value_text(sexpr[2]) if len(sexpr) > 2 else ""
+        cls = SetInfo if name == "set-info" else SetOption
+        return cls(keyword, value)
+    if name in ("declare-fun", "declare-const"):
+        sym = _atom_text(sexpr[1])
+        if name == "declare-fun":
+            if len(sexpr) != 4 or not isinstance(sexpr[2], list):
+                raise ParseError("malformed declare-fun", head.line, head.column)
+            arg_sorts = tuple(_parse_sort(s) for s in sexpr[2])
+            ret = _parse_sort(sexpr[3])
+            const_syntax = False
+        else:
+            if len(sexpr) != 3:
+                raise ParseError("malformed declare-const", head.line, head.column)
+            arg_sorts = ()
+            ret = _parse_sort(sexpr[2])
+            const_syntax = True
+        if arg_sorts:
+            raise ParseError(
+                "uninterpreted functions with arguments are not supported",
+                head.line,
+                head.column,
+            )
+        env.variables[sym] = Var(sym, ret)
+        return DeclareFun(sym, arg_sorts, ret, const_syntax)
+    if name == "define-fun":
+        if len(sexpr) != 5 or not isinstance(sexpr[2], list):
+            raise ParseError("malformed define-fun", head.line, head.column)
+        sym = _atom_text(sexpr[1])
+        params = []
+        for binding in sexpr[2]:
+            params.append((_atom_text(binding[0]), _parse_sort(binding[1])))
+        ret = _parse_sort(sexpr[3])
+        body_env = env.copy_with({p: Var(p, s) for p, s in params})
+        body = _parse_term(sexpr[4], body_env)
+        if body.sort != ret:
+            raise ParseError(
+                f"define-fun {sym!r}: body sort {body.sort} != declared {ret}",
+                head.line,
+                head.column,
+            )
+        definition = DefineFun(sym, tuple(params), ret, body)
+        env.macros[sym] = definition
+        return definition
+    if name == "assert":
+        if len(sexpr) != 2:
+            raise ParseError("malformed assert", head.line, head.column)
+        term = _parse_term(sexpr[1], env)
+        if term.sort != BOOL:
+            raise ParseError("asserted term must be Bool", head.line, head.column)
+        return Assert(term)
+    if name == "check-sat":
+        return CheckSat()
+    if name == "get-model":
+        return GetModel()
+    if name == "exit":
+        return Exit()
+    raise ParseError(f"unsupported command {name!r}", head.line, head.column)
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def parse_script(text):
+    """Parse an SMT-LIB script into a :class:`~repro.smtlib.ast.Script`."""
+    tokens = lexer.tokenize(text)
+    sexprs = _read_sexprs(tokens)
+    env = _Env()
+    commands = [_parse_command(e, env) for e in sexprs]
+    return Script(commands)
+
+
+def parse_term(text, variables=()):
+    """Parse a single term.
+
+    ``variables`` is an iterable of :class:`~repro.smtlib.ast.Var` that
+    may occur free in the term.
+    """
+    tokens = lexer.tokenize(text)
+    sexprs = _read_sexprs(tokens)
+    if len(sexprs) != 1:
+        raise ParseError(f"expected exactly one term, got {len(sexprs)}")
+    env = _Env()
+    env.variables = {v.name: v for v in variables}
+    return _parse_term(sexprs[0], env)

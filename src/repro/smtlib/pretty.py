@@ -1,0 +1,117 @@
+"""Pretty-printer simplifications from the paper (Section 4.1).
+
+"The pretty-printer makes simple modifications to the AST of a formula,
+i.e., flattens nestings of the same operator, removes additions and
+multiplications with neutral elements and returns the modified formula
+in a human-readable format."
+
+These passes are *semantics-preserving* rewrites used during bug
+reduction; they are deliberately simple and syntax-directed.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.smtlib.ast import App, Const, Quantifier
+from repro.smtlib.sorts import INT, REAL
+
+# Operators that are associative and may be flattened.
+_FLATTENABLE = {"and", "or", "+", "*", "str.++", "re.union", "re.inter", "re.++"}
+
+# Neutral elements: op -> (value predicate on Const).
+_NEUTRAL = {
+    "+": lambda c: c.value == 0,
+    "*": lambda c: c.value == 1,
+    "and": lambda c: c.value is True,
+    "or": lambda c: c.value is False,
+    "str.++": lambda c: c.value == "",
+}
+
+
+def flatten(term):
+    """Flatten nestings of the same associative operator.
+
+    ``(and a (and b c))`` becomes ``(and a b c)``.
+    """
+    if isinstance(term, App):
+        args = tuple(flatten(a) for a in term.args)
+        if term.op in _FLATTENABLE:
+            flat = []
+            for arg in args:
+                if isinstance(arg, App) and arg.op == term.op:
+                    flat.extend(arg.args)
+                else:
+                    flat.append(arg)
+            args = tuple(flat)
+        return App(term.op, args, term.sort)
+    if isinstance(term, Quantifier):
+        return Quantifier(term.kind, term.bindings, flatten(term.body))
+    return term
+
+
+def drop_neutral(term):
+    """Remove neutral elements of ``+``, ``*``, ``and``, ``or``, ``str.++``."""
+    if isinstance(term, Quantifier):
+        return Quantifier(term.kind, term.bindings, drop_neutral(term.body))
+    if not isinstance(term, App):
+        return term
+    args = [drop_neutral(a) for a in term.args]
+    is_neutral = _NEUTRAL.get(term.op)
+    if is_neutral is not None and len(args) > 1:
+        kept = [a for a in args if not (isinstance(a, Const) and is_neutral(a))]
+        if not kept:
+            kept = [args[0]]
+        if len(kept) == 1 and term.op in ("and", "or", "+", "*", "str.++"):
+            only = kept[0]
+            if only.sort == term.sort:
+                return only
+        args = kept
+    return App(term.op, tuple(args), term.sort)
+
+
+def fold_constants(term):
+    """Fold constant arithmetic subterms (a small, safe subset).
+
+    Only total operations over literals are folded; division and string
+    functions are left alone so reduction cannot change which solver
+    code paths a formula reaches in surprising ways.
+    """
+    if isinstance(term, Quantifier):
+        return Quantifier(term.kind, term.bindings, fold_constants(term.body))
+    if not isinstance(term, App):
+        return term
+    args = tuple(fold_constants(a) for a in term.args)
+    term = App(term.op, args, term.sort)
+    if term.op in ("+", "*", "-") and all(isinstance(a, Const) for a in args) and args:
+        values = [a.value for a in args]
+        if term.op == "+":
+            result = sum(values)
+        elif term.op == "*":
+            result = 1
+            for v in values:
+                result *= v
+        else:
+            result = -values[0] if len(values) == 1 else values[0] - sum(values[1:])
+        if term.sort == REAL:
+            return Const(Fraction(result), REAL)
+        if term.sort == INT:
+            return Const(int(result), INT)
+    if term.op == "not" and isinstance(args[0], Const):
+        return Const(not args[0].value, term.sort)
+    return term
+
+
+def prettify(term):
+    """Apply all pretty-printer passes to a fixpoint (bounded)."""
+    for _ in range(8):
+        new = drop_neutral(flatten(fold_constants(term)))
+        if new == term:
+            return new
+        term = new
+    return term
+
+
+def prettify_script(script):
+    """Apply :func:`prettify` to every assertion of a script."""
+    return script.with_asserts([prettify(t) for t in script.asserts])

@@ -1,0 +1,114 @@
+"""Emission of SMT-LIB v2 concrete syntax for terms and scripts."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.smtlib.ast import (
+    App,
+    Assert,
+    CheckSat,
+    Const,
+    DeclareFun,
+    DefineFun,
+    Exit,
+    GetModel,
+    Quantifier,
+    SetInfo,
+    SetLogic,
+    SetOption,
+    Var,
+)
+from repro.smtlib.sorts import BOOL, INT, REAL, STRING
+
+
+def _print_real(value):
+    numerator, denominator = abs(value.numerator), value.denominator
+    if denominator == 1:
+        magnitude = f"{numerator}.0"
+    else:
+        # Prefer an exact decimal when the denominator divides a power of
+        # ten, otherwise fall back to a division term.
+        reduced = denominator
+        twos = fives = 0
+        while reduced % 2 == 0:
+            reduced //= 2
+            twos += 1
+        while reduced % 5 == 0:
+            reduced //= 5
+            fives += 1
+        if reduced == 1:
+            places = max(twos, fives)
+            scaled = numerator * (10**places // denominator)
+            digits = str(scaled).rjust(places + 1, "0")
+            magnitude = f"{digits[:-places]}.{digits[-places:]}"
+        else:
+            magnitude = f"(/ {numerator}.0 {denominator}.0)"
+    if value < 0:
+        return f"(- {magnitude})"
+    return magnitude
+
+
+def _print_string(value):
+    return '"' + value.replace('"', '""') + '"'
+
+
+def print_term(term):
+    """Render a term in SMT-LIB concrete syntax."""
+    if isinstance(term, Const):
+        if term.sort == BOOL:
+            return "true" if term.value else "false"
+        if term.sort == INT:
+            if term.value < 0:
+                return f"(- {-term.value})"
+            return str(term.value)
+        if term.sort == REAL:
+            return _print_real(Fraction(term.value))
+        if term.sort == STRING:
+            return _print_string(term.value)
+        raise TypeError(f"cannot print constant of sort {term.sort}")
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, App):
+        if not term.args:
+            return term.op
+        inner = " ".join(print_term(a) for a in term.args)
+        return f"({term.op} {inner})"
+    if isinstance(term, Quantifier):
+        bindings = " ".join(f"({name} {sort})" for name, sort in term.bindings)
+        return f"({term.kind} ({bindings}) {print_term(term.body)})"
+    raise TypeError(f"not a term: {term!r}")
+
+
+def print_command(cmd):
+    """Render a single command in SMT-LIB concrete syntax."""
+    if isinstance(cmd, SetLogic):
+        return f"(set-logic {cmd.logic})"
+    if isinstance(cmd, SetInfo):
+        return f"(set-info {cmd.keyword} {cmd.value})" if cmd.value else f"(set-info {cmd.keyword})"
+    if isinstance(cmd, SetOption):
+        return (
+            f"(set-option {cmd.keyword} {cmd.value})" if cmd.value else f"(set-option {cmd.keyword})"
+        )
+    if isinstance(cmd, DeclareFun):
+        if cmd.const_syntax:
+            return f"(declare-const {cmd.name} {cmd.return_sort})"
+        arg_sorts = " ".join(str(s) for s in cmd.arg_sorts)
+        return f"(declare-fun {cmd.name} ({arg_sorts}) {cmd.return_sort})"
+    if isinstance(cmd, DefineFun):
+        params = " ".join(f"({name} {sort})" for name, sort in cmd.params)
+        return f"(define-fun {cmd.name} ({params}) {cmd.return_sort} {print_term(cmd.body)})"
+    if isinstance(cmd, Assert):
+        return f"(assert {print_term(cmd.term)})"
+    if isinstance(cmd, CheckSat):
+        return "(check-sat)"
+    if isinstance(cmd, GetModel):
+        return "(get-model)"
+    if isinstance(cmd, Exit):
+        return "(exit)"
+    raise TypeError(f"not a command: {cmd!r}")
+
+
+def print_script(script):
+    """Render a script, one command per line."""
+    return "\n".join(print_command(cmd) for cmd in script.commands) + "\n"

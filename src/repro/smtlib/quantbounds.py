@@ -1,0 +1,79 @@
+"""Syntactic extraction of integer bounds from quantifier guards.
+
+Recognizes the pattern ``forall (x Int) (=> guard body)`` where the
+guard conjunction pins ``lo <= x <= hi`` with integer constants —
+the "bounded universal" fragment both the preprocessor (expansion)
+and the evaluator (exact finite checking) support.
+"""
+
+from __future__ import annotations
+
+from repro.smtlib.ast import App, Const, Var
+from repro.smtlib.sorts import INT
+
+
+def bound_from_atom(atom, name):
+    """Extract a bound from a comparison atom.
+
+    Returns ``("lo", value)`` / ``("hi", value)`` or ``None``.
+    """
+    if not (isinstance(atom, App) and atom.op in ("<", "<=", ">", ">=")):
+        return None
+    if len(atom.args) != 2:
+        return None
+    a, b = atom.args
+    if isinstance(a, Var) and a.name == name and isinstance(b, Const) and b.sort == INT:
+        value = int(b.value)
+        if atom.op == "<=":
+            return ("hi", value)
+        if atom.op == "<":
+            return ("hi", value - 1)
+        if atom.op == ">=":
+            return ("lo", value)
+        return ("lo", value + 1)
+    if isinstance(b, Var) and b.name == name and isinstance(a, Const) and a.sort == INT:
+        value = int(a.value)
+        if atom.op == "<=":
+            return ("lo", value)
+        if atom.op == "<":
+            return ("lo", value + 1)
+        if atom.op == ">=":
+            return ("hi", value)
+        return ("hi", value - 1)
+    return None
+
+
+def guarded_integer_bounds(quantifier):
+    """Bounds for every binding of a guarded integer quantifier.
+
+    For ``forall (x1 Int ... xn Int) (=> guard body)`` returns
+    ``{name: (lo, hi)}`` when every binding is Int and has both bounds
+    in the guard conjunction; otherwise ``None``.
+    """
+    body = quantifier.body
+    if not (isinstance(body, App) and body.op == "=>"):
+        return None
+    guard_atoms = []
+    for guard in body.args[:-1]:
+        if isinstance(guard, App) and guard.op == "and":
+            guard_atoms.extend(guard.args)
+        else:
+            guard_atoms.append(guard)
+    bounds = {}
+    for name, sort in quantifier.bindings:
+        if sort != INT:
+            return None
+        lo = hi = None
+        for atom in guard_atoms:
+            pair = bound_from_atom(atom, name)
+            if pair is None:
+                continue
+            kind, value = pair
+            if kind == "lo":
+                lo = value if lo is None else max(lo, value)
+            else:
+                hi = value if hi is None else min(hi, value)
+        if lo is None or hi is None:
+            return None
+        bounds[name] = (lo, hi)
+    return bounds

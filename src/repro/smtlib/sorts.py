@@ -1,0 +1,58 @@
+"""SMT-LIB sorts supported by the reproduction.
+
+The paper's evaluation covers the arithmetic logics (LIA, LRA, NRA and
+their quantifier-free variants) and the string logics (QF_S, QF_SLIA),
+so the sort universe is Bool, Int, Real, String and RegLan (the sort of
+regular-language terms used by ``str.in.re``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Sort:
+    """An SMT-LIB sort, identified by its name.
+
+    Sorts are interned: use the module-level constants ``BOOL``, ``INT``,
+    ``REAL``, ``STRING`` and ``REGLAN`` rather than constructing new ones.
+    """
+
+    name: str
+
+    def __str__(self):
+        return self.name
+
+    @property
+    def is_numeric(self):
+        """True for the arithmetic sorts Int and Real."""
+        return self.name in ("Int", "Real")
+
+
+BOOL = Sort("Bool")
+INT = Sort("Int")
+REAL = Sort("Real")
+STRING = Sort("String")
+REGLAN = Sort("RegLan")
+
+_BY_NAME = {s.name: s for s in (BOOL, INT, REAL, STRING, REGLAN)}
+
+# Historical spellings accepted by solvers for compatibility.
+_ALIASES = {
+    "RegEx": REGLAN,  # SMT-LIB 2.5 / z3str3 spelling
+}
+
+
+def sort_by_name(name):
+    """Look up a sort by its SMT-LIB name. Raises ``KeyError`` if unknown."""
+    if name in _BY_NAME:
+        return _BY_NAME[name]
+    if name in _ALIASES:
+        return _ALIASES[name]
+    raise KeyError(f"unknown sort: {name!r}")
+
+
+def is_known_sort(name):
+    """True if ``name`` (or an accepted alias) denotes a supported sort."""
+    return name in _BY_NAME or name in _ALIASES

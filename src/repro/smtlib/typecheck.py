@@ -1,0 +1,264 @@
+"""Sort checking and inference for SMT-LIB operators.
+
+The central entry point is :func:`app`, a smart constructor that
+canonicalizes operator spellings, checks argument sorts, applies the
+standard Int-to-Real numeral coercions, and returns a well-sorted
+:class:`~repro.smtlib.ast.App` node.
+
+The operator universe covers everything the paper's logics need:
+core booleans, integer and real (non)linear arithmetic, unicode-free
+strings, and regular expressions.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import SortError
+from repro.smtlib.ast import App, Const, Term
+from repro.smtlib.sorts import BOOL, INT, REAL, REGLAN, STRING
+
+# Canonical operator spellings follow the paper's figures (SMT-LIB 2.5
+# style for strings, e.g. ``str.to.int``); 2.6 spellings are accepted
+# as aliases and normalized on construction.
+OP_ALIASES = {
+    "str.to_int": "str.to.int",
+    "str.from_int": "str.from.int",
+    "int.to.str": "str.from.int",
+    "str.in_re": "str.in.re",
+    "str.to_re": "str.to.re",
+    "str.substring": "str.substr",
+    "=>": "=>",
+}
+
+CORE_OPS = {"not", "and", "or", "xor", "=>", "=", "distinct", "ite"}
+ARITH_OPS = {
+    "+", "-", "*", "/", "div", "mod", "abs",
+    "<", "<=", ">", ">=", "to_real", "to_int", "is_int",
+}
+STRING_OPS = {
+    "str.++", "str.len", "str.at", "str.substr", "str.indexof",
+    "str.replace", "str.prefixof", "str.suffixof", "str.contains",
+    "str.to.int", "str.from.int", "str.in.re", "str.to.re",
+}
+REGEX_OPS = {
+    "re.none", "re.all", "re.allchar", "re.++", "re.union", "re.inter",
+    "re.*", "re.+", "re.opt", "re.range", "re.comp",
+}
+
+ALL_OPS = CORE_OPS | ARITH_OPS | STRING_OPS | REGEX_OPS
+
+
+def canonical_op(op):
+    """Normalize an operator spelling to its canonical form."""
+    return OP_ALIASES.get(op, op)
+
+
+def is_known_op(op):
+    """True if ``op`` (possibly an alias) is a supported operator."""
+    return canonical_op(op) in ALL_OPS
+
+
+def _fail(op, args, why):
+    rendered = ", ".join(str(a.sort) for a in args)
+    raise SortError(f"ill-sorted ({op} ...): argument sorts [{rendered}]: {why}")
+
+
+def _coerce_real(term):
+    """Coerce a term of sort Int to sort Real.
+
+    Integer constants become real constants (the SMT-LIB numeral rule);
+    other terms are wrapped in ``to_real``.
+    """
+    if term.sort == REAL:
+        return term
+    if term.sort != INT:
+        raise SortError(f"cannot coerce sort {term.sort} to Real")
+    if isinstance(term, Const):
+        return Const(Fraction(term.value), REAL)
+    return App("to_real", (term,), REAL)
+
+
+def _numeric_common(op, args):
+    """Coerce mixed Int/Real arguments to a common numeric sort."""
+    sorts = {a.sort for a in args}
+    if not sorts <= {INT, REAL}:
+        _fail(op, args, "expected numeric arguments")
+    if sorts == {INT}:
+        return list(args), INT
+    return [_coerce_real(a) for a in args], REAL
+
+
+def app(op, *args):
+    """Build a well-sorted application of ``op`` to ``args``.
+
+    Raises :class:`~repro.errors.SortError` for arity or sort mismatches.
+    """
+    op = canonical_op(op)
+    args = list(args)
+    for a in args:
+        if not isinstance(a, Term):
+            raise TypeError(f"argument to {op} is not a Term: {a!r}")
+
+    if op not in ALL_OPS:
+        raise SortError(f"unknown operator: {op!r}")
+
+    # --- core ---------------------------------------------------------
+    if op == "not":
+        _expect_arity(op, args, 1)
+        _expect_sorts(op, args, BOOL)
+        return App("not", tuple(args), BOOL)
+    if op in ("and", "or", "xor", "=>"):
+        _expect_min_arity(op, args, 2 if op == "=>" else 1)
+        _expect_sorts(op, args, BOOL)
+        return App(op, tuple(args), BOOL)
+    if op in ("=", "distinct"):
+        _expect_min_arity(op, args, 2)
+        sorts = {a.sort for a in args}
+        if sorts <= {INT, REAL} and len(sorts) > 1:
+            args = [_coerce_real(a) for a in args]
+        elif len(sorts) > 1:
+            _fail(op, args, "arguments must share a sort")
+        return App(op, tuple(args), BOOL)
+    if op == "ite":
+        _expect_arity(op, args, 3)
+        if args[0].sort != BOOL:
+            _fail(op, args, "condition must be Bool")
+        then, other = args[1], args[2]
+        if then.sort != other.sort:
+            if {then.sort, other.sort} == {INT, REAL}:
+                then, other = _coerce_real(then), _coerce_real(other)
+            else:
+                _fail(op, args, "branches must share a sort")
+        return App("ite", (args[0], then, other), then.sort)
+
+    # --- arithmetic ----------------------------------------------------
+    if op in ("+", "*"):
+        _expect_min_arity(op, args, 1)
+        args, sort = _numeric_common(op, args)
+        return App(op, tuple(args), sort)
+    if op == "-":
+        _expect_min_arity(op, args, 1)
+        args, sort = _numeric_common(op, args)
+        if len(args) == 1 and isinstance(args[0], Const):
+            # Normalize unary minus of a literal to a negative constant,
+            # so printing and re-parsing yield identical ASTs.
+            value = args[0].value
+            return Const(-value if sort == INT else Fraction(-value), sort)
+        return App("-", tuple(args), sort)
+    if op == "/":
+        _expect_min_arity(op, args, 2)
+        args = [_coerce_real(a) for a in args]
+        return App("/", tuple(args), REAL)
+    if op in ("div", "mod"):
+        _expect_arity(op, args, 2)
+        _expect_sorts(op, args, INT)
+        return App(op, tuple(args), INT)
+    if op == "abs":
+        _expect_arity(op, args, 1)
+        if args[0].sort not in (INT, REAL):
+            _fail(op, args, "expected a numeric argument")
+        return App("abs", tuple(args), args[0].sort)
+    if op in ("<", "<=", ">", ">="):
+        _expect_min_arity(op, args, 2)
+        args, _ = _numeric_common(op, args)
+        return App(op, tuple(args), BOOL)
+    if op == "to_real":
+        _expect_arity(op, args, 1)
+        _expect_sorts(op, args, INT)
+        return App("to_real", tuple(args), REAL)
+    if op == "to_int":
+        _expect_arity(op, args, 1)
+        _expect_sorts(op, args, REAL)
+        return App("to_int", tuple(args), INT)
+    if op == "is_int":
+        _expect_arity(op, args, 1)
+        _expect_sorts(op, args, REAL)
+        return App("is_int", tuple(args), BOOL)
+
+    # --- strings ---------------------------------------------------------
+    if op == "str.++":
+        _expect_min_arity(op, args, 2)
+        _expect_sorts(op, args, STRING)
+        return App(op, tuple(args), STRING)
+    if op == "str.len":
+        _expect_arity(op, args, 1)
+        _expect_sorts(op, args, STRING)
+        return App(op, tuple(args), INT)
+    if op == "str.at":
+        _expect_arity(op, args, 2)
+        _expect_sig(op, args, (STRING, INT))
+        return App(op, tuple(args), STRING)
+    if op == "str.substr":
+        _expect_arity(op, args, 3)
+        _expect_sig(op, args, (STRING, INT, INT))
+        return App(op, tuple(args), STRING)
+    if op == "str.indexof":
+        _expect_arity(op, args, 3)
+        _expect_sig(op, args, (STRING, STRING, INT))
+        return App(op, tuple(args), INT)
+    if op == "str.replace":
+        _expect_arity(op, args, 3)
+        _expect_sorts(op, args, STRING)
+        return App(op, tuple(args), STRING)
+    if op in ("str.prefixof", "str.suffixof", "str.contains"):
+        _expect_arity(op, args, 2)
+        _expect_sorts(op, args, STRING)
+        return App(op, tuple(args), BOOL)
+    if op == "str.to.int":
+        _expect_arity(op, args, 1)
+        _expect_sorts(op, args, STRING)
+        return App(op, tuple(args), INT)
+    if op == "str.from.int":
+        _expect_arity(op, args, 1)
+        _expect_sorts(op, args, INT)
+        return App(op, tuple(args), STRING)
+    if op == "str.in.re":
+        _expect_arity(op, args, 2)
+        _expect_sig(op, args, (STRING, REGLAN))
+        return App(op, tuple(args), BOOL)
+    if op == "str.to.re":
+        _expect_arity(op, args, 1)
+        _expect_sorts(op, args, STRING)
+        return App(op, tuple(args), REGLAN)
+
+    # --- regular expressions ----------------------------------------------
+    if op in ("re.none", "re.all", "re.allchar"):
+        _expect_arity(op, args, 0)
+        return App(op, (), REGLAN)
+    if op in ("re.++", "re.union", "re.inter"):
+        _expect_min_arity(op, args, 2)
+        _expect_sorts(op, args, REGLAN)
+        return App(op, tuple(args), REGLAN)
+    if op in ("re.*", "re.+", "re.opt", "re.comp"):
+        _expect_arity(op, args, 1)
+        _expect_sorts(op, args, REGLAN)
+        return App(op, tuple(args), REGLAN)
+    if op == "re.range":
+        _expect_arity(op, args, 2)
+        _expect_sorts(op, args, STRING)
+        return App(op, tuple(args), REGLAN)
+
+    raise SortError(f"unhandled operator: {op!r}")  # pragma: no cover
+
+
+def _expect_arity(op, args, n):
+    if len(args) != n:
+        _fail(op, args, f"expected {n} argument(s), got {len(args)}")
+
+
+def _expect_min_arity(op, args, n):
+    if len(args) < n:
+        _fail(op, args, f"expected at least {n} argument(s), got {len(args)}")
+
+
+def _expect_sorts(op, args, sort):
+    for a in args:
+        if a.sort != sort:
+            _fail(op, args, f"expected all arguments of sort {sort}")
+
+
+def _expect_sig(op, args, sig):
+    for a, s in zip(args, sig):
+        if a.sort != s:
+            _fail(op, args, f"expected signature {tuple(str(x) for x in sig)}")

@@ -1,0 +1,45 @@
+"""The reference SMT solver: the reproduction's stand-in for Z3/CVC4.
+
+Architecture (lazy DPLL(T)):
+
+- :mod:`repro.solver.preprocess` — quantifier handling, ``ite`` lifting,
+  division purification, rewrites.
+- :mod:`repro.solver.tseitin` — boolean abstraction to CNF.
+- :mod:`repro.solver.sat` — CDCL SAT solver.
+- :mod:`repro.solver.linarith` — simplex (with delta-rationals) for
+  linear real arithmetic; branch & bound for integers.
+- :mod:`repro.solver.nonlinear` — interval constraint propagation and
+  model sampling for nonlinear arithmetic.
+- :mod:`repro.solver.strings` — bounded string solver.
+- :mod:`repro.solver.dpllt` — the lazy loop tying it all together.
+- :mod:`repro.solver.solver` — :class:`ReferenceSolver`, the public API.
+"""
+
+__all__ = [
+    "SolverResult",
+    "SolverCrash",
+    "CheckOutcome",
+    "ReferenceSolver",
+    "SolverConfig",
+    "ProcessSolver",
+]
+
+_EXPORTS = {
+    "SolverResult": ("repro.solver.result", "SolverResult"),
+    "SolverCrash": ("repro.solver.result", "SolverCrash"),
+    "CheckOutcome": ("repro.solver.result", "CheckOutcome"),
+    "ReferenceSolver": ("repro.solver.solver", "ReferenceSolver"),
+    "SolverConfig": ("repro.solver.solver", "SolverConfig"),
+    "ProcessSolver": ("repro.solver.process", "ProcessSolver"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.solver' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)

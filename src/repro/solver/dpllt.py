@@ -1,0 +1,300 @@
+"""The lazy DPLL(T) loop: CDCL over the boolean abstraction, with
+conjunctions of theory literals checked by the arithmetic and string
+cores, and blocking clauses ruling out refuted abstractions.
+
+Soundness policy:
+
+- ``sat`` is only reported after the candidate model has been verified
+  by exact evaluation of the *original* assertions.
+- ``unsat`` is only reported when the abstraction became propositionally
+  unsatisfiable and no theory check ended in ``unknown`` (each theory
+  check is itself sound for the verdict it returns, modulo the string
+  solver's documented small-model assumption).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.coverage.probes import (
+    branch_probe,
+    declare_module_probes,
+    function_probe,
+    line_probe,
+)
+from repro.errors import EvaluationError
+from repro.semantics.evaluator import evaluate
+from repro.semantics.model import Model
+from repro.semantics.values import default_value
+from repro.smtlib.ast import Const, Var, free_vars
+from repro.smtlib.sorts import BOOL, INT, REAL, STRING
+from repro.solver import nonlinear, strings, tseitin
+from repro.solver.preprocess import instantiate_for_refutation, preprocess
+from repro.solver.result import CheckOutcome, SolverResult
+from repro.solver.sat import SatSolver
+from repro.solver.strings import StringConfig
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+
+def check_assertions(assertions, string_config=None, seed=0, max_rounds=600, nonlinear_budget=900):
+    """Decide the conjunction of ``assertions``; returns a CheckOutcome."""
+    function_probe("dpllt.check")
+    original = list(assertions)
+    string_config = string_config or StringConfig()
+
+    pre = preprocess(original)
+    if branch_probe("dpllt.quantified_residue", pre.quantified):
+        return _refutation_path(original, pre, string_config, seed)
+
+    sat_core = SatSolver()
+    abstraction = tseitin.encode(pre.assertions, sat_core)
+    saw_unknown = False
+    rounds = 0
+    theory_cache = {}
+
+    def cached_check(literal_list):
+        key = frozenset(literal_list)
+        if key not in theory_cache:
+            theory_cache[key] = _check_theory(
+                literal_list, string_config, seed, nonlinear_budget
+            )
+        return theory_cache[key]
+
+    while True:
+        rounds += 1
+        if rounds > max_rounds:
+            line_probe("dpllt.round_budget")
+            return CheckOutcome(SolverResult.UNKNOWN, reason="round budget exhausted")
+        verdict = sat_core.solve()
+        if verdict is None:
+            line_probe("dpllt.sat_budget")
+            return CheckOutcome(SolverResult.UNKNOWN, reason="sat budget exhausted")
+        if verdict is False:
+            if saw_unknown:
+                line_probe("dpllt.unsat_but_unknown")
+                return CheckOutcome(
+                    SolverResult.UNKNOWN, reason="abstraction closed with unknowns"
+                )
+            line_probe("dpllt.unsat")
+            return CheckOutcome(SolverResult.UNSAT)
+
+        sat_model = sat_core.model()
+        literals = abstraction.theory_assignment(sat_model)
+        bool_literals = [
+            (atom, value) for atom, value in literals if isinstance(atom, Var)
+        ]
+        theory_literals = [
+            (atom, value) for atom, value in literals if not isinstance(atom, Var)
+        ]
+
+        status, theory_model = cached_check(theory_literals)
+        if status == SAT:
+            model = _assemble_model(
+                original, pre, bool_literals, theory_model or Model()
+            )
+            if model is not None:
+                line_probe("dpllt.sat_verified")
+                return CheckOutcome(SolverResult.SAT, model=model)
+            line_probe("dpllt.verification_failed")
+            saw_unknown = True
+        elif status == UNKNOWN:
+            line_probe("dpllt.theory_unknown")
+            saw_unknown = True
+
+        # Refuted (or unverifiable) abstraction: block it and continue.
+        # A theory refutation depends only on the theory literals, so
+        # blocking just those — shrunk to a small core — prunes the
+        # search far more aggressively than blocking the assignment.
+        if status == UNSAT and theory_literals:
+            to_block = _shrink_core(theory_literals, cached_check)
+        else:
+            to_block = literals
+        block = [
+            abstraction.atom_to_var[atom] if value else -abstraction.atom_to_var[atom]
+            for atom, value in to_block
+        ]
+        if not block:
+            # No theory atoms at all; propositional verdict is final.
+            if status == SAT:
+                line_probe("dpllt.pure_bool_sat")
+                model = _assemble_model(original, pre, bool_literals, Model())
+                if model is not None:
+                    return CheckOutcome(SolverResult.SAT, model=model)
+                return CheckOutcome(SolverResult.UNKNOWN, reason="verification failed")
+            return CheckOutcome(SolverResult.UNKNOWN, reason="empty abstraction")
+        abstraction.block(block)
+
+
+def _shrink_core(theory_literals, cached_check, max_literals=32):
+    """Greedy deletion-based minimization of a theory conflict.
+
+    Each literal is dropped in turn; if the rest is still refuted, the
+    literal is permanently removed. The result is a (not necessarily
+    minimum) conflict core whose negation makes a strong lemma.
+    """
+    function_probe("dpllt.shrink_core")
+    if len(theory_literals) > max_literals:
+        line_probe("dpllt.shrink_skipped")
+        return theory_literals
+    core = list(theory_literals)
+    index = 0
+    while index < len(core) and len(core) > 1:
+        trial = core[:index] + core[index + 1 :]
+        status, _ = cached_check(trial)
+        if status == UNSAT:
+            core = trial
+        else:
+            index += 1
+    return core
+
+
+def _check_theory(theory_literals, string_config, seed, nonlinear_budget=900):
+    """Dispatch a conjunction of theory literals to the right core."""
+    function_probe("dpllt.check_theory")
+    if not theory_literals:
+        return SAT, Model()
+    atoms = [term for term, _ in theory_literals]
+    if branch_probe("dpllt.uses_strings", strings.involves_strings(atoms)):
+        return strings.check_strings(theory_literals, string_config, seed)
+
+    poly_atoms = []
+    int_vars = set()
+    for term, polarity in theory_literals:
+        for var in free_vars(term):
+            if var.sort == INT:
+                int_vars.add(var.name)
+        kind, payload = nonlinear.atom_to_poly(term, polarity)
+        if kind == "decided":
+            if not payload:
+                return UNSAT, None
+        elif kind == "poly":
+            poly_atoms.append(payload)
+        else:
+            line_probe("dpllt.stuck_atom")
+            return UNKNOWN, None
+    status, values = nonlinear.check_nonlinear(
+        poly_atoms, int_vars, seed=seed, enum_budget=nonlinear_budget
+    )
+    if status != SAT:
+        return status, None
+    model = Model()
+    for name, value in (values or {}).items():
+        model[name] = int(value) if name in int_vars else Fraction(value)
+    return SAT, model
+
+
+def _assemble_model(original, pre, bool_literals, theory_model):
+    """Build and *verify* a full model for the original assertions.
+
+    Returns the model, or ``None`` if verification fails (in which case
+    the caller treats the candidate as refuted).
+    """
+    function_probe("dpllt.assemble_model")
+    model = theory_model.copy()
+    for atom, value in bool_literals:
+        model[atom.name] = bool(value)
+
+    # Default any variable the theories left unconstrained.
+    every_var = {}
+    for term in original:
+        for var in free_vars(term):
+            every_var[var.name] = var
+    for term in pre.assertions:
+        for var in free_vars(term):
+            every_var.setdefault(var.name, var)
+    for name, var in every_var.items():
+        if name not in model:
+            model[name] = default_value(var.sort)
+        elif var.sort == REAL and isinstance(model[name], int):
+            model[name] = Fraction(model[name])
+
+    # Translate purified division variables into division-at-zero
+    # choices so the original formula evaluates consistently.
+    for op, numer, denom, fresh in pre.divisions:
+        if op not in ("/", "div", "mod"):
+            continue
+        try:
+            denominator = evaluate(denom, model)
+        except EvaluationError:
+            return None
+        if denominator == 0:
+            try:
+                numerator = evaluate(numer, model)
+            except EvaluationError:
+                return None
+            model.set_div_at_zero(op, numerator, model[fresh])
+
+    try:
+        ok = all(evaluate(term, model) for term in original)
+    except EvaluationError:
+        # Quantifiers the bounded evaluator cannot decide: fall back to
+        # verifying the preprocessed (skolemized / expanded) assertions,
+        # whose truth under the model implies the original's.
+        line_probe("dpllt.verify_fallback")
+        try:
+            ok = all(evaluate(term, model) for term in pre.assertions)
+        except EvaluationError:
+            line_probe("dpllt.verify_error")
+            return None
+    if branch_probe("dpllt.model_ok", ok):
+        return model
+    return None
+
+
+def _refutation_path(original, pre, string_config, seed):
+    """Quantified residue: attempt refutation by finite instantiation."""
+    function_probe("dpllt.refutation_path")
+    candidates = _instantiation_candidates(pre.assertions)
+    weakened = [
+        instantiate_for_refutation(term, candidates) for term in pre.assertions
+    ]
+    if any(_still_quantified(t) for t in weakened):
+        line_probe("dpllt.refutation_stuck")
+        return CheckOutcome(SolverResult.UNKNOWN, reason="quantifier out of fragment")
+    outcome = check_assertions(weakened, string_config, seed)
+    if outcome.result is SolverResult.UNSAT:
+        line_probe("dpllt.refutation_success")
+        return CheckOutcome(SolverResult.UNSAT)
+    return CheckOutcome(SolverResult.UNKNOWN, reason="quantified: refutation failed")
+
+
+def _instantiation_candidates(assertions):
+    """Ground instantiation terms per sort name, harvested from the input."""
+    ints = {0, 1, -1}
+    reals = {Fraction(0), Fraction(1), Fraction(-1), Fraction(1, 2)}
+    strings_ = {"", "a"}
+    variables = {}
+    for term in assertions:
+        for node in term.walk():
+            if isinstance(node, Const):
+                if node.sort == INT:
+                    ints.add(int(node.value))
+                elif node.sort == REAL:
+                    reals.add(Fraction(node.value))
+                elif node.sort == STRING:
+                    strings_.add(node.value)
+            elif isinstance(node, Var) and node.name not in variables:
+                variables[node.name] = node
+    candidates = {
+        "Int": [Const(v, INT) for v in sorted(ints)][:8],
+        "Real": [Const(v, REAL) for v in sorted(reals)][:8],
+        "String": [Const(v, STRING) for v in sorted(strings_)][:6],
+        "Bool": [Const(False, BOOL), Const(True, BOOL)],
+    }
+    for var in variables.values():
+        bucket = candidates.get(var.sort.name)
+        if bucket is not None and len(bucket) < 10:
+            bucket.append(var)
+    return candidates
+
+
+def _still_quantified(term):
+    from repro.smtlib.ast import Quantifier
+
+    return any(isinstance(node, Quantifier) for node in term.walk())
+
+
+declare_module_probes(__file__)

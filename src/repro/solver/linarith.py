@@ -1,0 +1,385 @@
+"""Linear arithmetic: general simplex with delta-rationals.
+
+Decides conjunctions of linear constraints over the rationals
+(Dutertre & de Moura's simplex for DPLL(T)), with strict inequalities
+represented by delta-rationals ``c + k*delta``. Integer variables are
+handled by branch & bound on top of the rational relaxation.
+
+Entry point: :func:`check_linear`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.coverage.probes import (
+    branch_probe,
+    declare_module_probes,
+    function_probe,
+    line_probe,
+)
+
+
+class DeltaRational:
+    """A rational plus an infinitesimal: ``c + k * delta`` with delta > 0."""
+
+    __slots__ = ("c", "k")
+
+    def __init__(self, c, k=0):
+        self.c = Fraction(c)
+        self.k = Fraction(k)
+
+    def __add__(self, other):
+        return DeltaRational(self.c + other.c, self.k + other.k)
+
+    def __sub__(self, other):
+        return DeltaRational(self.c - other.c, self.k - other.k)
+
+    def scale(self, factor):
+        return DeltaRational(self.c * factor, self.k * factor)
+
+    def __lt__(self, other):
+        return (self.c, self.k) < (other.c, other.k)
+
+    def __le__(self, other):
+        return (self.c, self.k) <= (other.c, other.k)
+
+    def __eq__(self, other):
+        if not isinstance(other, DeltaRational):
+            return NotImplemented
+        return (self.c, self.k) == (other.c, other.k)
+
+    def __hash__(self):
+        return hash((self.c, self.k))
+
+    def concretize(self, delta):
+        """The exact rational value once ``delta`` is fixed."""
+        return self.c + self.k * delta
+
+    def __repr__(self):
+        if self.k == 0:
+            return f"{self.c}"
+        return f"{self.c}{'+' if self.k > 0 else ''}{self.k}d"
+
+
+@dataclass(frozen=True)
+class LinearAtom:
+    """A normalized linear constraint ``sum(coeffs[v] * v) op constant``.
+
+    ``op`` is one of ``"<="``, ``"<"``, ``"="``.
+    """
+
+    coeffs: tuple  # tuple[(var_name, Fraction), ...] sorted by name
+    op: str
+    constant: Fraction
+
+    @classmethod
+    def make(cls, coeffs, op, constant):
+        items = tuple(sorted((v, Fraction(c)) for v, c in coeffs.items() if c != 0))
+        return cls(items, op, Fraction(constant))
+
+    @property
+    def coeff_dict(self):
+        return dict(self.coeffs)
+
+    def evaluate(self, model):
+        """Check the constraint under exact rational values."""
+        total = sum(c * model[v] for v, c in self.coeffs)
+        if self.op == "<=":
+            return total <= self.constant
+        if self.op == "<":
+            return total < self.constant
+        return total == self.constant
+
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+
+class Simplex:
+    """General simplex over delta-rationals with incremental bounds."""
+
+    def __init__(self):
+        self.rows = {}  # basic var -> {nonbasic var: coeff}
+        self.is_basic = set()
+        self.lower = {}  # var -> DeltaRational
+        self.upper = {}
+        self.assign = {}  # var -> DeltaRational
+        self.all_vars = []
+        self._slack_index = {}  # normalized form -> slack name
+        self._slack_count = 0
+
+    # -- setup ------------------------------------------------------------
+
+    def _ensure_var(self, name):
+        if name not in self.assign:
+            self.assign[name] = DeltaRational(0)
+            self.all_vars.append(name)
+
+    def _slack_for(self, form):
+        """The slack variable equal to the linear form (a coeff tuple)."""
+        if form in self._slack_index:
+            return self._slack_index[form]
+        self._slack_count += 1
+        name = f".s{self._slack_count}"
+        self._slack_index[form] = name
+        for var, _ in form:
+            self._ensure_var(var)
+        self._ensure_var(name)
+        # Define: name = sum(coeff * var). Express over current nonbasics.
+        row = {}
+        for var, coeff in form:
+            if var in self.is_basic:
+                for v2, c2 in self.rows[var].items():
+                    row[v2] = row.get(v2, Fraction(0)) + coeff * c2
+            else:
+                row[var] = row.get(var, Fraction(0)) + coeff
+        row = {v: c for v, c in row.items() if c != 0}
+        self.rows[name] = row
+        self.is_basic.add(name)
+        self.assign[name] = self._row_value(row)
+        return name
+
+    def _row_value(self, row):
+        total = DeltaRational(0)
+        for var, coeff in row.items():
+            total = total + self.assign[var].scale(coeff)
+        return total
+
+    def assert_atom(self, atom):
+        """Assert a :class:`LinearAtom`; returns False on immediate conflict."""
+        function_probe("simplex.assert_atom")
+        if not atom.coeffs:
+            constant = Fraction(0)
+            bound = DeltaRational(atom.constant)
+            value = DeltaRational(constant)
+            if atom.op == "<=":
+                return value <= bound
+            if atom.op == "<":
+                return value < bound
+            return value == bound
+        slack = self._slack_for(atom.coeffs)
+        if atom.op == "<=":
+            return self._assert_upper(slack, DeltaRational(atom.constant, 0))
+        if atom.op == "<":
+            return self._assert_upper(slack, DeltaRational(atom.constant, -1))
+        ok = self._assert_upper(slack, DeltaRational(atom.constant, 0))
+        if not ok:
+            return False
+        return self._assert_lower(slack, DeltaRational(atom.constant, 0))
+
+    def _assert_upper(self, var, bound):
+        current = self.upper.get(var)
+        if current is not None and current <= bound:
+            return True
+        lower = self.lower.get(var)
+        if lower is not None and bound < lower:
+            line_probe("simplex.bound_conflict")
+            return False
+        self.upper[var] = bound
+        if var not in self.is_basic and bound < self.assign[var]:
+            self._update(var, bound)
+        return True
+
+    def _assert_lower(self, var, bound):
+        current = self.lower.get(var)
+        if current is not None and bound <= current:
+            return True
+        upper = self.upper.get(var)
+        if upper is not None and upper < bound:
+            line_probe("simplex.bound_conflict")
+            return False
+        self.lower[var] = bound
+        if var not in self.is_basic and self.assign[var] < bound:
+            self._update(var, bound)
+        return True
+
+    # -- pivoting ---------------------------------------------------------
+
+    def _update(self, nonbasic, value):
+        delta = value - self.assign[nonbasic]
+        self.assign[nonbasic] = value
+        for basic, row in self.rows.items():
+            coeff = row.get(nonbasic)
+            if coeff:
+                self.assign[basic] = self.assign[basic] + delta.scale(coeff)
+
+    def _pivot(self, basic, nonbasic):
+        """Swap roles of ``basic`` and ``nonbasic``."""
+        row = self.rows.pop(basic)
+        self.is_basic.discard(basic)
+        coeff = row.pop(nonbasic)
+        # nonbasic = (basic - sum(other)) / coeff
+        new_row = {basic: Fraction(1) / coeff}
+        for var, c in row.items():
+            new_row[var] = -c / coeff
+        self.rows[nonbasic] = new_row
+        self.is_basic.add(nonbasic)
+        # Substitute into all other rows.
+        for other, other_row in self.rows.items():
+            if other == nonbasic:
+                continue
+            c = other_row.pop(nonbasic, None)
+            if c:
+                for var, c2 in new_row.items():
+                    other_row[var] = other_row.get(var, Fraction(0)) + c * c2
+                    if other_row[var] == 0:
+                        del other_row[var]
+
+    def _pivot_and_update(self, basic, nonbasic, new_value):
+        coeff = self.rows[basic][nonbasic]
+        delta = (new_value - self.assign[basic]).scale(Fraction(1) / coeff)
+        self.assign[basic] = new_value
+        self.assign[nonbasic] = self.assign[nonbasic] + delta
+        self._pivot(basic, nonbasic)
+        # Recompute dependents of the newly adjusted nonbasic set.
+        for other in self.rows:
+            if other != nonbasic:
+                self.assign[other] = self._row_value(self.rows[other])
+
+    def check(self, max_pivots=20000):
+        """Run simplex; SAT/UNSAT/UNKNOWN (pivot budget exhausted)."""
+        function_probe("simplex.check")
+        pivots = 0
+        while True:
+            violated = None
+            # Bland's rule: smallest variable name first, for termination.
+            for var in sorted(self.is_basic):
+                value = self.assign[var]
+                lower, upper = self.lower.get(var), self.upper.get(var)
+                if lower is not None and value < lower:
+                    violated = (var, lower, True)
+                    break
+                if upper is not None and upper < value:
+                    violated = (var, upper, False)
+                    break
+            if violated is None:
+                line_probe("simplex.check.sat")
+                return SAT
+            pivots += 1
+            if pivots > max_pivots:
+                line_probe("simplex.check.budget")
+                return UNKNOWN
+            basic, bound, need_increase = violated
+            row = self.rows[basic]
+            candidate = None
+            for nonbasic in sorted(row):
+                coeff = row[nonbasic]
+                value = self.assign[nonbasic]
+                if need_increase:
+                    can = (coeff > 0 and (self.upper.get(nonbasic) is None or value < self.upper[nonbasic])) or (
+                        coeff < 0 and (self.lower.get(nonbasic) is None or self.lower[nonbasic] < value)
+                    )
+                else:
+                    can = (coeff > 0 and (self.lower.get(nonbasic) is None or self.lower[nonbasic] < value)) or (
+                        coeff < 0 and (self.upper.get(nonbasic) is None or value < self.upper[nonbasic])
+                    )
+                if can:
+                    candidate = nonbasic
+                    break
+            if branch_probe("simplex.check.no_pivot", candidate is None):
+                return UNSAT
+            self._pivot_and_update(basic, candidate, bound)
+
+    # -- model extraction ---------------------------------------------------
+
+    def model(self, problem_vars):
+        """Exact rational values for ``problem_vars`` after a SAT check."""
+        delta = self._choose_delta()
+        return {v: self.assign[v].concretize(delta) for v in problem_vars if v in self.assign}
+
+    def _choose_delta(self):
+        """A concrete positive delta small enough to respect all bounds."""
+        limit = Fraction(1)
+        for var, value in self.assign.items():
+            for bound, is_lower in (
+                (self.lower.get(var), True),
+                (self.upper.get(var), False),
+            ):
+                if bound is None:
+                    continue
+                diff = (value - bound) if is_lower else (bound - value)
+                # Need diff.c + diff.k * delta >= 0.
+                if diff.k < 0 and diff.c > 0:
+                    limit = min(limit, -diff.c / diff.k)
+        return limit / 2
+
+
+def _tighten_for_ints(atom, int_vars):
+    """Integer bound tightening of a single atom.
+
+    For an all-integer left-hand side, ``lhs < c`` becomes
+    ``lhs <= ceil(c) - 1`` and ``lhs <= c`` becomes ``lhs <= floor(c)``,
+    which removes the fractional vertices that branch & bound would
+    otherwise chase one unit at a time.
+    """
+    if atom.op not in ("<", "<=") or not atom.coeffs:
+        return atom
+    if any(v not in int_vars or c.denominator != 1 for v, c in atom.coeffs):
+        return atom
+    c = atom.constant
+    if atom.op == "<":
+        ceil = -((-c.numerator) // c.denominator)
+        return LinearAtom(atom.coeffs, "<=", Fraction(ceil - 1))
+    floor = c.numerator // c.denominator
+    return LinearAtom(atom.coeffs, "<=", Fraction(floor))
+
+
+def check_linear(atoms, int_vars=(), max_branch_nodes=400):
+    """Decide a conjunction of :class:`LinearAtom` constraints.
+
+    ``int_vars`` names variables that must take integer values (branch &
+    bound over the rational relaxation).
+
+    Returns ``(status, model_dict)`` where status is ``"sat"``,
+    ``"unsat"`` or ``"unknown"`` and the model maps variable names to
+    :class:`~fractions.Fraction` values (integral for ``int_vars``).
+    """
+    function_probe("linarith.check_linear")
+    problem_vars = sorted({v for atom in atoms for v, _ in atom.coeffs})
+    int_vars = frozenset(int_vars)
+    if int_vars:
+        atoms = [_tighten_for_ints(a, int_vars) for a in atoms]
+    budget = [max_branch_nodes]
+
+    def solve(extra):
+        if budget[0] <= 0:
+            return UNKNOWN, None
+        budget[0] -= 1
+        simplex = Simplex()
+        for var in problem_vars:
+            simplex._ensure_var(var)
+        for atom in list(atoms) + extra:
+            if not simplex.assert_atom(atom):
+                return UNSAT, None
+        status = simplex.check()
+        if status != SAT:
+            return status, None
+        model = simplex.model(problem_vars)
+        fractional = None
+        for var in problem_vars:
+            if var in int_vars and model[var].denominator != 1:
+                fractional = var
+                break
+        if branch_probe("linarith.integral", fractional is None):
+            return SAT, model
+        value = model[fractional]
+        floor = value.numerator // value.denominator
+        lo_branch = LinearAtom.make({fractional: 1}, "<=", Fraction(floor))
+        hi_branch = LinearAtom.make({fractional: -1}, "<=", Fraction(-(floor + 1)))
+        line_probe("linarith.branch")
+        saw_unknown = False
+        for branch in (lo_branch, hi_branch):
+            status, model = solve(extra + [branch])
+            if status == SAT:
+                return SAT, model
+            if status == UNKNOWN:
+                saw_unknown = True
+        return (UNKNOWN, None) if saw_unknown else (UNSAT, None)
+
+    return solve([])
+
+
+declare_module_probes(__file__)

@@ -1,0 +1,411 @@
+"""Preprocessing: quantifiers, normalization, ite lifting, purification.
+
+The pipeline turns an arbitrary supported script into the
+quantifier-free, division-free form the lazy DPLL(T) loop consumes:
+
+1. **Quantifier handling** — top-level and polarity-pure existentials
+   are skolemized; universals over explicitly bounded integer ranges are
+   expanded. Anything else is left in place and flagged, sending the
+   solver down a refutation-only path.
+2. **Normalization** — ``abs`` and ``is_int`` are rewritten, n-ary
+   comparisons and ``distinct`` are binarized.
+3. **ite lifting** — non-boolean ``ite`` terms become fresh variables
+   with guarded definitions.
+4. **Purification** — ``/``, ``div``, ``mod`` and ``to_int`` become
+   fresh variables with guarded defining constraints; division keeps
+   SMT-LIB's *uninterpreted at zero* semantics (no constraint fires for
+   a zero divisor), with Ackermann constraints enforcing functional
+   consistency. The purification table is returned so models can be
+   translated back (populating the division-at-zero choices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.coverage.probes import declare_module_probes, function_probe, line_probe
+from repro.smtlib.ast import (
+    App,
+    Const,
+    Quantifier,
+    Var,
+    fresh_name,
+    substitute,
+)
+from repro.smtlib.quantbounds import guarded_integer_bounds
+from repro.smtlib.sorts import BOOL, INT, REAL
+from repro.smtlib.typecheck import app
+
+_BOUNDED_EXPANSION_LIMIT = 64
+
+
+@dataclass
+class PreprocessResult:
+    assertions: list
+    quantified: bool = False
+    # (op, numerator_term, denominator_term, fresh_var_name) for each
+    # purified division-like application, in purification order.
+    divisions: list = field(default_factory=list)
+
+
+def preprocess(assertions):
+    """Run the full pipeline; returns a :class:`PreprocessResult`."""
+    function_probe("preprocess.run")
+    result = PreprocessResult(assertions=list(assertions))
+
+    if any(_has_quantifier(t) for t in result.assertions):
+        line_probe("preprocess.quantifiers_present")
+        transformed = []
+        residue = False
+        for term in result.assertions:
+            new_term, left_over = _transform_quantifiers(term, True, False)
+            transformed.append(new_term)
+            residue = residue or left_over
+        result.assertions = transformed
+        result.quantified = residue
+        if residue:
+            # The refutation path instantiates later; stop preprocessing
+            # here because purification is unsound under binders.
+            return result
+
+    result.assertions = [_normalize(t) for t in result.assertions]
+
+    lifted = []
+    extra = []
+    for term in result.assertions:
+        lifted.append(_lift_ites(term, extra))
+    result.assertions = lifted + extra
+
+    purified = []
+    extra = []
+    table = {}
+    for term in result.assertions:
+        purified.append(_purify(term, extra, table))
+    result.assertions = purified + extra
+    result.divisions = [
+        (op, numer, denom, name) for (op, numer, denom), name in table.items()
+    ]
+    _add_ackermann(result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Quantifiers
+# ---------------------------------------------------------------------------
+
+
+def _has_quantifier(term):
+    return any(isinstance(node, Quantifier) for node in term.walk())
+
+
+def _transform_quantifiers(term, positive, under_forall):
+    """Skolemize pure existentials, expand bounded universals.
+
+    Returns ``(new_term, residue)`` where residue is True if a
+    quantifier remains somewhere below.
+    """
+    if isinstance(term, (Var, Const)):
+        return term, False
+    if isinstance(term, Quantifier):
+        is_existential = (term.kind == "exists") == positive
+        if is_existential and not under_forall:
+            line_probe("preprocess.skolemize")
+            mapping = {
+                Var(name, sort): Var(fresh_name(f".sk.{name}"), sort)
+                for name, sort in term.bindings
+            }
+            body = substitute(term.body, mapping)
+            return _transform_quantifiers(body, positive, under_forall)
+        if not is_existential:
+            expansion = _try_bounded_expansion(term)
+            if expansion is not None:
+                line_probe("preprocess.bounded_forall")
+                parts = []
+                residue = False
+                for instance in expansion:
+                    new, r = _transform_quantifiers(instance, positive, under_forall)
+                    parts.append(new)
+                    residue = residue or r
+                if len(parts) == 1:
+                    return parts[0], residue
+                return app("and", *parts), residue
+        # Leave the binder; anything below it stays untouched.
+        return term, True
+    if isinstance(term, App):
+        op = term.op
+        if op == "not":
+            inner, residue = _transform_quantifiers(term.args[0], not positive, under_forall)
+            return app("not", inner), residue
+        if op in ("and", "or"):
+            parts = []
+            residue = False
+            for arg in term.args:
+                new, r = _transform_quantifiers(arg, positive, under_forall)
+                parts.append(new)
+                residue = residue or r
+            return app(op, *parts), residue
+        if op == "=>":
+            parts = []
+            residue = False
+            *hyps, conclusion = term.args
+            for hyp in hyps:
+                new, r = _transform_quantifiers(hyp, not positive, under_forall)
+                parts.append(new)
+                residue = residue or r
+            new, r = _transform_quantifiers(conclusion, positive, under_forall)
+            parts.append(new)
+            residue = residue or r
+            return app("=>", *parts), residue
+        # Mixed-polarity context (xor, =, ite, theory atom): quantifiers
+        # below stay as residue.
+        residue = _has_quantifier(term)
+        return term, residue
+    return term, _has_quantifier(term)
+
+
+def _try_bounded_expansion(term):
+    """Expand ``forall (x Int...) (=> guard body)`` over explicit bounds.
+
+    Returns a list of instances or ``None``.
+    """
+    body = term.body
+    bounds = guarded_integer_bounds(term)
+    if bounds is None:
+        return None
+    total = 1
+    for lo, hi in bounds.values():
+        if hi < lo:
+            return [Const(True, BOOL)]
+        total *= hi - lo + 1
+        if total > _BOUNDED_EXPANSION_LIMIT:
+            return None
+    instances = [{}]
+    for name, (lo, hi) in bounds.items():
+        instances = [
+            {**inst, name: value} for inst in instances for value in range(lo, hi + 1)
+        ]
+    out = []
+    for inst in instances:
+        mapping = {Var(name, INT): Const(value, INT) for name, value in inst.items()}
+        out.append(substitute(body, mapping))
+    return out
+
+
+def instantiate_for_refutation(term, candidate_terms):
+    """Weaken remaining universals by finite instantiation.
+
+    Replaces polarity-positive ``forall`` binders with the conjunction
+    of instances over ``candidate_terms`` (per sort). The result is
+    implied by the original, so its unsatisfiability proves the
+    original unsatisfiable. Binders in mixed positions are replaced by
+    ``true``/``false`` conservatively.
+    """
+
+    def go(node, positive):
+        if isinstance(node, Quantifier):
+            is_universal = (node.kind == "forall") == positive
+            if is_universal:
+                instances = [{}]
+                for name, sort in node.bindings:
+                    values = candidate_terms.get(sort.name, [])
+                    if not values:
+                        return Const(positive, BOOL)
+                    instances = [
+                        {**inst, name: value} for inst in instances for value in values
+                    ]
+                parts = []
+                for inst in instances:
+                    mapping = {
+                        Var(name, sort): value
+                        for (name, sort), value in (
+                            ((n, s), inst[n]) for n, s in node.bindings
+                        )
+                    }
+                    parts.append(go(substitute(node.body, mapping), positive))
+                combiner = "and" if positive else "or"
+                return parts[0] if len(parts) == 1 else app(combiner, *parts)
+            # Weakened existential: conservatively satisfied.
+            return Const(positive, BOOL)
+        if isinstance(node, App):
+            if node.op == "not":
+                return app("not", go(node.args[0], not positive))
+            if node.op in ("and", "or"):
+                return app(node.op, *(go(a, positive) for a in node.args))
+            if node.op == "=>":
+                *hyps, conclusion = node.args
+                parts = [go(h, not positive) for h in hyps]
+                parts.append(go(conclusion, positive))
+                return app("=>", *parts)
+            if _has_quantifier(node):
+                # Mixed polarity below: conservative replacement.
+                return Const(positive, BOOL)
+            return node
+        return node
+
+    return go(term, True)
+
+
+# ---------------------------------------------------------------------------
+# Normalization
+# ---------------------------------------------------------------------------
+
+
+def _normalize(term):
+    """Rewrite abs/is_int, binarize comparisons and distinct."""
+    if isinstance(term, (Var, Const)):
+        return term
+    if isinstance(term, Quantifier):
+        return Quantifier(term.kind, term.bindings, _normalize(term.body))
+    args = [_normalize(a) for a in term.args]
+    op = term.op
+    if op == "abs":
+        line_probe("preprocess.abs")
+        (a,) = args
+        zero = Const(0, INT) if a.sort == INT else Const(Fraction(0), REAL)
+        return app("ite", app(">=", a, zero), a, app("-", a))
+    if op == "is_int":
+        line_probe("preprocess.is_int")
+        (a,) = args
+        return app("=", a, app("to_real", app("to_int", a)))
+    if op in ("<", "<=", ">", ">=") and len(args) > 2:
+        line_probe("preprocess.chain_comparison")
+        parts = [app(op, args[i], args[i + 1]) for i in range(len(args) - 1)]
+        return app("and", *parts)
+    if op == "=" and len(args) > 2 and args[0].sort != BOOL:
+        parts = [app("=", args[0], args[i]) for i in range(1, len(args))]
+        return app("and", *parts)
+    if op == "distinct" and args[0].sort != BOOL:
+        line_probe("preprocess.distinct")
+        parts = []
+        for i in range(len(args)):
+            for j in range(i + 1, len(args)):
+                parts.append(app("not", app("=", args[i], args[j])))
+        return parts[0] if len(parts) == 1 else app("and", *parts)
+    return App(op, tuple(args), term.sort)
+
+
+# ---------------------------------------------------------------------------
+# ite lifting
+# ---------------------------------------------------------------------------
+
+
+def _lift_ites(term, extra):
+    if isinstance(term, (Var, Const)):
+        return term
+    if isinstance(term, Quantifier):
+        return term  # unreachable: quantified scripts stop earlier
+    args = [_lift_ites(a, extra) for a in term.args]
+    if term.op == "ite" and term.sort != BOOL:
+        line_probe("preprocess.lift_ite")
+        condition, then_branch, else_branch = args
+        fresh = Var(fresh_name(".ite"), term.sort)
+        extra.append(app("=>", condition, app("=", fresh, then_branch)))
+        extra.append(app("=>", app("not", condition), app("=", fresh, else_branch)))
+        return fresh
+    return App(term.op, tuple(args), term.sort)
+
+
+# ---------------------------------------------------------------------------
+# Division purification
+# ---------------------------------------------------------------------------
+
+
+def _purify(term, extra, table):
+    if isinstance(term, (Var, Const)):
+        return term
+    if isinstance(term, Quantifier):
+        return term
+    args = [_purify(a, extra, table) for a in term.args]
+    op = term.op
+    if op == "/":
+        line_probe("preprocess.purify_real_div")
+        result = args[0]
+        for denominator in args[1:]:
+            result = _purified_division("/", result, denominator, extra, table)
+        return result
+    if op == "div":
+        line_probe("preprocess.purify_int_div")
+        quotient, _ = _purified_euclid(args[0], args[1], extra, table)
+        return quotient
+    if op == "mod":
+        line_probe("preprocess.purify_mod")
+        _, remainder = _purified_euclid(args[0], args[1], extra, table)
+        return remainder
+    if op == "to_int":
+        line_probe("preprocess.purify_to_int")
+        key = ("to_int", args[0], None)
+        if key not in table:
+            fresh = fresh_name(".toint")
+            table[key] = fresh
+            v = Var(fresh, INT)
+            real_v = app("to_real", v)
+            one = Const(Fraction(1), REAL)
+            extra.append(app("<=", real_v, args[0]))
+            extra.append(app("<", args[0], app("+", real_v, one)))
+        return Var(table[key], INT)
+    return App(op, tuple(args), term.sort)
+
+
+def _purified_division(op, numerator, denominator, extra, table):
+    key = (op, numerator, denominator)
+    if key not in table:
+        fresh = fresh_name(".rdiv")
+        table[key] = fresh
+        v = Var(fresh, REAL)
+        zero = Const(Fraction(0), REAL)
+        nonzero = app("not", app("=", denominator, zero))
+        extra.append(app("=>", nonzero, app("=", app("*", v, denominator), numerator)))
+    return Var(table[key], REAL)
+
+
+def _purified_euclid(numerator, denominator, extra, table):
+    key_div = ("div", numerator, denominator)
+    key_mod = ("mod", numerator, denominator)
+    if key_div not in table:
+        q_name = fresh_name(".idiv")
+        r_name = fresh_name(".imod")
+        table[key_div] = q_name
+        table[key_mod] = r_name
+        q = Var(q_name, INT)
+        r = Var(r_name, INT)
+        zero = Const(0, INT)
+        relation = app("=", numerator, app("+", app("*", denominator, q), r))
+        positive = app(
+            "=>",
+            app(">", denominator, zero),
+            app("and", relation, app(">=", r, zero), app("<", r, denominator)),
+        )
+        negative = app(
+            "=>",
+            app("<", denominator, zero),
+            app("and", relation, app(">=", r, zero), app("<", r, app("-", denominator))),
+        )
+        extra.append(positive)
+        extra.append(negative)
+    return Var(table[key_div], INT), Var(table[key_mod], INT)
+
+
+def _add_ackermann(result):
+    """Functional consistency between purified division applications."""
+    by_op = {}
+    for op, numer, denom, name in result.divisions:
+        if op in ("/", "div", "mod"):
+            by_op.setdefault(op, []).append((numer, denom, name))
+    for op, entries in by_op.items():
+        sort = REAL if op == "/" else INT
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                n1, d1, v1 = entries[i]
+                n2, d2, v2 = entries[j]
+                line_probe("preprocess.ackermann")
+                result.assertions.append(
+                    app(
+                        "=>",
+                        app("and", app("=", n1, n2), app("=", d1, d2)),
+                        app("=", Var(v1, sort), Var(v2, sort)),
+                    )
+                )
+
+
+declare_module_probes(__file__)

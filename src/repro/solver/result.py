@@ -1,0 +1,68 @@
+"""Solver result types shared by the reference solver and fault layer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+class SolverResult(enum.Enum):
+    """The verdict of a ``check-sat`` query."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+    def __str__(self):
+        return self.value
+
+    @classmethod
+    def from_string(cls, text):
+        text = text.strip().lower()
+        for member in cls:
+            if member.value == text:
+                return member
+        raise ValueError(f"not a solver result: {text!r}")
+
+    @property
+    def is_definite(self):
+        return self in (SolverResult.SAT, SolverResult.UNSAT)
+
+    def flipped(self):
+        """sat <-> unsat; unknown stays unknown."""
+        if self is SolverResult.SAT:
+            return SolverResult.UNSAT
+        if self is SolverResult.UNSAT:
+            return SolverResult.SAT
+        return self
+
+
+class SolverCrash(ReproError):
+    """The solver terminated abnormally (segfault / assertion violation).
+
+    Mirrors the paper's crash-bug category: "the solver terminates
+    abnormally or throws internal errors while processing the formula".
+    """
+
+    def __init__(self, message, kind="internal-error"):
+        super().__init__(message)
+        self.kind = kind
+
+
+@dataclass
+class CheckOutcome:
+    """Full outcome of a check: verdict, optional model, statistics."""
+
+    result: SolverResult
+    model: object = None  # repro.semantics.model.Model when SAT
+    stats: dict = None
+    reason: str = ""
+
+    def __post_init__(self):
+        if self.stats is None:
+            self.stats = {}
+
+    def __str__(self):
+        return str(self.result)

@@ -1,0 +1,136 @@
+"""Public solver API: :class:`ReferenceSolver`.
+
+The reference solver plays the role Z3 and CVC4 play in the paper: a
+black box that takes an SMT-LIB script and answers ``sat`` / ``unsat``
+/ ``unknown`` (or crashes — which the reference solver itself never
+does; the fault-injected variants in :mod:`repro.faults` do).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from dataclasses import dataclass, field
+
+from repro.coverage.probes import declare_module_probes, function_probe
+from repro.smtlib.ast import Script
+from repro.smtlib.parser import parse_script
+from repro.solver.dpllt import check_assertions
+from repro.solver.result import CheckOutcome, SolverResult
+from repro.solver.strings import StringConfig
+
+
+@dataclass
+class SolverConfig:
+    """Tunable budgets for the reference solver."""
+
+    seed: int = 0
+    max_rounds: int = 600
+    nonlinear_budget: int = 900
+    # Wall-clock limit per check (0 = unlimited). Implemented with
+    # SIGALRM, so it only engages in the main thread; elsewhere the
+    # round budgets are the only bound. Timeouts answer ``unknown``,
+    # like a real solver driven with a fuzzing time limit.
+    timeout_seconds: float = 0.0
+    strings: StringConfig = field(default_factory=StringConfig)
+
+    @classmethod
+    def fast(cls):
+        """Reduced budgets for high-throughput campaigns: hard inputs
+        answer ``unknown`` sooner (exactly how one configures a real
+        solver with a short timeout for fuzzing)."""
+        return cls(
+            max_rounds=60,
+            nonlinear_budget=250,
+            timeout_seconds=1.5,
+            strings=StringConfig(max_assignments=6000, max_len_per_var=3, max_total_len=6),
+        )
+
+    @classmethod
+    def thorough(cls):
+        """A higher-budget configuration for offline validation."""
+        return cls(
+            max_rounds=2000,
+            strings=StringConfig(
+                max_len_per_var=4, max_total_len=10, max_assignments=200000
+            ),
+        )
+
+
+class ReferenceSolver:
+    """The reproduction's from-scratch SMT solver.
+
+    Supports the paper's logics: quantifier-free linear and nonlinear
+    integer/real arithmetic, strings with regular expressions, and the
+    quantified fragments our seed generators emit (skolemizable
+    existentials, bounded integer universals).
+    """
+
+    name = "reference"
+    version = "1.0.0"
+
+    def __init__(self, config=None):
+        self.config = config or SolverConfig()
+
+    def check(self, source):
+        """Check an SMT-LIB script (text or :class:`Script`).
+
+        Returns a :class:`CheckOutcome`; never raises on well-formed
+        input.
+        """
+        function_probe("solver.check")
+        script = parse_script(source) if isinstance(source, str) else source
+        return self.check_script(script)
+
+    def check_script(self, script):
+        """Check a parsed :class:`Script`; returns a :class:`CheckOutcome`."""
+        if not isinstance(script, Script):
+            raise TypeError(f"expected a Script, got {type(script).__name__}")
+
+        def run():
+            return check_assertions(
+                script.asserts,
+                string_config=self.config.strings,
+                seed=self.config.seed,
+                max_rounds=self.config.max_rounds,
+                nonlinear_budget=self.config.nonlinear_budget,
+            )
+
+        return _run_with_timeout(run, self.config.timeout_seconds)
+
+    def check_result(self, source):
+        """Convenience: just the :class:`SolverResult` verdict."""
+        return self.check(source).result
+
+    def model(self, source):
+        """A verified model if the script is satisfiable, else ``None``."""
+        outcome = self.check(source)
+        if outcome.result is SolverResult.SAT:
+            return outcome.model
+        return None
+
+
+class _CheckTimeout(Exception):
+    """Internal: the per-check wall-clock limit fired."""
+
+
+def _run_with_timeout(run, seconds):
+    """Run a check under a SIGALRM deadline (main thread only)."""
+    if seconds <= 0 or threading.current_thread() is not threading.main_thread():
+        return run()
+
+    def on_alarm(signum, frame):
+        raise _CheckTimeout()
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return run()
+    except _CheckTimeout:
+        return CheckOutcome(SolverResult.UNKNOWN, reason="timeout")
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+declare_module_probes(__file__)

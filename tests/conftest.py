@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.smtlib.parser import parse_script, parse_term
+from repro.solver.solver import ReferenceSolver, SolverConfig
+
+
+@pytest.fixture(scope="session")
+def solver():
+    """One reference solver shared across tests (stateless checks)."""
+    return ReferenceSolver()
+
+
+@pytest.fixture(scope="session")
+def thorough_solver():
+    return ReferenceSolver(SolverConfig.thorough())
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture()
+def parse():
+    return parse_script
+
+
+@pytest.fixture()
+def term():
+    return parse_term
+
+
+def check(solver, text):
+    """Convenience: solve SMT-LIB text, return the verdict string."""
+    return str(solver.check_result(text))

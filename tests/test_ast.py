@@ -1,0 +1,124 @@
+"""Unit tests for AST utilities: free vars, substitution, traversal."""
+
+from repro.smtlib import builder as b
+from repro.smtlib.ast import (
+    App,
+    Const,
+    Quantifier,
+    Var,
+    collect_ops,
+    count_occurrences,
+    free_vars,
+    fresh_name,
+    substitute,
+    term_depth,
+    term_size,
+)
+from repro.smtlib.parser import parse_term
+from repro.smtlib.sorts import BOOL, INT
+
+
+X = Var("x", INT)
+Y = Var("y", INT)
+
+
+class TestFreeVars:
+    def test_var(self):
+        assert free_vars(X) == {X}
+
+    def test_const(self):
+        assert free_vars(Const(1, INT)) == set()
+
+    def test_application(self):
+        assert free_vars(b.add(X, Y)) == {X, Y}
+
+    def test_duplicates_collapse(self):
+        assert free_vars(b.add(X, X)) == {X}
+
+    def test_quantifier_binds(self):
+        term = parse_term("(exists ((x Int)) (> x 0))")
+        assert free_vars(term) == set()
+
+    def test_quantifier_partial_binding(self):
+        body = b.gt(Var("h", INT), X)
+        term = Quantifier("exists", (("h", INT),), body)
+        assert free_vars(term) == {X}
+
+
+class TestCountOccurrences:
+    def test_zero(self):
+        assert count_occurrences(Const(1, INT), X) == 0
+
+    def test_multiple(self):
+        term = b.add(X, b.mul(X, Y), X)
+        assert count_occurrences(term, X) == 3
+
+    def test_bound_not_counted(self):
+        term = Quantifier("forall", (("x", INT),), b.gt(Var("x", INT), 0))
+        assert count_occurrences(term, X) == 0
+
+
+class TestSubstitute:
+    def test_simple(self):
+        term = substitute(b.add(X, Y), {X: Const(1, INT)})
+        assert str(term) == "(+ 1 y)"
+
+    def test_simultaneous(self):
+        term = substitute(b.add(X, Y), {X: Y, Y: X})
+        assert str(term) == "(+ y x)"
+
+    def test_no_op_returns_same_object(self):
+        term = b.add(X, Y)
+        assert substitute(term, {Var("z", INT): X}) is term
+
+    def test_capture_avoidance(self):
+        # exists h. h > x, substituting x := h+1 must rename the binder.
+        h = Var("h", INT)
+        term = Quantifier("exists", (("h", INT),), b.gt(h, X))
+        result = substitute(term, {X: b.add(h, 1)})
+        assert result.bindings[0][0] != "h"
+        assert count_occurrences(result.body, h) == 1  # the free h survived
+
+    def test_bound_name_not_substituted(self):
+        h = Var("h", INT)
+        term = Quantifier("exists", (("h", INT),), b.gt(h, 0))
+        assert substitute(term, {h: Const(5, INT)}) is term
+
+
+class TestMetrics:
+    def test_term_size(self):
+        assert term_size(b.add(X, Const(1, INT))) == 3
+
+    def test_term_depth(self):
+        assert term_depth(X) == 1
+        assert term_depth(b.add(X, b.mul(X, Y))) == 3
+
+    def test_collect_ops(self):
+        assert collect_ops(b.add(X, b.mul(X, Y))) == {"+", "*"}
+
+    def test_walk_covers_everything(self):
+        term = b.and_(b.gt(X, 0), b.lt(Y, 0))
+        nodes = list(term.walk())
+        assert term in nodes
+        assert X in nodes and Y in nodes
+
+
+class TestFreshName:
+    def test_unique(self):
+        names = {fresh_name("q") for _ in range(100)}
+        assert len(names) == 100
+
+    def test_prefix(self):
+        assert fresh_name("abc").startswith("abc!")
+
+
+class TestEqualityAndHash:
+    def test_structural_equality(self):
+        assert b.add(X, Y) == b.add(X, Y)
+
+    def test_hashable(self):
+        seen = {b.add(X, Y), b.add(X, Y), b.add(Y, X)}
+        assert len(seen) == 2
+
+    def test_sort_distinguishes(self):
+        assert Var("x", INT) != Var("x", BOOL)

@@ -1,0 +1,80 @@
+"""Tests for the term-construction DSL."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.smtlib import builder as b
+from repro.smtlib.ast import Const, Quantifier
+from repro.smtlib.sorts import BOOL, INT, REAL, REGLAN, STRING
+
+
+class TestLift:
+    def test_int(self):
+        assert b.lift(3) == Const(3, INT)
+
+    def test_bool_before_int(self):
+        assert b.lift(True) == Const(True, BOOL)
+
+    def test_fraction(self):
+        assert b.lift(Fraction(1, 2)) == Const(Fraction(1, 2), REAL)
+
+    def test_float_converted_exactly(self):
+        assert b.lift(0.5) == Const(Fraction(1, 2), REAL)
+
+    def test_string(self):
+        assert b.lift("ab") == Const("ab", STRING)
+
+    def test_int_with_real_hint(self):
+        assert b.lift(2, sort_hint=REAL) == Const(Fraction(2), REAL)
+
+    def test_term_passthrough(self):
+        x = b.int_var("x")
+        assert b.lift(x) is x
+
+    def test_unsupported(self):
+        with pytest.raises(TypeError):
+            b.lift(object())
+
+
+class TestConstructors:
+    def test_variables(self):
+        assert b.int_var("i").sort == INT
+        assert b.real_var("r").sort == REAL
+        assert b.bool_var("p").sort == BOOL
+        assert b.string_var("s").sort == STRING
+
+    def test_arith_sorts(self):
+        x = b.int_var("x")
+        assert b.add(x, 1).sort == INT
+        assert b.div(x, 2).sort == REAL
+        assert b.idiv(x, 2).sort == INT
+        assert b.lt(x, 0).sort == BOOL
+
+    def test_string_ops(self):
+        s = b.string_var("s")
+        assert b.concat(s, "x").sort == STRING
+        assert b.length(s).sort == INT
+        assert b.in_re(s, b.re_all()).sort == BOOL
+        assert b.to_re(s).sort == REGLAN
+
+    def test_regex_ops(self):
+        r = b.to_re(b.lift("a"))
+        assert b.re_star(r).sort == REGLAN
+        assert b.re_union(r, b.re_none()).sort == REGLAN
+        assert b.re_range("a", "z").sort == REGLAN
+
+    def test_quantifiers_from_vars(self):
+        h = b.int_var("h")
+        term = b.forall([h], b.ge(h, h))
+        assert isinstance(term, Quantifier)
+        assert term.bindings == (("h", INT),)
+
+    def test_quantifiers_from_pairs(self):
+        term = b.exists([("k", REAL)], b.lift(True))
+        assert term.bindings == (("k", REAL),)
+
+    def test_python_values_lifted_in_place(self):
+        term = b.and_(True, b.gt(b.int_var("x"), 0))
+        assert term.op == "and"
+        assert term.args[0] == Const(True, BOOL)

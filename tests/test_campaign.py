@@ -1,0 +1,142 @@
+"""Integration tests for the campaign runner, triage, and tables."""
+
+import pytest
+
+from repro.campaign import (
+    attribute_fault,
+    figure8a_rows,
+    figure8b_rows,
+    figure8c_rows,
+    figure9_rows,
+    figure10_rows,
+    render_table,
+    run_campaign,
+)
+from repro.campaign.runner import default_solvers
+from repro.core.yinyang import BugRecord
+from repro.seeds import build_corpus
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    corpora = {
+        "QF_S": build_corpus("QF_S", scale=0.0015, seed=5),
+        "QF_LIA": build_corpus("QF_LIA", scale=0.003, seed=5),
+    }
+    return run_campaign(corpora, iterations_per_cell=12, seed=6)
+
+
+class TestAttribution:
+    def test_fault_note_parsing(self):
+        record = BugRecord(
+            kind="soundness",
+            solver="z3-like",
+            oracle="unsat",
+            reported="sat",
+            script=None,
+            note="fault:z3-soundness-014",
+        )
+        assert attribute_fault(record) == "z3-soundness-014"
+
+    def test_crash_note_parsing(self):
+        record = BugRecord(
+            kind="crash",
+            solver="z3-like",
+            oracle="unsat",
+            reported="segfault",
+            script=None,
+            note="z3-crash-006",
+        )
+        assert attribute_fault(record) == "z3-crash-006"
+
+    def test_unknown_note_parsing(self):
+        record = BugRecord(
+            kind="unknown",
+            solver="z3-like",
+            oracle="sat",
+            reported="unknown",
+            script=None,
+            note="error: rewriter failed to converge (z3-unknown-000)",
+        )
+        assert attribute_fault(record) == "z3-unknown-000"
+
+    def test_no_note(self):
+        record = BugRecord(
+            kind="soundness",
+            solver="z3-like",
+            oracle="sat",
+            reported="unsat",
+            script=None,
+        )
+        assert attribute_fault(record) == ""
+
+
+class TestCampaign:
+    def test_finds_bugs(self, small_campaign):
+        assert small_campaign.records
+        assert small_campaign.fused_total > 0
+
+    def test_found_faults_are_known(self, small_campaign):
+        found = small_campaign.found_faults()
+        for solver_name, faults in found.items():
+            catalog_ids = {f.fault_id for f in small_campaign.catalogs[solver_name]}
+            assert set(faults) <= catalog_ids
+
+    def test_z3_like_yields_more(self, small_campaign):
+        found = small_campaign.found_faults()
+        assert len(found["z3-like"]) >= len(found["cvc4-like"])
+
+    def test_records_attribute_to_their_solver(self, small_campaign):
+        found = small_campaign.found_faults()
+        for solver_name, faults in found.items():
+            for fault_id, records in faults.items():
+                assert all(r.solver == solver_name for r in records)
+
+    def test_summary_mentions_both_solvers(self, small_campaign):
+        text = small_campaign.summary()
+        assert "z3-like" in text and "cvc4-like" in text
+
+
+class TestTables:
+    def test_figure8a_row_structure(self, small_campaign):
+        rows = figure8a_rows(small_campaign)
+        labels = [r[0] for r in rows]
+        assert labels == ["Reported", "Confirmed", "Fixed", "Duplicate", "Won't fix"]
+        reported = rows[0]
+        assert reported[1] >= rows[1][1]  # reported >= confirmed
+
+    def test_figure8b_types(self, small_campaign):
+        rows = {r[0]: r for r in figure8b_rows(small_campaign)}
+        assert set(rows) == {"Soundness", "Crash", "Performance", "Unknown"}
+        # Paper columns present.
+        assert rows["Soundness"][3] == 24 and rows["Soundness"][4] == 5
+
+    def test_figure8c_logics(self, small_campaign):
+        rows = {r[0]: r for r in figure8c_rows(small_campaign)}
+        assert rows["NRA"][3] == 15  # paper column
+
+    def test_figure9(self, small_campaign):
+        per_year, shares = figure9_rows(small_campaign)
+        assert sum(n for _, n in per_year["z3-like"]) == 146
+        assert "z3-like" in shares
+
+    def test_figure10(self, small_campaign):
+        tables = figure10_rows(small_campaign)
+        z3_rows = tables["z3-like"]
+        assert z3_rows[-1][0] == "trunk"
+        # ours <= paper everywhere (a quick campaign finds a subset).
+        for release, ours, paper in z3_rows:
+            assert ours <= paper
+
+    def test_render_table(self):
+        text = render_table(["a", "bb"], [(1, 22), (333, 4)], "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "333" in lines[-1]
+
+
+class TestReleases:
+    def test_default_solvers_release_parameter(self):
+        trunk_z3 = default_solvers("trunk")[0]
+        old_z3 = default_solvers("4.5.0")[0]
+        assert len(old_z3.active_faults()) < len(trunk_z3.active_faults())

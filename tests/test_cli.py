@@ -1,0 +1,90 @@
+"""Tests for the yinyang command line."""
+
+import pytest
+
+from repro.cli import build_parser, main, make_solver
+
+
+@pytest.fixture()
+def seed_files(tmp_path):
+    a = tmp_path / "a.smt2"
+    a.write_text("(declare-fun x () Int)(assert (> x 0))(check-sat)\n")
+    b = tmp_path / "b.smt2"
+    b.write_text("(declare-fun y () Int)(assert (< y 0))(check-sat)\n")
+    return str(a), str(b)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fuse_args(self, seed_files):
+        args = build_parser().parse_args(
+            ["fuse", "--oracle", "sat", *seed_files]
+        )
+        assert args.oracle == "sat"
+
+    def test_bad_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check", "f.smt2", "--solver", "z4"])
+
+
+class TestCommands:
+    def test_fuse_outputs_script(self, seed_files, capsys):
+        code = main(["fuse", "--oracle", "sat", *seed_files, "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(check-sat)" in out
+        assert "declare-fun z" in out
+
+    def test_check_reference(self, seed_files, capsys):
+        code = main(["check", seed_files[0], "--solver", "reference"])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "sat"
+
+    def test_check_crash_exit_code(self, tmp_path, capsys):
+        from repro.faults.paper_samples import sample_by_figure
+
+        crash = tmp_path / "crash.smt2"
+        crash.write_text(sample_by_figure("13f").smt2)
+        code = main(["check", str(crash), "--solver", "z3-like"])
+        assert code == 2
+        assert "crash" in capsys.readouterr().out
+
+    def test_generate(self, capsys):
+        code = main(
+            ["generate", "--family", "QF_LIA", "--oracle", "unsat", "--count", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("(check-sat)") == 2
+        assert "; oracle: unsat" in out
+
+    def test_test_loop(self, capsys):
+        code = main(
+            [
+                "test",
+                "--oracle",
+                "unsat",
+                "--corpus",
+                "QF_LIA",
+                "--solver",
+                "reference",
+                "--iterations",
+                "4",
+                "--scale",
+                "0.002",
+                "--show",
+                "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 iterations" in out
+        assert "throughput" in out
+
+    def test_make_solver_names(self):
+        assert make_solver("reference").name == "reference"
+        assert make_solver("z3-like").name == "z3-like"
+        assert make_solver("cvc4-like").name == "cvc4-like"

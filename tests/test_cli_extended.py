@@ -1,0 +1,61 @@
+"""Tests for the reduce and campaign CLI subcommands."""
+
+import pytest
+
+from repro.cli import main
+from repro.smtlib.parser import parse_script
+
+
+@pytest.fixture()
+def bug_file(tmp_path):
+    """A small formula that triggers z3-soundness-014 (to-int-of-term)."""
+    path = tmp_path / "bug.smt2"
+    path.write_text(
+        "(declare-fun a () String)\n"
+        '(assert (>= (str.to.int (str.++ a "x")) 0))\n'
+        '(assert (= a ""))\n'
+        "(assert (< (str.len a) 0))\n"
+        "(check-sat)\n"
+    )
+    return str(path)
+
+
+class TestReduceCommand:
+    def test_reduce_soundness_bug(self, bug_file, capsys):
+        code = main(
+            ["reduce", bug_file, "--solver", "z3-like", "--expect", "unsat"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        reduced = parse_script(out)
+        # Reduction keeps a bug-triggering core, smaller than the input.
+        assert 1 <= len(reduced.asserts) <= 3
+
+    def test_reduce_crash_bug(self, tmp_path, capsys):
+        from repro.faults.paper_samples import sample_by_figure
+
+        path = tmp_path / "crash.smt2"
+        path.write_text(sample_by_figure("13f").smt2)
+        code = main(
+            ["reduce", str(path), "--solver", "z3-like", "--expect", "crash"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(check-sat)" in out
+
+    def test_reduce_rejects_non_bug(self, tmp_path):
+        path = tmp_path / "fine.smt2"
+        path.write_text("(declare-fun x () Int)(assert (> x 0))(check-sat)\n")
+        from repro.errors import ReductionError
+
+        with pytest.raises(ReductionError):
+            main(["reduce", str(path), "--solver", "z3-like", "--expect", "unsat"])
+
+
+class TestCampaignCommand:
+    def test_campaign_prints_tables(self, capsys):
+        code = main(["campaign", "--scale", "0.0005", "--iterations", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 8a" in out and "Figure 8c" in out
+        assert "Reported" in out

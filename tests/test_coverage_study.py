@@ -1,0 +1,80 @@
+"""Tests for the RQ3/RQ4 coverage-study harness."""
+
+import pytest
+
+from repro.campaign.coverage_study import (
+    _fused_scripts,
+    coverage_cell,
+    coverage_table,
+    figure12_averages,
+)
+from repro.core.oracle import SeedCorpus
+from repro.seeds import build_corpus
+from repro.solver.solver import ReferenceSolver, SolverConfig
+
+
+@pytest.fixture(scope="module")
+def fast_solver():
+    return ReferenceSolver(SolverConfig.fast())
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus("QF_LIA", scale=0.002, seed=19)
+
+
+class TestFusedScripts:
+    def test_yinyang_mode_produces_fusions(self, corpus):
+        scripts = [s.script for s in corpus.sat_seeds]
+        fused = _fused_scripts("sat", scripts, budget=5, seed=1, mode="yinyang")
+        assert len(fused) == 5
+        # Fusion introduces fresh z variables.
+        assert any(
+            v.name.startswith("z!") for f in fused for v in f.free_variables()
+        )
+
+    def test_concat_mode_adds_no_variables(self, corpus):
+        scripts = [s.script for s in corpus.sat_seeds]
+        concatenated = _fused_scripts("sat", scripts, budget=5, seed=1, mode="concat")
+        for script in concatenated:
+            assert not any(
+                v.name.startswith("z!") for v in script.free_variables()
+            )
+
+
+class TestCoverageCell:
+    def test_yinyang_dominates(self, fast_solver, corpus):
+        cell = coverage_cell(fast_solver, corpus, "sat", fuzz_budget=6, seed=3)
+        assert cell.yinyang.dominates(cell.benchmark)
+
+    def test_empty_oracle_side(self, fast_solver):
+        empty = SeedCorpus("empty")
+        cell = coverage_cell(fast_solver, empty, "sat", fuzz_budget=3)
+        assert cell.benchmark.line == 0.0
+
+    def test_with_concatfuzz(self, fast_solver, corpus):
+        cell = coverage_cell(
+            fast_solver, corpus, "sat", fuzz_budget=6, seed=3, with_concatfuzz=True
+        )
+        assert cell.concatfuzz is not None
+        assert cell.yinyang.dominates(cell.concatfuzz)
+
+    def test_improvement_keys(self, fast_solver, corpus):
+        cell = coverage_cell(fast_solver, corpus, "sat", fuzz_budget=4, seed=3)
+        assert set(cell.improvement()) == {"line", "function", "branch"}
+
+
+class TestTableAndAverages:
+    def test_table_covers_present_oracles(self, fast_solver, corpus):
+        cells = coverage_table(
+            fast_solver, {"QF_LIA": corpus}, ["QF_LIA"], fuzz_budget=4, seed=2
+        )
+        assert {c.oracle for c in cells} == {"sat", "unsat"}
+
+    def test_figure12_averages_without_concat(self, fast_solver, corpus):
+        cells = coverage_table(
+            fast_solver, {"QF_LIA": corpus}, ["QF_LIA"], fuzz_budget=4, seed=2
+        )
+        bench, concat, yinyang = figure12_averages(cells)
+        assert concat.line == 0.0  # no concat cells measured
+        assert yinyang.dominates(bench)

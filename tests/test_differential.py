@@ -1,0 +1,92 @@
+"""Differential testing of the reference solver against itself.
+
+The paper's prior-work baselines (FuzzSMT etc.) rely on differential
+testing; we use the same idea as an internal soundness net: two
+configurations of the reference solver (fast, thorough) must never give
+*contradicting* definite answers, across generated seeds and fused
+formulas. ``unknown`` is always an acceptable answer; sat-vs-unsat is
+never.
+"""
+
+import random
+
+import pytest
+
+from repro.core.fusion import fuse
+from repro.seeds import (
+    generate_arith_seed,
+    generate_string_seed,
+    generate_stringfuzz_seed,
+)
+from repro.solver.solver import ReferenceSolver, SolverConfig
+
+
+@pytest.fixture(scope="module")
+def fast():
+    return ReferenceSolver(SolverConfig.fast())
+
+
+@pytest.fixture(scope="module")
+def thorough():
+    config = SolverConfig.thorough()
+    config.timeout_seconds = 5.0
+    return ReferenceSolver(config)
+
+
+def _agree(fast_solver, thorough_solver, script):
+    a = fast_solver.check_script(script).result
+    b = thorough_solver.check_script(script).result
+    if a.is_definite and b.is_definite:
+        assert a is b, f"configurations contradict: {a} vs {b}\n{script}"
+    return a, b
+
+
+FAMILIES = ["QF_LIA", "QF_LRA", "QF_NRA", "QF_S", "QF_SLIA"]
+
+
+class TestSeedAgreement:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("oracle", ["sat", "unsat"])
+    def test_configs_never_contradict_on_seeds(self, fast, thorough, family, oracle):
+        rng = random.Random(hash((family, oracle)) & 0xFFFF)
+        for _ in range(4):
+            if family.startswith("QF_S"):
+                seed = generate_string_seed(family, oracle, rng)
+            else:
+                seed = generate_arith_seed(family, oracle, rng)
+            a, b = _agree(fast, thorough, seed.script)
+            # Additionally: any definite answer must match the label.
+            for verdict in (a, b):
+                if verdict.is_definite:
+                    assert str(verdict) == oracle
+
+    def test_stringfuzz_agreement(self, fast, thorough):
+        rng = random.Random(99)
+        for oracle in ("sat", "unsat"):
+            for _ in range(3):
+                seed = generate_stringfuzz_seed(oracle, rng)
+                _agree(fast, thorough, seed.script)
+
+
+class TestFusionAgreement:
+    @pytest.mark.parametrize("trial", range(6))
+    def test_configs_never_contradict_on_fusions(self, fast, thorough, trial):
+        rng = random.Random(trial * 7)
+        phi1 = generate_arith_seed("QF_LIA", "sat", rng)
+        phi2 = generate_arith_seed("QF_LIA", "sat", rng)
+        fused = fuse("sat", phi1.script, phi2.script, rng)
+        a, b = _agree(fast, thorough, fused.script)
+        for verdict in (a, b):
+            if verdict.is_definite:
+                assert str(verdict) == "sat"
+
+    @pytest.mark.parametrize("trial", range(4))
+    def test_unsat_fusion_agreement(self, fast, thorough, trial):
+        rng = random.Random(trial * 13 + 1)
+        phi1 = generate_string_seed("QF_S", "unsat", rng)
+        phi2 = generate_string_seed("QF_S", "unsat", rng)
+        fused = fuse("unsat", phi1.script, phi2.script, rng)
+        a, b = _agree(fast, thorough, fused.script)
+        for verdict in (a, b):
+            if verdict.is_definite:
+                assert str(verdict) == "unsat"

@@ -1,0 +1,83 @@
+"""Tests for the error hierarchy, results, and package surface."""
+
+import pytest
+
+from repro.errors import (
+    EvaluationError,
+    FusionError,
+    ParseError,
+    ReductionError,
+    ReproError,
+    SmtLibError,
+    SortError,
+)
+from repro.solver.result import CheckOutcome, SolverCrash, SolverResult
+
+
+class TestHierarchy:
+    def test_all_inherit_from_repro_error(self):
+        for exc in (SmtLibError, ParseError, SortError, EvaluationError, FusionError, ReductionError):
+            assert issubclass(exc, ReproError)
+
+    def test_parse_error_location_rendering(self):
+        err = ParseError("bad token", line=3, column=7)
+        assert "line 3" in str(err) and "column 7" in str(err)
+
+    def test_parse_error_without_location(self):
+        assert str(ParseError("oops")) == "oops"
+
+    def test_sort_error_is_smtlib_error(self):
+        assert issubclass(SortError, SmtLibError)
+
+
+class TestSolverResult:
+    def test_from_string(self):
+        assert SolverResult.from_string("SAT") is SolverResult.SAT
+        assert SolverResult.from_string(" unsat ") is SolverResult.UNSAT
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            SolverResult.from_string("maybe")
+
+    def test_is_definite(self):
+        assert SolverResult.SAT.is_definite
+        assert SolverResult.UNSAT.is_definite
+        assert not SolverResult.UNKNOWN.is_definite
+
+    def test_flipped(self):
+        assert SolverResult.SAT.flipped() is SolverResult.UNSAT
+        assert SolverResult.UNSAT.flipped() is SolverResult.SAT
+        assert SolverResult.UNKNOWN.flipped() is SolverResult.UNKNOWN
+
+    def test_str(self):
+        assert str(SolverResult.SAT) == "sat"
+
+    def test_outcome_defaults(self):
+        outcome = CheckOutcome(SolverResult.UNKNOWN)
+        assert outcome.stats == {}
+        assert str(outcome) == "unknown"
+
+    def test_crash_kind(self):
+        crash = SolverCrash("boom", kind="assertion")
+        assert crash.kind == "assertion"
+        assert isinstance(crash, ReproError)
+
+
+class TestPackageSurface:
+    def test_lazy_exports(self):
+        import repro
+
+        assert callable(repro.parse_script)
+        assert callable(repro.fuse_scripts)
+        assert repro.SolverResult is SolverResult
+
+    def test_unknown_attribute(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__

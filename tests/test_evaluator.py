@@ -1,0 +1,225 @@
+"""Unit tests for term evaluation (SMT-LIB semantics edge cases)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.semantics.evaluator import evaluate, evaluate_script
+from repro.semantics.model import Model
+from repro.smtlib import builder as b
+from repro.smtlib.parser import parse_script, parse_term
+from repro.smtlib.ast import Var
+from repro.smtlib.sorts import INT, REAL, STRING
+
+
+def ev(text, variables=(), **assignment):
+    return evaluate(parse_term(text, variables), Model(assignment))
+
+
+X = Var("x", INT)
+R = Var("r", REAL)
+S = Var("s", STRING)
+
+
+class TestCore:
+    def test_and_or(self):
+        assert ev("(and true true)") is True
+        assert ev("(or false true)") is True
+        assert ev("(and true false)") is False
+
+    def test_implies_chain(self):
+        assert ev("(=> true true)") is True
+        assert ev("(=> false false)") is True
+        assert ev("(=> true false)") is False
+
+    def test_xor(self):
+        assert ev("(xor true false true)") is False
+        assert ev("(xor true false)") is True
+
+    def test_ite(self):
+        assert ev("(ite true 1 2)") == 1
+        assert ev("(ite false 1 2)") == 2
+
+    def test_eq_distinct(self):
+        assert ev("(= 1 1 1)") is True
+        assert ev("(distinct 1 2 3)") is True
+        assert ev("(distinct 1 2 1)") is False
+
+    def test_short_circuit_and(self):
+        # (and false <undefined>) must not raise.
+        term = parse_term("(and false (= (div x 0) 1))", [X])
+        model = Model({"x": 1})
+        assert evaluate(term, model) is False
+
+
+class TestArithmetic:
+    def test_sum(self):
+        assert ev("(+ 1 2 3)") == 6
+
+    def test_minus_variants(self):
+        assert ev("(- 5)") == -5
+        assert ev("(- 10 3 2)") == 5
+
+    def test_real_division(self):
+        assert ev("(/ 1.0 4.0)") == Fraction(1, 4)
+
+    def test_chained_division(self):
+        assert ev("(/ 8.0 2.0 2.0)") == Fraction(2)
+
+    @pytest.mark.parametrize(
+        "a,b_,q,r",
+        [
+            (7, 2, 3, 1),
+            (-7, 2, -4, 1),
+            (7, -2, -3, 1),
+            (-7, -2, 4, 1),
+            (6, 3, 2, 0),
+        ],
+    )
+    def test_euclidean_div_mod(self, a, b_, q, r):
+        assert ev(f"(div {_lit(a)} {_lit(b_)})") == q
+        assert ev(f"(mod {_lit(a)} {_lit(b_)})") == r
+
+    def test_abs(self):
+        assert ev("(abs (- 4))") == 4
+
+    def test_comparisons_chained(self):
+        assert ev("(< 1 2 3)") is True
+        assert ev("(< 1 3 2)") is False
+        assert ev("(<= 1 1 2)") is True
+
+    def test_to_real_to_int(self):
+        assert ev("(to_real 3)") == Fraction(3)
+        assert ev("(to_int 2.5)") == 2
+        assert ev("(to_int (- 2.5))") == -3  # floor
+
+    def test_is_int(self):
+        assert ev("(is_int 2.0)") is True
+        assert ev("(is_int 2.5)") is False
+
+
+class TestDivisionAtZero:
+    def test_default_is_zero(self):
+        assert ev("(/ 5.0 0.0)") == 0
+
+    def test_consistent_within_model(self):
+        term = parse_term("(= (/ r 0.0) (/ r 0.0))", [R])
+        assert evaluate(term, Model({"r": Fraction(3)})) is True
+
+    def test_model_choice_respected(self):
+        model = Model({"r": Fraction(3)})
+        model.set_div_at_zero("/", Fraction(3), Fraction(9))
+        assert evaluate(parse_term("(/ r 0.0)", [R]), model) == Fraction(9)
+
+    def test_div_and_mod_choices_independent(self):
+        model = Model({"x": 5})
+        model.set_div_at_zero("div", 5, 7)
+        model.set_div_at_zero("mod", 5, 2)
+        assert evaluate(parse_term("(div x 0)", [X]), model) == 7
+        assert evaluate(parse_term("(mod x 0)", [X]), model) == 2
+
+
+class TestStrings:
+    def test_concat_len(self):
+        assert ev('(str.++ "ab" "cd")') == "abcd"
+        assert ev('(str.len "abc")') == 3
+
+    def test_at_in_and_out_of_range(self):
+        assert ev('(str.at "abc" 1)') == "b"
+        assert ev('(str.at "abc" 5)') == ""
+        assert ev('(str.at "abc" (- 1))') == ""
+
+    def test_substr_cases(self):
+        assert ev('(str.substr "hello" 1 3)') == "ell"
+        assert ev('(str.substr "hello" 4 10)') == "o"
+        assert ev('(str.substr "hello" 9 1)') == ""
+        assert ev('(str.substr "hello" 0 0)') == ""
+
+    def test_indexof(self):
+        assert ev('(str.indexof "abcabc" "bc" 0)') == 1
+        assert ev('(str.indexof "abcabc" "bc" 2)') == 4
+        assert ev('(str.indexof "abc" "z" 0)') == -1
+        assert ev('(str.indexof "abc" "a" 9)') == -1
+        assert ev('(str.indexof "abc" "" 2)') == 2
+
+    def test_replace_first_only(self):
+        assert ev('(str.replace "aaa" "a" "b")') == "baa"
+
+    def test_replace_missing(self):
+        assert ev('(str.replace "abc" "z" "y")') == "abc"
+
+    def test_replace_empty_pattern_prepends(self):
+        assert ev('(str.replace "abc" "" "X")') == "Xabc"
+
+    def test_prefixof_suffixof(self):
+        assert ev('(str.prefixof "ab" "abc")') is True
+        assert ev('(str.prefixof "bc" "abc")') is False
+        assert ev('(str.suffixof "bc" "abc")') is True
+
+    def test_contains_argument_order(self):
+        # (str.contains s t): t occurs in s.
+        assert ev('(str.contains "abc" "b")') is True
+        assert ev('(str.contains "b" "abc")') is False
+
+    def test_to_int_digits(self):
+        assert ev('(str.to.int "042")') == 42
+
+    def test_to_int_empty_is_minus_one(self):
+        assert ev('(str.to.int "")') == -1
+
+    def test_to_int_nondigits(self):
+        assert ev('(str.to.int "a1")') == -1
+        assert ev('(str.to.int "-5")') == -1
+
+    def test_from_int(self):
+        assert ev("(str.from.int 42)") == "42"
+        assert ev("(str.from.int (- 3))") == ""
+
+    def test_in_re(self):
+        assert ev('(str.in.re "aaaa" (re.* (str.to.re "aa")))') is True
+        assert ev('(str.in.re "aaa" (re.* (str.to.re "aa")))') is False
+
+
+class TestQuantifiers:
+    def test_exists_with_witness(self):
+        assert ev("(exists ((h Int)) (= h 3))") is True
+
+    def test_forall_with_counterexample(self):
+        assert ev("(forall ((h Int)) (> h 0))") is False
+
+    def test_undecidable_forall_raises(self):
+        with pytest.raises(EvaluationError):
+            ev("(forall ((h Int)) (= h h))")
+
+    def test_large_witness_found_via_adaptive_domain(self):
+        # Constants in the body extend the enumeration domain.
+        assert ev("(exists ((h Int)) (> h 1000))") is True
+
+    def test_undecidable_exists_raises(self):
+        with pytest.raises(EvaluationError):
+            ev("(exists ((h Int)) (< (* h h) 0))")
+
+    def test_nested_quantifiers(self):
+        assert ev("(exists ((a Int) (bq Int)) (and (= a 1) (= bq 2)))") is True
+
+
+class TestScriptEvaluation:
+    def test_missing_variable_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate(parse_term("(> x 0)", [X]), Model())
+
+    def test_evaluate_script_completes_model(self):
+        script = parse_script("(declare-fun x () Int)(assert (>= x 0))(check-sat)")
+        assert evaluate_script(script, Model()) is True  # default 0
+
+    def test_evaluate_script_conjunction(self):
+        script = parse_script(
+            "(declare-fun x () Int)(assert (> x 0))(assert (< x 5))(check-sat)"
+        )
+        assert evaluate_script(script, Model({"x": 3})) is True
+        assert evaluate_script(script, Model({"x": 7})) is False
+
+
+def _lit(n):
+    return str(n) if n >= 0 else f"(- {-n})"

@@ -1,0 +1,46 @@
+"""Smoke tests: every example script runs to completion.
+
+Run as subprocesses so each example is exercised exactly as a user
+would run it. These are the slowest tests in the suite; they guard the
+documentation's promises.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "quickstart.py",
+    "custom_fusion_function.py",
+    "find_bugs_campaign.py",
+    "coverage_study.py",
+    "testing_rounds.py",
+]
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example):
+    path = os.path.join(EXAMPLES_DIR, example)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must narrate what they do"
+
+
+def test_quickstart_shows_both_propositions():
+    path = os.path.join(EXAMPLES_DIR, "quickstart.py")
+    result = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True, timeout=600
+    )
+    assert "SAT fusion" in result.stdout
+    assert "UNSAT fusion" in result.stdout
+    assert "solver says: sat" in result.stdout
+    assert "solver says: unsat" in result.stdout

@@ -1,0 +1,178 @@
+"""Integration tests for Semantic Fusion (Algorithm 2)."""
+
+import random
+
+import pytest
+
+from repro.core.config import FusionConfig
+from repro.core.fusion import fuse, fuse_mixed, fuse_scripts, fused_model
+from repro.errors import FusionError
+from repro.semantics.evaluator import evaluate_script
+from repro.semantics.model import Model
+from repro.smtlib.ast import DeclareFun
+from repro.smtlib.parser import parse_script
+
+SAT_INT_1 = parse_script(
+    "(declare-fun x () Int)(assert (> x 0))(assert (> x 1))(check-sat)"
+)
+SAT_INT_2 = parse_script(
+    "(declare-fun y () Int)(assert (< y 0))(assert (< y 1))(check-sat)"
+)
+UNSAT_INT_1 = parse_script(
+    "(declare-fun x () Int)(assert (> x 0))(assert (< x 0))(check-sat)"
+)
+UNSAT_INT_2 = parse_script(
+    "(declare-fun y () Int)(assert (distinct y y))(check-sat)"
+)
+SAT_STR = parse_script(
+    '(declare-fun s () String)(assert (= (str.len s) 2))(check-sat)'
+)
+SAT_BOOL_ONLY = parse_script(
+    "(declare-fun p () Bool)(assert p)(check-sat)"
+)
+
+
+class TestStructure:
+    def test_sat_fusion_merges_asserts(self, rng):
+        result = fuse("sat", SAT_INT_1, SAT_INT_2, rng)
+        assert len(result.script.asserts) == 4
+
+    def test_unsat_fusion_adds_constraints(self, rng):
+        result = fuse("unsat", UNSAT_INT_1, UNSAT_INT_2, rng)
+        # One disjunction plus three constraints per triplet.
+        assert len(result.script.asserts) == 1 + 3 * len(result.triplets)
+
+    def test_fresh_z_declared(self, rng):
+        result = fuse("sat", SAT_INT_1, SAT_INT_2, rng)
+        declared = {
+            c.name for c in result.script.commands if isinstance(c, DeclareFun)
+        }
+        for triplet in result.triplets:
+            assert triplet.z.name in declared
+
+    def test_variable_renaming_on_collision(self, rng):
+        clone = parse_script(
+            "(declare-fun x () Int)(assert (< x 0))(check-sat)"
+        )
+        result = fuse("sat", SAT_INT_1, clone, rng)
+        assert result.renaming  # x collided
+        names = {c.name for c in result.script.commands if isinstance(c, DeclareFun)}
+        assert len(names) == len(
+            [c for c in result.script.commands if isinstance(c, DeclareFun)]
+        )
+
+    def test_no_fusible_pair_raises(self, rng):
+        with pytest.raises(FusionError):
+            fuse("sat", SAT_BOOL_ONLY, SAT_BOOL_ONLY, rng)
+
+    def test_cross_sort_pairs_not_formed(self, rng):
+        # Int-only and String-only seeds share no sort: no pair.
+        with pytest.raises(FusionError):
+            fuse("sat", SAT_INT_1, SAT_STR, rng)
+
+    def test_bad_oracle_rejected(self, rng):
+        with pytest.raises(FusionError):
+            fuse("maybe", SAT_INT_1, SAT_INT_2, rng)
+
+    def test_max_pairs_respected(self):
+        phi1 = parse_script(
+            "(declare-fun a () Int)(declare-fun c () Int)"
+            "(assert (> (+ a c) 0))(check-sat)"
+        )
+        phi2 = parse_script(
+            "(declare-fun d () Int)(declare-fun e () Int)"
+            "(assert (< (+ d e) 0))(check-sat)"
+        )
+        result = fuse("sat", phi1, phi2, random.Random(0), FusionConfig(max_pairs=1))
+        assert len(result.triplets) == 1
+
+    def test_deterministic_given_seed(self):
+        import re
+
+        # Fresh-name counters differ between calls; everything else is
+        # determined by the seed.
+        normalize = lambda s: re.sub(r"!\d+", "!N", str(s))
+        a = fuse_scripts("sat", SAT_INT_1, SAT_INT_2, seed=5)
+        c = fuse_scripts("sat", SAT_INT_1, SAT_INT_2, seed=5)
+        assert normalize(a) == normalize(c)
+
+    def test_inputs_not_mutated(self, rng):
+        before = str(SAT_INT_1)
+        fuse("sat", SAT_INT_1, SAT_INT_2, rng)
+        assert str(SAT_INT_1) == before
+
+
+class TestSatPreservation:
+    @pytest.mark.parametrize("trial", range(12))
+    def test_sat_fusion_preserves_sat(self, trial, solver):
+        result = fuse("sat", SAT_INT_1, SAT_INT_2, random.Random(trial))
+        verdict = str(solver.check_script(result.script).result)
+        assert verdict != "unsat"
+
+    @pytest.mark.parametrize("trial", range(12))
+    def test_unsat_fusion_preserves_unsat(self, trial, solver):
+        result = fuse("unsat", UNSAT_INT_1, UNSAT_INT_2, random.Random(trial))
+        verdict = str(solver.check_script(result.script).result)
+        assert verdict != "sat"
+
+    @pytest.mark.parametrize("trial", range(8))
+    def test_constructed_model_satisfies_sat_fusion(self, trial):
+        result = fuse("sat", SAT_INT_1, SAT_INT_2, random.Random(trial))
+        model = fused_model(result, Model({"x": 5}), Model({"y": -3}))
+        assert evaluate_script(result.script, model)
+
+    def test_constructed_model_applies_renaming(self):
+        clone = parse_script("(declare-fun x () Int)(assert (< x 0))(check-sat)")
+        result = fuse("sat", SAT_INT_1, clone, random.Random(1))
+        model = fused_model(result, Model({"x": 5}), Model({"x": -3}))
+        assert evaluate_script(result.script, model)
+
+
+class TestPropositionTwoCounterexample:
+    def test_dropping_constraints_can_lose_unsatness(self, solver):
+        """Section 3.2's counterexample: without the fusion constraints
+        the disjunction of substituted unsat formulas can become sat."""
+        from repro.smtlib.ast import Assert, Script
+
+        found_sat = False
+        for trial in range(30):
+            result = fuse("unsat", UNSAT_INT_1, UNSAT_INT_2, random.Random(trial))
+            if result.replaced_occurrences == 0:
+                continue
+            # Strip the fusion constraints, keep only the disjunction.
+            stripped = result.script.with_asserts(result.script.asserts[:1])
+            verdict = str(solver.check_script(stripped).result)
+            if verdict == "sat":
+                found_sat = True
+                break
+        assert found_sat, "some stripped fusion must become satisfiable"
+
+
+class TestMixedFusion:
+    def test_mixed_sat(self, solver, rng):
+        result = fuse_mixed(SAT_INT_1, UNSAT_INT_1, "sat", rng)
+        assert str(solver.check_script(result.script).result) != "unsat"
+
+    def test_mixed_unsat(self, solver, rng):
+        result = fuse_mixed(SAT_INT_1, UNSAT_INT_1, "unsat", rng)
+        assert str(solver.check_script(result.script).result) != "sat"
+
+    def test_mixed_rejects_bad_want(self, rng):
+        with pytest.raises(FusionError):
+            fuse_mixed(SAT_INT_1, UNSAT_INT_1, "perhaps", rng)
+
+
+class TestMetadata:
+    def test_occurrence_accounting(self, rng):
+        result = fuse("sat", SAT_INT_1, SAT_INT_2, rng)
+        assert 0 <= result.replaced_occurrences <= result.total_occurrences
+        assert result.total_occurrences >= 2  # x twice... y twice (per pair)
+
+    def test_schemes_recorded(self, rng):
+        result = fuse("sat", SAT_INT_1, SAT_INT_2, rng)
+        for triplet in result.triplets:
+            assert triplet.scheme.startswith("int-")
+
+    def test_str_gives_smtlib(self, rng):
+        result = fuse("sat", SAT_INT_1, SAT_INT_2, rng)
+        assert "(check-sat)" in str(result)

@@ -1,0 +1,181 @@
+"""Unit tests for the Figure 6 fusion/inversion function families.
+
+The core identities: under any model where ``z = f(x, y)``, the
+inversion terms recover the originals — ``r_x(y, z) = x`` and
+``r_y(x, z) = y``.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.config import FusionConfig
+from repro.core.fusion_functions import (
+    all_scheme_names,
+    pick_instance,
+    schemes_for_sort,
+)
+from repro.errors import FusionError
+from repro.semantics.evaluator import evaluate
+from repro.semantics.model import Model
+from repro.smtlib.ast import Var
+from repro.smtlib.sorts import BOOL, INT, REAL, STRING
+
+
+def _roundtrip(instance, x_value, y_value):
+    """Evaluate the inversion identities under z = f(x, y)."""
+    x = Var("x", instance.sort)
+    y = Var("y", instance.sort)
+    z = Var("z", instance.sort)
+    model = Model({"x": x_value, "y": y_value})
+    model["z"] = evaluate(instance.fusion(x, y), model)
+    rx = evaluate(instance.invert_x(x, y, z), model)
+    ry = evaluate(instance.invert_y(x, y, z), model)
+    return rx, ry
+
+
+INT_VALUES = [-7, -1, 0, 1, 3, 12]
+REAL_VALUES = [Fraction(-5, 2), Fraction(0), Fraction(1, 3), Fraction(4)]
+STRING_VALUES = ["", "a", "ab", "ba", "aab"]
+
+
+class TestSchemeRegistry:
+    def test_int_families_present(self):
+        names = {s.name for s in schemes_for_sort(INT)}
+        assert names == {
+            "int-addition",
+            "int-addition-constant",
+            "int-multiplication",
+            "int-affine",
+        }
+
+    def test_real_families_present(self):
+        assert len(schemes_for_sort(REAL)) == 4
+
+    def test_string_families_present(self):
+        names = {s.name for s in schemes_for_sort(STRING)}
+        assert names == {
+            "string-concat-substr",
+            "string-concat-replace",
+            "string-concat-infix",
+        }
+
+    def test_filter_by_name(self):
+        only = schemes_for_sort(INT, names=("int-addition",))
+        assert [s.name for s in only] == ["int-addition"]
+
+    def test_no_bool_schemes(self):
+        with pytest.raises(FusionError):
+            pick_instance(BOOL, random.Random(0), FusionConfig())
+
+    def test_all_scheme_names_sorted(self):
+        names = all_scheme_names()
+        assert names == sorted(names)
+
+
+class TestArithmeticRoundTrips:
+    @pytest.mark.parametrize("scheme", ["int-addition", "int-addition-constant"])
+    @pytest.mark.parametrize("x_value", INT_VALUES)
+    @pytest.mark.parametrize("y_value", INT_VALUES)
+    def test_int_additive(self, scheme, x_value, y_value, rng):
+        config = FusionConfig(schemes=(scheme,))
+        instance = pick_instance(INT, rng, config)
+        assert _roundtrip(instance, x_value, y_value) == (x_value, y_value)
+
+    @pytest.mark.parametrize("x_value", INT_VALUES)
+    @pytest.mark.parametrize("y_value", [v for v in INT_VALUES if v != 0])
+    def test_int_multiplication_recovers_x(self, x_value, y_value, rng):
+        # r_x = z div y recovers x when y != 0 (Euclidean division of an
+        # exact product).
+        config = FusionConfig(schemes=("int-multiplication",))
+        instance = pick_instance(INT, rng, config)
+        rx, _ = _roundtrip(instance, x_value, y_value)
+        assert rx == x_value
+
+    @pytest.mark.parametrize("trial", range(20))
+    def test_int_affine(self, trial):
+        rng = random.Random(trial)
+        config = FusionConfig(schemes=("int-affine",))
+        instance = pick_instance(INT, rng, config)
+        x_value = rng.randint(-10, 10)
+        y_value = rng.randint(-10, 10)
+        assert _roundtrip(instance, x_value, y_value) == (x_value, y_value)
+
+    @pytest.mark.parametrize("scheme", ["real-addition", "real-addition-constant", "real-affine"])
+    @pytest.mark.parametrize("x_value", REAL_VALUES)
+    @pytest.mark.parametrize("y_value", REAL_VALUES)
+    def test_real_schemes(self, scheme, x_value, y_value, rng):
+        config = FusionConfig(schemes=(scheme,))
+        instance = pick_instance(REAL, rng, config)
+        assert _roundtrip(instance, x_value, y_value) == (x_value, y_value)
+
+    @pytest.mark.parametrize("x_value", [v for v in REAL_VALUES if v != 0])
+    @pytest.mark.parametrize("y_value", [v for v in REAL_VALUES if v != 0])
+    def test_real_multiplication(self, x_value, y_value, rng):
+        # Both inversions need nonzero partners: r_y = z / x divides by
+        # x (at x = 0 the division is uninterpreted — Section 3.3's
+        # linear-to-nonlinear caveat).
+        config = FusionConfig(schemes=("real-multiplication",))
+        instance = pick_instance(REAL, rng, config)
+        assert _roundtrip(instance, x_value, y_value) == (x_value, y_value)
+
+    def test_real_multiplication_at_zero_is_uninterpreted(self, rng):
+        config = FusionConfig(schemes=("real-multiplication",))
+        instance = pick_instance(REAL, rng, config)
+        rx, ry = _roundtrip(instance, Fraction(0), Fraction(2))
+        assert rx == 0  # z / y = 0 / 2 recovers x
+        assert ry == 0  # z / x = 0 / 0: the model's default choice
+
+
+class TestStringRoundTrips:
+    @pytest.mark.parametrize("scheme", ["string-concat-substr", "string-concat-replace"])
+    @pytest.mark.parametrize("x_value", STRING_VALUES)
+    @pytest.mark.parametrize("y_value", STRING_VALUES)
+    def test_concat_families(self, scheme, x_value, y_value, rng):
+        config = FusionConfig(schemes=(scheme,))
+        instance = pick_instance(STRING, rng, config)
+        rx, ry = _roundtrip(instance, x_value, y_value)
+        assert rx == x_value
+        if scheme == "string-concat-substr":
+            assert ry == y_value
+        else:
+            # replace removes the *first* occurrence of x in z = x ++ y
+            # (for empty x, SMT-LIB replace prepends — still yielding y).
+            expected = (
+                (x_value + y_value).replace(x_value, "", 1) if x_value else y_value
+            )
+            assert ry == expected
+
+    @pytest.mark.parametrize("trial", range(15))
+    def test_infix_family_recovers_x(self, trial):
+        rng = random.Random(trial * 13)
+        config = FusionConfig(schemes=("string-concat-infix",))
+        instance = pick_instance(STRING, rng, config)
+        x_value, y_value = "ba", "ab"
+        rx, _ = _roundtrip(instance, x_value, y_value)
+        assert rx == x_value
+
+
+class TestConstraints:
+    def test_constraints_hold_under_intended_model(self, rng):
+        config = FusionConfig()
+        instance = pick_instance(INT, rng, config)
+        x, y, z = Var("x", INT), Var("y", INT), Var("z", INT)
+        model = Model({"x": 3, "y": -2})
+        model["z"] = evaluate(instance.fusion(x, y), model)
+        for constraint in instance.constraints(x, y, z):
+            assert evaluate(constraint, model) is True
+
+    def test_instances_are_deterministic_given_rng(self):
+        config = FusionConfig()
+        a = pick_instance(REAL, random.Random(5), config)
+        b = pick_instance(REAL, random.Random(5), config)
+        assert a.scheme == b.scheme
+
+    def test_coefficient_range_respected(self):
+        config = FusionConfig(schemes=("int-affine",), coefficient_range=2)
+        for trial in range(40):
+            instance = pick_instance(INT, random.Random(trial), config)
+            rx, ry = _roundtrip(instance, 1, 1)
+            assert (rx, ry) == (1, 1)

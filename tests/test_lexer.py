@@ -1,0 +1,119 @@
+"""Unit tests for the SMT-LIB tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.smtlib import lexer
+
+
+def kinds(text):
+    return [t.kind for t in lexer.tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in lexer.tokenize(text)]
+
+
+class TestBasicTokens:
+    def test_parens(self):
+        assert kinds("()") == [lexer.LPAREN, lexer.RPAREN]
+
+    def test_symbol(self):
+        assert kinds("foo") == [lexer.SYMBOL]
+
+    def test_symbol_with_dots(self):
+        assert texts("str.to.int") == ["str.to.int"]
+
+    def test_symbol_with_operators(self):
+        assert texts("<= >= => + - * /") == ["<=", ">=", "=>", "+", "-", "*", "/"]
+
+    def test_numeral(self):
+        tokens = lexer.tokenize("42")
+        assert tokens[0].kind == lexer.NUMERAL
+        assert tokens[0].text == "42"
+
+    def test_decimal(self):
+        tokens = lexer.tokenize("3.14")
+        assert tokens[0].kind == lexer.DECIMAL
+        assert tokens[0].text == "3.14"
+
+    def test_decimal_trailing_zero(self):
+        assert kinds("1.0") == [lexer.DECIMAL]
+
+    def test_keyword(self):
+        tokens = lexer.tokenize(":status")
+        assert tokens[0].kind == lexer.KEYWORD
+        assert tokens[0].text == ":status"
+
+    def test_nested_expression(self):
+        assert kinds("(+ x 1)") == [
+            lexer.LPAREN,
+            lexer.SYMBOL,
+            lexer.SYMBOL,
+            lexer.NUMERAL,
+            lexer.RPAREN,
+        ]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        tokens = lexer.tokenize('"hello"')
+        assert tokens[0].kind == lexer.STRING
+        assert tokens[0].text == "hello"
+
+    def test_empty_string(self):
+        assert lexer.tokenize('""')[0].text == ""
+
+    def test_doubled_quote_escape(self):
+        assert lexer.tokenize('"a""b"')[0].text == 'a"b'
+
+    def test_string_with_spaces(self):
+        assert lexer.tokenize('"a b c"')[0].text == "a b c"
+
+    def test_string_with_parens(self):
+        assert lexer.tokenize('"(not a list)"')[0].text == "(not a list)"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            lexer.tokenize('"oops')
+
+    def test_backslash_is_ordinary(self):
+        # SMT-LIB 2.6: backslash has no escape meaning inside strings.
+        assert lexer.tokenize(r'"a\b"')[0].text == "a\\b"
+        assert lexer.tokenize('"\\\\"')[0].text == "\\\\"
+
+
+class TestCommentsAndLayout:
+    def test_comment_skipped(self):
+        assert kinds("; a comment\nx") == [lexer.SYMBOL]
+
+    def test_comment_to_end_of_line(self):
+        assert texts("x ; trailing\ny") == ["x", "y"]
+
+    def test_line_numbers(self):
+        tokens = lexer.tokenize("a\nb\n  c")
+        assert [t.line for t in tokens] == [1, 2, 3]
+        assert tokens[2].column == 3
+
+    def test_whitespace_variants(self):
+        assert texts("a\tb\r\nc") == ["a", "b", "c"]
+
+
+class TestQuotedSymbols:
+    def test_quoted_symbol(self):
+        assert texts("|weird symbol|") == ["weird symbol"]
+
+    def test_unterminated_quoted_symbol(self):
+        with pytest.raises(ParseError):
+            lexer.tokenize("|oops")
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            lexer.tokenize("{")
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as excinfo:
+            lexer.tokenize("abc\n   {")
+        assert excinfo.value.line == 2

@@ -1,0 +1,151 @@
+"""Unit and randomized tests for the simplex / branch-and-bound core."""
+
+import random
+from fractions import Fraction as F
+from itertools import product
+
+import pytest
+
+from repro.solver.linarith import DeltaRational, LinearAtom, check_linear
+
+
+def atom(coeffs, op, const):
+    return LinearAtom.make(coeffs, op, F(const))
+
+
+class TestDeltaRational:
+    def test_ordering(self):
+        assert DeltaRational(1) < DeltaRational(2)
+        assert DeltaRational(1, -1) < DeltaRational(1)
+        assert DeltaRational(1) < DeltaRational(1, 1)
+
+    def test_arithmetic(self):
+        a = DeltaRational(1, 2) + DeltaRational(3, -1)
+        assert a == DeltaRational(4, 1)
+        assert a - DeltaRational(1) == DeltaRational(3, 1)
+        assert DeltaRational(2, 1).scale(F(3)) == DeltaRational(6, 3)
+
+    def test_concretize(self):
+        assert DeltaRational(1, 2).concretize(F(1, 4)) == F(3, 2)
+
+
+class TestLinearAtom:
+    def test_make_drops_zero_coeffs(self):
+        a = atom({"x": 0, "y": 1}, "<=", 2)
+        assert dict(a.coeffs) == {"y": F(1)}
+
+    def test_evaluate(self):
+        a = atom({"x": 2, "y": -1}, "<=", 3)
+        assert a.evaluate({"x": F(1), "y": F(0)}) is True
+        assert a.evaluate({"x": F(2), "y": F(0)}) is False
+
+
+class TestRationalFeasibility:
+    def test_trivial_sat(self):
+        status, model = check_linear([atom({"x": 1}, "<=", 5)])
+        assert status == "sat"
+        assert model["x"] <= 5
+
+    def test_window_unsat(self):
+        atoms = [atom({"x": -1}, "<", 0), atom({"x": 1}, "<", 0)]
+        assert check_linear(atoms)[0] == "unsat"
+
+    def test_strict_vs_nonstrict(self):
+        # x <= 0 and x >= 0 is sat (x = 0); x < 0 and x >= 0 is not.
+        assert check_linear([atom({"x": 1}, "<=", 0), atom({"x": -1}, "<=", 0)])[0] == "sat"
+        assert check_linear([atom({"x": 1}, "<", 0), atom({"x": -1}, "<=", 0)])[0] == "unsat"
+
+    def test_strict_open_interval_has_rational_point(self):
+        status, model = check_linear(
+            [atom({"x": -1}, "<", 0), atom({"x": 1}, "<", 1)]
+        )
+        assert status == "sat"
+        assert 0 < model["x"] < 1
+
+    def test_equalities_system(self):
+        atoms = [
+            atom({"x": 1, "y": 1}, "=", 10),
+            atom({"x": 1, "y": -1}, "=", 4),
+        ]
+        status, model = check_linear(atoms)
+        assert status == "sat"
+        assert model["x"] == 7 and model["y"] == 3
+
+    def test_inconsistent_equalities(self):
+        atoms = [atom({"x": 1}, "=", 1), atom({"x": 1}, "=", 2)]
+        assert check_linear(atoms)[0] == "unsat"
+
+    def test_paper_phi4_linear_part(self):
+        # 0 < y < v <= w with w < 0 is unsat.
+        atoms = [
+            atom({"y": -1}, "<", 0),
+            atom({"y": 1, "v": -1}, "<", 0),
+            atom({"v": 1, "w": -1}, "<=", 0),
+            atom({"w": 1}, "<", 0),
+        ]
+        assert check_linear(atoms)[0] == "unsat"
+
+    def test_constant_atoms(self):
+        assert check_linear([atom({}, "<=", 0)])[0] == "sat"
+        assert check_linear([atom({}, "<", 0)])[0] == "unsat"
+        assert check_linear([atom({}, "=", 0)])[0] == "sat"
+
+    def test_unbounded_direction(self):
+        status, model = check_linear([atom({"x": -1}, "<=", -100)])
+        assert status == "sat"
+        assert model["x"] >= 100
+
+
+class TestIntegerLayer:
+    def test_fractional_equality_unsat(self):
+        assert check_linear([atom({"x": 2}, "=", 1)], int_vars={"x"})[0] == "unsat"
+
+    def test_branching_finds_integer(self):
+        atoms = [atom({"x": -2}, "<=", -3), atom({"x": 2}, "<=", 5)]
+        status, model = check_linear(atoms, int_vars={"x"})
+        assert status == "sat"
+        assert model["x"] == 2
+
+    def test_tight_window_unsat(self):
+        # 0 < 3x < 3 has no integer solution... wait x=0? 0<3x means x>0.
+        atoms = [atom({"x": -3}, "<", 0), atom({"x": 3}, "<", 3)]
+        assert check_linear(atoms, int_vars={"x"})[0] == "unsat"
+
+    def test_mixed_int_real(self):
+        atoms = [
+            atom({"x": 1, "r": -1}, "=", 0),  # x = r
+            atom({"r": 2}, "=", 3),  # r = 3/2
+        ]
+        assert check_linear(atoms, int_vars={"x"})[0] == "unsat"
+        assert check_linear(atoms)[0] == "sat"
+
+    def test_strict_tightening(self):
+        # x < 1 and x > -1 over Int forces x = 0.
+        atoms = [atom({"x": 1}, "<", 1), atom({"x": -1}, "<", 1)]
+        status, model = check_linear(atoms, int_vars={"x"})
+        assert status == "sat"
+        assert model["x"] == 0
+
+    @pytest.mark.parametrize("trial", range(25))
+    def test_randomized_against_grid(self, trial):
+        rng = random.Random(trial * 31337)
+        names = ["x", "y", "z"][: rng.randint(1, 3)]
+        atoms = []
+        for _ in range(rng.randint(1, 6)):
+            coeffs = {v: rng.randint(-3, 3) for v in names}
+            op = rng.choice(["<=", "<", "="])
+            atoms.append(atom(coeffs, op, rng.randint(-4, 4)))
+        bounded = atoms + [
+            a for v in names for a in (atom({v: 1}, "<=", 5), atom({v: -1}, "<=", 5))
+        ]
+        status, model = check_linear(bounded, int_vars=set(names))
+        found = None
+        for values in product(range(-5, 6), repeat=len(names)):
+            candidate = dict(zip(names, map(F, values)))
+            if all(a.evaluate(candidate) for a in bounded):
+                found = candidate
+                break
+        assert status == ("sat" if found else "unsat")
+        if status == "sat":
+            assert all(a.evaluate(model) for a in bounded)
+            assert all(model[v].denominator == 1 for v in names)

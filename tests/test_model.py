@@ -1,0 +1,126 @@
+"""Unit tests for models and values."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.semantics.model import Model
+from repro.semantics.values import (
+    check_value,
+    default_value,
+    euclidean_div,
+    euclidean_mod,
+    value_sort,
+    value_to_const,
+)
+from repro.smtlib.ast import Var
+from repro.smtlib.sorts import BOOL, INT, REAL, STRING
+
+
+class TestValues:
+    def test_defaults(self):
+        assert default_value(BOOL) is False
+        assert default_value(INT) == 0
+        assert default_value(REAL) == Fraction(0)
+        assert default_value(STRING) == ""
+
+    def test_value_sort(self):
+        assert value_sort(True) == BOOL
+        assert value_sort(3) == INT
+        assert value_sort(Fraction(1, 2)) == REAL
+        assert value_sort("x") == STRING
+
+    def test_bool_is_not_int(self):
+        assert value_sort(True) == BOOL  # despite bool being an int subtype
+
+    def test_check_value_coerces(self):
+        assert check_value(Fraction(3), INT) == 3
+        assert check_value(2, REAL) == Fraction(2)
+
+    def test_check_value_rejects(self):
+        with pytest.raises(TypeError):
+            check_value("s", INT)
+        with pytest.raises(TypeError):
+            check_value(True, INT)
+        with pytest.raises(TypeError):
+            check_value(Fraction(1, 2), INT)
+
+    def test_value_to_const(self):
+        const = value_to_const(Fraction(1, 2))
+        assert const.sort == REAL
+
+    def test_euclidean_properties(self):
+        for a in range(-9, 10):
+            for b in list(range(-4, 0)) + list(range(1, 5)):
+                q = euclidean_div(a, b)
+                r = euclidean_mod(a, b)
+                assert a == b * q + r
+                assert 0 <= r < abs(b)
+
+    def test_euclidean_zero_divisor(self):
+        with pytest.raises(ZeroDivisionError):
+            euclidean_div(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            euclidean_mod(1, 0)
+
+
+class TestModel:
+    def test_item_access(self):
+        m = Model({"x": 1})
+        assert m["x"] == 1
+        m["y"] = 2
+        assert "y" in m and m["y"] == 2
+
+    def test_get_default(self):
+        assert Model().get("missing", 9) == 9
+
+    def test_copy_is_independent(self):
+        m = Model({"x": 1})
+        c = m.copy()
+        c["x"] = 5
+        assert m["x"] == 1
+
+    def test_complete_fills_defaults(self):
+        m = Model().complete([Var("x", INT), Var("s", STRING)])
+        assert m["x"] == 0 and m["s"] == ""
+
+    def test_complete_preserves_existing(self):
+        m = Model({"x": 7}).complete([Var("x", INT)])
+        assert m["x"] == 7
+
+    def test_div_at_zero_default_and_memo(self):
+        m = Model()
+        first = m.div_at_zero("div", 5)
+        assert first == 0
+        m.set_div_at_zero("div", 6, 42)
+        assert m.div_at_zero("div", 6) == 42
+        assert m.div_at_zero("div", 5) == 0  # unchanged
+
+    def test_set_div_at_zero_checks_sort(self):
+        m = Model()
+        with pytest.raises(TypeError):
+            m.set_div_at_zero("div", 1, "string")
+
+    def test_merged_with_disjoint(self):
+        merged = Model({"x": 1}).merged_with(Model({"y": 2}))
+        assert merged["x"] == 1 and merged["y"] == 2
+
+    def test_merged_with_conflict(self):
+        with pytest.raises(ValueError):
+            Model({"x": 1}).merged_with(Model({"x": 2}))
+
+    def test_merged_with_agreeing_overlap(self):
+        merged = Model({"x": 1}).merged_with(Model({"x": 1}))
+        assert merged["x"] == 1
+
+    def test_equality(self):
+        assert Model({"x": 1}) == Model({"x": 1})
+        assert Model({"x": 1}) != Model({"x": 2})
+
+    def test_to_smtlib(self):
+        text = Model({"x": -1, "b": True}).to_smtlib()
+        assert "(define-fun x () Int (- 1))" in text
+        assert "(define-fun b () Bool true)" in text
+
+    def test_repr_sorted(self):
+        assert repr(Model({"b": 2, "a": 1})) == "Model(a=1, b=2)"

@@ -1,0 +1,225 @@
+"""Unit tests for the nonlinear core: polynomials, intervals, ICP, search."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.errors import ReproError
+from repro.smtlib import builder as b
+from repro.smtlib.ast import Var
+from repro.smtlib.parser import parse_term
+from repro.smtlib.sorts import INT, REAL
+from repro.solver.nonlinear import (
+    FULL,
+    Interval,
+    PolyAtom,
+    atom_to_poly,
+    check_nonlinear,
+    eval_poly,
+    eval_poly_interval,
+    icp_unsat,
+    poly_degree,
+    poly_from_term,
+    poly_is_linear,
+    poly_vars,
+)
+
+X = Var("x", REAL)
+Y = Var("y", REAL)
+I = Var("i", INT)
+
+
+def poly(text, variables=(X, Y, I)):
+    return poly_from_term(parse_term(text, variables))
+
+
+class TestPolynomials:
+    def test_constant(self):
+        assert poly("3.0") == {(): F(3)}
+
+    def test_variable(self):
+        assert poly("x") == {(("x", 1),): F(1)}
+
+    def test_sum_collects(self):
+        p = poly("(+ x x 1.0)")
+        assert p[(("x", 1),)] == F(2)
+        assert p[()] == F(1)
+
+    def test_product_degrees(self):
+        p = poly("(* x x y)")
+        assert p == {(("x", 2), ("y", 1)): F(1)}
+
+    def test_subtraction_cancels(self):
+        assert poly("(- x x)") == {}
+
+    def test_to_real_transparent(self):
+        assert poly("(to_real i)") == {(("i", 1),): F(1)}
+
+    def test_division_rejected(self):
+        with pytest.raises(ReproError):
+            poly("(/ x y)")
+
+    def test_degree_and_vars(self):
+        p = poly("(+ (* x x y) y 1.0)")
+        assert poly_degree(p) == 3
+        assert poly_degree(p, "y") == 1
+        assert poly_vars(p) == {"x", "y"}
+        assert not poly_is_linear(p)
+
+    def test_eval_poly(self):
+        p = poly("(+ (* x y) 1.0)")
+        assert eval_poly(p, {"x": F(2), "y": F(3)}) == F(7)
+
+
+class TestAtomConversion:
+    def test_less_than(self):
+        kind, atom = atom_to_poly(parse_term("(< x 1.0)", [X]), True)
+        assert kind == "poly" and atom.op == "<"
+
+    def test_negated_flips(self):
+        kind, atom = atom_to_poly(parse_term("(< x 1.0)", [X]), False)
+        assert atom.op == "<="
+
+    def test_greater_normalized(self):
+        kind, atom = atom_to_poly(parse_term("(> x 1.0)", [X]), True)
+        assert atom.op == "<"
+
+    def test_equality_polarity(self):
+        kind, atom = atom_to_poly(parse_term("(= x y)", [X, Y]), False)
+        assert atom.op == "!="
+
+    def test_constant_decided(self):
+        from repro.smtlib.ast import Const
+        from repro.smtlib.sorts import BOOL
+
+        kind, value = atom_to_poly(Const(True, BOOL), True)
+        assert kind == "decided" and value is True
+        kind, value = atom_to_poly(Const(True, BOOL), False)
+        assert value is False
+
+    def test_string_atom_stuck(self):
+        from repro.smtlib.sorts import STRING
+
+        s = Var("s", STRING)
+        kind, _ = atom_to_poly(parse_term("(str.prefixof s s)", [s]), True)
+        assert kind == "stuck"
+
+
+class TestIntervals:
+    def test_empty(self):
+        assert Interval(F(1), F(0)).is_empty()
+        assert Interval(F(1), F(1), lo_open=True).is_empty()
+        assert not Interval(F(1), F(1)).is_empty()
+
+    def test_attains_zero(self):
+        assert Interval(F(0), F(1)).attains_zero()
+        assert not Interval(F(0), F(1), lo_open=True).attains_zero()
+        assert FULL.attains_zero()
+
+    def test_intersect_openness(self):
+        a = Interval(F(0), F(2), lo_open=True)
+        c = a.intersect(Interval(F(0), F(1)))
+        assert c.lo_open is True and c.hi == F(1)
+
+    def test_interval_evaluation_square(self):
+        p = poly("(* x x)")
+        box = {"x": FULL}
+        iv = eval_poly_interval(p, box)
+        assert iv.lo == 0 and iv.hi is None
+
+    def test_square_of_open_positive(self):
+        p = poly("(* x x)")
+        box = {"x": Interval(F(0), None, lo_open=True)}
+        iv = eval_poly_interval(p, box)
+        assert iv.lo == 0 and iv.lo_open is True
+
+    def test_product_sign(self):
+        p = poly("(* x y)")
+        box = {
+            "x": Interval(F(1), F(2)),
+            "y": Interval(F(-3), F(-1)),
+        }
+        iv = eval_poly_interval(p, box)
+        assert iv.lo == -6 and iv.hi == -1
+
+
+class TestICP:
+    def test_square_equals_negative(self):
+        atoms = [PolyAtom.make(poly("(+ (* x x) 1.0)"), "=")]
+        assert icp_unsat(atoms, ["x"], frozenset())
+
+    def test_square_strictly_negative(self):
+        atoms = [PolyAtom.make(poly("(* x x)"), "<")]
+        assert icp_unsat(atoms, ["x"], frozenset())
+
+    def test_strict_sign_chain(self):
+        # y > 0, v > y, w >= v, q < 0, w = q*v: needs open-interval logic.
+        q, v, w, y = (Var(n, REAL) for n in "qvwy")
+        terms = [
+            ("(- 0.0 y)", "<"),
+            ("(- y v)", "<"),
+            ("(- v w)", "<="),
+            ("q", "<"),
+            ("(- w (* q v))", "="),
+        ]
+        atoms = [
+            PolyAtom.make(poly_from_term(parse_term(t, [q, v, w, y])), op)
+            for t, op in terms
+        ]
+        assert icp_unsat(atoms, ["q", "v", "w", "y"], frozenset())
+
+    def test_satisfiable_not_refuted(self):
+        atoms = [PolyAtom.make(poly("(- (* x y) 1.0)"), "=")]
+        assert not icp_unsat(atoms, ["x", "y"], frozenset())
+
+
+class TestCheckNonlinear:
+    def test_product_equation_sat(self):
+        atoms = [
+            PolyAtom.make(poly("(- (* x y) 6.0)"), "="),
+            PolyAtom.make(poly("(- x 2.0)"), "="),
+        ]
+        status, model = check_nonlinear(atoms)
+        assert status == "sat"
+        assert model["y"] == 3
+
+    def test_linear_fallthrough(self):
+        atoms = [PolyAtom.make(poly("(- x 1.0)"), "<")]
+        status, model = check_nonlinear(atoms)
+        assert status == "sat"
+        assert model["x"] < 1
+
+    def test_diseq_handled(self):
+        atoms = [
+            PolyAtom.make(poly("x"), "!="),
+            PolyAtom.make(poly("(* x x)"), "<="),
+        ]
+        # x != 0 and x^2 <= 0 is unsat; ICP proves the closure x^2 < 0...
+        status, _ = check_nonlinear(atoms)
+        assert status in ("unsat", "unknown")
+
+    def test_gaussian_elimination_reaches_contradiction(self):
+        # x = q, x - q != 0, with a nonlinear side constraint present.
+        q = Var("q", REAL)
+        atoms = [
+            PolyAtom.make(poly_from_term(parse_term("(- x q)", [X, q])), "="),
+            PolyAtom.make(poly_from_term(parse_term("(- x q)", [X, q])), "!="),
+            PolyAtom.make(poly("(- (* x y) y)"), "<="),
+        ]
+        assert check_nonlinear(atoms)[0] == "unsat"
+
+    def test_integer_constraint_respected(self):
+        atoms = [
+            PolyAtom.make(poly("(- (* (to_real i) (to_real i)) 2.0)"), "="),
+        ]
+        status, _ = check_nonlinear(atoms, int_vars={"i"})
+        # i*i = 2 has no integer (or rational) solution.
+        assert status in ("unsat", "unknown")
+
+    def test_models_are_exact(self):
+        atoms = [
+            PolyAtom.make(poly("(- (* x x) 0.25)"), "="),
+        ]
+        status, model = check_nonlinear(atoms)
+        assert status == "sat"
+        assert model["x"] * model["x"] == F(1, 4)

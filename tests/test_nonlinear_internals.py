@@ -1,0 +1,163 @@
+"""Unit tests for nonlinear internals: intervals, substitution, elimination."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.smtlib.ast import Var
+from repro.smtlib.parser import parse_term
+from repro.smtlib.sorts import REAL
+from repro.solver.nonlinear import (
+    FULL,
+    Interval,
+    PolyAtom,
+    _iv_add,
+    _iv_div,
+    _iv_mul,
+    _iv_neg,
+    _iv_pow,
+    _iv_scale,
+    _poly_pow,
+    _poly_substitute,
+    _propagate_equalities,
+    poly_from_term,
+)
+
+X, Y, Z = (Var(n, REAL) for n in "xyz")
+
+
+def poly(text):
+    return poly_from_term(parse_term(text, [X, Y, Z]))
+
+
+def iv(lo, hi, lo_open=False, hi_open=False):
+    return Interval(
+        None if lo is None else F(lo),
+        None if hi is None else F(hi),
+        lo_open,
+        hi_open,
+    )
+
+
+class TestIntervalOps:
+    def test_add(self):
+        assert _iv_add(iv(1, 2), iv(3, 4)) == iv(4, 6)
+
+    def test_add_unbounded(self):
+        result = _iv_add(iv(1, None), iv(0, 5))
+        assert result.lo == 1 and result.hi is None
+
+    def test_add_openness_propagates(self):
+        result = _iv_add(iv(0, 1, lo_open=True), iv(0, 1))
+        assert result.lo_open is True and result.hi_open is False
+
+    def test_neg_swaps(self):
+        result = _iv_neg(iv(1, 2, lo_open=True))
+        assert result == iv(-2, -1, hi_open=True)
+
+    def test_scale_negative(self):
+        assert _iv_scale(iv(1, 3), F(-2)) == iv(-6, -2)
+
+    def test_scale_zero(self):
+        assert _iv_scale(iv(1, 3), F(0)) == iv(0, 0)
+
+    def test_mul_signs(self):
+        assert _iv_mul(iv(1, 2), iv(-3, -1)) == iv(-6, -1)
+        assert _iv_mul(iv(-2, 3), iv(-1, 4)) == iv(-8, 12)
+
+    def test_mul_semibounded(self):
+        result = _iv_mul(iv(1, 1), iv(0, None))
+        assert result.lo == 0 and result.hi is None
+
+    def test_mul_zero_times_unbounded(self):
+        result = _iv_mul(iv(0, 0), FULL)
+        assert result == iv(0, 0)
+
+    def test_mul_open_zero_stays_open(self):
+        a = iv(0, None, lo_open=True)
+        b = iv(0, None, lo_open=True)
+        result = _iv_mul(a, b)
+        assert result.lo == 0 and result.lo_open is True
+
+    def test_mul_attained_zero_closes(self):
+        a = iv(0, 2)  # attains zero
+        b = iv(0, None, lo_open=True)
+        result = _iv_mul(a, b)
+        assert result.lo == 0 and result.lo_open is False
+
+    def test_pow_even_is_nonnegative(self):
+        result = _iv_pow(iv(-3, 2), 2)
+        assert result.lo == 0 and result.hi == 9
+
+    def test_pow_even_open_when_zero_not_attained(self):
+        result = _iv_pow(iv(0, None, lo_open=True), 2)
+        assert result.lo == 0 and result.lo_open is True
+
+    def test_div_positive(self):
+        assert _iv_div(iv(1, 4), iv(2, 4)) == iv(F(1, 4), 2)
+
+    def test_div_by_interval_containing_zero(self):
+        assert _iv_div(iv(1, 2), iv(-1, 1)) == FULL
+
+    def test_div_by_open_positive(self):
+        result = _iv_div(iv(1, 1), iv(0, None, lo_open=True))
+        assert result.lo == 0 and result.hi is None
+
+    def test_empty_detection(self):
+        assert iv(2, 1).is_empty()
+        assert iv(1, 1, lo_open=True).is_empty()
+        assert not iv(1, 1).is_empty()
+
+    def test_intersect_equal_bounds_open_wins(self):
+        result = iv(0, 5).intersect(iv(0, 5, lo_open=True))
+        assert result.lo_open is True
+
+
+class TestPolySubstitution:
+    def test_poly_pow(self):
+        squared = _poly_pow(poly("(+ x 1.0)"), 2)
+        assert squared == poly("(+ (* x x) (* 2.0 x) 1.0)")
+
+    def test_substitute_linear(self):
+        # x := y + 1 in x*x  ->  y^2 + 2y + 1
+        result = _poly_substitute(poly("(* x x)"), "x", poly("(+ y 1.0)"))
+        assert result == poly("(+ (* y y) (* 2.0 y) 1.0)")
+
+    def test_substitute_absent_var(self):
+        target = poly("(+ y 2.0)")
+        assert _poly_substitute(target, "x", poly("y")) == target
+
+
+class TestPropagation:
+    def test_univariate_pin(self):
+        atoms = [
+            PolyAtom.make(poly("(- x 3.0)"), "="),
+            PolyAtom.make(poly("(- (* x y) 6.0)"), "="),
+        ]
+        status, fixed, eliminations, reduced = _propagate_equalities(atoms, frozenset())
+        assert status == "sat"
+        assert fixed["x"] == 3
+        # The residual equation is now linear in y: 3y - 6 = 0 -> pinned too.
+        assert fixed.get("y") == 2
+        assert reduced == []
+
+    def test_constant_conflict(self):
+        atoms = [PolyAtom.make({(): F(1)}, "=")]
+        status, *_ = _propagate_equalities(atoms, frozenset())
+        assert status == "unsat"
+
+    def test_integer_pin_must_be_integral(self):
+        atoms = [PolyAtom.make(poly("(- (* 2.0 x) 1.0)"), "=")]
+        status, *_ = _propagate_equalities(atoms, {"x"})
+        assert status == "unsat"
+
+    def test_multivariate_elimination_records_expression(self):
+        atoms = [
+            PolyAtom.make(poly("(- x y)"), "="),  # x = y
+            PolyAtom.make(poly("(- (* x y) 4.0)"), "="),
+        ]
+        status, fixed, eliminations, reduced = _propagate_equalities(atoms, frozenset())
+        assert status == "sat"
+        assert eliminations, "one variable must have been eliminated"
+        # Residual: y^2 = 4 (or x^2 = 4) — still nonlinear, not decided.
+        assert len(reduced) == 1

@@ -1,0 +1,51 @@
+"""Tests for seed labeling and oracle bookkeeping."""
+
+import pytest
+
+from repro.core.oracle import LabeledSeed, SeedCorpus
+from repro.smtlib.parser import parse_script
+
+SAT = parse_script("(declare-fun x () Int)(assert (> x 0))(check-sat)")
+UNSAT = parse_script("(declare-fun x () Int)(assert (distinct x x))(check-sat)")
+
+
+class TestLabeledSeed:
+    def test_valid(self):
+        seed = LabeledSeed(SAT, "sat", "QF_LIA")
+        assert seed.oracle == "sat"
+
+    def test_invalid_oracle(self):
+        with pytest.raises(ValueError):
+            LabeledSeed(SAT, "perhaps")
+
+
+class TestSeedCorpus:
+    def _corpus(self):
+        corpus = SeedCorpus("demo")
+        corpus.add(LabeledSeed(SAT, "sat", "QF_LIA"))
+        corpus.add(LabeledSeed(UNSAT, "unsat", "QF_LIA"))
+        corpus.add(LabeledSeed(SAT, "sat", "QF_LIA"))
+        return corpus
+
+    def test_split_by_oracle(self):
+        corpus = self._corpus()
+        assert len(corpus.sat_seeds) == 2
+        assert len(corpus.unsat_seeds) == 1
+
+    def test_counts_row(self):
+        assert self._corpus().counts() == (1, 2, 3)
+
+    def test_validate_agreement(self, solver):
+        assert self._corpus().validate(solver) == []
+
+    def test_validate_flags_mislabeled(self, solver):
+        corpus = SeedCorpus("bad")
+        corpus.add(LabeledSeed(UNSAT, "sat", "QF_LIA"))  # wrong label
+        mismatches = corpus.validate(solver)
+        assert len(mismatches) == 1
+        index, seed, verdict = mismatches[0]
+        assert str(verdict) == "unsat"
+
+    def test_validate_max_seeds(self, solver):
+        corpus = self._corpus()
+        assert corpus.validate(solver, max_seeds=0) == []

@@ -1,0 +1,208 @@
+"""Unit tests for the SMT-LIB parser."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ParseError
+from repro.smtlib.ast import (
+    App,
+    Assert,
+    CheckSat,
+    Const,
+    DeclareFun,
+    Quantifier,
+    SetLogic,
+    Var,
+)
+from repro.smtlib.parser import parse_script, parse_term
+from repro.smtlib.sorts import BOOL, INT, REAL, STRING
+
+
+class TestCommands:
+    def test_declare_fun(self):
+        script = parse_script("(declare-fun x () Int)")
+        cmd = script.commands[0]
+        assert isinstance(cmd, DeclareFun)
+        assert cmd.name == "x"
+        assert cmd.return_sort == INT
+
+    def test_declare_const(self):
+        script = parse_script("(declare-const s String)")
+        assert script.declarations["s"].sort == STRING
+
+    def test_set_logic(self):
+        script = parse_script("(set-logic QF_NRA)")
+        assert isinstance(script.commands[0], SetLogic)
+        assert script.logic == "QF_NRA"
+
+    def test_assert_and_check_sat(self):
+        script = parse_script("(declare-fun b () Bool)(assert b)(check-sat)")
+        assert isinstance(script.commands[1], Assert)
+        assert isinstance(script.commands[2], CheckSat)
+
+    def test_asserted_term_must_be_bool(self):
+        with pytest.raises(ParseError):
+            parse_script("(declare-fun x () Int)(assert x)")
+
+    def test_uninterpreted_function_rejected(self):
+        with pytest.raises(ParseError):
+            parse_script("(declare-fun f (Int) Int)")
+
+    def test_set_info_roundtrips(self):
+        script = parse_script('(set-info :status sat)')
+        assert script.commands[0].keyword == ":status"
+
+    def test_unknown_command(self):
+        with pytest.raises(ParseError):
+            parse_script("(pop 1)")
+
+    def test_define_fun_expanded_at_use(self):
+        script = parse_script(
+            "(declare-fun x () Int)"
+            "(define-fun double ((a Int)) Int (+ a a))"
+            "(assert (= (double x) 4))"
+        )
+        term = script.asserts[0]
+        assert "double" not in str(term)
+        assert "(+ x x)" in str(term)
+
+    def test_define_fun_arity_checked(self):
+        with pytest.raises(ParseError):
+            parse_script(
+                "(define-fun one () Int 1)(assert (= (one 2) 1))"
+            )
+
+
+class TestTerms:
+    def test_numeral(self):
+        assert parse_term("5") == Const(5, INT)
+
+    def test_negative_numeral_via_minus(self):
+        # Unary minus of a literal is normalized to a negative constant
+        # (exact print/parse round-trips).
+        assert parse_term("(- 5)") == Const(-5, INT)
+
+    def test_unary_minus_of_variable_stays_an_application(self):
+        x = Var("x", INT)
+        term = parse_term("(- x)", [x])
+        assert isinstance(term, App) and term.op == "-"
+
+    def test_decimal(self):
+        assert parse_term("2.5") == Const(Fraction(5, 2), REAL)
+
+    def test_true_false(self):
+        assert parse_term("true") == Const(True, BOOL)
+        assert parse_term("false") == Const(False, BOOL)
+
+    def test_string_literal(self):
+        assert parse_term('"ab"') == Const("ab", STRING)
+
+    def test_variable_requires_declaration(self):
+        with pytest.raises(ParseError):
+            parse_term("x")
+
+    def test_variable_with_binding(self):
+        x = Var("x", INT)
+        assert parse_term("x", [x]) == x
+
+    def test_application(self):
+        x = Var("x", INT)
+        term = parse_term("(+ x 1)", [x])
+        assert term.op == "+"
+        assert term.sort == INT
+
+    def test_alias_normalized(self):
+        s = Var("s", STRING)
+        term = parse_term("(str.to_int s)", [s])
+        assert term.op == "str.to.int"
+
+    def test_unknown_operator(self):
+        with pytest.raises(ParseError):
+            parse_term("(frobnicate 1)")
+
+    def test_ill_sorted_application(self):
+        with pytest.raises(ParseError):
+            parse_term('(+ 1 "s")')
+
+    def test_annotation_dropped(self):
+        term = parse_term("(! (+ 1 2) :named foo)")
+        assert term.op == "+"
+
+
+class TestLet:
+    def test_let_expands(self):
+        term = parse_term("(let ((u (+ 1 2))) (= u 3))")
+        assert "(= (+ 1 2) 3)" == str(term)
+
+    def test_let_is_simultaneous(self):
+        x = Var("x", INT)
+        term = parse_term("(let ((a x) (b (+ x 1))) (= a b))", [x])
+        # b's definition must see the outer x, not a.
+        assert str(term) == "(= x (+ x 1))"
+
+    def test_nested_let(self):
+        term = parse_term("(let ((a 1)) (let ((b (+ a 1))) (= b 2)))")
+        assert str(term) == "(= (+ 1 1) 2)"
+
+    def test_let_shadowing(self):
+        x = Var("x", INT)
+        term = parse_term("(let ((x 7)) (= x 7))", [x])
+        assert str(term) == "(= 7 7)"
+
+
+class TestQuantifiers:
+    def test_exists(self):
+        term = parse_term("(exists ((h Int)) (> h 0))")
+        assert isinstance(term, Quantifier)
+        assert term.kind == "exists"
+        assert term.bindings == (("h", INT),)
+
+    def test_forall(self):
+        term = parse_term("(forall ((a Real) (b Real)) (= a b))")
+        assert term.kind == "forall"
+        assert len(term.bindings) == 2
+
+    def test_body_must_be_bool(self):
+        with pytest.raises(ParseError):
+            parse_term("(exists ((h Int)) (+ h 1))")
+
+    def test_bound_variable_scoping(self):
+        x = Var("x", INT)
+        term = parse_term("(exists ((x Int)) (> x 0))", [x])
+        from repro.smtlib.ast import free_vars
+
+        assert free_vars(term) == set()
+
+
+class TestScriptViews:
+    def test_free_variables_ordered(self):
+        script = parse_script(
+            "(declare-fun b () Int)(declare-fun a () Int)"
+            "(assert (> b 0))(assert (> a 0))"
+        )
+        assert [v.name for v in script.free_variables()] == ["b", "a"]
+
+    def test_asserts_view(self):
+        script = parse_script(
+            "(declare-fun x () Int)(assert (> x 0))(assert (< x 5))(check-sat)"
+        )
+        assert len(script.asserts) == 2
+
+    def test_conjunction_of_empty(self):
+        script = parse_script("(check-sat)")
+        assert script.conjunction() == Const(True, BOOL)
+
+    def test_with_asserts_replaces_in_place(self):
+        script = parse_script(
+            "(declare-fun x () Int)(assert (> x 0))(check-sat)"
+        )
+        new = script.with_asserts([Const(True, BOOL)])
+        assert len(new.asserts) == 1
+        assert isinstance(new.commands[-1], CheckSat)
+
+    def test_with_asserts_on_assertless_script(self):
+        script = parse_script("(declare-fun x () Int)(check-sat)")
+        new = script.with_asserts([Const(False, BOOL)])
+        assert new.asserts == [Const(False, BOOL)]
+        assert isinstance(new.commands[-1], CheckSat)

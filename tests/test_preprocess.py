@@ -1,0 +1,169 @@
+"""Unit tests for preprocessing: quantifiers, ites, divisions."""
+
+from repro.smtlib.ast import App, Quantifier, Var
+from repro.smtlib.parser import parse_script, parse_term
+from repro.smtlib.printer import print_term
+from repro.smtlib.sorts import INT, REAL
+from repro.solver.preprocess import (
+    instantiate_for_refutation,
+    preprocess,
+)
+
+X = Var("x", INT)
+R = Var("r", REAL)
+
+
+def pre(text):
+    return preprocess(parse_script(text).asserts)
+
+
+class TestQuantifierHandling:
+    def test_toplevel_exists_skolemized(self):
+        result = pre(
+            "(declare-fun x () Int)(assert (exists ((h Int)) (> h x)))(check-sat)"
+        )
+        assert not result.quantified
+        assert all(
+            not isinstance(node, Quantifier)
+            for t in result.assertions
+            for node in t.walk()
+        )
+
+    def test_negated_forall_skolemized(self):
+        result = pre(
+            "(declare-fun x () Int)"
+            "(assert (not (forall ((h Int)) (> h x))))(check-sat)"
+        )
+        assert not result.quantified
+
+    def test_bounded_forall_expanded(self):
+        result = pre(
+            "(declare-fun x () Int)"
+            "(assert (forall ((h Int)) (=> (and (>= h 0) (<= h 2)) (>= (+ x h) x))))"
+            "(check-sat)"
+        )
+        assert not result.quantified
+
+    def test_unbounded_forall_is_residue(self):
+        result = pre(
+            "(declare-fun x () Int)"
+            "(assert (forall ((h Int)) (> (+ h h) h)))(check-sat)"
+        )
+        assert result.quantified
+
+    def test_exists_under_forall_is_residue(self):
+        result = pre(
+            "(assert (forall ((a Int)) (exists ((c Int)) (> c a))))(check-sat)"
+        )
+        assert result.quantified
+
+    def test_empty_bounded_range(self):
+        result = pre(
+            "(assert (forall ((h Int)) (=> (and (>= h 5) (<= h 2)) false)))(check-sat)"
+        )
+        assert not result.quantified
+
+
+class TestInstantiation:
+    def test_instantiation_weakens_forall(self):
+        from repro.smtlib.ast import Const
+
+        term = parse_term("(forall ((h Int)) (> h 100))")
+        weak = instantiate_for_refutation(
+            term, {"Int": [Const(0, INT), Const(1, INT)]}
+        )
+        assert "forall" not in print_term(weak)
+        assert "100" in print_term(weak)
+
+    def test_instantiation_keeps_qf(self):
+        term = parse_term("(> x 0)", [X])
+        assert instantiate_for_refutation(term, {"Int": []}) == term
+
+
+class TestNormalization:
+    def test_abs_rewritten(self):
+        result = pre("(declare-fun x () Int)(assert (= (abs x) 3))(check-sat)")
+        ops = {n.op for t in result.assertions for n in t.walk() if isinstance(n, App)}
+        assert "abs" not in ops
+
+    def test_is_int_rewritten(self):
+        result = pre("(declare-fun r () Real)(assert (is_int r))(check-sat)")
+        ops = {n.op for t in result.assertions for n in t.walk() if isinstance(n, App)}
+        assert "is_int" not in ops
+
+    def test_chained_comparison_binarized(self):
+        result = pre("(declare-fun x () Int)(assert (< 0 x 5))(check-sat)")
+        for t in result.assertions:
+            for n in t.walk():
+                if isinstance(n, App) and n.op == "<":
+                    assert len(n.args) == 2
+
+    def test_distinct_pairwise(self):
+        result = pre(
+            "(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)"
+            "(assert (distinct x y z))(check-sat)"
+        )
+        text = " ".join(str(t) for t in result.assertions)
+        assert "distinct" not in text
+        assert text.count("(not (= ") == 3
+
+
+class TestIteLifting:
+    def test_int_ite_lifted(self):
+        result = pre(
+            "(declare-fun x () Int)(declare-fun c () Bool)"
+            "(assert (= (ite c 1 2) x))(check-sat)"
+        )
+        text = " ".join(str(t) for t in result.assertions)
+        assert ".ite" in text
+        # Guarded definitions appended.
+        assert text.count("=>") >= 2
+
+    def test_bool_ite_not_lifted(self):
+        result = pre(
+            "(declare-fun c () Bool)(assert (ite c true false))(check-sat)"
+        )
+        assert ".ite" not in " ".join(str(t) for t in result.assertions)
+
+
+class TestPurification:
+    def test_real_division_purified(self):
+        result = pre("(declare-fun r () Real)(assert (> (/ r 2.0) 1.0))(check-sat)")
+        ops = {n.op for t in result.assertions for n in t.walk() if isinstance(n, App)}
+        assert "/" not in ops
+        assert len(result.divisions) == 1
+        op, numer, denom, name = result.divisions[0]
+        assert op == "/"
+
+    def test_div_mod_share_variables(self):
+        result = pre(
+            "(declare-fun x () Int)"
+            "(assert (= (div x 3) 1))(assert (= (mod x 3) 2))(check-sat)"
+        )
+        ids = {name for _, _, _, name in result.divisions}
+        ops = [op for op, _, _, _ in result.divisions]
+        assert sorted(ops) == ["div", "mod"]
+        assert len(ids) == 2
+
+    def test_identical_divisions_shared(self):
+        result = pre(
+            "(declare-fun r () Real)(declare-fun q () Real)"
+            "(assert (> (/ r q) 0.0))(assert (< (/ r q) 5.0))(check-sat)"
+        )
+        real_divs = [d for d in result.divisions if d[0] == "/"]
+        assert len(real_divs) == 1
+
+    def test_ackermann_constraints_added(self):
+        result = pre(
+            "(declare-fun a () Real)(declare-fun c () Real)"
+            "(assert (> (/ a c) 0.0))(assert (< (/ c a) 0.0))(check-sat)"
+        )
+        text = " ".join(str(t) for t in result.assertions)
+        # Two distinct divisions -> one functional-consistency implication.
+        assert text.count("=>") >= 1
+
+    def test_to_int_purified(self):
+        result = pre("(declare-fun r () Real)(assert (= (to_int r) 2))(check-sat)")
+        ops = {n.op for t in result.assertions for n in t.walk() if isinstance(n, App)}
+        assert "to_int" not in ops
+        assert any(op == "to_int" for op, _, _, _ in result.divisions)

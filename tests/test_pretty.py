@@ -1,0 +1,97 @@
+"""Unit tests for the pretty-printer simplification passes."""
+
+from repro.semantics.evaluator import evaluate
+from repro.semantics.model import Model
+from repro.smtlib import builder as b
+from repro.smtlib.ast import Var
+from repro.smtlib.parser import parse_script, parse_term
+from repro.smtlib.pretty import drop_neutral, flatten, fold_constants, prettify, prettify_script
+from repro.smtlib.sorts import INT
+
+X = Var("x", INT)
+
+
+class TestFlatten:
+    def test_flattens_nested_and(self):
+        term = parse_term("(and (and (> x 0) (< x 5)) (= x 2))", [X])
+        flat = flatten(term)
+        assert flat.op == "and"
+        assert len(flat.args) == 3
+
+    def test_flattens_nested_plus(self):
+        term = parse_term("(+ (+ x 1) (+ x 2))", [X])
+        assert len(flatten(term).args) == 4
+
+    def test_preserves_different_ops(self):
+        term = parse_term("(+ (* x 2) 1)", [X])
+        assert flatten(term) == term
+
+    def test_flattens_under_quantifier(self):
+        term = parse_term("(exists ((h Int)) (and (and (> h 0) (< h 9)) (= h 1)))")
+        assert len(flatten(term).body.args) == 3
+
+
+class TestDropNeutral:
+    def test_drops_zero_in_sum(self):
+        term = parse_term("(+ x 0 1)", [X])
+        assert str(drop_neutral(term)) == "(+ x 1)"
+
+    def test_drops_one_in_product(self):
+        term = parse_term("(* 1 x)", [X])
+        assert str(drop_neutral(term)) == "x"
+
+    def test_drops_true_in_and(self):
+        term = parse_term("(and true (> x 0))", [X])
+        assert str(drop_neutral(term)) == "(> x 0)"
+
+    def test_drops_false_in_or(self):
+        term = parse_term("(or false (> x 0))", [X])
+        assert str(drop_neutral(term)) == "(> x 0)"
+
+    def test_keeps_all_neutral_sum(self):
+        term = parse_term("(+ 0 0)")
+        result = drop_neutral(term)
+        assert str(result) == "0"
+
+    def test_drops_empty_string_in_concat(self):
+        s = parse_term('(str.++ "" s "")', [Var("s", __import__("repro.smtlib.sorts", fromlist=["STRING"]).STRING)])
+        assert str(drop_neutral(s)) == "s"
+
+
+class TestFoldConstants:
+    def test_folds_sum(self):
+        assert str(fold_constants(parse_term("(+ 1 2 3)"))) == "6"
+
+    def test_folds_product(self):
+        assert str(fold_constants(parse_term("(* 2 3)"))) == "6"
+
+    def test_folds_negation(self):
+        assert str(fold_constants(parse_term("(- 5 2)"))) == "3"
+
+    def test_folds_not(self):
+        assert str(fold_constants(parse_term("(not true)"))) == "false"
+
+    def test_leaves_variables(self):
+        term = parse_term("(+ x 1)", [X])
+        assert fold_constants(term) == term
+
+
+class TestPrettify:
+    def test_reaches_fixpoint(self):
+        term = parse_term("(and (and true (> (+ x 0) (* 1 2))) true)", [X])
+        pretty = prettify(term)
+        assert str(pretty) == "(> x 2)"
+
+    def test_semantics_preserved(self):
+        term = parse_term("(and (and (> (+ x 0 1) 0) true) (< (* x 1) 5))", [X])
+        pretty = prettify(term)
+        for value in (-3, 0, 2, 7):
+            model = Model({"x": value})
+            assert evaluate(term, model) == evaluate(pretty, model)
+
+    def test_prettify_script(self):
+        script = parse_script(
+            "(declare-fun x () Int)(assert (and true (> (+ x 0) 1)))(check-sat)"
+        )
+        pretty = prettify_script(script)
+        assert str(pretty.asserts[0]) == "(> x 1)"

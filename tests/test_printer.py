@@ -1,0 +1,87 @@
+"""Unit tests for SMT-LIB printing (including round-trips)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.smtlib.ast import Const, Var
+from repro.smtlib.parser import parse_script, parse_term
+from repro.smtlib.printer import print_script, print_term
+from repro.smtlib.sorts import BOOL, INT, REAL, STRING
+
+
+class TestConstants:
+    def test_positive_int(self):
+        assert print_term(Const(7, INT)) == "7"
+
+    def test_negative_int(self):
+        assert print_term(Const(-7, INT)) == "(- 7)"
+
+    def test_bool(self):
+        assert print_term(Const(True, BOOL)) == "true"
+        assert print_term(Const(False, BOOL)) == "false"
+
+    def test_whole_real(self):
+        assert print_term(Const(Fraction(3), REAL)) == "3.0"
+
+    def test_decimal_real(self):
+        assert print_term(Const(Fraction(1, 2), REAL)) == "0.5"
+
+    def test_decimal_real_quarters(self):
+        assert print_term(Const(Fraction(5, 4), REAL)) == "1.25"
+
+    def test_negative_real(self):
+        assert print_term(Const(Fraction(-7, 4), REAL)) == "(- 1.75)"
+
+    def test_non_decimal_rational(self):
+        assert print_term(Const(Fraction(1, 3), REAL)) == "(/ 1.0 3.0)"
+
+    def test_negative_non_decimal_rational(self):
+        assert print_term(Const(Fraction(-22, 7), REAL)) == "(- (/ 22.0 7.0))"
+
+    def test_string_plain(self):
+        assert print_term(Const("ab", STRING)) == '"ab"'
+
+    def test_string_with_quote(self):
+        assert print_term(Const('a"b', STRING)) == '"a""b"'
+
+
+class TestRoundTrip:
+    CASES = [
+        "(declare-fun x () Int)\n(assert (> x 0))\n(check-sat)",
+        "(declare-fun r () Real)\n(assert (<= (/ r 2.0) 1.5))\n(check-sat)",
+        '(declare-fun s () String)\n(assert (str.in.re s (re.* (str.to.re "ab"))))\n(check-sat)',
+        "(declare-fun x () Int)\n(assert (exists ((h Int)) (> h x)))\n(check-sat)",
+        "(set-logic QF_LIA)\n(declare-const c Int)\n(assert (= c (- 3)))\n(check-sat)",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_parse_print_parse_fixpoint(self, source):
+        once = print_script(parse_script(source))
+        twice = print_script(parse_script(once))
+        assert once == twice
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_reprint_preserves_asserts(self, source):
+        original = parse_script(source)
+        reparsed = parse_script(print_script(original))
+        assert original.asserts == reparsed.asserts
+
+
+class TestTermPrinting:
+    def test_nested_application(self):
+        x = Var("x", INT)
+        term = parse_term("(+ (* 2 x) 1)", [x])
+        assert print_term(term) == "(+ (* 2 x) 1)"
+
+    def test_quantifier_printing(self):
+        term = parse_term("(forall ((a Int) (b Int)) (= a b))")
+        assert print_term(term) == "(forall ((a Int) (b Int)) (= a b))"
+
+    def test_nullary_regex(self):
+        term = parse_term("(re.++ re.allchar re.none)")
+        assert print_term(term) == "(re.++ re.allchar re.none)"
+
+    def test_str_term_via_dunder(self):
+        term = parse_term('(str.++ "a" "b")')
+        assert str(term) == '(str.++ "a" "b")'

@@ -1,0 +1,133 @@
+"""Tests for the external-binary adapter (ProcessSolver).
+
+The "solver binary" under test is this repository's own CLI
+(`python -m repro.cli check <file>`), which reads an .smt2 file and
+prints the verdict — the same observation interface the paper uses
+with Z3 and CVC4.
+"""
+
+import sys
+
+import pytest
+
+from repro.core.config import YinYangConfig
+from repro.core.yinyang import YinYang
+from repro.smtlib.parser import parse_script
+from repro.solver.process import ProcessSolver
+from repro.solver.result import SolverCrash, SolverResult
+
+
+@pytest.fixture(scope="module")
+def reference_binary():
+    # `repro.cli check` takes the file as its positional argument.
+    return ProcessSolver(
+        "cli-reference", [sys.executable, "-m", "repro.cli", "check"], timeout=120
+    )
+
+
+SAT_TEXT = "(declare-fun x () Int)(assert (> x 0))(check-sat)"
+UNSAT_TEXT = "(declare-fun x () Int)(assert (> x 0))(assert (< x 0))(check-sat)"
+
+
+class TestVerdictParsing:
+    def test_parse_sat(self):
+        assert ProcessSolver._parse_verdict("sat\n") is SolverResult.SAT
+
+    def test_parse_unsat_with_noise(self):
+        assert (
+            ProcessSolver._parse_verdict("; solving\nunsat\n")
+            is SolverResult.UNSAT
+        )
+
+    def test_parse_unknown(self):
+        assert ProcessSolver._parse_verdict("unknown") is SolverResult.UNKNOWN
+
+    def test_parse_nothing(self):
+        assert ProcessSolver._parse_verdict("hello world") is None
+
+
+class TestAgainstOwnCli:
+    def test_sat(self, reference_binary):
+        outcome = reference_binary.check(SAT_TEXT)
+        assert outcome.result is SolverResult.SAT
+
+    def test_unsat(self, reference_binary):
+        outcome = reference_binary.check(UNSAT_TEXT)
+        assert outcome.result is SolverResult.UNSAT
+
+    def test_yinyang_drives_external_binary(self, reference_binary):
+        seeds = [parse_script(SAT_TEXT), parse_script(SAT_TEXT)]
+        tool = YinYang(reference_binary, YinYangConfig(seed=1))
+        report = tool.test("sat", seeds, iterations=2)
+        assert report.fused == 2
+        assert report.incorrects == []  # a sound binary reports nothing
+
+    def test_buggy_external_binary_caught(self):
+        buggy = ProcessSolver(
+            "cli-z3-like",
+            [sys.executable, "-m", "repro.cli", "check", "--solver", "z3-like"],
+            timeout=240,
+        )
+        # 13a: unsat, but the buggy binary prints sat.
+        from repro.faults.paper_samples import sample_by_figure
+
+        outcome = buggy.check(sample_by_figure("13a").smt2)
+        assert outcome.result is SolverResult.SAT
+
+
+class TestFailureModes:
+    def test_missing_binary(self):
+        solver = ProcessSolver("ghost", ["/nonexistent/solver-binary"])
+        with pytest.raises(SolverCrash) as excinfo:
+            solver.check(SAT_TEXT)
+        assert excinfo.value.kind == "spawn"
+
+    def test_no_verdict_with_clean_exit_is_unknown(self):
+        solver = ProcessSolver("echo", [sys.executable, "-c", "print('hello')"])
+        # The command ignores the file argument and prints no verdict.
+        outcome = solver.check(SAT_TEXT)
+        assert outcome.result is SolverResult.UNKNOWN
+
+    def test_nonzero_exit_without_verdict_is_crash(self):
+        solver = ProcessSolver(
+            "dying", [sys.executable, "-c", "import sys; sys.exit(3)"]
+        )
+        with pytest.raises(SolverCrash) as excinfo:
+            solver.check(SAT_TEXT)
+        assert excinfo.value.kind == "abnormal-exit"
+
+    def test_signal_death_is_crash(self):
+        solver = ProcessSolver(
+            "segv",
+            [
+                sys.executable,
+                "-c",
+                "import os, signal; os.kill(os.getpid(), signal.SIGSEGV)",
+            ],
+        )
+        with pytest.raises(SolverCrash) as excinfo:
+            solver.check(SAT_TEXT)
+        assert excinfo.value.kind == "signal"
+
+    def test_timeout_is_unknown_by_default(self):
+        solver = ProcessSolver(
+            "sleepy",
+            [sys.executable, "-c", "import time; time.sleep(30)"],
+            timeout=0.5,
+        )
+        outcome = solver.check(SAT_TEXT)
+        assert outcome.result is SolverResult.UNKNOWN
+        assert outcome.reason == "timeout"
+
+    def test_stderr_error_marker_is_crash(self):
+        solver = ProcessSolver(
+            "asserting",
+            [
+                sys.executable,
+                "-c",
+                "import sys; print('sat'); print('ASSERTION VIOLATION', file=sys.stderr)",
+            ],
+        )
+        with pytest.raises(SolverCrash) as excinfo:
+            solver.check(SAT_TEXT)
+        assert excinfo.value.kind == "internal-error"

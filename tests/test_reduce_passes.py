@@ -1,0 +1,96 @@
+"""Unit tests for the individual reduction passes."""
+
+from repro.reduce.passes import (
+    drop_assert_candidates,
+    drop_unused_declarations,
+    hoist_candidates,
+    shrink_nary_candidates,
+    subterm_to_neutral_candidates,
+)
+from repro.smtlib.parser import parse_script
+
+
+def script(text):
+    return parse_script(text)
+
+
+BASE = script(
+    "(declare-fun x () Int)(declare-fun y () Int)"
+    "(assert (and (> x 0) (< y 5)))"
+    "(assert (= (+ x y 1) 7))"
+    "(check-sat)"
+)
+
+
+class TestDropAssert:
+    def test_yields_one_per_assert(self):
+        candidates = list(drop_assert_candidates(BASE))
+        assert len(candidates) == 2
+        assert all(len(c.asserts) == 1 for c in candidates)
+
+    def test_no_asserts(self):
+        empty = script("(declare-fun x () Int)(check-sat)")
+        assert list(drop_assert_candidates(empty)) == []
+
+
+class TestHoist:
+    def test_hoists_bool_subterms(self):
+        candidates = list(hoist_candidates(BASE))
+        texts = {str(c.asserts[0]) for c in candidates if len(c.asserts) == 2}
+        assert "(> x 0)" in texts
+        assert "(< y 5)" in texts
+
+    def test_skips_non_bool_subterms(self):
+        for candidate in hoist_candidates(BASE):
+            for term in candidate.asserts:
+                assert term.sort.name == "Bool"
+
+
+class TestShrinkNary:
+    def test_drops_one_argument(self):
+        source = script(
+            "(declare-fun x () Int)(assert (< (+ x 1 2) 9))(check-sat)"
+        )
+        texts = {str(c.asserts[0]) for c in shrink_nary_candidates(source)}
+        assert "(< (+ 1 2) 9)" in texts
+        assert "(< (+ x 2) 9)" in texts
+        assert "(< (+ x 1) 9)" in texts
+
+    def test_binary_not_shrunk(self):
+        source = script("(declare-fun x () Int)(assert (< (+ x 1) 9))(check-sat)")
+        assert list(shrink_nary_candidates(source)) == []
+
+
+class TestNeutralSubstitution:
+    def test_replaces_with_sort_neutral(self):
+        source = script(
+            '(declare-fun s () String)(assert (= (str.++ s "ab") "xab"))(check-sat)'
+        )
+        texts = {str(c.asserts[0]) for c in subterm_to_neutral_candidates(source)}
+        # The concat subterm can be replaced by the empty string.
+        assert any('"" "xab"' in t or '(= "" "xab")' in t for t in texts)
+
+    def test_candidates_strictly_smaller(self):
+        from repro.smtlib.ast import term_size
+
+        for candidate in subterm_to_neutral_candidates(BASE):
+            assert sum(term_size(t) for t in candidate.asserts) < sum(
+                term_size(t) for t in BASE.asserts
+            )
+
+
+class TestDropDeclarations:
+    def test_drops_only_unused(self):
+        source = script(
+            "(declare-fun x () Int)(declare-fun dead () Int)"
+            "(assert (> x 0))(check-sat)"
+        )
+        smaller = drop_unused_declarations(source)
+        from repro.smtlib.ast import DeclareFun
+
+        names = [c.name for c in smaller.commands if isinstance(c, DeclareFun)]
+        assert names == ["x"]
+
+    def test_none_when_all_used(self):
+        source = script("(declare-fun x () Int)(assert (> x 0))(check-sat)")
+        assert drop_unused_declarations(source) is None

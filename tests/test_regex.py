@@ -1,0 +1,176 @@
+"""Unit tests for the derivative-based regex engine."""
+
+import re as python_re
+
+import pytest
+
+from repro.semantics import regex as rx
+from repro.semantics.model import Model
+from repro.smtlib.parser import parse_term
+from repro.smtlib.ast import Var
+from repro.smtlib.sorts import STRING
+
+
+class TestConstruction:
+    def test_literal_empty_is_epsilon(self):
+        assert rx.literal("") == rx.EPSILON
+
+    def test_concat_identity(self):
+        r = rx.literal("a")
+        assert rx.concat(r, rx.EPSILON) == r
+
+    def test_concat_annihilator(self):
+        assert rx.concat(rx.literal("a"), rx.NONE) == rx.NONE
+
+    def test_union_dedupes(self):
+        r = rx.literal("a")
+        assert rx.union(r, r) == r
+
+    def test_union_drops_none(self):
+        r = rx.literal("a")
+        assert rx.union(r, rx.NONE) == r
+
+    def test_star_idempotent(self):
+        r = rx.star(rx.literal("a"))
+        assert rx.star(r) == r
+
+    def test_star_of_epsilon(self):
+        assert rx.star(rx.EPSILON) == rx.EPSILON
+
+    def test_double_complement(self):
+        r = rx.literal("a")
+        assert rx.complement(rx.complement(r)) == r
+
+    def test_empty_range(self):
+        assert rx.char_range("b", "a") == rx.NONE
+
+    def test_multichar_range_bound(self):
+        assert rx.char_range("ab", "c") == rx.NONE
+
+
+class TestMatching:
+    def test_literal(self):
+        r = rx.literal("abc")
+        assert rx.matches(r, "abc")
+        assert not rx.matches(r, "ab")
+        assert not rx.matches(r, "abcd")
+
+    def test_star(self):
+        r = rx.star(rx.literal("aa"))
+        assert rx.matches(r, "")
+        assert rx.matches(r, "aaaa")
+        assert not rx.matches(r, "aaa")
+
+    def test_union(self):
+        r = rx.union(rx.literal("cat"), rx.literal("dog"))
+        assert rx.matches(r, "cat") and rx.matches(r, "dog")
+        assert not rx.matches(r, "cow")
+
+    def test_inter(self):
+        # (a|b)* and strings of length 2.
+        two = rx.concat(rx.ALLCHAR, rx.ALLCHAR)
+        r = rx.inter(rx.star(rx.char_range("a", "b")), two)
+        assert rx.matches(r, "ab")
+        assert not rx.matches(r, "a")
+        assert not rx.matches(r, "zz"[:2]) is False or True  # zz rejected below
+        assert not rx.matches(r, "zz")
+
+    def test_complement(self):
+        r = rx.complement(rx.literal("x"))
+        assert rx.matches(r, "")
+        assert rx.matches(r, "y")
+        assert not rx.matches(r, "x")
+
+    def test_plus(self):
+        r = rx.plus(rx.literal("ab"))
+        assert not rx.matches(r, "")
+        assert rx.matches(r, "abab")
+
+    def test_opt(self):
+        r = rx.opt(rx.literal("a"))
+        assert rx.matches(r, "") and rx.matches(r, "a")
+        assert not rx.matches(r, "aa")
+
+    def test_range(self):
+        r = rx.char_range("a", "f")
+        assert rx.matches(r, "c")
+        assert not rx.matches(r, "g")
+        assert not rx.matches(r, "ab")
+
+    @pytest.mark.parametrize(
+        "pattern,smt",
+        [
+            ("(ab)*", rx.star(rx.literal("ab"))),
+            ("a|b*", rx.union(rx.literal("a"), rx.star(rx.literal("b")))),
+            ("a(b|c)d", rx.concat(rx.literal("a"), rx.union(rx.literal("b"), rx.literal("c")), rx.literal("d"))),
+        ],
+    )
+    def test_against_python_re(self, pattern, smt):
+        compiled = python_re.compile(pattern)
+        for text in ("", "a", "b", "ab", "abd", "acd", "abab", "bbb", "ad"):
+            assert bool(compiled.fullmatch(text)) == rx.matches(smt, text)
+
+
+class TestLanguageAnalysis:
+    def test_empty_language(self):
+        assert rx.is_empty(rx.NONE)
+        assert rx.is_empty(rx.inter(rx.literal("a"), rx.literal("b")))
+
+    def test_nonempty_language(self):
+        assert not rx.is_empty(rx.star(rx.literal("aa")))
+
+    def test_empty_intersection_of_star_and_length(self):
+        # (aaa)* ∩ strings of length 1 is empty.
+        one = rx.ALLCHAR
+        assert rx.is_empty(rx.inter(rx.star(rx.literal("aaa")), one))
+
+    def test_shortest_member_epsilon(self):
+        assert rx.shortest_member(rx.star(rx.literal("ab"))) == ""
+
+    def test_shortest_member_literal(self):
+        assert rx.shortest_member(rx.literal("xyz")) == "xyz"
+
+    def test_shortest_member_none(self):
+        assert rx.shortest_member(rx.NONE) is None
+
+    def test_shortest_member_plus(self):
+        assert rx.shortest_member(rx.plus(rx.literal("ab"))) == "ab"
+
+    def test_enumerate_members(self):
+        members = rx.enumerate_members(rx.star(rx.literal("a")), limit=4)
+        assert members == ["", "a", "aa", "aaa"]
+
+    def test_enumerate_respects_limit(self):
+        members = rx.enumerate_members(rx.ALL, limit=3)
+        assert len(members) == 3
+
+
+class TestFromTerm:
+    def _eval(self, term):
+        from repro.semantics.evaluator import evaluate
+
+        return evaluate(term, Model())
+
+    def test_str_to_re(self):
+        term = parse_term('(str.to.re "ab")')
+        assert rx.regex_from_term(term, self._eval) == rx.literal("ab")
+
+    def test_star_of_to_re(self):
+        term = parse_term('(re.* (str.to.re "aa"))')
+        r = rx.regex_from_term(term, self._eval)
+        assert rx.matches(r, "aaaa")
+        assert not rx.matches(r, "a")
+
+    def test_range_term(self):
+        term = parse_term('(re.range "a" "c")')
+        r = rx.regex_from_term(term, self._eval)
+        assert rx.matches(r, "b")
+
+    def test_union_inter_opt(self):
+        term = parse_term('(re.union (re.opt (str.to.re "x")) re.none)')
+        r = rx.regex_from_term(term, self._eval)
+        assert rx.matches(r, "") and rx.matches(r, "x")
+
+    def test_nonregex_term_rejected(self):
+        with pytest.raises(TypeError):
+            rx.regex_from_term(Var("s", STRING), self._eval)

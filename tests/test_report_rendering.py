@@ -1,0 +1,75 @@
+"""Tests for table/bar rendering used by the benchmark harness."""
+
+from repro.campaign.report import (
+    PAPER_FIG8A,
+    PAPER_FIG8B,
+    PAPER_FIG8C,
+    render_bars,
+    render_table,
+)
+from repro.coverage.report import CoverageComparison, CoverageReport
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "n"], [("a", 1), ("long-name", 22)])
+        lines = text.splitlines()
+        assert len({line.index("1") for line in lines if "1" in line}) >= 1
+        assert lines[1].startswith("-")
+
+    def test_title(self):
+        assert render_table(["x"], [(1,)], title="T").splitlines()[0] == "T"
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestRenderBars:
+    def test_peak_gets_full_width(self):
+        text = render_bars([(2015, 10), (2016, 20)], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_zero_value(self):
+        text = render_bars([("a", 0), ("b", 4)])
+        assert "| " in text.splitlines()[0]
+
+    def test_title_line(self):
+        assert render_bars([("a", 1)], title="bars").splitlines()[0] == "bars"
+
+    def test_all_zero(self):
+        text = render_bars([("a", 0), ("b", 0)])
+        assert "0" in text
+
+
+class TestPaperConstants:
+    def test_fig8a_consistency(self):
+        # Confirmed = fixed + (confirmed-but-open) <= reported.
+        assert PAPER_FIG8A["Confirmed"] <= PAPER_FIG8A["Reported"]
+        assert PAPER_FIG8A["Fixed"] <= PAPER_FIG8A["Confirmed"]
+
+    def test_fig8b_sums_to_confirmed(self):
+        z3 = sum(v[0] for v in PAPER_FIG8B.values())
+        cvc4 = sum(v[1] for v in PAPER_FIG8B.values())
+        assert (z3, cvc4) == PAPER_FIG8A["Confirmed"]
+
+    def test_fig8c_sums_to_confirmed(self):
+        z3 = sum(v[0] for v in PAPER_FIG8C.values())
+        cvc4 = sum(v[1] for v in PAPER_FIG8C.values())
+        assert (z3, cvc4) == PAPER_FIG8A["Confirmed"]
+
+
+class TestCoverageComparison:
+    def test_improvement_signs(self):
+        bench = CoverageReport("b", 10, 20, 30)
+        yy = CoverageReport("y", 12, 25, 30)
+        comparison = CoverageComparison("QF_X", "sat", bench, yy)
+        improvement = comparison.improvement()
+        assert improvement["line"] == 2
+        assert improvement["branch"] == 0
+
+    def test_str(self):
+        report = CoverageReport("label", 1.23, 4.56, 7.89)
+        assert "label" in str(report) and "1.2" in str(report)

@@ -1,0 +1,51 @@
+"""Tests for the fix-validate-retest round protocol."""
+
+import pytest
+
+from repro.campaign.rounds import run_fix_rounds
+from repro.faults.catalog import z3_like_catalog
+from repro.seeds import build_corpus
+from repro.solver.solver import ReferenceSolver, SolverConfig
+
+
+@pytest.fixture(scope="module")
+def rounds_result():
+    corpus = build_corpus("QF_S", scale=0.0015, seed=31)
+    return run_fix_rounds(
+        ReferenceSolver(SolverConfig.fast()),
+        z3_like_catalog(),
+        "z3-like",
+        "unsat",
+        corpus.unsat_seeds,
+        iterations_per_round=15,
+        max_rounds=6,
+        seed=2,
+    )
+
+
+class TestFixRounds:
+    def test_terminates(self, rounds_result):
+        assert 1 <= rounds_result.total_rounds <= 6
+
+    def test_finds_then_dries_up(self, rounds_result):
+        assert rounds_result.rounds[0].new_fault_ids, "round 1 must find bugs"
+
+    def test_no_fault_found_twice(self, rounds_result):
+        seen = set()
+        for round_ in rounds_result.rounds:
+            for fault_id in round_.new_fault_ids:
+                assert fault_id not in seen, "a fixed fault must stay fixed"
+                seen.add(fault_id)
+
+    def test_fixes_accumulate(self, rounds_result):
+        total_new = sum(len(r.new_fault_ids) for r in rounds_result.rounds)
+        assert len(rounds_result.fixed_fault_ids) == total_new
+
+    def test_revalidation_passes_after_fixes(self, rounds_result):
+        # The mechanical 'fix' (fault removal) must fully cure the
+        # previous round's triggering formulas.
+        for round_ in rounds_result.rounds[1:]:
+            assert round_.revalidation_failures == 0
+
+    def test_summary_mentions_rounds(self, rounds_result):
+        assert "round 1" in rounds_result.summary()

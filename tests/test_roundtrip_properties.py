@@ -1,0 +1,82 @@
+"""Property tests: printer/parser round-trips over generated seeds.
+
+Every script our generators emit must survive print -> parse with its
+assertion ASTs intact, and fused scripts must too — this is what makes
+the tool's file-based workflow (the paper feeds .smt2 files to solver
+binaries) trustworthy.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.fusion import fuse
+from repro.seeds import (
+    generate_arith_seed,
+    generate_string_seed,
+    generate_stringfuzz_seed,
+)
+from repro.smtlib.parser import parse_script
+from repro.smtlib.printer import print_script
+
+_SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+FAMILIES = ["LIA", "LRA", "NRA", "QF_LIA", "QF_LRA", "QF_NRA"]
+
+
+def _roundtrip_equal(script):
+    text = print_script(script)
+    reparsed = parse_script(text)
+    assert reparsed.asserts == script.asserts
+    assert print_script(reparsed) == text
+    return reparsed
+
+
+@_SETTINGS
+@given(
+    family=st.sampled_from(FAMILIES),
+    oracle=st.sampled_from(["sat", "unsat"]),
+    seed=st.integers(0, 10**6),
+)
+def test_arith_seed_roundtrip(family, oracle, seed):
+    labeled = generate_arith_seed(family, oracle, random.Random(seed))
+    _roundtrip_equal(labeled.script)
+
+
+@_SETTINGS
+@given(
+    family=st.sampled_from(["QF_S", "QF_SLIA"]),
+    oracle=st.sampled_from(["sat", "unsat"]),
+    seed=st.integers(0, 10**6),
+)
+def test_string_seed_roundtrip(family, oracle, seed):
+    labeled = generate_string_seed(family, oracle, random.Random(seed))
+    _roundtrip_equal(labeled.script)
+
+
+@_SETTINGS
+@given(oracle=st.sampled_from(["sat", "unsat"]), seed=st.integers(0, 10**6))
+def test_stringfuzz_seed_roundtrip(oracle, seed):
+    labeled = generate_stringfuzz_seed(oracle, random.Random(seed))
+    _roundtrip_equal(labeled.script)
+
+
+@_SETTINGS
+@given(
+    family=st.sampled_from(["QF_LIA", "QF_S"]),
+    oracle=st.sampled_from(["sat", "unsat"]),
+    seed=st.integers(0, 10**6),
+)
+def test_fused_script_roundtrip(family, oracle, seed):
+    rng = random.Random(seed)
+    if family == "QF_S":
+        phi1 = generate_string_seed(family, oracle, rng)
+        phi2 = generate_string_seed(family, oracle, rng)
+    else:
+        phi1 = generate_arith_seed(family, oracle, rng)
+        phi2 = generate_arith_seed(family, oracle, rng)
+    fused = fuse(oracle, phi1.script, phi2.script, rng)
+    _roundtrip_equal(fused.script)

@@ -1,0 +1,157 @@
+"""Unit and randomized tests for the CDCL SAT core."""
+
+import random
+from itertools import product
+
+import pytest
+
+from repro.solver.sat import SatSolver
+
+
+def brute_force(num_vars, clauses):
+    for bits in product([False, True], repeat=num_vars):
+        def lit_true(lit):
+            value = bits[abs(lit) - 1]
+            return value if lit > 0 else not value
+
+        if all(any(lit_true(l) for l in clause) for clause in clauses):
+            return True
+    return False
+
+
+def model_satisfies(model, clauses):
+    def lit_true(lit):
+        value = model.get(abs(lit), False)
+        return value if lit > 0 else not value
+
+    return all(any(lit_true(l) for l in clause) for clause in clauses)
+
+
+class TestBasics:
+    def test_empty_problem_is_sat(self):
+        assert SatSolver().solve() is True
+
+    def test_unit_clause(self):
+        s = SatSolver()
+        s.add_clause([1])
+        assert s.solve() is True
+        assert s.model()[1] is True
+
+    def test_contradicting_units(self):
+        s = SatSolver()
+        s.add_clause([1])
+        s.add_clause([-1])
+        assert s.solve() is False
+
+    def test_empty_clause(self):
+        s = SatSolver()
+        assert s.add_clause([]) is False
+        assert s.solve() is False
+
+    def test_tautology_dropped(self):
+        s = SatSolver()
+        assert s.add_clause([1, -1]) is True
+        assert s.solve() is True
+
+    def test_duplicate_literals_collapse(self):
+        s = SatSolver()
+        s.add_clause([2, 2, 2])
+        assert s.solve() is True
+        assert s.model()[2] is True
+
+    def test_simple_implication_chain(self):
+        s = SatSolver()
+        s.add_clause([1])
+        s.add_clause([-1, 2])
+        s.add_clause([-2, 3])
+        assert s.solve() is True
+        assert s.model()[3] is True
+
+    def test_pigeonhole_2_into_1(self):
+        # Two pigeons, one hole: p1h1, p2h1, not both.
+        s = SatSolver()
+        s.add_clause([1])
+        s.add_clause([2])
+        s.add_clause([-1, -2])
+        assert s.solve() is False
+
+    def test_xor_chain(self):
+        # x1 xor x2 = true; both assignments reachable.
+        s = SatSolver()
+        s.add_clause([1, 2])
+        s.add_clause([-1, -2])
+        assert s.solve() is True
+        model = s.model()
+        assert model[1] != model[2]
+
+
+class TestIncremental:
+    def test_add_after_solve(self):
+        s = SatSolver()
+        s.add_clause([1, 2])
+        assert s.solve() is True
+        s.add_clause([-1])
+        s.add_clause([-2])
+        assert s.solve() is False
+
+    def test_blocking_loop_enumerates_models(self):
+        s = SatSolver()
+        s.ensure_vars(3)
+        s.add_clause([1, 2, 3])
+        count = 0
+        while s.solve():
+            model = s.model()
+            count += 1
+            assert count <= 7
+            s.add_clause([-v if model[v] else v for v in (1, 2, 3)])
+        assert count == 7  # all assignments except all-false
+
+
+class TestRandomized:
+    @pytest.mark.parametrize("trial", range(30))
+    def test_agrees_with_brute_force(self, trial):
+        rng = random.Random(trial * 7919)
+        n = rng.randint(1, 8)
+        m = rng.randint(1, 30)
+        clauses = [
+            [rng.choice([1, -1]) * rng.randint(1, n) for _ in range(rng.randint(1, 3))]
+            for _ in range(m)
+        ]
+        s = SatSolver()
+        s.ensure_vars(n)
+        consistent = all(s.add_clause(c) for c in clauses)
+        result = s.solve() if consistent else False
+        assert result == brute_force(n, clauses)
+        if result:
+            assert model_satisfies(s.model(), clauses)
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_incremental_agrees_with_brute_force(self, trial):
+        rng = random.Random(trial * 104729)
+        n = rng.randint(2, 7)
+        s = SatSolver()
+        s.ensure_vars(n)
+        clauses = []
+        consistent = True
+        for _ in range(4):
+            for _ in range(rng.randint(1, 6)):
+                clause = [
+                    rng.choice([1, -1]) * rng.randint(1, n)
+                    for _ in range(rng.randint(1, 3))
+                ]
+                clauses.append(clause)
+                consistent = s.add_clause(clause) and consistent
+            result = s.solve() if consistent else False
+            assert result == brute_force(n, clauses)
+
+    def test_larger_structured_instance(self):
+        # Chain of equivalences with one forced polarity, unsat with a flip.
+        s = SatSolver()
+        n = 30
+        s.ensure_vars(n)
+        for i in range(1, n):
+            s.add_clause([-i, i + 1])
+            s.add_clause([i, -(i + 1)])
+        s.add_clause([1])
+        s.add_clause([-n])
+        assert s.solve() is False

@@ -1,0 +1,157 @@
+"""Tests for the seed generators and corpora (the Figure 7 substrate)."""
+
+import random
+
+import pytest
+
+from repro.faults.fault import analyze_script
+from repro.seeds import (
+    PAPER_SEED_COUNTS,
+    build_all_corpora,
+    build_corpus,
+    generate_arith_seed,
+    generate_string_seed,
+    generate_stringfuzz_seed,
+)
+from repro.seeds.corpus import figure7_rows
+from repro.semantics.evaluator import evaluate_script
+from repro.smtlib.ast import Quantifier
+
+ARITH_FAMILIES = ["LIA", "LRA", "NRA", "QF_LIA", "QF_LRA", "QF_NRA"]
+
+
+class TestArithGenerator:
+    @pytest.mark.parametrize("family", ARITH_FAMILIES)
+    def test_sat_seed_carries_verifying_model(self, family):
+        rng = random.Random(1)
+        for _ in range(5):
+            seed = generate_arith_seed(family, "sat", rng)
+            assert seed.oracle == "sat"
+            assert seed.model is not None
+            # Verify the quantifier-free part against the model.
+            qf = [
+                t
+                for t in seed.script.asserts
+                if not any(isinstance(n, Quantifier) for n in t.walk())
+            ]
+            probe = seed.script.with_asserts(qf)
+            assert evaluate_script(probe, seed.model)
+
+    @pytest.mark.parametrize("family", ARITH_FAMILIES)
+    def test_unsat_seed_refuted_by_solver(self, family, solver):
+        rng = random.Random(2)
+        for _ in range(3):
+            seed = generate_arith_seed(family, "unsat", rng)
+            verdict = str(solver.check_script(seed.script).result)
+            assert verdict != "sat"
+
+    def test_quantified_families_use_quantifiers_sometimes(self):
+        rng = random.Random(3)
+        found = False
+        for _ in range(20):
+            seed = generate_arith_seed("LRA", "sat", rng)
+            if any(
+                isinstance(n, Quantifier)
+                for t in seed.script.asserts
+                for n in t.walk()
+            ):
+                found = True
+                break
+        assert found
+
+    def test_qf_families_stay_quantifier_free(self):
+        rng = random.Random(4)
+        for _ in range(10):
+            seed = generate_arith_seed("QF_NRA", "sat", rng)
+            assert not any(
+                isinstance(n, Quantifier)
+                for t in seed.script.asserts
+                for n in t.walk()
+            )
+
+    def test_set_logic_emitted(self):
+        seed = generate_arith_seed("QF_LIA", "sat", random.Random(5))
+        assert seed.script.logic == "QF_LIA"
+
+
+class TestStringGenerator:
+    @pytest.mark.parametrize("family", ["QF_S", "QF_SLIA"])
+    def test_sat_seed_model_verifies(self, family):
+        rng = random.Random(6)
+        for _ in range(8):
+            seed = generate_string_seed(family, "sat", rng)
+            assert evaluate_script(seed.script, seed.model)
+
+    @pytest.mark.parametrize("family", ["QF_S", "QF_SLIA"])
+    def test_unsat_seed_refuted(self, family, solver):
+        rng = random.Random(7)
+        for _ in range(5):
+            seed = generate_string_seed(family, "unsat", rng)
+            assert str(solver.check_script(seed.script).result) != "sat"
+
+    def test_qf_slia_has_integer_variable(self):
+        seed = generate_string_seed("QF_SLIA", "sat", random.Random(8))
+        assert analyze_script(seed.script).logic_family == "QF_SLIA"
+
+    def test_qf_s_has_no_integer_variable(self):
+        seed = generate_string_seed("QF_S", "sat", random.Random(9))
+        assert analyze_script(seed.script).logic_family == "QF_S"
+
+
+class TestStringFuzzGenerator:
+    def test_sat_model_verifies(self):
+        rng = random.Random(10)
+        for _ in range(8):
+            seed = generate_stringfuzz_seed("sat", rng)
+            assert evaluate_script(seed.script, seed.model)
+
+    def test_unsat_refuted(self, solver):
+        rng = random.Random(11)
+        for _ in range(5):
+            seed = generate_stringfuzz_seed("unsat", rng)
+            assert str(solver.check_script(seed.script).result) != "sat"
+
+    def test_chain_flavor(self):
+        seed = generate_stringfuzz_seed("sat", random.Random(12), chain_length=5)
+        assert len(seed.script.free_variables()) == 5
+
+
+class TestCorpora:
+    def test_single_corpus_counts(self):
+        corpus = build_corpus("QF_LRA", scale=0.01, seed=1)
+        unsat, sat, total = corpus.counts()
+        assert unsat >= 1 and sat >= 1
+        assert total == unsat + sat
+
+    def test_nra_has_no_sat_seeds(self):
+        corpus = build_corpus("NRA", scale=0.01, seed=1)
+        unsat, sat, _ = corpus.counts()
+        assert sat == 0 and unsat > 0  # matching Figure 7
+
+    def test_all_families_buildable(self):
+        corpora = build_all_corpora(scale=0.001, seed=2)
+        assert set(corpora) == set(PAPER_SEED_COUNTS)
+
+    def test_figure7_rows_order(self):
+        corpora = build_all_corpora(scale=0.001, seed=2)
+        rows = figure7_rows(corpora)
+        assert [r[0] for r in rows] == list(PAPER_SEED_COUNTS)
+
+    def test_determinism(self):
+        import re
+
+        normalize = lambda s: re.sub(r"!\d+", "!N", s)
+        a = build_corpus("QF_S", scale=0.002, seed=9)
+        c = build_corpus("QF_S", scale=0.002, seed=9)
+        assert [normalize(str(x.script)) for x in a.seeds] == [
+            normalize(str(x.script)) for x in c.seeds
+        ]
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError):
+            build_corpus("QF_BV", scale=0.01)
+
+    def test_validate_against_reference(self, solver):
+        corpus = build_corpus("QF_LIA", scale=0.003, seed=4)
+        mismatches = corpus.validate(solver, max_seeds=10)
+        assert mismatches == []

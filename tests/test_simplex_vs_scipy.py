@@ -1,0 +1,71 @@
+"""Cross-validation of the simplex core against scipy.optimize.linprog.
+
+For random systems of *non-strict* linear constraints (scipy cannot do
+strict ones), rational-simplex feasibility must agree with scipy's LP
+feasibility phase. This is an independent oracle: scipy shares no code
+with our implementation.
+"""
+
+import random
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from scipy.optimize import linprog
+
+from repro.solver.linarith import LinearAtom, check_linear
+
+
+def _random_system(rng, num_vars, num_constraints):
+    names = [f"v{i}" for i in range(num_vars)]
+    atoms = []
+    rows_ub = []
+    b_ub = []
+    rows_eq = []
+    b_eq = []
+    for _ in range(num_constraints):
+        coeffs = {name: rng.randint(-4, 4) for name in names}
+        constant = rng.randint(-6, 6)
+        if rng.random() < 0.25:
+            atoms.append(LinearAtom.make(coeffs, "=", Fraction(constant)))
+            rows_eq.append([coeffs[n] for n in names])
+            b_eq.append(constant)
+        else:
+            atoms.append(LinearAtom.make(coeffs, "<=", Fraction(constant)))
+            rows_ub.append([coeffs[n] for n in names])
+            b_ub.append(constant)
+    # Box to keep scipy comfortable (and match on both sides).
+    for name in names:
+        atoms.append(LinearAtom.make({name: 1}, "<=", Fraction(50)))
+        atoms.append(LinearAtom.make({name: -1}, "<=", Fraction(50)))
+    return names, atoms, rows_ub, b_ub, rows_eq, b_eq
+
+
+def _scipy_feasible(names, rows_ub, b_ub, rows_eq, b_eq):
+    result = linprog(
+        c=np.zeros(len(names)),
+        A_ub=np.array(rows_ub) if rows_ub else None,
+        b_ub=np.array(b_ub, dtype=float) if rows_ub else None,
+        A_eq=np.array(rows_eq) if rows_eq else None,
+        b_eq=np.array(b_eq, dtype=float) if rows_eq else None,
+        bounds=[(-50, 50)] * len(names),
+        method="highs",
+    )
+    return result.status == 0  # 0 = optimal (feasible); 2 = infeasible
+
+
+@pytest.mark.parametrize("trial", range(40))
+def test_feasibility_agrees_with_scipy(trial):
+    rng = random.Random(trial * 2654435761 % (2**31))
+    num_vars = rng.randint(1, 4)
+    num_constraints = rng.randint(1, 7)
+    names, atoms, rows_ub, b_ub, rows_eq, b_eq = _random_system(
+        rng, num_vars, num_constraints
+    )
+    status, model = check_linear(atoms)
+    expected = _scipy_feasible(names, rows_ub, b_ub, rows_eq, b_eq)
+    assert status == ("sat" if expected else "unsat")
+    if status == "sat":
+        for atom in atoms:
+            full = {name: model.get(name, Fraction(0)) for name in names}
+            assert atom.evaluate(full)

@@ -1,0 +1,212 @@
+"""End-to-end tests of the reference solver across logics."""
+
+import pytest
+
+from repro.semantics.evaluator import evaluate_script
+from repro.smtlib.parser import parse_script
+from repro.solver.result import SolverResult
+from repro.solver.solver import ReferenceSolver, SolverConfig
+
+
+def verdict(solver, text):
+    return str(solver.check_result(text))
+
+
+class TestQFLIA:
+    CASES = [
+        ("(declare-fun x () Int)(assert (> x 0))(assert (> x 1))(check-sat)", "sat"),
+        ("(declare-fun x () Int)(assert (> x 0))(assert (< x 0))(check-sat)", "unsat"),
+        ("(declare-fun x () Int)(assert (= (* 2 x) 7))(check-sat)", "unsat"),
+        ("(declare-fun x () Int)(declare-fun y () Int)(assert (= (+ x y) 3))(assert (= (- x y) 1))(check-sat)", "sat"),
+        ("(declare-fun x () Int)(assert (and (< 0 x) (< x 1)))(check-sat)", "unsat"),
+        ("(declare-fun x () Int)(assert (or (= x 1) (= x 2)))(assert (distinct x 1))(check-sat)", "sat"),
+    ]
+
+    @pytest.mark.parametrize("source,expected", CASES)
+    def test_case(self, solver, source, expected):
+        assert verdict(solver, source) == expected
+
+
+class TestQFLRA:
+    CASES = [
+        ("(declare-fun r () Real)(assert (and (< 0.0 r) (< r 1.0)))(check-sat)", "sat"),
+        ("(declare-fun r () Real)(assert (not (= (+ (+ 1.0 r) 6.0) (+ 7.0 r))))(check-sat)", "unsat"),
+        ("(declare-fun a () Real)(declare-fun c () Real)(assert (<= (/ a 4.0) (* 5.0 a)))(assert (= a 1.0))(check-sat)", "sat"),
+    ]
+
+    @pytest.mark.parametrize("source,expected", CASES)
+    def test_case(self, solver, source, expected):
+        assert verdict(solver, source) == expected
+
+
+class TestQFNRA:
+    CASES = [
+        ("(declare-fun x () Real)(assert (= (* x x) 4.0))(assert (< x 0.0))(check-sat)", "sat"),
+        ("(declare-fun x () Real)(assert (< (* x x) 0.0))(check-sat)", "unsat"),
+        ("(declare-fun x () Real)(assert (= (* x x) (- 1.0)))(check-sat)", "unsat"),
+        ("(declare-fun x () Real)(declare-fun y () Real)(assert (= (* x y) 1.0))(assert (= x 2.0))(check-sat)", "sat"),
+    ]
+
+    @pytest.mark.parametrize("source,expected", CASES)
+    def test_case(self, solver, source, expected):
+        assert verdict(solver, source) == expected
+
+
+class TestDivisionSemantics:
+    def test_division_by_variable_guarded(self, solver):
+        # Satisfiable: pick y != 0.
+        text = "(declare-fun y () Real)(assert (= (/ 6.0 y) 3.0))(check-sat)"
+        assert verdict(solver, text) == "sat"
+
+    def test_division_at_zero_is_free(self, solver):
+        # (/ 1 0) can take any value, so (= (/ 1.0 0.0) 5.0) is sat.
+        text = "(assert (= (/ 1.0 0.0) 5.0))(check-sat)"
+        assert verdict(solver, text) == "sat"
+
+    def test_division_at_zero_is_consistent(self, solver):
+        # But it is a function: same application, same value.
+        text = "(assert (not (= (/ 1.0 0.0) (/ 1.0 0.0))))(check-sat)"
+        assert verdict(solver, text) == "unsat"
+
+    def test_functional_consistency_across_terms(self, solver):
+        # x = y implies (/ 1 x) = (/ 1 y), even at zero (Ackermann).
+        text = (
+            "(declare-fun x () Real)(declare-fun y () Real)"
+            "(assert (= x y))"
+            "(assert (not (= (/ 1.0 x) (/ 1.0 y))))(check-sat)"
+        )
+        assert verdict(solver, text) == "unsat"
+
+    def test_euclidean_div_mod(self, solver):
+        text = (
+            "(declare-fun x () Int)"
+            "(assert (= (div x 2) (- 4)))(assert (= (mod x 2) 1))(check-sat)"
+        )
+        outcome = ReferenceSolver().check(text)
+        assert str(outcome.result) == "sat"
+        assert outcome.model["x"] == -7
+
+    def test_mod_by_zero_free_but_consistent(self, solver):
+        text = "(declare-fun x () Int)(assert (= (mod x 0) 17))(check-sat)"
+        assert verdict(solver, text) == "sat"
+
+
+class TestStringsEndToEnd:
+    CASES = [
+        ('(declare-fun s () String)(assert (= (str.++ s "b") "ab"))(check-sat)', "sat"),
+        ('(declare-fun s () String)(assert (= (str.len s) 2))(assert (str.prefixof "abc" s))(check-sat)', "unsat"),
+        ('(declare-fun s () String)(assert (str.in.re s (re.* (str.to.re "ab"))))(assert (= (str.len s) 3))(check-sat)', "unsat"),
+        ('(declare-fun s () String)(assert (= (str.to.int s) (- 1)))(assert (= (str.len s) 1))(check-sat)', "sat"),
+        ('(declare-fun s () String)(declare-fun t () String)(assert (= (str.++ s t) (str.++ t s)))(assert (= (str.len s) 1))(assert (= (str.len t) 1))(assert (not (= s t)))(check-sat)', "unsat"),
+    ]
+
+    @pytest.mark.parametrize("source,expected", CASES)
+    def test_case(self, solver, source, expected):
+        assert verdict(solver, source) == expected
+
+
+class TestBooleanStructure:
+    def test_pure_boolean(self, solver):
+        text = (
+            "(declare-fun a () Bool)(declare-fun b () Bool)"
+            "(assert (or a b))(assert (not a))(check-sat)"
+        )
+        outcome = ReferenceSolver().check(text)
+        assert str(outcome.result) == "sat"
+        assert outcome.model["b"] is True
+
+    def test_xor_contradiction(self, solver):
+        text = "(declare-fun a () Bool)(assert (xor a a))(check-sat)"
+        assert verdict(solver, text) == "unsat"
+
+    def test_paper_phi1(self, solver):
+        text = (
+            "(declare-fun x () Int)(declare-fun w () Bool)"
+            "(assert (= x (- 1)))(assert (= w (= x (- 1))))(assert w)(check-sat)"
+        )
+        assert verdict(solver, text) == "sat"
+
+    def test_paper_phi2(self, solver):
+        text = (
+            "(declare-fun y () Int)(declare-fun v () Bool)"
+            "(assert (= v (not (= y (- 1)))))"
+            "(assert (ite v false (= y (- 1))))(check-sat)"
+        )
+        assert verdict(solver, text) == "sat"
+
+    def test_assert_true_only(self, solver):
+        assert verdict(solver, "(assert true)(check-sat)") == "sat"
+
+    def test_assert_false(self, solver):
+        assert verdict(solver, "(assert false)(check-sat)") == "unsat"
+
+
+class TestQuantifiedLogics:
+    def test_skolemizable_exists(self, solver):
+        text = "(declare-fun x () Int)(assert (exists ((h Int)) (> h x)))(check-sat)"
+        assert verdict(solver, text) == "sat"
+
+    def test_bounded_forall_sat(self, solver):
+        text = (
+            "(declare-fun x () Int)"
+            "(assert (forall ((h Int)) (=> (and (>= h 0) (<= h 3)) (>= (+ x h) x))))"
+            "(check-sat)"
+        )
+        assert verdict(solver, text) == "sat"
+
+    def test_bounded_forall_unsat(self, solver):
+        text = (
+            "(declare-fun x () Int)(assert (= x 1))"
+            "(assert (forall ((h Int)) (=> (and (>= h 0) (<= h 2)) (> x h))))"
+            "(check-sat)"
+        )
+        assert verdict(solver, text) == "unsat"
+
+    def test_refutation_by_instantiation(self, solver):
+        # forall h. h > 100 is refuted by instantiating h := 0.
+        text = "(assert (forall ((h Int)) (> h 100)))(check-sat)"
+        assert verdict(solver, text) == "unsat"
+
+    def test_honest_unknown_for_hard_quantifier(self, solver):
+        text = "(assert (forall ((h Int)) (>= (* h h) 0)))(check-sat)"
+        assert verdict(solver, text) == "unknown"
+
+
+class TestModels:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "(declare-fun x () Int)(assert (> x 3))(assert (< x 9))(check-sat)",
+            '(declare-fun s () String)(assert (str.contains s "b"))(check-sat)',
+            "(declare-fun r () Real)(declare-fun q () Real)(assert (= (* r q) 1.0))(check-sat)",
+            "(declare-fun a () Bool)(declare-fun x () Int)(assert (= a (> x 0)))(assert a)(check-sat)",
+        ],
+    )
+    def test_models_verify(self, source):
+        solver = ReferenceSolver()
+        outcome = solver.check(source)
+        assert str(outcome.result) == "sat"
+        assert evaluate_script(parse_script(source), outcome.model)
+
+    def test_model_none_when_unsat(self):
+        solver = ReferenceSolver()
+        assert solver.model("(assert false)(check-sat)") is None
+
+
+class TestConfigs:
+    def test_fast_config_still_correct_on_easy(self):
+        solver = ReferenceSolver(SolverConfig.fast())
+        assert str(solver.check_result("(declare-fun x () Int)(assert (> x 0))(check-sat)")) == "sat"
+
+    def test_check_rejects_non_script(self):
+        with pytest.raises(TypeError):
+            ReferenceSolver().check_script("(check-sat)")
+
+    def test_unknown_carries_reason(self):
+        solver = ReferenceSolver(SolverConfig(max_rounds=1))
+        outcome = solver.check(
+            "(declare-fun x () Real)(declare-fun y () Real)"
+            "(assert (= (* x y) 1.0))(assert (= (* x x) y))(assert (< x 0.0))(check-sat)"
+        )
+        if str(outcome.result) == "unknown":
+            assert outcome.reason

@@ -1,0 +1,146 @@
+"""Unit tests for the string solver's internal machinery."""
+
+import pytest
+
+from repro.smtlib import builder as b
+from repro.smtlib.ast import Const, Var
+from repro.smtlib.sorts import STRING
+from repro.solver.strings import (
+    StringConfig,
+    _analyze,
+    _concat_parts,
+    _find_derived,
+    _length_coeffs,
+    _regex_members_of_length,
+    _strings_of_length,
+)
+from repro.semantics import regex as rx
+
+S = b.string_var("s")
+T = b.string_var("t")
+U = b.string_var("u")
+
+
+class TestConcatParts:
+    def test_var(self):
+        assert _concat_parts(S) == [S]
+
+    def test_const(self):
+        c = Const("ab", STRING)
+        assert _concat_parts(c) == [c]
+
+    def test_nested_concat_flattened(self):
+        term = b.concat(b.concat(S, T), b.lift("x"))
+        parts = _concat_parts(term)
+        assert parts == [S, T, Const("x", STRING)]
+
+    def test_non_concat_structure(self):
+        assert _concat_parts(b.replace(S, T, U)) is None
+
+    def test_length_coeffs(self):
+        coeffs, constant = _length_coeffs([S, S, Const("abc", STRING), T])
+        assert coeffs == {".len.s": 2, ".len.t": 1}
+        assert constant == 3
+
+
+class TestAnalysis:
+    def test_alphabet_from_constants(self):
+        literals = [(b.contains(S, b.lift("xy")), True)]
+        analysis = _analyze(literals, StringConfig())
+        assert "x" in analysis.alphabet and "y" in analysis.alphabet
+
+    def test_alphabet_fillers(self):
+        literals = [(b.eq(S, T), True)]
+        analysis = _analyze(literals, StringConfig(alphabet_size=3))
+        assert len(analysis.alphabet) >= 3
+
+    def test_pinned_variables(self):
+        literals = [(b.eq(S, b.lift("ab")), True)]
+        analysis = _analyze(literals, StringConfig())
+        assert analysis.pinned == {"s": "ab"}
+
+    def test_exact_lengths(self):
+        literals = [(b.eq(b.length(S), 3), True), (b.eq(b.lift(2), b.length(T)), True)]
+        analysis = _analyze(literals, StringConfig())
+        assert analysis.exact_lengths == {"s": 3, "t": 2}
+
+    def test_int_images(self):
+        literals = [(b.eq(b.str_to_int(S), 12), True)]
+        analysis = _analyze(literals, StringConfig())
+        assert analysis.int_images == {"s": 12}
+
+    def test_negative_int_image_not_restricting(self):
+        literals = [(b.eq(b.str_to_int(S), b.lift(-1)), True)]
+        analysis = _analyze(literals, StringConfig())
+        assert "s" not in analysis.int_images
+
+    def test_regex_membership_collected(self):
+        regex_term = b.re_star(b.to_re(b.lift("ab")))
+        literals = [(b.in_re(S, regex_term), True)]
+        analysis = _analyze(literals, StringConfig())
+        assert "s" in analysis.regexes
+        assert rx.matches(analysis.regexes["s"], "abab")
+
+    def test_negative_regex_ignored(self):
+        regex_term = b.re_star(b.to_re(b.lift("ab")))
+        literals = [(b.in_re(S, regex_term), False)]
+        analysis = _analyze(literals, StringConfig())
+        assert "s" not in analysis.regexes
+
+    def test_length_equation_from_word_equation(self):
+        literals = [(b.eq(S, b.concat(T, b.lift("x"))), True)]
+        analysis = _analyze(literals, StringConfig())
+        # len(s) - len(t) = 1 must appear in the abstraction.
+        equations = [a for a in analysis.length_atoms if a.op == "="]
+        assert equations
+
+
+class TestDerivedVariables:
+    def test_simple_definition(self):
+        analysis = _analyze([(b.eq(S, b.concat(T, U)), True)], StringConfig())
+        derived = _find_derived([(b.eq(S, b.concat(T, U)), True)], analysis)
+        assert set(derived) == {"s"}
+
+    def test_reversed_equation(self):
+        lits = [(b.eq(b.concat(T, U), S), True)]
+        analysis = _analyze(lits, StringConfig())
+        assert set(_find_derived(lits, analysis)) == {"s"}
+
+    def test_cycle_avoided(self):
+        lits = [
+            (b.eq(S, b.concat(T, b.lift("a"))), True),
+            (b.eq(T, b.concat(S, b.lift("b"))), True),
+        ]
+        analysis = _analyze(lits, StringConfig())
+        derived = _find_derived(lits, analysis)
+        assert len(derived) == 1  # only one direction can be derived
+
+    def test_pinned_not_derived(self):
+        lits = [
+            (b.eq(S, b.lift("ab")), True),
+            (b.eq(S, b.concat(T, U)), True),
+        ]
+        analysis = _analyze(lits, StringConfig())
+        assert "s" not in _find_derived(lits, analysis)
+
+    def test_negative_equation_ignored(self):
+        lits = [(b.eq(S, b.concat(T, U)), False)]
+        analysis = _analyze(lits, StringConfig())
+        assert _find_derived(lits, analysis) == {}
+
+
+class TestCandidates:
+    def test_strings_of_length(self):
+        assert list(_strings_of_length("ab", 0)) == [""]
+        assert sorted(_strings_of_length("ab", 2)) == ["aa", "ab", "ba", "bb"]
+
+    def test_regex_members_of_length(self):
+        regex = rx.star(rx.literal("ab"))
+        assert list(_regex_members_of_length(regex, 0, "ab")) == [""]
+        assert list(_regex_members_of_length(regex, 2, "ab")) == ["ab"]
+        assert list(_regex_members_of_length(regex, 3, "ab")) == []
+
+    def test_regex_members_use_regex_alphabet(self):
+        # 'z' is outside the provided alphabet but inside the regex.
+        regex = rx.literal("zz")
+        assert list(_regex_members_of_length(regex, 2, "ab")) == ["zz"]

@@ -1,0 +1,140 @@
+"""Unit tests for random-occurrence substitution (phi[e/x]_R)."""
+
+import random
+
+import pytest
+
+from repro.core.substitution import (
+    count_free_occurrences,
+    random_occurrence_substitution,
+    substitute_occurrences,
+)
+from repro.smtlib import builder as b
+from repro.smtlib.ast import Quantifier, Var
+from repro.smtlib.parser import parse_term
+from repro.smtlib.sorts import INT
+
+X = Var("x", INT)
+Y = Var("y", INT)
+Z = Var("z", INT)
+
+
+def _term():
+    # x appears 3 times.
+    return b.and_(b.gt(X, 0), b.eq(b.add(X, Y), b.mul(X, 2)))
+
+
+class TestSelectiveSubstitution:
+    def test_replace_none(self):
+        term = _term()
+        assert substitute_occurrences(term, X, Z, []) == term
+
+    def test_replace_all(self):
+        term = substitute_occurrences(_term(), X, Z, [0, 1, 2])
+        assert count_free_occurrences(term, X) == 0
+        assert count_free_occurrences(term, Z) == 3
+
+    def test_replace_first_only(self):
+        term = substitute_occurrences(_term(), X, Z, [0])
+        assert str(term) == "(and (> z 0) (= (+ x y) (* x 2)))"
+
+    def test_replace_middle_only(self):
+        term = substitute_occurrences(_term(), X, Z, [1])
+        assert str(term) == "(and (> x 0) (= (+ z y) (* x 2)))"
+
+    def test_out_of_range_indices_ignored(self):
+        term = substitute_occurrences(_term(), X, Z, [7])
+        assert term == _term()
+
+    def test_replacement_not_revisited(self):
+        # Replacing x by a term containing x must not loop.
+        replacement = b.add(X, 1)
+        term = substitute_occurrences(_term(), X, replacement, [0, 1, 2])
+        assert count_free_occurrences(term, X) == 3  # one inside each replacement
+
+    def test_self_referential_inversion_term(self):
+        # The string schemes use r_x = substr(z, 0, len x), which
+        # mentions x itself.
+        from repro.smtlib.sorts import STRING
+
+        s = Var("s", STRING)
+        z = Var("z", STRING)
+        inversion = b.substr(z, 0, b.length(s))
+        term = b.eq(s, b.lift("ab"))
+        replaced = substitute_occurrences(term, s, inversion, [0])
+        assert str(replaced) == '(= (str.substr z 0 (str.len s)) "ab")'
+
+    def test_quantifier_shadowing_respected(self):
+        h = Var("h", INT)
+        quantified = Quantifier("exists", (("x", INT),), b.gt(Var("x", INT), 0))
+        term = b.and_(b.gt(X, 0), quantified)
+        replaced = substitute_occurrences(term, X, Z, [0, 1])
+        # Only the free occurrence is index 0; the bound one is skipped.
+        assert str(replaced) == "(and (> z 0) (exists ((x Int)) (> x 0)))"
+        del h
+
+
+class TestRandomSubstitution:
+    def test_probability_zero_replaces_nothing(self, rng):
+        term, replaced, total = random_occurrence_substitution(_term(), X, Z, rng, 0.0)
+        assert replaced == 0 and total == 3
+        assert term == _term()
+
+    def test_probability_one_replaces_everything(self, rng):
+        term, replaced, total = random_occurrence_substitution(
+            _term(), X, Z, rng, 1.0
+        )
+        assert replaced == total == 3
+        assert count_free_occurrences(term, X) == 0
+
+    def test_missing_variable(self, rng):
+        term, replaced, total = random_occurrence_substitution(
+            _term(), Var("w", INT), Z, rng, 1.0
+        )
+        assert (replaced, total) == (0, 0)
+        assert term == _term()
+
+    def test_deterministic_given_seed(self):
+        a = random_occurrence_substitution(_term(), X, Z, random.Random(4), 0.5)
+        c = random_occurrence_substitution(_term(), X, Z, random.Random(4), 0.5)
+        assert a[0] == c[0]
+
+    @pytest.mark.parametrize("probability", [0.25, 0.5, 0.75])
+    def test_counts_consistent(self, probability):
+        rng = random.Random(9)
+        for _ in range(20):
+            term, replaced, total = random_occurrence_substitution(
+                _term(), X, Z, rng, probability
+            )
+            assert total == 3
+            assert 0 <= replaced <= total
+            assert count_free_occurrences(term, X) == total - replaced
+
+
+class TestModelCountInequality:
+    def test_partial_substitution_weaker_than_full(self):
+        """Section 3.1: C(phi[e/x]) <= C(phi[e/x]_R).
+
+        Check on a finite domain: every model of the full substitution
+        extended appropriately is a model of the partial one.
+        """
+        from repro.semantics.evaluator import evaluate
+        from repro.semantics.model import Model
+
+        phi = parse_term("(and (> x 0) (< x 3))", [X])
+        e = parse_term("(- z 1)", [Z])
+        full = substitute_occurrences(phi, X, e, [0, 1])
+        partial = substitute_occurrences(phi, X, e, [0])
+
+        def count(term, names):
+            total = 0
+            for vx in range(-3, 6):
+                for vz in range(-3, 6):
+                    model = Model({"x": vx, "z": vz})
+                    if evaluate(term, model):
+                        total += 1
+            return total
+
+        # Over the full grid (x free in partial), the partial
+        # substitution admits at least as many models.
+        assert count(partial, ["x", "z"]) >= count(full, ["x", "z"])

@@ -1,0 +1,138 @@
+"""Tests for the boolean abstraction (Tseitin encoding)."""
+
+from itertools import product
+
+import pytest
+
+from repro.smtlib import builder as b
+from repro.smtlib.ast import Const, Var
+from repro.smtlib.parser import parse_term
+from repro.smtlib.sorts import BOOL, INT
+from repro.solver.sat import SatSolver
+from repro.solver.tseitin import Abstraction, encode, is_theory_atom
+
+P = Var("p", BOOL)
+Q = Var("q", BOOL)
+R = Var("r", BOOL)
+X = Var("x", INT)
+
+
+def _models_of(term, names):
+    """Truth-table models of a pure-boolean term."""
+    out = set()
+    from repro.semantics.evaluator import evaluate
+    from repro.semantics.model import Model
+
+    for bits in product([False, True], repeat=len(names)):
+        model = Model(dict(zip(names, bits)))
+        if evaluate(term, model):
+            out.add(bits)
+    return out
+
+
+def _sat_models(term, names):
+    """Models found by encode+CDCL+blocking, projected to the atoms."""
+    sat = SatSolver()
+    abstraction = encode([term], sat)
+    atom_vars = {name: abstraction.atom_to_var[Var(name, BOOL)] for name in names}
+    found = set()
+    while sat.solve():
+        model = sat.model()
+        bits = tuple(model[atom_vars[name]] for name in names)
+        found.add(bits)
+        sat.add_clause([-atom_vars[n] if model[atom_vars[n]] else atom_vars[n] for n in names])
+    return found
+
+
+class TestAtomClassification:
+    def test_bool_var_is_atom(self):
+        assert is_theory_atom(P)
+
+    def test_comparison_is_atom(self):
+        assert is_theory_atom(b.gt(X, 0))
+
+    def test_connectives_are_not_atoms(self):
+        assert not is_theory_atom(b.and_(P, Q))
+        assert not is_theory_atom(b.not_(P))
+
+    def test_numeric_equality_is_atom(self):
+        assert is_theory_atom(b.eq(X, 1))
+
+    def test_bool_equality_is_structural(self):
+        assert not is_theory_atom(b.eq(P, Q))
+
+    def test_const_is_not_atom(self):
+        assert not is_theory_atom(Const(True, BOOL))
+
+
+class TestEquisatisfiability:
+    FORMULAS = [
+        "(and p q)",
+        "(or p (not q))",
+        "(=> p q)",
+        "(xor p q r)",
+        "(= p q)",
+        "(= p q r)",
+        "(ite p q r)",
+        "(not (and p (or q (not r))))",
+        "(or (and p q) (and (not p) r))",
+        "(=> (=> p q) (=> q p))",
+        "(distinct p q)",
+    ]
+
+    @pytest.mark.parametrize("source", FORMULAS)
+    def test_projected_models_match_truth_table(self, source):
+        term = parse_term(source, [P, Q, R])
+        names = sorted(v.name for v in __import__("repro.smtlib.ast", fromlist=["free_vars"]).free_vars(term))
+        expected = _models_of(term, names)
+        assert _sat_models(term, names) == expected
+
+    def test_false_constant_unsat(self):
+        sat = SatSolver()
+        encode([Const(False, BOOL)], sat)
+        assert sat.solve() is False
+
+    def test_true_constant_sat(self):
+        sat = SatSolver()
+        encode([Const(True, BOOL)], sat)
+        assert sat.solve() is True
+
+
+class TestTheoryInterface:
+    def test_atoms_mapped_bidirectionally(self):
+        sat = SatSolver()
+        atom = b.gt(X, 0)
+        abstraction = encode([b.or_(atom, P)], sat)
+        var = abstraction.atom_to_var[atom]
+        assert abstraction.var_to_atom[var] == atom
+
+    def test_theory_assignment_extraction(self):
+        sat = SatSolver()
+        atom = b.gt(X, 0)
+        abstraction = encode([b.and_(atom, P)], sat)
+        assert sat.solve() is True
+        literals = dict(abstraction.theory_assignment(sat.model()))
+        assert literals[atom] is True
+        assert literals[P] is True
+
+    def test_blocking_removes_assignment(self):
+        sat = SatSolver()
+        atom = b.gt(X, 0)
+        abstraction = encode([b.or_(atom, P)], sat)
+        assert sat.solve() is True
+        first = abstraction.theory_assignment(sat.model())
+        abstraction.block(
+            [
+                abstraction.atom_to_var[a] if v else -abstraction.atom_to_var[a]
+                for a, v in first
+            ]
+        )
+        assert sat.solve() is True
+        second = abstraction.theory_assignment(sat.model())
+        assert dict(first) != dict(second)
+
+    def test_shared_subterm_encoded_once(self):
+        sat = SatSolver()
+        atom = b.gt(X, 0)
+        abstraction = encode([b.and_(atom, b.or_(atom, P))], sat)
+        assert len([a for a in abstraction.atom_to_var if not isinstance(a, Var)]) == 1

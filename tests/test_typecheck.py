@@ -1,0 +1,193 @@
+"""Unit tests for sort checking and inference."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SortError
+from repro.smtlib.ast import Const, Var
+from repro.smtlib.sorts import BOOL, INT, REAL, REGLAN, STRING
+from repro.smtlib.typecheck import app, canonical_op, is_known_op
+
+X = Var("x", INT)
+R = Var("r", REAL)
+S = Var("s", STRING)
+B = Var("b", BOOL)
+
+
+class TestCore:
+    def test_not(self):
+        assert app("not", B).sort == BOOL
+
+    def test_not_arity(self):
+        with pytest.raises(SortError):
+            app("not", B, B)
+
+    def test_and_nary(self):
+        assert app("and", B, B, B).sort == BOOL
+
+    def test_and_requires_bool(self):
+        with pytest.raises(SortError):
+            app("and", B, X)
+
+    def test_implies_needs_two(self):
+        with pytest.raises(SortError):
+            app("=>", B)
+
+    def test_eq_same_sort(self):
+        assert app("=", X, X).sort == BOOL
+
+    def test_eq_mixed_numeric_coerces(self):
+        term = app("=", X, R)
+        assert all(a.sort == REAL for a in term.args)
+
+    def test_eq_incompatible(self):
+        with pytest.raises(SortError):
+            app("=", X, S)
+
+    def test_ite_result_sort(self):
+        assert app("ite", B, X, X).sort == INT
+
+    def test_ite_condition_must_be_bool(self):
+        with pytest.raises(SortError):
+            app("ite", X, X, X)
+
+    def test_ite_branch_coercion(self):
+        term = app("ite", B, X, R)
+        assert term.sort == REAL
+
+    def test_distinct(self):
+        assert app("distinct", S, S).sort == BOOL
+
+
+class TestArithmetic:
+    def test_add_int(self):
+        assert app("+", X, X).sort == INT
+
+    def test_add_mixed_is_real(self):
+        assert app("+", X, R).sort == REAL
+
+    def test_int_const_coerced_in_real_context(self):
+        term = app("+", Const(1, INT), R)
+        assert term.args[0] == Const(Fraction(1), REAL)
+
+    def test_int_var_wrapped_in_to_real(self):
+        term = app("+", X, R)
+        assert term.args[0].op == "to_real"
+
+    def test_unary_minus(self):
+        assert app("-", X).sort == INT
+
+    def test_real_division_coerces(self):
+        assert app("/", X, X).sort == REAL
+
+    def test_int_division(self):
+        assert app("div", X, X).sort == INT
+
+    def test_div_rejects_real(self):
+        with pytest.raises(SortError):
+            app("div", R, R)
+
+    def test_mod(self):
+        assert app("mod", X, X).sort == INT
+
+    def test_abs(self):
+        assert app("abs", R).sort == REAL
+
+    def test_comparison(self):
+        assert app("<", X, R).sort == BOOL
+
+    def test_comparison_rejects_string(self):
+        with pytest.raises(SortError):
+            app("<", S, S)
+
+    def test_to_real(self):
+        assert app("to_real", X).sort == REAL
+
+    def test_to_int(self):
+        assert app("to_int", R).sort == INT
+
+    def test_is_int(self):
+        assert app("is_int", R).sort == BOOL
+
+
+class TestStrings:
+    def test_concat(self):
+        assert app("str.++", S, S).sort == STRING
+
+    def test_len(self):
+        assert app("str.len", S).sort == INT
+
+    def test_at(self):
+        assert app("str.at", S, X).sort == STRING
+
+    def test_substr(self):
+        assert app("str.substr", S, X, X).sort == STRING
+
+    def test_substr_signature(self):
+        with pytest.raises(SortError):
+            app("str.substr", S, S, X)
+
+    def test_indexof(self):
+        assert app("str.indexof", S, S, X).sort == INT
+
+    def test_replace(self):
+        assert app("str.replace", S, S, S).sort == STRING
+
+    def test_predicates(self):
+        for op in ("str.prefixof", "str.suffixof", "str.contains"):
+            assert app(op, S, S).sort == BOOL
+
+    def test_to_int(self):
+        assert app("str.to.int", S).sort == INT
+
+    def test_from_int(self):
+        assert app("str.from.int", X).sort == STRING
+
+    def test_in_re(self):
+        regex = app("str.to.re", S)
+        assert app("str.in.re", S, regex).sort == BOOL
+
+    def test_in_re_signature(self):
+        with pytest.raises(SortError):
+            app("str.in.re", S, S)
+
+
+class TestRegex:
+    def test_nullary(self):
+        for op in ("re.none", "re.all", "re.allchar"):
+            assert app(op).sort == REGLAN
+
+    def test_star(self):
+        assert app("re.*", app("re.allchar")).sort == REGLAN
+
+    def test_union_arity(self):
+        with pytest.raises(SortError):
+            app("re.union", app("re.none"))
+
+    def test_range(self):
+        assert app("re.range", S, S).sort == REGLAN
+
+
+class TestAliases:
+    def test_canonical_op(self):
+        assert canonical_op("str.to_int") == "str.to.int"
+        assert canonical_op("int.to.str") == "str.from.int"
+        assert canonical_op("str.in_re") == "str.in.re"
+
+    def test_is_known_op(self):
+        assert is_known_op("str.substring")
+        assert not is_known_op("nope")
+
+    def test_alias_application(self):
+        assert app("str.to_int", S).op == "str.to.int"
+
+
+class TestErrors:
+    def test_unknown_operator(self):
+        with pytest.raises(SortError):
+            app("zorp", X)
+
+    def test_non_term_argument(self):
+        with pytest.raises(TypeError):
+            app("+", X, 1)

@@ -1,0 +1,108 @@
+"""A hardened campaign surviving a misbehaving solver, start to finish.
+
+Long fuzzing campaigns die in boring ways: a solver build hangs, a
+spawn fails transiently, an unexpected exception unwinds the loop, or
+one broken solver drags the whole run down. This example turns on the
+harness's containment layer and drives it with a deliberately sabotaged
+solver:
+
+1. :class:`ChaosSolver` injects seeded faults (hangs, crashes, garbage
+   verdicts, wrong answers, raised exceptions) around a real solver;
+2. :class:`ResiliencePolicy` puts a watchdog deadline on every check,
+   retries transient failures, contains unexpected exceptions as
+   structured bug records, and quarantines the solver once it fails
+   too many checks in a row;
+3. the campaign journals every completed cell to disk, so an
+   interrupted run resumes where it stopped instead of starting over.
+
+Run:  python examples/robust_campaign.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.campaign.runner import run_campaign
+from repro.robustness import ChaosSolver, ResiliencePolicy
+from repro.seeds import build_corpus
+from repro.solver.solver import ReferenceSolver, SolverConfig
+
+
+def main():
+    corpus = build_corpus("QF_LIA", scale=0.002, seed=11)
+    unsat_count, sat_count, _ = corpus.counts()
+    print(f"seed corpus QF_LIA: {sat_count} sat / {unsat_count} unsat")
+
+    # A trustworthy build, and the same build wrapped in seeded sabotage.
+    steady = ReferenceSolver(SolverConfig.fast())
+    chaotic = ChaosSolver(
+        ReferenceSolver(SolverConfig.fast()),
+        seed=9,
+        p_hang=0.08,
+        p_crash=0.15,
+        p_garbage=0.05,
+        p_wrong=0.05,
+        p_exception=0.10,
+        hang_seconds=3.0,
+    )
+
+    policy = ResiliencePolicy(
+        check_timeout=1.0,     # watchdog: abandon checks stuck past 1s
+        retries=1,             # transient spawn failures get one retry
+        quarantine_after=6,    # breaker: bench the solver after 6 straight failures
+    )
+
+    with tempfile.TemporaryDirectory() as scratch:
+        journal = Path(scratch) / "campaign.jsonl"
+        print(f"\nrunning a journaled campaign against {chaotic.name} ...")
+        result = run_campaign(
+            {"QF_LIA": corpus},
+            solvers=[chaotic, steady],
+            iterations_per_cell=12,
+            seed=4,
+            policy=policy,
+            journal=journal,
+        )
+        print(result.summary())
+
+        counters = result.resilience_counters()
+        print("\nwhat the guard absorbed:")
+        print(f"  retries          : {counters['retries']}")
+        print(f"  watchdog timeouts: {counters['timeouts']}")
+        print(f"  contained errors : {counters['contained_errors']}")
+        print(f"  quarantine skips : {counters['quarantine_skips']}")
+        if counters["quarantined"]:
+            print(f"  quarantined      : {', '.join(counters['quarantined'])}")
+
+        print("\nfaults actually injected by the chaos layer:")
+        for kind, count in sorted(chaotic.injected.items()):
+            if count:
+                print(f"  {kind:9s}: {count}")
+
+        # The wrong answers surface as ordinary soundness reports — a
+        # triager would cross-check and dismiss them; the point here is
+        # that the campaign *finished* and recorded them instead of dying.
+        harness_bugs = [r for r in result.records if r.kind == "harness"]
+        print(f"\nbug records: {len(result.records)} total, "
+              f"{len(harness_bugs)} contained harness errors")
+
+        # The journal makes the campaign restartable: running it again
+        # in resume mode finds every cell already recorded on disk and
+        # re-runs nothing.
+        lines = journal.read_text().count("\n")
+        print(f"\njournal holds {lines} entries; resuming from it ...")
+        resumed = run_campaign(
+            {"QF_LIA": corpus},
+            solvers=[chaotic, steady],
+            iterations_per_cell=12,
+            seed=4,
+            policy=policy,
+            journal=journal,
+            resume=True,
+        )
+        same = len(resumed.records) == len(result.records)
+        print(f"resume replayed {len(resumed.reports)} cells from the journal "
+              f"(records identical: {same})")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,6 +4,12 @@ This is the offline equivalent of the paper's four-month testing
 campaign, compressed: for each (solver, corpus, oracle) cell the runner
 fuses seed pairs and records every bug-triggering formula, then triage
 (:mod:`repro.campaign.classify`) maps records to catalog faults.
+
+A long campaign is expected to be interrupted and to meet misbehaving
+solvers; ``run_campaign`` therefore accepts a
+:class:`~repro.robustness.policy.ResiliencePolicy` (guarded execution)
+and a :class:`~repro.robustness.journal.CampaignJournal` (crash-safe
+per-cell journaling with ``resume=True`` skipping completed cells).
 """
 
 from __future__ import annotations
@@ -15,6 +21,8 @@ from repro.core.config import FusionConfig, YinYangConfig
 from repro.core.yinyang import YinYang
 from repro.faults.catalog import cvc4_like_catalog, z3_like_catalog
 from repro.faults.faulty_solver import FaultySolver
+from repro.robustness.journal import CampaignJournal
+from repro.smtlib.ast import fresh_scope
 from repro.solver.solver import ReferenceSolver, SolverConfig
 
 
@@ -47,11 +55,36 @@ class CampaignResult:
     def found_fault_objects(self):
         return found_fault_objects(self.found_faults(), self.catalogs)
 
+    def resilience_counters(self):
+        """Aggregated guard counters across all cell reports."""
+        totals = {
+            "retries": 0,
+            "timeouts": 0,
+            "contained_errors": 0,
+            "quarantine_skips": 0,
+        }
+        quarantined = set()
+        for report in self.reports.values():
+            for key in totals:
+                totals[key] += getattr(report, key, 0)
+            quarantined |= getattr(report, "quarantined", set())
+        totals["quarantined"] = sorted(quarantined)
+        return totals
+
     def summary(self):
         found = self.found_faults()
         parts = [f"{self.fused_total} fused formulas"]
         for solver_name, faults in found.items():
             parts.append(f"{solver_name}: {len(faults)} distinct faults")
+        counters = self.resilience_counters()
+        if counters["retries"]:
+            parts.append(f"{counters['retries']} retries")
+        if counters["timeouts"]:
+            parts.append(f"{counters['timeouts']} timeouts")
+        if counters["contained_errors"]:
+            parts.append(f"{counters['contained_errors']} contained errors")
+        if counters["quarantined"]:
+            parts.append("quarantined: " + "/".join(counters["quarantined"]))
         return ", ".join(parts)
 
 
@@ -62,30 +95,75 @@ def run_campaign(
     seed=0,
     fusion_config=None,
     performance_threshold=0.3,
+    policy=None,
+    journal=None,
+    resume=False,
 ):
     """Run the full campaign.
 
     ``corpora`` maps family name to
     :class:`~repro.core.oracle.SeedCorpus`. Returns a
     :class:`CampaignResult`.
+
+    ``policy`` wraps every solver in a
+    :class:`~repro.robustness.guard.GuardedSolver` (watchdog, retries,
+    error containment, quarantine). ``journal`` (a path or a
+    :class:`~repro.robustness.journal.CampaignJournal`) durably records
+    each completed (solver, corpus, oracle) cell; with ``resume=True``
+    completed cells are loaded from the journal instead of re-run, so a
+    campaign interrupted by ^C or a crash continues where it stopped.
+    Cells are deterministic given ``seed``, so an interrupted-and-
+    resumed campaign produces the same records as an uninterrupted one.
     """
     solvers = solvers or default_solvers()
+    if journal is not None and not isinstance(journal, CampaignJournal):
+        journal = CampaignJournal(journal)
+    # Solvers outside the fault-injected family (ProcessSolver, a bare
+    # ReferenceSolver, chaos wrappers around one) have no fault catalog.
     result = CampaignResult(
-        catalogs={s.name: s.active_faults() for s in solvers}
+        catalogs={
+            s.name: getattr(s, "active_faults", lambda: [])() for s in solvers
+        }
     )
+    completed = {}
+    if journal is not None:
+        journal.ensure_meta(seed=seed, iterations_per_cell=iterations_per_cell)
+        if resume:
+            completed = journal.completed_cells()
+            for key, report in completed.items():
+                result.reports[key] = report
+                result.records.extend(report.bugs)
+                result.fused_total += report.fused
+                result.elapsed_total += report.elapsed
     config = YinYangConfig(
         fusion=fusion_config or FusionConfig(), seed=seed
     )
     for solver in solvers:
-        tool = YinYang(solver, config, performance_threshold=performance_threshold)
+        tool = YinYang(
+            solver,
+            config,
+            performance_threshold=performance_threshold,
+            policy=policy,
+        )
         for family, corpus in corpora.items():
             for oracle in ("sat", "unsat"):
+                key = (solver.name, family, oracle)
+                if key in completed:
+                    continue
                 seeds = corpus.by_oracle(oracle)
                 if len(seeds) < 1:
                     continue
-                report = tool.test(oracle, seeds, iterations=iterations_per_cell)
-                result.reports[(solver.name, family, oracle)] = report
+                # Each cell runs in its own fresh-name scope so its
+                # fused scripts are a pure function of (seed, cell) —
+                # the property journal resume relies on.
+                with fresh_scope():
+                    report = tool.test(
+                        oracle, seeds, iterations=iterations_per_cell
+                    )
+                result.reports[key] = report
                 result.records.extend(report.bugs)
                 result.fused_total += report.fused
                 result.elapsed_total += report.elapsed
+                if journal is not None:
+                    journal.record_cell(key, report)
     return result

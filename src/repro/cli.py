@@ -43,6 +43,40 @@ def make_solver(name, release="trunk"):
     return FaultySolver(ReferenceSolver(), catalog_for(name), name, release=release)
 
 
+def _policy_from_args(args):
+    """A ResiliencePolicy when any hardening flag was given, else None."""
+    if not (args.retries or args.check_timeout or args.quarantine_after):
+        return None
+    from repro.robustness import ResiliencePolicy
+
+    return ResiliencePolicy(
+        check_timeout=args.check_timeout,
+        retries=args.retries,
+        quarantine_after=args.quarantine_after,
+    )
+
+
+def _add_resilience_flags(parser):
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry transient solver failures this many times (capped backoff)",
+    )
+    parser.add_argument(
+        "--check-timeout",
+        type=float,
+        default=None,
+        help="wall-clock deadline per check in seconds (watchdog)",
+    )
+    parser.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=None,
+        help="quarantine a solver after N consecutive crashes/timeouts",
+    )
+
+
 def _cmd_fuse(args):
     phi1 = _load_script(args.seeds[0])
     phi2 = _load_script(args.seeds[1])
@@ -126,9 +160,17 @@ def _cmd_campaign(args):
     )
     from repro.seeds import build_all_corpora
 
+    if args.resume and not args.journal:
+        print("--resume requires --journal", file=sys.stderr)
+        return 2
     corpora = build_all_corpora(scale=args.scale, seed=args.seed)
     result = run_campaign(
-        corpora, iterations_per_cell=args.iterations, seed=args.seed
+        corpora,
+        iterations_per_cell=args.iterations,
+        seed=args.seed,
+        policy=_policy_from_args(args),
+        journal=args.journal,
+        resume=args.resume,
     )
     print(result.summary())
     headers = ["", "Z3", "CVC4", "Z3(paper)", "CVC4(paper)"]
@@ -151,7 +193,12 @@ def _cmd_test(args):
         ),
         seed=args.seed,
     )
-    tool = YinYang(solver, config, performance_threshold=args.perf_threshold)
+    tool = YinYang(
+        solver,
+        config,
+        performance_threshold=args.perf_threshold,
+        policy=_policy_from_args(args),
+    )
     report = tool.test(args.oracle, seeds, iterations=args.iterations, threads=args.threads)
     print(report.summary())
     print(f"throughput: {report.throughput:.1f} fused formulas/s")
@@ -207,6 +254,17 @@ def build_parser():
     p_campaign.add_argument("--scale", type=float, default=0.002)
     p_campaign.add_argument("--iterations", type=int, default=30)
     p_campaign.add_argument("--seed", type=int, default=0)
+    _add_resilience_flags(p_campaign)
+    p_campaign.add_argument(
+        "--journal",
+        default=None,
+        help="crash-safe JSONL journal of completed campaign cells",
+    )
+    p_campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already completed in --journal",
+    )
     p_campaign.set_defaults(func=_cmd_campaign)
 
     p_test = sub.add_parser("test", help="run the YinYang loop (Algorithm 1)")
@@ -224,6 +282,7 @@ def build_parser():
     p_test.add_argument("--threads", type=int, default=1)
     p_test.add_argument("--perf-threshold", type=float, default=0.3)
     p_test.add_argument("--show", type=int, default=2, help="bug scripts to print")
+    _add_resilience_flags(p_test)
     p_test.set_defaults(func=_cmd_test)
 
     return parser

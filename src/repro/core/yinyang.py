@@ -31,6 +31,13 @@ SOUNDNESS = "soundness"
 CRASH = "crash"
 PERFORMANCE = "performance"
 UNKNOWN_BUG = "unknown"
+HARNESS = "harness"
+
+# A GuardedSolver tags contained non-SolverCrash exceptions and
+# quarantine refusals with these crash kinds (string-matched here to
+# avoid a core -> robustness import).
+_HARNESS_ERROR_KIND = "harness-error"
+_QUARANTINED_KIND = "quarantined"
 
 
 @dataclass
@@ -65,6 +72,12 @@ class YinYangReport:
     bugs: list = field(default_factory=list)
     fusion_failures: int = 0
     unknowns: int = 0
+    # Harness-resilience counters (populated when solvers are guarded).
+    retries: int = 0
+    timeouts: int = 0
+    contained_errors: int = 0
+    quarantine_skips: int = 0
+    quarantined: set = field(default_factory=set)
 
     @property
     def incorrects(self):
@@ -77,6 +90,10 @@ class YinYangReport:
     @property
     def performance_issues(self):
         return [b for b in self.bugs if b.kind == PERFORMANCE]
+
+    @property
+    def harness_errors(self):
+        return [b for b in self.bugs if b.kind == HARNESS]
 
     @property
     def throughput(self):
@@ -92,13 +109,30 @@ class YinYangReport:
         self.bugs.extend(other.bugs)
         self.fusion_failures += other.fusion_failures
         self.unknowns += other.unknowns
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.contained_errors += other.contained_errors
+        self.quarantine_skips += other.quarantine_skips
+        self.quarantined |= other.quarantined
 
     def summary(self):
-        return (
+        text = (
             f"{self.iterations} iterations, {self.fused} fused formulas, "
             f"{len(self.incorrects)} soundness, {len(self.crashes)} crash, "
             f"{len(self.performance_issues)} performance"
         )
+        extras = []
+        if self.retries:
+            extras.append(f"{self.retries} retries")
+        if self.timeouts:
+            extras.append(f"{self.timeouts} timeouts")
+        if self.contained_errors:
+            extras.append(f"{self.contained_errors} contained errors")
+        if self.quarantined:
+            extras.append("quarantined: " + ", ".join(sorted(self.quarantined)))
+        if extras:
+            text += " (" + "; ".join(extras) + ")"
+        return text
 
 
 class YinYang:
@@ -107,12 +141,30 @@ class YinYang:
     ``solvers`` is one solver or a list; each must expose ``name`` and
     ``check_script(script) -> CheckOutcome`` and may raise
     :class:`~repro.solver.result.SolverCrash`.
+
+    ``policy`` (a :class:`~repro.robustness.policy.ResiliencePolicy`)
+    wraps every solver in a
+    :class:`~repro.robustness.guard.GuardedSolver`: per-check watchdog
+    deadlines, transient-failure retries, containment of unexpected
+    exceptions as harness-error bug records, and quarantine of solvers
+    that crash repeatedly. Without a policy the loop behaves exactly as
+    before (no guard overhead).
     """
 
-    def __init__(self, solvers, config=None, performance_threshold=None):
-        self.solvers = solvers if isinstance(solvers, (list, tuple)) else [solvers]
+    def __init__(self, solvers, config=None, performance_threshold=None, policy=None):
+        solvers = solvers if isinstance(solvers, (list, tuple)) else [solvers]
+        if policy is not None:
+            # Imported lazily: repro.robustness imports this module.
+            from repro.robustness.guard import GuardedSolver
+
+            solvers = [
+                s if isinstance(s, GuardedSolver) else GuardedSolver(s, policy)
+                for s in solvers
+            ]
+        self.solvers = list(solvers)
         self.config = config or YinYangConfig()
         self.performance_threshold = performance_threshold
+        self.policy = policy
 
     # -- Algorithm 1 -----------------------------------------------------
 
@@ -130,14 +182,19 @@ class YinYang:
         iterations = iterations if iterations is not None else self.config.max_iterations
         if threads <= 1:
             return self._run(oracle, scripts, logics, iterations, self.config.seed)
-        chunk = iterations // threads
+        # Distribute iterations across workers without dropping the
+        # remainder: the first (iterations % threads) workers run one
+        # extra iteration, so the totals always add up.
+        base, remainder = divmod(iterations, threads)
+        chunks = [base + (1 if t < remainder else 0) for t in range(threads)]
         report = YinYangReport()
         with ThreadPoolExecutor(max_workers=threads) as pool:
             futures = [
                 pool.submit(
                     self._run, oracle, scripts, logics, chunk, self.config.seed + t
                 )
-                for t in range(threads)
+                for t, chunk in enumerate(chunks)
+                if chunk > 0
             ]
             for future in futures:
                 report.merge(future.result())
@@ -159,19 +216,38 @@ class YinYang:
             report.fused += 1
             logic = logics[i] or logics[j]
             self._check_one(result, (i, j), logic, report)
+        for solver in self.solvers:
+            if getattr(solver, "quarantined", False):
+                report.quarantined.add(solver.name)
         report.elapsed = time.perf_counter() - start
         return report
 
     def _check_one(self, fusion_result, seed_indices, logic, report):
         schemes = tuple(t.scheme for t in fusion_result.triplets)
         for solver in self.solvers:
+            if getattr(solver, "quarantined", False):
+                # Circuit breaker tripped: degrade gracefully to the
+                # remaining solvers instead of hammering a dead one.
+                report.quarantine_skips += 1
+                report.quarantined.add(solver.name)
+                continue
             began = time.perf_counter()
             try:
                 outcome = solver.check_script(fusion_result.script)
             except SolverCrash as crash:
+                if crash.kind == _QUARANTINED_KIND:
+                    # The breaker tripped between our check above and
+                    # the call (thread-mode race): a skip, not a crash.
+                    report.quarantine_skips += 1
+                    report.quarantined.add(solver.name)
+                    continue
+                report.retries += getattr(crash, "retries", 0)
+                contained = crash.kind == _HARNESS_ERROR_KIND
+                if contained:
+                    report.contained_errors += 1
                 report.bugs.append(
                     BugRecord(
-                        kind=CRASH,
+                        kind=HARNESS if contained else CRASH,
                         solver=solver.name,
                         oracle=fusion_result.oracle,
                         reported=str(crash),
@@ -185,6 +261,9 @@ class YinYang:
                 )
                 continue
             elapsed = time.perf_counter() - began
+            report.retries += outcome.stats.get("guard_retries", 0)
+            if outcome.stats.get("guard_timeout"):
+                report.timeouts += 1
             if (
                 self.performance_threshold is not None
                 and elapsed > self.performance_threshold

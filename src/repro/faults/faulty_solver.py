@@ -8,6 +8,7 @@ simulating historical builds for the Figure 10 study.
 
 from __future__ import annotations
 
+import threading
 import time
 
 from repro.coverage.probes import (
@@ -45,7 +46,14 @@ class FaultySolver:
         self.faults = [
             f for f in faults if release in f.affected_releases
         ]
-        self.last_triggered = []
+        # Per-thread, so YinYang.test(threads=N) workers sharing this
+        # solver don't race each other's trigger lists.
+        self._local = threading.local()
+
+    @property
+    def last_triggered(self):
+        """Faults triggered by the calling thread's most recent check."""
+        return getattr(self._local, "last_triggered", [])
 
     def active_faults(self):
         return list(self.faults)
@@ -59,7 +67,7 @@ class FaultySolver:
         """Check a script, subject to the injected faults."""
         function_probe("faulty.check")
         triggered = self.triggered_faults(script)
-        self.last_triggered = triggered
+        self._local.last_triggered = triggered
         if len(triggered) > 1:
             # Which buggy code path wins depends on the formula (as it
             # would in a real solver); rotate deterministically so no

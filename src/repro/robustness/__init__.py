@@ -1,0 +1,45 @@
+"""The hardened campaign harness: guarded execution, chaos, journaling.
+
+Long blackbox fuzzing campaigns only work if the harness outlives the
+solvers it torments. This package contains the three pieces that make
+our campaign loop production-hard:
+
+- :class:`GuardedSolver` (:mod:`~repro.robustness.guard`) — watchdog
+  deadlines, transient-failure retries with capped backoff, containment
+  of unexpected exceptions, and a quarantine circuit breaker;
+- :class:`ChaosSolver` (:mod:`~repro.robustness.chaos`) — deterministic
+  fault injection (hangs, crashes, garbage, wrong answers, exceptions)
+  to test the harness against itself;
+- :class:`CampaignJournal` (:mod:`~repro.robustness.journal`) —
+  crash-safe JSONL journaling of per-cell campaign progress, enabling
+  ``run_campaign(..., resume=True)``;
+- :class:`ResiliencePolicy` (:mod:`~repro.robustness.policy`) — the
+  dataclass plumbed from CLI flags down to the guard.
+"""
+
+from repro.robustness.chaos import ChaosError, ChaosSolver
+from repro.robustness.guard import (
+    GuardedSolver,
+    HarnessError,
+    SolverQuarantined,
+)
+from repro.robustness.journal import (
+    CampaignJournal,
+    JournalError,
+    deserialize_bug_record,
+    serialize_bug_record,
+)
+from repro.robustness.policy import ResiliencePolicy
+
+__all__ = [
+    "ChaosError",
+    "ChaosSolver",
+    "GuardedSolver",
+    "HarnessError",
+    "SolverQuarantined",
+    "CampaignJournal",
+    "JournalError",
+    "serialize_bug_record",
+    "deserialize_bug_record",
+    "ResiliencePolicy",
+]

@@ -1,0 +1,124 @@
+"""Fault injection for the harness itself: the ChaosSolver.
+
+Real campaigns meet solvers that hang, segfault, print garbage, answer
+wrongly, or blow up the glue code with unexpected exceptions.
+:class:`ChaosSolver` reproduces all five misbehaviors with *seeded*
+probabilities, so the hardened harness
+(:class:`~repro.robustness.guard.GuardedSolver`, the campaign journal)
+can be tested against a deterministic storm of failures — chaos
+engineering turned on our own tooling.
+
+Determinism: the fault sequence is a pure function of ``seed`` and the
+order of ``check_script`` calls. Single-threaded campaigns therefore
+replay exactly; that is what the tier-1 chaos soak test relies on.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.solver.result import CheckOutcome, SolverCrash, SolverResult
+
+#: Injection kinds, in the order probabilities are drawn.
+HANG, CRASH, GARBAGE, WRONG, EXCEPTION = (
+    "hang",
+    "crash",
+    "garbage",
+    "wrong-answer",
+    "exception",
+)
+
+
+class ChaosError(RuntimeError):
+    """The injected non-``SolverCrash`` exception (glue-code failure)."""
+
+
+class ChaosSolver:
+    """A solver wrapper that misbehaves on purpose.
+
+    Each probability is checked independently in a fixed order (hang,
+    crash, garbage, wrong answer, exception); the first one that fires
+    wins. A hang sleeps ``hang_seconds`` and then *continues normally* —
+    exactly what a slow-but-alive solver does — so only a watchdog
+    deadline turns it into a timeout.
+
+    ``injected`` counts fired faults per kind for assertions.
+    """
+
+    def __init__(
+        self,
+        solver,
+        seed=0,
+        p_hang=0.0,
+        p_crash=0.0,
+        p_garbage=0.0,
+        p_wrong=0.0,
+        p_exception=0.0,
+        hang_seconds=10.0,
+    ):
+        for label, p in (
+            (HANG, p_hang),
+            (CRASH, p_crash),
+            (GARBAGE, p_garbage),
+            (WRONG, p_wrong),
+            (EXCEPTION, p_exception),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"p_{label} must be in [0, 1]")
+        self.base = solver
+        self.name = f"chaos({solver.name})"
+        self.probabilities = {
+            HANG: p_hang,
+            CRASH: p_crash,
+            GARBAGE: p_garbage,
+            WRONG: p_wrong,
+            EXCEPTION: p_exception,
+        }
+        self.hang_seconds = hang_seconds
+        self.rng = random.Random(seed)
+        self.injected = {kind: 0 for kind in self.probabilities}
+        self.checks = 0
+
+    def __getattr__(self, attr):
+        return getattr(self.base, attr)
+
+    def _draw(self):
+        """The fault to inject for this check, or None."""
+        for kind, p in self.probabilities.items():
+            if p > 0.0 and self.rng.random() < p:
+                return kind
+        return None
+
+    def check_script(self, script):
+        self.checks += 1
+        fault = self._draw()
+        if fault is not None:
+            self.injected[fault] += 1
+        if fault == HANG:
+            time.sleep(self.hang_seconds)
+        elif fault == CRASH:
+            raise SolverCrash(
+                f"{self.name}: injected segmentation fault (core dumped)",
+                kind="segfault",
+            )
+        elif fault == GARBAGE:
+            noise = "".join(self.rng.choices("#$%&*@!~", k=8))
+            return CheckOutcome(
+                SolverResult.UNKNOWN, reason=f"garbage output: {noise}"
+            )
+        elif fault == EXCEPTION:
+            raise ChaosError(f"{self.name}: injected harness exception")
+        outcome = self.base.check_script(script)
+        if fault == WRONG and outcome.result.is_definite:
+            return CheckOutcome(
+                outcome.result.flipped(),
+                reason=f"{self.name}: flipped verdict",
+            )
+        return outcome
+
+    def check(self, source):
+        from repro.smtlib.parser import parse_script
+
+        script = parse_script(source) if isinstance(source, str) else source
+        return self.check_script(script)

@@ -1,0 +1,221 @@
+"""Crash-safe campaign journaling: survive interrupts, resume cheaply.
+
+The paper's campaign ran for four months; ours must survive a ^C or an
+OOM-kill without losing completed work. :class:`CampaignJournal` is an
+append-only JSONL log of per-``(solver, corpus, oracle)`` cell results:
+each committed batch rewrites the journal to a temporary file, fsyncs
+it, and atomically renames it over the old one, so the on-disk file is
+*always* a complete, parseable JSONL snapshot — a torn write can only
+lose the cell in flight, never corrupt history. ``run_campaign(...,
+journal=..., resume=True)`` skips cells the journal already holds.
+
+Bug records are serialized with their scripts printed back to SMT-LIB
+text, so a resumed campaign's merged result is byte-for-byte identical
+(on serialized records) to an uninterrupted run. Wall-clock ``elapsed``
+is deliberately excluded from record serialization: it is measurement
+noise, not bug identity, and would break replay equality.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core.yinyang import BugRecord, YinYangReport
+from repro.errors import ReproError
+
+JOURNAL_VERSION = 1
+
+_REPORT_COUNTERS = (
+    "iterations",
+    "fused",
+    "elapsed",
+    "fusion_failures",
+    "unknowns",
+    "retries",
+    "timeouts",
+    "contained_errors",
+    "quarantine_skips",
+)
+
+
+class JournalError(ReproError):
+    """The journal is unusable (bad version, mismatched campaign params)."""
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+def serialize_script(script):
+    """A script as SMT-LIB text (identity on already-serialized text)."""
+    if script is None or isinstance(script, str):
+        return script
+    from repro.smtlib.printer import print_script
+
+    return print_script(script)
+
+
+def serialize_bug_record(record):
+    """A JSON-ready dict for one :class:`BugRecord` (``elapsed`` excluded)."""
+    return {
+        "kind": record.kind,
+        "solver": record.solver,
+        "oracle": record.oracle,
+        "reported": record.reported,
+        "script": serialize_script(record.script),
+        "seed_indices": list(record.seed_indices),
+        "schemes": list(record.schemes),
+        "logic": record.logic,
+        "note": record.note,
+    }
+
+
+def deserialize_bug_record(data):
+    """Rebuild a :class:`BugRecord`; the script stays as SMT-LIB text."""
+    return BugRecord(
+        kind=data["kind"],
+        solver=data["solver"],
+        oracle=data["oracle"],
+        reported=data["reported"],
+        script=data["script"],
+        seed_indices=tuple(data["seed_indices"]),
+        schemes=tuple(data["schemes"]),
+        logic=data["logic"],
+        note=data["note"],
+    )
+
+
+def serialize_report(report):
+    data = {key: getattr(report, key) for key in _REPORT_COUNTERS}
+    data["quarantined"] = sorted(report.quarantined)
+    data["bugs"] = [serialize_bug_record(b) for b in report.bugs]
+    return data
+
+
+def deserialize_report(data):
+    report = YinYangReport(
+        **{key: data.get(key, 0) for key in _REPORT_COUNTERS}
+    )
+    report.quarantined = set(data.get("quarantined", ()))
+    report.bugs = [deserialize_bug_record(b) for b in data.get("bugs", ())]
+    return report
+
+
+# ---------------------------------------------------------------------------
+# The journal
+# ---------------------------------------------------------------------------
+
+
+class CampaignJournal:
+    """An atomic, append-only JSONL journal of campaign progress.
+
+    Entry types:
+
+    - ``meta`` — campaign parameters, written once at the start; on
+      resume a mismatch raises :class:`JournalError` (a journal from a
+      different campaign must not silently poison a run);
+    - ``cell`` — one completed ``(solver, family, oracle)`` cell with
+      its serialized report and bug records.
+    """
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self.entries = []
+        if os.path.exists(self.path):
+            self.entries = self._load(self.path)
+
+    @staticmethod
+    def _load(path):
+        entries = []
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn trailing line from a crash mid-write (only
+                    # possible for journals not written by us); older
+                    # complete entries are still good.
+                    break
+                entries.append(entry)
+        for entry in entries:
+            if entry.get("type") == "meta" and entry.get("version") != JOURNAL_VERSION:
+                raise JournalError(
+                    f"journal version {entry.get('version')!r} != {JOURNAL_VERSION}"
+                )
+        return entries
+
+    # -- writing ---------------------------------------------------------
+
+    def _commit(self):
+        """Atomically persist all entries: tmp write + fsync + rename."""
+        directory = os.path.dirname(os.path.abspath(self.path))
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for entry in self.entries:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        try:
+            dir_fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
+
+    def ensure_meta(self, **params):
+        """Write the meta entry, or verify it matches on resume."""
+        existing = self.meta()
+        if existing is None:
+            self.entries.insert(
+                0, {"type": "meta", "version": JOURNAL_VERSION, **params}
+            )
+            self._commit()
+            return
+        for key, value in params.items():
+            if key in existing and existing[key] != value:
+                raise JournalError(
+                    f"journal {self.path} was written by a campaign with "
+                    f"{key}={existing[key]!r}, not {value!r}; refusing to mix"
+                )
+
+    def record_cell(self, key, report):
+        """Append one completed cell and commit it durably."""
+        solver, family, oracle = key
+        self.entries.append(
+            {
+                "type": "cell",
+                "solver": solver,
+                "family": family,
+                "oracle": oracle,
+                "report": serialize_report(report),
+            }
+        )
+        self._commit()
+
+    # -- reading ---------------------------------------------------------
+
+    def meta(self):
+        for entry in self.entries:
+            if entry.get("type") == "meta":
+                return entry
+        return None
+
+    def completed_cells(self):
+        """{(solver, family, oracle): deserialized YinYangReport}."""
+        cells = {}
+        for entry in self.entries:
+            if entry.get("type") != "cell":
+                continue
+            key = (entry["solver"], entry["family"], entry["oracle"])
+            cells[key] = deserialize_report(entry["report"])
+        return cells

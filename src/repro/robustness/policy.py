@@ -1,0 +1,64 @@
+"""The knobs of the hardened campaign harness.
+
+The paper's four-month campaign survived thousands of solver crashes,
+hangs, and garbage outputs; :class:`ResiliencePolicy` collects the
+containment parameters that make our campaign loop equally hard to
+kill. One policy object is plumbed from the CLI through
+:class:`~repro.core.yinyang.YinYang` down to
+:class:`~repro.robustness.guard.GuardedSolver`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ResiliencePolicy:
+    """How a campaign treats a misbehaving solver under test.
+
+    - ``check_timeout`` — per-check wall-clock deadline in seconds.
+      ``None`` disables the watchdog (and its thread-handoff overhead);
+      a timed-out check yields ``unknown`` like
+      :class:`~repro.solver.process.ProcessSolver` does.
+    - ``retries`` — how many times a *transient* failure (spawn
+      ``OSError``, a flaky process start) is retried before it counts.
+    - ``backoff_base`` / ``backoff_cap`` — capped exponential backoff
+      between retries: attempt ``k`` sleeps
+      ``min(cap, base * 2**k)`` seconds.
+    - ``retryable_kinds`` — the :class:`SolverCrash.kind` values
+      considered transient.
+    - ``quarantine_after`` — circuit breaker: after this many
+      *consecutive* crashes / timeouts / contained harness errors the
+      solver is quarantined and the campaign degrades gracefully to the
+      remaining solvers. ``None`` never quarantines.
+    - ``contain_errors`` — whether an unexpected non-``SolverCrash``
+      exception from a solver is contained as a structured harness
+      error instead of killing the run.
+    - ``sleep`` — injection point for the backoff sleeper (tests pass a
+      no-op to keep retry tests instant).
+    """
+
+    check_timeout: float | None = None
+    retries: int = 0
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    retryable_kinds: tuple = ("spawn",)
+    quarantine_after: int | None = None
+    contain_errors: bool = True
+    sleep: object = field(default=time.sleep, repr=False)
+
+    def __post_init__(self):
+        if self.check_timeout is not None and self.check_timeout <= 0:
+            raise ValueError("check_timeout must be positive (or None)")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff must be non-negative")
+        if self.quarantine_after is not None and self.quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1 (or None)")
+
+    def backoff(self, attempt):
+        """Backoff delay in seconds before retry number ``attempt`` (0-based)."""
+        return min(self.backoff_cap, self.backoff_base * (2**attempt))

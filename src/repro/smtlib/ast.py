@@ -13,6 +13,7 @@ administrative commands needed to round-trip real benchmark scripts
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 from dataclasses import dataclass, field
 from fractions import Fraction
@@ -159,6 +160,26 @@ _FRESH_COUNTER = itertools.count()
 def fresh_name(prefix="fv"):
     """Return a globally fresh symbol name with the given prefix."""
     return f"{prefix}!{next(_FRESH_COUNTER)}"
+
+
+@contextlib.contextmanager
+def fresh_scope(start=0):
+    """Scope the fresh-name counter: reset to ``start`` on entry,
+    restore the outer counter on exit.
+
+    Fresh names only need to be unique within one formula's
+    construction; the global counter otherwise makes generated scripts
+    depend on everything the process did before. The campaign runner
+    wraps each (solver, corpus, oracle) cell in a scope so a journaled
+    cell replays byte-for-byte on resume.
+    """
+    global _FRESH_COUNTER
+    saved = _FRESH_COUNTER
+    _FRESH_COUNTER = itertools.count(start)
+    try:
+        yield
+    finally:
+        _FRESH_COUNTER = saved
 
 
 def substitute(term, mapping):

@@ -14,6 +14,7 @@ Soundness policy:
 
 from __future__ import annotations
 
+import time
 from fractions import Fraction
 
 from repro.coverage.probes import (
@@ -39,15 +40,20 @@ UNSAT = "unsat"
 UNKNOWN = "unknown"
 
 
-def check_assertions(assertions, string_config=None, seed=0, max_rounds=600, nonlinear_budget=900):
-    """Decide the conjunction of ``assertions``; returns a CheckOutcome."""
+def check_assertions(assertions, string_config=None, seed=0, max_rounds=600, nonlinear_budget=900, deadline=None):
+    """Decide the conjunction of ``assertions``; returns a CheckOutcome.
+
+    ``deadline`` is an absolute ``time.monotonic()`` timestamp; it is
+    checked cooperatively at round boundaries, so the wall-clock limit
+    holds on any thread (unlike a signal-based alarm).
+    """
     function_probe("dpllt.check")
     original = list(assertions)
     string_config = string_config or StringConfig()
 
     pre = preprocess(original)
     if branch_probe("dpllt.quantified_residue", pre.quantified):
-        return _refutation_path(original, pre, string_config, seed)
+        return _refutation_path(original, pre, string_config, seed, deadline)
 
     sat_core = SatSolver()
     abstraction = tseitin.encode(pre.assertions, sat_core)
@@ -59,7 +65,7 @@ def check_assertions(assertions, string_config=None, seed=0, max_rounds=600, non
         key = frozenset(literal_list)
         if key not in theory_cache:
             theory_cache[key] = _check_theory(
-                literal_list, string_config, seed, nonlinear_budget
+                literal_list, string_config, seed, nonlinear_budget, deadline
             )
         return theory_cache[key]
 
@@ -68,6 +74,9 @@ def check_assertions(assertions, string_config=None, seed=0, max_rounds=600, non
         if rounds > max_rounds:
             line_probe("dpllt.round_budget")
             return CheckOutcome(SolverResult.UNKNOWN, reason="round budget exhausted")
+        if deadline is not None and time.monotonic() > deadline:
+            line_probe("dpllt.deadline")
+            return CheckOutcome(SolverResult.UNKNOWN, reason="timeout")
         verdict = sat_core.solve()
         if verdict is None:
             line_probe("dpllt.sat_budget")
@@ -151,14 +160,14 @@ def _shrink_core(theory_literals, cached_check, max_literals=32):
     return core
 
 
-def _check_theory(theory_literals, string_config, seed, nonlinear_budget=900):
+def _check_theory(theory_literals, string_config, seed, nonlinear_budget=900, deadline=None):
     """Dispatch a conjunction of theory literals to the right core."""
     function_probe("dpllt.check_theory")
     if not theory_literals:
         return SAT, Model()
     atoms = [term for term, _ in theory_literals]
     if branch_probe("dpllt.uses_strings", strings.involves_strings(atoms)):
-        return strings.check_strings(theory_literals, string_config, seed)
+        return strings.check_strings(theory_literals, string_config, seed, deadline)
 
     poly_atoms = []
     int_vars = set()
@@ -176,7 +185,7 @@ def _check_theory(theory_literals, string_config, seed, nonlinear_budget=900):
             line_probe("dpllt.stuck_atom")
             return UNKNOWN, None
     status, values = nonlinear.check_nonlinear(
-        poly_atoms, int_vars, seed=seed, enum_budget=nonlinear_budget
+        poly_atoms, int_vars, seed=seed, enum_budget=nonlinear_budget, deadline=deadline
     )
     if status != SAT:
         return status, None
@@ -244,7 +253,7 @@ def _assemble_model(original, pre, bool_literals, theory_model):
     return None
 
 
-def _refutation_path(original, pre, string_config, seed):
+def _refutation_path(original, pre, string_config, seed, deadline=None):
     """Quantified residue: attempt refutation by finite instantiation."""
     function_probe("dpllt.refutation_path")
     candidates = _instantiation_candidates(pre.assertions)
@@ -254,7 +263,7 @@ def _refutation_path(original, pre, string_config, seed):
     if any(_still_quantified(t) for t in weakened):
         line_probe("dpllt.refutation_stuck")
         return CheckOutcome(SolverResult.UNKNOWN, reason="quantifier out of fragment")
-    outcome = check_assertions(weakened, string_config, seed)
+    outcome = check_assertions(weakened, string_config, seed, deadline=deadline)
     if outcome.result is SolverResult.UNSAT:
         line_probe("dpllt.refutation_success")
         return CheckOutcome(SolverResult.UNSAT)

@@ -22,6 +22,7 @@ paper's observation that solvers may answer ``unknown``.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 from fractions import Fraction
 
@@ -737,13 +738,18 @@ def _propagate_equalities(atoms, int_vars):
     return SAT, fixed, eliminations, work
 
 
-def check_nonlinear(atoms, int_vars=(), seed=0, enum_budget=900):
+def check_nonlinear(atoms, int_vars=(), seed=0, enum_budget=900, deadline=None):
     """Decide a conjunction of :class:`PolyAtom` constraints (best effort).
 
     Returns ``(status, model_dict)``; models map names to Fractions
-    (integral for ``int_vars``).
+    (integral for ``int_vars``). ``deadline`` (absolute
+    ``time.monotonic()``) truncates the search like an exhausted budget.
     """
     function_probe("nonlinear.check")
+
+    def timed_out():
+        return deadline is not None and time.monotonic() > deadline
+
     int_vars = frozenset(int_vars)
     variables = sorted({v for atom in atoms for v in poly_vars(atom.poly_dict)})
 
@@ -771,7 +777,7 @@ def check_nonlinear(atoms, int_vars=(), seed=0, enum_budget=900):
     if branch_probe(
         "nonlinear.all_linear", all(poly_is_linear(a.poly_dict) for a in reduced)
     ):
-        status, partial = _check_linear_with_diseq(reduced, int_vars)
+        status, partial = _check_linear_with_diseq(reduced, int_vars, deadline=deadline)
         if status == SAT:
             model = finish(partial)
             if model is not None:
@@ -796,14 +802,16 @@ def check_nonlinear(atoms, int_vars=(), seed=0, enum_budget=900):
     budget = [enum_budget]
 
     def dfs(index, values):
-        if budget[0] <= 0:
+        if budget[0] <= 0 or timed_out():
             return None
         budget[0] -= 1
         if index == len(nl_vars):
             residual = [_substitute_values(a, values) for a in reduced]
             if not all(poly_is_linear(a.poly_dict) for a in residual):
                 return None
-            status, partial = _check_linear_with_diseq(residual, int_vars)
+            status, partial = _check_linear_with_diseq(
+                residual, int_vars, deadline=deadline
+            )
             if status == SAT:
                 combined = dict(partial or {})
                 combined.update(values)
@@ -838,6 +846,8 @@ def check_nonlinear(atoms, int_vars=(), seed=0, enum_budget=900):
     # Strategy 3: random sampling over small rationals.
     rng = random.Random(seed)
     for _ in range(150):
+        if timed_out():
+            break
         model = dict(fixed)
         for var in reduced_vars:
             if var in int_vars:
@@ -853,7 +863,7 @@ def check_nonlinear(atoms, int_vars=(), seed=0, enum_budget=900):
     return UNKNOWN, None
 
 
-def _check_linear_with_diseq(atoms, int_vars, split_budget=64):
+def _check_linear_with_diseq(atoms, int_vars, split_budget=64, deadline=None):
     """Linear conjunction including ``!=`` atoms, by case splitting."""
     function_probe("nonlinear.linear_with_diseq")
     plain = [a for a in atoms if a.op != "!="]
@@ -867,7 +877,9 @@ def _check_linear_with_diseq(atoms, int_vars, split_budget=64):
     state = {"budget": split_budget, "unknown": False}
 
     def solve(extra, remaining_diseqs):
-        if state["budget"] <= 0:
+        if state["budget"] <= 0 or (
+            deadline is not None and time.monotonic() > deadline
+        ):
             state["unknown"] = True
             return UNKNOWN, None
         state["budget"] -= 1

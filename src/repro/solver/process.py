@@ -30,7 +30,8 @@ from repro.solver.result import CheckOutcome, SolverCrash, SolverResult
 
 _ERROR_MARKERS = (
     "segmentation fault",
-    "assertion",
+    "assertion violation",
+    "assertion failed",
     "fatal failure",
     "internal error",
     "unreachable",
@@ -90,7 +91,13 @@ class ProcessSolver:
                 f"{completed.stderr.strip()}",
                 kind="signal",
             )
-        if any(marker in stderr_lower for marker in _ERROR_MARKERS):
+        # Error markers on stderr only signal a crash when the run was
+        # otherwise abnormal (no verdict, or a nonzero exit): a solver
+        # that answers and exits cleanly may still echo benign chatter
+        # like `(assert ...)` diagnostics that a bare substring match
+        # would misread as an assertion failure.
+        abnormal = verdict is None or completed.returncode != 0
+        if abnormal and any(marker in stderr_lower for marker in _ERROR_MARKERS):
             raise SolverCrash(
                 f"{self.name}: internal error\n{completed.stderr.strip()}",
                 kind="internal-error",

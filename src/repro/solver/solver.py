@@ -8,15 +8,14 @@ does; the fault-injected variants in :mod:`repro.faults` do).
 
 from __future__ import annotations
 
-import signal
-import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.coverage.probes import declare_module_probes, function_probe
 from repro.smtlib.ast import Script
 from repro.smtlib.parser import parse_script
 from repro.solver.dpllt import check_assertions
-from repro.solver.result import CheckOutcome, SolverResult
+from repro.solver.result import SolverResult
 from repro.solver.strings import StringConfig
 
 
@@ -27,10 +26,12 @@ class SolverConfig:
     seed: int = 0
     max_rounds: int = 600
     nonlinear_budget: int = 900
-    # Wall-clock limit per check (0 = unlimited). Implemented with
-    # SIGALRM, so it only engages in the main thread; elsewhere the
-    # round budgets are the only bound. Timeouts answer ``unknown``,
-    # like a real solver driven with a fuzzing time limit.
+    # Wall-clock limit per check (0 = unlimited). Enforced as a
+    # cooperative deadline checked at DPLL(T) round boundaries, so it
+    # holds on any thread (the harness watchdog and YinYang's thread
+    # mode run checks off the main thread, where a SIGALRM-based limit
+    # would silently not engage). Timeouts answer ``unknown``, like a
+    # real solver driven with a fuzzing time limit.
     timeout_seconds: float = 0.0
     strings: StringConfig = field(default_factory=StringConfig)
 
@@ -86,17 +87,16 @@ class ReferenceSolver:
         """Check a parsed :class:`Script`; returns a :class:`CheckOutcome`."""
         if not isinstance(script, Script):
             raise TypeError(f"expected a Script, got {type(script).__name__}")
-
-        def run():
-            return check_assertions(
-                script.asserts,
-                string_config=self.config.strings,
-                seed=self.config.seed,
-                max_rounds=self.config.max_rounds,
-                nonlinear_budget=self.config.nonlinear_budget,
-            )
-
-        return _run_with_timeout(run, self.config.timeout_seconds)
+        seconds = self.config.timeout_seconds
+        deadline = time.monotonic() + seconds if seconds > 0 else None
+        return check_assertions(
+            script.asserts,
+            string_config=self.config.strings,
+            seed=self.config.seed,
+            max_rounds=self.config.max_rounds,
+            nonlinear_budget=self.config.nonlinear_budget,
+            deadline=deadline,
+        )
 
     def check_result(self, source):
         """Convenience: just the :class:`SolverResult` verdict."""
@@ -108,29 +108,6 @@ class ReferenceSolver:
         if outcome.result is SolverResult.SAT:
             return outcome.model
         return None
-
-
-class _CheckTimeout(Exception):
-    """Internal: the per-check wall-clock limit fired."""
-
-
-def _run_with_timeout(run, seconds):
-    """Run a check under a SIGALRM deadline (main thread only)."""
-    if seconds <= 0 or threading.current_thread() is not threading.main_thread():
-        return run()
-
-    def on_alarm(signum, frame):
-        raise _CheckTimeout()
-
-    previous = signal.signal(signal.SIGALRM, on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
-    try:
-        return run()
-    except _CheckTimeout:
-        return CheckOutcome(SolverResult.UNKNOWN, reason="timeout")
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0)
-        signal.signal(signal.SIGALRM, previous)
 
 
 declare_module_probes(__file__)

@@ -29,6 +29,7 @@ The decision strategy mirrors what the paper's string logics need:
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from fractions import Fraction
 
@@ -340,11 +341,13 @@ def _length_vectors(names, analysis, config):
 # ---------------------------------------------------------------------------
 
 
-def check_strings(literals, config=None, seed=0):
+def check_strings(literals, config=None, seed=0, deadline=None):
     """Decide a conjunction of literals involving string terms.
 
     ``literals`` is a list of ``(atom_term, polarity)`` pairs. Returns
-    ``(status, Model or None)``.
+    ``(status, Model or None)``. ``deadline`` (an absolute
+    ``time.monotonic()`` timestamp) truncates the bounded search the
+    same way the assignment budget does, so overruns answer ``unknown``.
     """
     function_probe("strings.check")
     config = config or StringConfig()
@@ -482,6 +485,9 @@ def check_strings(literals, config=None, seed=0):
 
     def dfs(index, assigned, lengths):
         if state["tried"] > config.max_assignments:
+            state["truncated"] = True
+            return None
+        if deadline is not None and time.monotonic() > deadline:
             state["truncated"] = True
             return None
         if index == len(free_names):

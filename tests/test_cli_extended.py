@@ -59,3 +59,52 @@ class TestCampaignCommand:
         assert code == 0
         assert "Figure 8a" in out and "Figure 8c" in out
         assert "Reported" in out
+
+class TestResilienceFlags:
+    def test_test_command_accepts_hardening_flags(self, capsys):
+        code = main(
+            [
+                "test",
+                "--oracle",
+                "sat",
+                "--corpus",
+                "QF_LIA",
+                "--scale",
+                "0.003",
+                "--iterations",
+                "4",
+                "--retries",
+                "2",
+                "--check-timeout",
+                "30",
+                "--quarantine-after",
+                "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "iterations" in out
+
+    def test_campaign_journal_and_resume(self, tmp_path, capsys):
+        journal = str(tmp_path / "journal.jsonl")
+        args = [
+            "campaign",
+            "--scale",
+            "0.0005",
+            "--iterations",
+            "3",
+            "--journal",
+            journal,
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        # Second run resumes: every cell is journaled, nothing re-runs,
+        # and the summary still renders from the journal alone.
+        assert main(args + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "fused formulas" in out
+
+    def test_resume_without_journal_rejected(self, capsys):
+        code = main(["campaign", "--resume"])
+        assert code == 2
+        assert "requires --journal" in capsys.readouterr().err

@@ -17,6 +17,7 @@ EXAMPLES = [
     "find_bugs_campaign.py",
     "coverage_study.py",
     "testing_rounds.py",
+    "robust_campaign.py",
 ]
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")

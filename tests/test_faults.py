@@ -213,3 +213,44 @@ class TestDemoRewriteFaults:
         outcome = buggy.check(text)
         assert outcome.reason.startswith("fault:demo-")
         assert "demo-toint-empty" in outcome.stats["rewrite_faults"]
+
+class TestThreadSafety:
+    def test_last_triggered_is_per_thread(self):
+        """Workers sharing one FaultySolver must each see their own
+        trigger list (regression: a shared mutable attribute was raced
+        under YinYang.test(threads=N))."""
+        import threading
+
+        from repro.faults.paper_samples import sample_by_figure
+
+        buggy = make_solver("cvc4-like")
+        triggering = parse_script(sample_by_figure("13b").smt2)
+        benign = parse_script(
+            "(declare-fun q () Int)(assert (> q 0))(check-sat)"
+        )
+        mismatches = []
+        barrier = threading.Barrier(2)
+
+        def worker(script, expect_triggered):
+            barrier.wait()
+            for _ in range(50):
+                try:
+                    buggy.check_script(script)
+                except SolverCrash:
+                    pass
+                triggered = bool(buggy.last_triggered)
+                if triggered != expect_triggered:
+                    mismatches.append((script, triggered))
+
+        threads = [
+            threading.Thread(target=worker, args=(triggering, True)),
+            threading.Thread(target=worker, args=(benign, False)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert mismatches == []
+
+    def test_last_triggered_empty_before_any_check(self):
+        assert make_solver("z3-like").last_triggered == []

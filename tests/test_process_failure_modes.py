@@ -1,0 +1,164 @@
+"""End-to-end abnormal-termination coverage for ProcessSolver.
+
+Each test drives a tiny on-disk fixture "solver" (a Python stub script
+invoked as a binary, exactly how the paper points YinYang at Z3/CVC4)
+through one way real solver processes die: hanging past the timeout,
+exiting via a signal, exiting nonzero with no verdict, printing
+garbage, or printing error signatures. Assertions pin down the
+``SolverCrash.kind`` taxonomy and the ``unknown_on_timeout`` policy.
+"""
+
+import sys
+import textwrap
+
+import pytest
+
+from repro.solver.process import ProcessSolver
+from repro.solver.result import SolverCrash, SolverResult
+
+SAT_TEXT = "(declare-fun x () Int)(assert (> x 0))(check-sat)"
+
+
+@pytest.fixture
+def make_stub(tmp_path):
+    """Write a fixture solver script and return a ProcessSolver for it."""
+
+    def build(name, body, **kwargs):
+        path = tmp_path / f"{name}.py"
+        path.write_text(textwrap.dedent(body))
+        return ProcessSolver(name, [sys.executable, str(path)], **kwargs)
+
+    return build
+
+
+class TestHangs:
+    HANG = """
+        import time
+        time.sleep(60)
+    """
+
+    def test_hang_past_timeout_is_unknown_by_default(self, make_stub):
+        solver = make_stub("hanging", self.HANG, timeout=0.3)
+        outcome = solver.check(SAT_TEXT)
+        assert outcome.result is SolverResult.UNKNOWN
+        assert outcome.reason == "timeout"
+
+    def test_hang_is_crash_under_strict_policy(self, make_stub):
+        solver = make_stub(
+            "hanging", self.HANG, timeout=0.3, unknown_on_timeout=False
+        )
+        with pytest.raises(SolverCrash) as excinfo:
+            solver.check(SAT_TEXT)
+        assert excinfo.value.kind == "timeout"
+
+
+class TestSignals:
+    def test_sigsegv_death(self, make_stub):
+        solver = make_stub(
+            "segfaulting",
+            """
+            import os, signal
+            os.kill(os.getpid(), signal.SIGSEGV)
+            """,
+        )
+        with pytest.raises(SolverCrash) as excinfo:
+            solver.check(SAT_TEXT)
+        assert excinfo.value.kind == "signal"
+        assert "signal" in str(excinfo.value)
+
+    def test_sigabrt_after_partial_output(self, make_stub):
+        # An abort() after stderr chatter, before any verdict.
+        solver = make_stub(
+            "aborting",
+            """
+            import os, signal, sys
+            print("rewriting...", file=sys.stderr)
+            os.kill(os.getpid(), signal.SIGABRT)
+            """,
+        )
+        with pytest.raises(SolverCrash) as excinfo:
+            solver.check(SAT_TEXT)
+        assert excinfo.value.kind == "signal"
+
+
+class TestAbnormalExits:
+    def test_nonzero_exit_without_verdict(self, make_stub):
+        solver = make_stub(
+            "dying",
+            """
+            import sys
+            print("(error \\"unexpected token\\")", file=sys.stderr)
+            sys.exit(112)
+            """,
+        )
+        with pytest.raises(SolverCrash) as excinfo:
+            solver.check(SAT_TEXT)
+        assert excinfo.value.kind == "abnormal-exit"
+        assert "112" in str(excinfo.value)
+
+    def test_error_marker_with_nonzero_exit_is_internal_error(self, make_stub):
+        solver = make_stub(
+            "asserting",
+            """
+            import sys
+            print("ASSERTION VIOLATION: m_kind == OP_ADD", file=sys.stderr)
+            sys.exit(134)
+            """,
+        )
+        with pytest.raises(SolverCrash) as excinfo:
+            solver.check(SAT_TEXT)
+        assert excinfo.value.kind == "internal-error"
+
+    def test_fatal_failure_marker_without_verdict(self, make_stub):
+        solver = make_stub(
+            "fatal",
+            """
+            import sys
+            print("Fatal failure within TheoryEngine::check()", file=sys.stderr)
+            sys.exit(0)
+            """,
+        )
+        with pytest.raises(SolverCrash) as excinfo:
+            solver.check(SAT_TEXT)
+        assert excinfo.value.kind == "internal-error"
+
+
+class TestGarbageOutput:
+    def test_garbage_stdout_clean_exit_is_unknown(self, make_stub):
+        solver = make_stub(
+            "babbling",
+            """
+            print("%$#@! not a verdict at all")
+            print("12345")
+            """,
+        )
+        outcome = solver.check(SAT_TEXT)
+        assert outcome.result is SolverResult.UNKNOWN
+        assert outcome.reason == "no verdict on stdout"
+
+    def test_verdict_buried_in_garbage_still_found(self, make_stub):
+        solver = make_stub(
+            "noisy",
+            """
+            print("; warning: something")
+            print("unsat")
+            print("(model)")
+            """,
+        )
+        outcome = solver.check(SAT_TEXT)
+        assert outcome.result is SolverResult.UNSAT
+
+    def test_benign_stderr_chatter_with_verdict_is_not_a_crash(self, make_stub):
+        # Regression for the false-positive crash detection: a solver
+        # echoing assertion diagnostics on stderr while answering
+        # correctly with exit 0 must not be reported as a crash.
+        solver = make_stub(
+            "chatty",
+            """
+            import sys
+            print("echoing assertion (assert (> x 0))", file=sys.stderr)
+            print("sat")
+            """,
+        )
+        outcome = solver.check(SAT_TEXT)
+        assert outcome.result is SolverResult.SAT

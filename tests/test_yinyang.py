@@ -92,6 +92,19 @@ class TestAlgorithmOne:
         assert report.iterations == 12
         assert len(report.incorrects) == 12
 
+    @pytest.mark.parametrize(
+        "iterations,threads",
+        [(100, 3), (7, 2), (5, 8), (1, 4), (13, 13)],
+    )
+    def test_thread_mode_never_drops_iterations(self, iterations, threads):
+        # Regression: iterations // threads silently lost the remainder
+        # (100 iterations on 3 threads used to run only 99).
+        solver = _StubSolver("always-sat")
+        tool = YinYang(solver, YinYangConfig(seed=3))
+        report = tool.test("sat", SAT_SEEDS, iterations=iterations, threads=threads)
+        assert report.iterations == iterations
+        assert report.fused == iterations
+
     def test_throughput_positive(self):
         tool = YinYang(_StubSolver("always-sat"), YinYangConfig(seed=1))
         report = tool.test("sat", SAT_SEEDS, iterations=5)

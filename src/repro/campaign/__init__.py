@@ -2,7 +2,12 @@
 solvers over the Figure 7 corpora and regenerate the paper's tables.
 """
 
-from repro.campaign.runner import CampaignResult, run_campaign, default_solvers
+from repro.campaign.runner import (
+    CampaignResult,
+    default_solvers,
+    deterministic_solvers,
+    run_campaign,
+)
 from repro.campaign.classify import attribute_fault, collect_found_faults
 from repro.campaign.report import (
     figure8a_rows,
@@ -10,13 +15,16 @@ from repro.campaign.report import (
     figure8c_rows,
     figure9_rows,
     figure10_rows,
+    render_shard_table,
     render_table,
+    shard_counter_rows,
 )
 
 __all__ = [
     "CampaignResult",
     "run_campaign",
     "default_solvers",
+    "deterministic_solvers",
     "attribute_fault",
     "collect_found_faults",
     "figure8a_rows",
@@ -24,5 +32,7 @@ __all__ = [
     "figure8c_rows",
     "figure9_rows",
     "figure10_rows",
+    "render_shard_table",
     "render_table",
+    "shard_counter_rows",
 ]

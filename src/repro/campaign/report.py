@@ -1,4 +1,5 @@
-"""Table generation for the campaign: Figures 8a, 8b, 8c, 9 and 10."""
+"""Table generation for the campaign: Figures 8a, 8b, 8c, 9 and 10,
+plus the per-shard counter table of parallel (process-mode) campaigns."""
 
 from __future__ import annotations
 
@@ -126,6 +127,42 @@ def figure10_rows(campaign):
             for release in releases_for(solver_name)
         ]
     return out
+
+
+def shard_counter_rows(campaign):
+    """Per-shard counter rows of a process-mode campaign.
+
+    One row per (cell, shard): how the cell's iterations were split,
+    what each shard found, and which worker ran it (``resumed`` marks
+    shards reloaded from a sidecar journal instead of re-run).
+    """
+    rows = []
+    for key in sorted(campaign.shard_counters):
+        solver, family, oracle = key
+        for c in campaign.shard_counters[key]:
+            rows.append(
+                (
+                    f"{solver}/{family}/{oracle}",
+                    f"{c['shard']}/{c['of']}",
+                    c.get("iterations", 0),
+                    c.get("fused", 0),
+                    c.get("fusion_failures", 0),
+                    c.get("bugs", 0),
+                    f"{c.get('elapsed', 0.0):.2f}s",
+                    "resumed" if c.get("resumed") else f"pid {c.get('pid')}",
+                )
+            )
+    return rows
+
+
+def render_shard_table(campaign):
+    """The per-shard counter table (empty string when not sharded)."""
+    rows = shard_counter_rows(campaign)
+    if not rows:
+        return ""
+    headers = ["cell", "shard", "iter", "fused", "fuse-fail", "bugs", "wall", "worker"]
+    title = f"Per-shard counters ({campaign.mode} x{campaign.workers})"
+    return render_table(headers, rows, title)
 
 
 def render_table(headers, rows, title=""):

@@ -10,32 +10,79 @@ solvers; ``run_campaign`` therefore accepts a
 :class:`~repro.robustness.policy.ResiliencePolicy` (guarded execution)
 and a :class:`~repro.robustness.journal.CampaignJournal` (crash-safe
 per-cell journaling with ``resume=True`` skipping completed cells).
+
+Campaigns run in one of three execution modes:
+
+- ``serial`` — one process, one thread (the default);
+- ``thread`` — each cell's iterations sharded over a thread pool
+  (cheap, but GIL-bound for the pure-Python solvers under test);
+- ``process`` — each cell's iterations sharded over a persistent
+  spawn-safe worker pool (:mod:`repro.core.parallel`): per-worker
+  solver instances, parse caches, and crash-safe sidecar journals the
+  parent merges into the main journal.
+
+All modes and worker counts produce identical bug records and identical
+journal bytes for a fixed seed; sharding is invisible to the oracle.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.campaign.classify import collect_found_faults, found_fault_objects
 from repro.core.config import FusionConfig, YinYangConfig
-from repro.core.yinyang import YinYang
+from repro.core.yinyang import (
+    EXECUTION_MODES,
+    YinYang,
+    merge_shard_reports,
+    shard_indices,
+)
 from repro.faults.catalog import cvc4_like_catalog, z3_like_catalog
 from repro.faults.faulty_solver import FaultySolver
-from repro.robustness.journal import CampaignJournal
-from repro.smtlib.ast import fresh_scope
+from repro.robustness.journal import (
+    CampaignJournal,
+    load_sidecar_shards,
+    remove_sidecars,
+)
 from repro.solver.solver import ReferenceSolver, SolverConfig
+from repro.solver.strings import StringConfig
 
 
 def default_solvers(release="trunk", base_config=None):
     """The two solvers under test, with their catalogs attached.
 
     The base solver runs with the fast (short-timeout) configuration,
-    the standard fuzzing setup for real solvers too.
+    the standard fuzzing setup for real solvers too. Also the default
+    ``solver_factory`` of process-mode campaigns: it is a picklable
+    module-level callable, so every worker can build its own instances.
     """
     base = ReferenceSolver(base_config or SolverConfig.fast())
     z3 = FaultySolver(base, z3_like_catalog(), "z3-like", release=release)
     cvc4 = FaultySolver(base, cvc4_like_catalog(), "cvc4-like", release=release)
     return [z3, cvc4]
+
+
+def deterministic_solvers(release="trunk"):
+    """:func:`default_solvers` with all wall-clock dependence removed.
+
+    The fast configuration's 1.5 s deadline makes borderline checks
+    flip between a real answer and ``unknown`` with machine load; the
+    purely step-counted budgets (DPLL rounds, nonlinear enumeration,
+    string assignments) still bound every check, but identically in
+    every run. They are tightened here to compensate for the missing
+    deadline, so hard inputs answer ``unknown`` by running out of steps
+    instead of out of time. This is the factory behind
+    ``--deterministic`` campaigns whose journals must be reproducible
+    byte-for-byte across machines, modes and worker counts.
+    """
+    config = replace(
+        SolverConfig.fast(),
+        timeout_seconds=0.0,
+        max_rounds=30,
+        nonlinear_budget=120,
+        strings=StringConfig(max_assignments=600, max_len_per_var=3, max_total_len=6),
+    )
+    return default_solvers(release=release, base_config=config)
 
 
 @dataclass
@@ -47,6 +94,10 @@ class CampaignResult:
     catalogs: dict = field(default_factory=dict)  # solver name -> fault list
     fused_total: int = 0
     elapsed_total: float = 0.0
+    mode: str = "serial"
+    workers: int = 1
+    # (solver, corpus, oracle) -> [per-shard counter dicts] (process mode)
+    shard_counters: dict = field(default_factory=dict)
 
     def found_faults(self):
         """{solver: {fault_id: [records]}} via triage."""
@@ -71,9 +122,20 @@ class CampaignResult:
         totals["quarantined"] = sorted(quarantined)
         return totals
 
+    def summary_counters(self):
+        """Deterministic campaign-level counters, for determinism checks
+        and the per-shard table's totals row."""
+        totals = {}
+        for report in self.reports.values():
+            for key, value in report.counters().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
     def summary(self):
         found = self.found_faults()
         parts = [f"{self.fused_total} fused formulas"]
+        if self.mode != "serial":
+            parts.append(f"mode {self.mode} x{self.workers}")
         for solver_name, faults in found.items():
             parts.append(f"{solver_name}: {len(faults)} distinct faults")
         counters = self.resilience_counters()
@@ -88,6 +150,29 @@ class CampaignResult:
         return ", ".join(parts)
 
 
+def _campaign_cells(solvers, corpora):
+    """The campaign's cells in their canonical (journal) order."""
+    cells = []
+    for solver in solvers:
+        for family, corpus in corpora.items():
+            for oracle in ("sat", "unsat"):
+                seeds = corpus.by_oracle(oracle)
+                if len(seeds) < 1:
+                    continue
+                cells.append(((solver.name, family, oracle), solver, seeds))
+    return cells
+
+
+def _absorb_cell(result, key, report, journal):
+    """Fold one completed cell into the result and the journal."""
+    result.reports[key] = report
+    result.records.extend(report.bugs)
+    result.fused_total += report.fused
+    result.elapsed_total += report.elapsed
+    if journal is not None:
+        journal.record_cell(key, report)
+
+
 def run_campaign(
     corpora,
     solvers=None,
@@ -98,6 +183,9 @@ def run_campaign(
     policy=None,
     journal=None,
     resume=False,
+    mode="serial",
+    workers=1,
+    solver_factory=None,
 ):
     """Run the full campaign.
 
@@ -113,9 +201,32 @@ def run_campaign(
     completed cells are loaded from the journal instead of re-run, so a
     campaign interrupted by ^C or a crash continues where it stopped.
     Cells are deterministic given ``seed``, so an interrupted-and-
-    resumed campaign produces the same records as an uninterrupted one.
+    resumed campaign produces the same records as an uninterrupted one
+    — even when the resume uses a different ``mode`` or ``workers``
+    than the original run.
+
+    ``mode`` / ``workers`` select the execution mode (see the module
+    docstring). ``solver_factory`` is a picklable zero-argument
+    callable building the solvers under test; process mode requires it
+    (it defaults to :func:`default_solvers` when ``solvers`` is not
+    given) because live solver objects cannot cross a spawn boundary.
     """
-    solvers = solvers or default_solvers()
+    if mode not in EXECUTION_MODES:
+        raise ValueError(f"mode must be one of {EXECUTION_MODES}, got {mode!r}")
+    workers = max(1, workers)
+    if mode == "process":
+        if solver_factory is None:
+            if solvers is not None:
+                raise ValueError(
+                    "process mode needs solver_factory (a picklable callable); "
+                    "live solver objects cannot be shipped to worker processes"
+                )
+            solver_factory = default_solvers
+        if solvers is None:
+            solvers = solver_factory()
+    else:
+        if solvers is None:
+            solvers = solver_factory() if solver_factory is not None else default_solvers()
     if journal is not None and not isinstance(journal, CampaignJournal):
         journal = CampaignJournal(journal)
     # Solvers outside the fault-injected family (ProcessSolver, a bare
@@ -123,47 +234,161 @@ def run_campaign(
     result = CampaignResult(
         catalogs={
             s.name: getattr(s, "active_faults", lambda: [])() for s in solvers
-        }
+        },
+        mode=mode,
+        workers=workers,
     )
     completed = {}
     if journal is not None:
         journal.ensure_meta(seed=seed, iterations_per_cell=iterations_per_cell)
         if resume:
             completed = journal.completed_cells()
-            for key, report in completed.items():
-                result.reports[key] = report
-                result.records.extend(report.bugs)
-                result.fused_total += report.fused
-                result.elapsed_total += report.elapsed
-    config = YinYangConfig(
-        fusion=fusion_config or FusionConfig(), seed=seed
-    )
-    for solver in solvers:
-        tool = YinYang(
-            solver,
-            config,
+    config = YinYangConfig(fusion=fusion_config or FusionConfig(), seed=seed)
+    cells = _campaign_cells(solvers, corpora)
+    # Resumed cells are folded in first, in canonical order, so the
+    # in-memory result (not just the journal) is shard- and
+    # interruption-independent.
+    remaining = []
+    for key, solver, seeds in cells:
+        if key in completed:
+            _absorb_cell(result, key, completed[key], journal=None)
+        else:
+            remaining.append((key, solver, seeds))
+    if mode == "process":
+        _run_cells_process(
+            result,
+            remaining,
+            config=config,
+            iterations_per_cell=iterations_per_cell,
             performance_threshold=performance_threshold,
             policy=policy,
+            solver_factory=solver_factory,
+            journal=journal,
+            resume=resume,
+            workers=workers,
         )
-        for family, corpus in corpora.items():
-            for oracle in ("sat", "unsat"):
-                key = (solver.name, family, oracle)
-                if key in completed:
-                    continue
-                seeds = corpus.by_oracle(oracle)
-                if len(seeds) < 1:
-                    continue
-                # Each cell runs in its own fresh-name scope so its
-                # fused scripts are a pure function of (seed, cell) —
-                # the property journal resume relies on.
-                with fresh_scope():
-                    report = tool.test(
-                        oracle, seeds, iterations=iterations_per_cell
-                    )
-                result.reports[key] = report
-                result.records.extend(report.bugs)
-                result.fused_total += report.fused
-                result.elapsed_total += report.elapsed
-                if journal is not None:
-                    journal.record_cell(key, report)
+        return result
+    tools = {}
+    for key, solver, seeds in remaining:
+        tool = tools.get(key[0])
+        if tool is None:
+            tool = tools[key[0]] = YinYang(
+                solver,
+                config,
+                performance_threshold=performance_threshold,
+                policy=policy,
+            )
+        report = tool.test(
+            key[2], seeds, iterations=iterations_per_cell, mode=mode, workers=workers
+        )
+        _absorb_cell(result, key, report, journal)
     return result
+
+
+def _run_cells_process(
+    result,
+    remaining,
+    config,
+    iterations_per_cell,
+    performance_threshold,
+    policy,
+    solver_factory,
+    journal,
+    resume,
+    workers,
+):
+    """Shard each remaining cell over a persistent worker pool.
+
+    Cells run one at a time (each sharded ``workers`` ways) and are
+    journaled in canonical order — exactly the order and bytes a serial
+    run would produce. Quarantine state is aggregated across workers
+    between cells: once any shard's breaker trips for a solver, later
+    cells pre-quarantine it everywhere, mirroring serial mode where one
+    guard object spans the campaign.
+    """
+    from repro.core.parallel import (
+        ShardedPool,
+        ShardTask,
+        WorkerSpec,
+        collect_shard,
+        serialize_seeds,
+    )
+
+    meta = {
+        "seed": config.seed,
+        "iterations_per_cell": iterations_per_cell,
+        "workers": workers,
+    }
+    partials = {}
+    if journal is not None and resume:
+        partials = load_sidecar_shards(journal.path, meta)
+    spec = WorkerSpec(
+        solver_factory=solver_factory,
+        config=config,
+        performance_threshold=performance_threshold,
+        policy=policy,
+        journal_path=journal.path if journal is not None else None,
+        journal_meta=meta,
+    )
+    quarantined = set()
+    seed_text_cache = {}
+    with ShardedPool(workers, spec) as pool:
+        for key, _solver, seeds in remaining:
+            cache_key = (key[1], key[2])  # (family, oracle): seeds shared by solvers
+            if cache_key not in seed_text_cache:
+                seed_text_cache[cache_key] = serialize_seeds(seeds)
+            texts, logics = seed_text_cache[cache_key]
+            have = {
+                shard: report
+                for (shard, of), report in partials.get(key, {}).items()
+                if of == workers
+            }
+            futures = {}
+            for shard in range(workers):
+                if len(shard_indices(iterations_per_cell, shard, workers)) == 0:
+                    continue
+                if shard in have:
+                    continue
+                futures[shard] = pool.submit(
+                    ShardTask(
+                        oracle=key[2],
+                        seed_texts=texts,
+                        logics=logics,
+                        iterations=iterations_per_cell,
+                        shard=shard,
+                        of=workers,
+                        seed=config.seed,
+                        cell=key,
+                        solver_names=(key[0],),
+                        quarantined=tuple(sorted(quarantined)),
+                    )
+                )
+            shard_reports = dict(have)
+            counters = {
+                shard: {"shard": shard, "of": workers, "pid": None, "resumed": True}
+                for shard in have
+            }
+            for shard, future in futures.items():
+                payload = future.result()
+                shard_reports[shard] = collect_shard(payload)
+                counters[shard] = {
+                    "shard": shard,
+                    "of": workers,
+                    "pid": payload["pid"],
+                    "resumed": False,
+                }
+            for shard, report in shard_reports.items():
+                counters[shard].update(report.counters())
+                counters[shard]["elapsed"] = report.elapsed
+            merged = merge_shard_reports(
+                [shard_reports[shard] for shard in sorted(shard_reports)]
+            )
+            quarantined |= merged.quarantined
+            result.shard_counters[key] = [
+                counters[shard] for shard in sorted(counters)
+            ]
+            _absorb_cell(result, key, merged, journal)
+    if journal is not None:
+        # Every cell is durably in the main journal now; the sidecar
+        # partials have served their purpose.
+        remove_sidecars(journal.path)

@@ -43,6 +43,21 @@ def make_solver(name, release="trunk"):
     return FaultySolver(ReferenceSolver(), catalog_for(name), name, release=release)
 
 
+def make_solver_list(name, release="trunk"):
+    """A one-solver list for process-mode worker factories.
+
+    Module-level (so :func:`functools.partial` over it pickles) — each
+    spawned worker rebuilds its own solver instance from the name.
+    """
+    return [make_solver(name, release)]
+
+
+def _solver_factory(args):
+    import functools
+
+    return functools.partial(make_solver_list, args.solver, args.release)
+
+
 def _policy_from_args(args):
     """A ResiliencePolicy when any hardening flag was given, else None."""
     if not (args.retries or args.check_timeout or args.quarantine_after):
@@ -155,6 +170,7 @@ def _cmd_campaign(args):
         figure8a_rows,
         figure8b_rows,
         figure8c_rows,
+        render_shard_table,
         render_table,
         run_campaign,
     )
@@ -164,15 +180,31 @@ def _cmd_campaign(args):
         print("--resume requires --journal", file=sys.stderr)
         return 2
     corpora = build_all_corpora(scale=args.scale, seed=args.seed)
+    solver_factory = None
+    performance_threshold = args.perf_threshold or None
+    if args.deterministic:
+        # Reproducible byte-for-byte: no wall-clock solver deadline and
+        # no wall-clock performance classification.
+        from repro.campaign import deterministic_solvers
+
+        solver_factory = deterministic_solvers
+        performance_threshold = None
     result = run_campaign(
         corpora,
         iterations_per_cell=args.iterations,
         seed=args.seed,
+        performance_threshold=performance_threshold,
         policy=_policy_from_args(args),
         journal=args.journal,
         resume=args.resume,
+        mode=args.mode,
+        workers=args.workers,
+        solver_factory=solver_factory,
     )
     print(result.summary())
+    shard_table = render_shard_table(result)
+    if shard_table:
+        print(shard_table)
     headers = ["", "Z3", "CVC4", "Z3(paper)", "CVC4(paper)"]
     print(render_table(headers, figure8a_rows(result), "Figure 8a"))
     print(render_table(headers, figure8b_rows(result), "Figure 8b"))
@@ -199,7 +231,20 @@ def _cmd_test(args):
         performance_threshold=args.perf_threshold,
         policy=_policy_from_args(args),
     )
-    report = tool.test(args.oracle, seeds, iterations=args.iterations, threads=args.threads)
+    mode = args.mode
+    workers = args.workers
+    if mode is None:
+        # Back-compat: --threads N alone selects thread mode.
+        mode = "thread" if args.threads > 1 else "serial"
+        workers = workers or args.threads
+    report = tool.test(
+        args.oracle,
+        seeds,
+        iterations=args.iterations,
+        mode=mode,
+        workers=workers or 1,
+        solver_factory=_solver_factory(args) if mode == "process" else None,
+    )
     print(report.summary())
     print(f"throughput: {report.throughput:.1f} fused formulas/s")
     for i, bug in enumerate(report.bugs[: args.show]):
@@ -254,6 +299,32 @@ def build_parser():
     p_campaign.add_argument("--scale", type=float, default=0.002)
     p_campaign.add_argument("--iterations", type=int, default=30)
     p_campaign.add_argument("--seed", type=int, default=0)
+    p_campaign.add_argument(
+        "--perf-threshold",
+        type=float,
+        default=0.3,
+        help="wall-clock seconds before a check counts as a performance "
+        "bug; 0 disables (timing-independent, hence fully deterministic)",
+    )
+    p_campaign.add_argument(
+        "--deterministic",
+        action="store_true",
+        help="remove all wall-clock dependence (solver deadlines, "
+        "performance classification): identical journals on every "
+        "run, any mode, any worker count",
+    )
+    p_campaign.add_argument(
+        "--mode",
+        choices=["serial", "thread", "process"],
+        default="serial",
+        help="execution mode: process shards each cell over a worker pool",
+    )
+    p_campaign.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard count for --mode thread/process",
+    )
     _add_resilience_flags(p_campaign)
     p_campaign.add_argument(
         "--journal",
@@ -279,7 +350,21 @@ def build_parser():
     p_test.add_argument("--seed", type=int, default=0)
     p_test.add_argument("--pairs", type=int, default=2)
     p_test.add_argument("--probability", type=float, default=0.5)
-    p_test.add_argument("--threads", type=int, default=1)
+    p_test.add_argument(
+        "--threads",
+        type=int,
+        default=1,
+        help="legacy alias for --mode thread --workers N",
+    )
+    p_test.add_argument(
+        "--mode",
+        choices=["serial", "thread", "process"],
+        default=None,
+        help="execution mode (process: per-worker solvers and caches)",
+    )
+    p_test.add_argument(
+        "--workers", type=int, default=None, help="shard count for thread/process mode"
+    )
     p_test.add_argument("--perf-threshold", type=float, default=0.3)
     p_test.add_argument("--show", type=int, default=2, help="bug scripts to print")
     _add_resilience_flags(p_test)

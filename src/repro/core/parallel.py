@@ -1,0 +1,302 @@
+"""Process-sharded execution of Algorithm 1: a persistent worker pool.
+
+The paper's campaign is embarrassingly parallel — every fuse→solve→
+check iteration is independent — but the solvers under test here are
+pure Python, so :class:`~repro.core.yinyang.YinYang`'s thread mode is
+GIL-bound. This module shards the iteration index space across a
+persistent ``multiprocessing`` pool (spawn start method, so it is safe
+under any embedding) instead:
+
+- each worker process builds its **own solver instances** once, from a
+  picklable ``solver_factory`` (live solvers hold locks and caches and
+  must not cross the spawn boundary);
+- each worker keeps a **parse cache** for seed formulas: seeds travel
+  to workers as SMT-LIB text and are parsed (which typechecks — the
+  parser validates sorts as it goes) at most once per worker, no
+  matter how many cells and shards reuse them;
+- each worker owns its **fresh-name state** (thread-local gensyms) and
+  every iteration runs inside its own ``fresh_scope()``, so a fused
+  script is a pure function of ``(seed, iteration index)`` — shard
+  boundaries can never shift a gensym;
+- optionally, each worker appends completed shards to a private
+  **sidecar journal** (crash-safe, atomic) that the campaign parent
+  merges into the main :class:`~repro.robustness.journal.CampaignJournal`.
+
+Because iterations are self-contained, merging the shards of any
+worker count reproduces the single-worker report bit-for-bit (see
+``tests/test_parallel_determinism.py``); parallelism can never
+silently alter the oracle. The one deliberate exception is quarantine:
+a circuit breaker trips on *consecutive* failures, an order-dependent
+notion, so the parent aggregates quarantined names from merged shard
+reports and re-broadcasts them to workers via
+:meth:`~repro.robustness.guard.GuardedSolver.force_quarantine`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.yinyang import YinYang, merge_shard_reports, shard_indices
+
+
+def _spawn_context():
+    return multiprocessing.get_context("spawn")
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker process needs to build its world.
+
+    Shipped once per worker at pool start; must stay picklable.
+    ``journal_meta`` carries the campaign parameters stamped into each
+    sidecar journal so a resume can tell matching partials from stale
+    ones.
+    """
+
+    solver_factory: object
+    config: object  # YinYangConfig
+    performance_threshold: float | None = None
+    policy: object = None  # ResiliencePolicy | None
+    journal_path: str | None = None
+    journal_meta: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard of one cell: iterations ``range(shard, iterations, of)``."""
+
+    oracle: str
+    seed_texts: tuple
+    logics: tuple
+    iterations: int
+    shard: int
+    of: int
+    seed: int
+    cell: tuple | None = None  # (solver, family, oracle) for journaling
+    solver_names: tuple | None = None  # None = all of the worker's solvers
+    quarantined: tuple = ()  # names to pre-quarantine (cross-worker breaker)
+
+
+def serialize_seeds(seeds):
+    """Seeds as (SMT-LIB texts, logics) — the picklable wire format."""
+    from repro.smtlib.printer import print_script
+
+    texts, logics = [], []
+    for seed in seeds:
+        script = getattr(seed, "script", seed)
+        texts.append(print_script(script))
+        logics.append(getattr(seed, "logic", ""))
+    return tuple(texts), tuple(logics)
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+_STATE = None  # per-process _WorkerState, set by _init_worker
+
+
+class _WorkerState:
+    """What one worker process owns for its whole lifetime."""
+
+    def __init__(self, spec):
+        solvers = spec.solver_factory()
+        solvers = list(solvers) if isinstance(solvers, (list, tuple)) else [solvers]
+        if spec.policy is not None:
+            from repro.robustness.guard import GuardedSolver
+
+            solvers = [
+                s if isinstance(s, GuardedSolver) else GuardedSolver(s, spec.policy)
+                for s in solvers
+            ]
+        self.solvers = solvers
+        self.by_name = {s.name: s for s in solvers}
+        self.config = spec.config
+        self.performance_threshold = spec.performance_threshold
+        self.parse_cache = {}
+        self.journal = None
+        if spec.journal_path:
+            self.journal = self._open_sidecar(spec.journal_path, spec.journal_meta)
+
+    @staticmethod
+    def _open_sidecar(journal_path, meta):
+        from repro.robustness.journal import (
+            CampaignJournal,
+            JournalError,
+            sidecar_path,
+        )
+
+        path = sidecar_path(journal_path, os.getpid())
+        try:
+            journal = CampaignJournal(path)
+            journal.ensure_meta(**meta)
+            return journal
+        except JournalError:
+            # A stale sidecar from a differently-parameterized run (a
+            # recycled pid): its partials cannot line up — start over.
+            os.remove(path)
+            journal = CampaignJournal(path)
+            journal.ensure_meta(**meta)
+            return journal
+
+    def scripts_for(self, seed_texts):
+        """Parse (and thereby typecheck) seed texts, cached per worker."""
+        scripts = []
+        for text in seed_texts:
+            script = self.parse_cache.get(text)
+            if script is None:
+                from repro.smtlib.parser import parse_script
+
+                script = self.parse_cache[text] = parse_script(text)
+            scripts.append(script)
+        return scripts
+
+
+def _init_worker(spec):
+    global _STATE
+    _STATE = _WorkerState(spec)
+
+
+def _run_shard(task):
+    """Run one shard in this worker; return a picklable payload."""
+    from repro.robustness.journal import serialize_report
+
+    state = _STATE
+    scripts = state.scripts_for(task.seed_texts)
+    if task.solver_names is None:
+        solvers = state.solvers
+    else:
+        solvers = [state.by_name[name] for name in task.solver_names]
+    for name in task.quarantined:
+        solver = state.by_name.get(name)
+        if solver is not None and hasattr(solver, "force_quarantine"):
+            solver.force_quarantine()
+    tool = YinYang(
+        solvers,
+        config=state.config,
+        performance_threshold=state.performance_threshold,
+    )
+    report = tool.run_iterations(
+        task.oracle,
+        scripts,
+        list(task.logics),
+        shard_indices(task.iterations, task.shard, task.of),
+        seed=task.seed,
+    )
+    if state.journal is not None and task.cell is not None:
+        state.journal.record_shard(tuple(task.cell), task.shard, task.of, report)
+    return {
+        "report": serialize_report(report),
+        "elapsed": report.elapsed,
+        "pid": os.getpid(),
+        "guards": [
+            s.guard_state() for s in solvers if hasattr(s, "guard_state")
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+class ShardedPool:
+    """A persistent pool of campaign workers (context manager).
+
+    Created once and reused across every cell of a campaign: worker
+    startup (spawn + imports + solver construction) is paid once, and
+    the per-worker parse cache keeps earning across cells that share
+    seed corpora.
+    """
+
+    def __init__(self, workers, spec):
+        self.workers = max(1, workers)
+        self.spec = spec
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=_spawn_context(),
+            initializer=_init_worker,
+            initargs=(spec,),
+        )
+
+    def submit(self, task):
+        return self._executor.submit(_run_shard, task)
+
+    def shutdown(self):
+        self._executor.shutdown()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.shutdown()
+        return False
+
+
+def collect_shard(payload):
+    """Deserialize a worker payload back into a YinYangReport.
+
+    The report's scripts come back as SMT-LIB text (exactly what the
+    journal stores); ``elapsed`` — excluded from the deterministic
+    serialization — is restored from the payload side-channel so
+    throughput accounting still works.
+    """
+    from repro.robustness.journal import deserialize_report
+
+    report = deserialize_report(payload["report"])
+    report.elapsed = payload["elapsed"]
+    return report
+
+
+def run_sharded_test(
+    solver_factory,
+    config,
+    performance_threshold,
+    policy,
+    oracle,
+    seeds,
+    iterations,
+    workers,
+):
+    """``YinYang.test(mode="process")``: one run sharded over a pool."""
+    if solver_factory is None:
+        raise ValueError(
+            "process mode needs solver_factory: a picklable zero-argument "
+            "callable returning the solvers under test (live solver objects "
+            "cannot cross the spawn boundary)"
+        )
+    seed_texts, logics = serialize_seeds(seeds)
+    if not seed_texts:
+        raise ValueError("need at least one seed")
+    spec = WorkerSpec(
+        solver_factory=solver_factory,
+        config=config,
+        performance_threshold=performance_threshold,
+        policy=policy,
+    )
+    start = time.perf_counter()
+    with ShardedPool(workers, spec) as pool:
+        futures = [
+            pool.submit(
+                ShardTask(
+                    oracle=oracle,
+                    seed_texts=seed_texts,
+                    logics=logics,
+                    iterations=iterations,
+                    shard=shard,
+                    of=pool.workers,
+                    seed=config.seed,
+                )
+            )
+            for shard in range(pool.workers)
+            if len(shard_indices(iterations, shard, pool.workers)) > 0
+        ]
+        merged = merge_shard_reports(
+            [collect_shard(future.result()) for future in futures]
+        )
+    merged.elapsed = time.perf_counter() - start
+    return merged

@@ -10,9 +10,21 @@ fuses them, and feeds the fused formula to each solver under test:
   performance issue (the paper found these during reduction);
 - ``unknown`` is either ignored or treated as a crash, per config.
 
-Everything is deterministic given the config seed. A multi-threaded
-mode mirrors the paper's implementation note ("YinYang is able to run
-in multiple-threaded mode").
+Everything is deterministic given the config seed, *independent of the
+execution mode*: each iteration draws its randomness from a private RNG
+seeded by ``(campaign seed, iteration index)`` and builds its fused
+formula inside its own fresh-name scope, so iteration ``k`` produces
+the same fused script whether it runs alone, interleaved with others on
+a thread pool, or on shard 3 of a process pool. Parallel modes merely
+partition the index space ``range(iterations)`` across workers and
+merge the partial reports back in index order — the bug records of a
+run are a pure function of ``(seed, iterations)``.
+
+Two parallel modes are offered: ``thread`` (the paper's "YinYang is
+able to run in multiple-threaded mode"; cheap, but GIL-bound for the
+pure-Python solvers under test) and ``process`` (a persistent
+spawn-safe worker pool where each worker owns its solver instances and
+caches; see :mod:`repro.core.parallel`).
 """
 
 from __future__ import annotations
@@ -25,6 +37,7 @@ from dataclasses import dataclass, field
 from repro.core.config import YinYangConfig
 from repro.core.fusion import fuse
 from repro.errors import FusionError
+from repro.smtlib.ast import fresh_scope
 from repro.solver.result import SolverCrash, SolverResult
 
 SOUNDNESS = "soundness"
@@ -38,6 +51,19 @@ HARNESS = "harness"
 # avoid a core -> robustness import).
 _HARNESS_ERROR_KIND = "harness-error"
 _QUARANTINED_KIND = "quarantined"
+
+EXECUTION_MODES = ("serial", "thread", "process")
+
+
+def iteration_rng(seed, index):
+    """The private RNG of iteration ``index`` under campaign ``seed``.
+
+    Seeded through the string path of :class:`random.Random`, which
+    hashes via SHA-512 — deterministic across processes and Python
+    hash-randomization settings (a tuple seed would go through
+    ``hash()`` and could differ between interpreter runs).
+    """
+    return random.Random(f"yinyang:{seed}:{index}")
 
 
 @dataclass
@@ -54,6 +80,7 @@ class BugRecord:
     logic: str = ""
     elapsed: float = 0.0
     note: str = ""  # solver-side detail (e.g. internal fault id / stderr)
+    iteration: int = -1  # global iteration id within the run/cell
 
     def __str__(self):
         return (
@@ -134,6 +161,54 @@ class YinYangReport:
             text += " (" + "; ".join(extras) + ")"
         return text
 
+    def counters(self):
+        """Deterministic summary counters (everything but wall-clock)."""
+        return {
+            "iterations": self.iterations,
+            "fused": self.fused,
+            "fusion_failures": self.fusion_failures,
+            "unknowns": self.unknowns,
+            "soundness": len(self.incorrects),
+            "crash": len(self.crashes),
+            "performance": len(self.performance_issues),
+            "bugs": len(self.bugs),
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "contained_errors": self.contained_errors,
+            "quarantine_skips": self.quarantine_skips,
+        }
+
+
+def merge_shard_reports(reports):
+    """Merge per-shard reports into one, independent of the sharding.
+
+    Counters are summed, ``elapsed`` is the slowest shard (shards run
+    concurrently), and bug records are re-ordered by their global
+    iteration id — so merging the shards of any worker count yields the
+    exact report a single worker would have produced (modulo
+    wall-clock).
+    """
+    merged = YinYangReport()
+    for report in reports:
+        merged.iterations += report.iterations
+        merged.fused += report.fused
+        merged.elapsed = max(merged.elapsed, report.elapsed)
+        merged.bugs.extend(report.bugs)
+        merged.fusion_failures += report.fusion_failures
+        merged.unknowns += report.unknowns
+        merged.retries += report.retries
+        merged.timeouts += report.timeouts
+        merged.contained_errors += report.contained_errors
+        merged.quarantine_skips += report.quarantine_skips
+        merged.quarantined |= report.quarantined
+    merged.bugs.sort(key=lambda b: b.iteration)  # stable: intra-iteration order kept
+    return merged
+
+
+def shard_indices(iterations, shard, of):
+    """The iteration ids shard ``shard`` of ``of`` runs (strided, balanced)."""
+    return range(shard, iterations, of)
+
 
 class YinYang:
     """The YinYang testing tool.
@@ -168,61 +243,115 @@ class YinYang:
 
     # -- Algorithm 1 -----------------------------------------------------
 
-    def test(self, oracle, seeds, iterations=None, threads=1):
+    def test(
+        self,
+        oracle,
+        seeds,
+        iterations=None,
+        threads=1,
+        mode=None,
+        workers=None,
+        solver_factory=None,
+    ):
         """Run the main loop over ``seeds`` (all labeled ``oracle``).
 
         ``seeds`` is a list of Scripts or
         :class:`~repro.core.oracle.LabeledSeed`. Returns a
         :class:`YinYangReport`.
+
+        ``mode`` is ``"serial"``, ``"thread"``, or ``"process"`` (see
+        the module docstring); ``workers`` is the shard count. The
+        legacy ``threads=N`` spelling is kept as an alias for
+        ``mode="thread", workers=N``. All modes and worker counts yield
+        identical bug records for a fixed config seed. ``process`` mode
+        needs ``solver_factory`` — a picklable zero-argument callable
+        returning the solver list — because live solver objects (locks,
+        caches) do not cross a spawn boundary.
         """
         scripts = [getattr(s, "script", s) for s in seeds]
         logics = [getattr(s, "logic", "") for s in seeds]
         if len(scripts) < 1:
             raise ValueError("need at least one seed")
         iterations = iterations if iterations is not None else self.config.max_iterations
-        if threads <= 1:
-            return self._run(oracle, scripts, logics, iterations, self.config.seed)
-        # Distribute iterations across workers without dropping the
-        # remainder: the first (iterations % threads) workers run one
-        # extra iteration, so the totals always add up.
-        base, remainder = divmod(iterations, threads)
-        chunks = [base + (1 if t < remainder else 0) for t in range(threads)]
-        report = YinYangReport()
-        with ThreadPoolExecutor(max_workers=threads) as pool:
+        if mode is None:
+            mode = "thread" if threads > 1 else "serial"
+            workers = threads if workers is None else workers
+        if mode not in EXECUTION_MODES:
+            raise ValueError(f"mode must be one of {EXECUTION_MODES}, got {mode!r}")
+        workers = max(1, workers if workers is not None else 1)
+        if mode == "process":
+            from repro.core.parallel import run_sharded_test
+
+            return run_sharded_test(
+                solver_factory=solver_factory,
+                config=self.config,
+                performance_threshold=self.performance_threshold,
+                policy=self.policy,
+                oracle=oracle,
+                seeds=seeds,
+                iterations=iterations,
+                workers=workers,
+            )
+        if mode == "serial" or workers <= 1:
+            return self.run_iterations(oracle, scripts, logics, range(iterations))
+        # Thread mode: partition the iteration index space (strided, so
+        # worker t runs iterations t, t+W, t+2W, ...) and merge the
+        # partial reports back in index order. Per-iteration RNGs and
+        # fresh-name scopes make every iteration self-contained, so the
+        # partition never changes what any iteration computes.
+        with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = [
                 pool.submit(
-                    self._run, oracle, scripts, logics, chunk, self.config.seed + t
+                    self.run_iterations,
+                    oracle,
+                    scripts,
+                    logics,
+                    shard_indices(iterations, t, workers),
                 )
-                for t, chunk in enumerate(chunks)
-                if chunk > 0
+                for t in range(workers)
+                if len(shard_indices(iterations, t, workers)) > 0
             ]
-            for future in futures:
-                report.merge(future.result())
-        return report
+            return merge_shard_reports([future.result() for future in futures])
 
-    def _run(self, oracle, scripts, logics, iterations, seed):
-        rng = random.Random(seed)
+    def run_iterations(self, oracle, scripts, logics, indices, seed=None):
+        """Run the iterations whose global ids are in ``indices``.
+
+        This is the sharding primitive: a full run is
+        ``run_iterations(..., range(n))``, and any partition of
+        ``range(n)`` across workers merges back (via
+        :func:`merge_shard_reports`) to the same report.
+        """
+        seed = self.config.seed if seed is None else seed
         report = YinYangReport()
         start = time.perf_counter()
-        for _ in range(iterations):
-            report.iterations += 1
-            i = rng.randrange(len(scripts))
-            j = rng.randrange(len(scripts))
-            try:
-                result = fuse(oracle, scripts[i], scripts[j], rng, self.config.fusion)
-            except FusionError:
-                report.fusion_failures += 1
-                continue
-            report.fused += 1
-            logic = logics[i] or logics[j]
-            self._check_one(result, (i, j), logic, report)
+        for index in indices:
+            self._one_iteration(oracle, scripts, logics, index, seed, report)
         for solver in self.solvers:
             if getattr(solver, "quarantined", False):
                 report.quarantined.add(solver.name)
         report.elapsed = time.perf_counter() - start
         return report
 
-    def _check_one(self, fusion_result, seed_indices, logic, report):
+    def _one_iteration(self, oracle, scripts, logics, index, seed, report):
+        rng = iteration_rng(seed, index)
+        report.iterations += 1
+        # The fresh-name scope makes the fused script a pure function
+        # of (seed, index): gensyms restart at 0 for every iteration
+        # instead of accumulating across the run, so shard boundaries
+        # can never shift them.
+        with fresh_scope():
+            i = rng.randrange(len(scripts))
+            j = rng.randrange(len(scripts))
+            try:
+                result = fuse(oracle, scripts[i], scripts[j], rng, self.config.fusion)
+            except FusionError:
+                report.fusion_failures += 1
+                return
+            report.fused += 1
+            logic = logics[i] or logics[j]
+            self._check_one(result, (i, j), logic, report, iteration=index)
+
+    def _check_one(self, fusion_result, seed_indices, logic, report, iteration=-1):
         schemes = tuple(t.scheme for t in fusion_result.triplets)
         for solver in self.solvers:
             if getattr(solver, "quarantined", False):
@@ -257,6 +386,7 @@ class YinYang:
                         logic=logic,
                         elapsed=time.perf_counter() - began,
                         note=getattr(crash, "fault_id", ""),
+                        iteration=iteration,
                     )
                 )
                 continue
@@ -281,6 +411,7 @@ class YinYang:
                         logic=logic,
                         elapsed=elapsed,
                         note=slow_faults[0] if slow_faults else "",
+                        iteration=iteration,
                     )
                 )
             if outcome.result is SolverResult.UNKNOWN:
@@ -302,6 +433,7 @@ class YinYang:
                             logic=logic,
                             elapsed=elapsed,
                             note=outcome.reason,
+                            iteration=iteration,
                         )
                     )
                 continue
@@ -318,6 +450,7 @@ class YinYang:
                         logic=logic,
                         elapsed=elapsed,
                         note=outcome.reason,
+                        iteration=iteration,
                     )
                 )
 
@@ -335,20 +468,23 @@ class YinYang:
         iterations = (
             iterations if iterations is not None else self.config.max_iterations
         )
-        rng = random.Random(self.config.seed)
         report = YinYangReport()
         start = time.perf_counter()
-        for _ in range(iterations):
+        for index in range(iterations):
+            rng = iteration_rng(self.config.seed, index)
             report.iterations += 1
-            phi_sat = sat_scripts[rng.randrange(len(sat_scripts))]
-            phi_unsat = unsat_scripts[rng.randrange(len(unsat_scripts))]
-            try:
-                result = fuse_mixed(phi_sat, phi_unsat, want, rng, self.config.fusion)
-            except FusionError:
-                report.fusion_failures += 1
-                continue
-            report.fused += 1
-            self._check_one(result, (0, 0), "", report)
+            with fresh_scope():
+                phi_sat = sat_scripts[rng.randrange(len(sat_scripts))]
+                phi_unsat = unsat_scripts[rng.randrange(len(unsat_scripts))]
+                try:
+                    result = fuse_mixed(
+                        phi_sat, phi_unsat, want, rng, self.config.fusion
+                    )
+                except FusionError:
+                    report.fusion_failures += 1
+                    continue
+                report.fused += 1
+                self._check_one(result, (0, 0), "", report, iteration=index)
         report.elapsed = time.perf_counter() - start
         return report
 

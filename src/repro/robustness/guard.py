@@ -151,6 +151,35 @@ class GuardedSolver:
         with self._lock:
             self.consecutive_failures = 0
 
+    def force_quarantine(self):
+        """Trip the breaker from outside the failure path.
+
+        Process-sharded campaigns use this to aggregate quarantine
+        state across workers: each worker owns its solver instances, so
+        a breaker tripped in one worker is invisible to the others
+        until the parent collects the merged shard reports and
+        re-broadcasts the quarantined names into subsequent tasks —
+        matching serial mode, where one guard spans the whole campaign.
+        """
+        with self._lock:
+            self.quarantined = True
+
+    def guard_state(self):
+        """A picklable snapshot of the breaker and counters.
+
+        Workers ship this back with their shard results so the parent
+        can aggregate per-worker guard activity without sharing any
+        live (lock-bearing, unpicklable) guard objects across the
+        spawn boundary.
+        """
+        with self._lock:
+            return {
+                "name": self.name,
+                "quarantined": self.quarantined,
+                "consecutive_failures": self.consecutive_failures,
+                "stats": dict(self.stats),
+            }
+
     # -- the guarded check ----------------------------------------------
 
     def _call_base(self, script):

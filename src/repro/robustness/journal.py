@@ -12,24 +12,37 @@ journal=..., resume=True)`` skips cells the journal already holds.
 Bug records are serialized with their scripts printed back to SMT-LIB
 text, so a resumed campaign's merged result is byte-for-byte identical
 (on serialized records) to an uninterrupted run. Wall-clock ``elapsed``
-is deliberately excluded from record serialization: it is measurement
-noise, not bug identity, and would break replay equality.
+is deliberately excluded from serialization — of records *and* of cell
+reports: it is measurement noise, not bug identity, and keeping it
+would break both replay equality and the stronger process-mode
+guarantee that journals written at different worker counts are
+byte-identical.
+
+Process-sharded campaigns add a second journal layer: each worker
+process appends the shards it completes to a private *sidecar* journal
+(``<path>.shard-<pid>.jsonl``, same atomic-commit discipline), and the
+parent merges finished cells into the main journal with stable global
+iteration ids. A parent crash therefore loses no completed shard —
+resume reloads matching sidecars and re-runs only the missing shards.
+Sidecars are keyed by ``(shard, of)``: a resume with a *different*
+worker count simply finds no matching partials and re-runs whole
+cells, never duplicating or skipping one.
 """
 
 from __future__ import annotations
 
+import glob as _glob
 import json
 import os
 
 from repro.core.yinyang import BugRecord, YinYangReport
 from repro.errors import ReproError
 
-JOURNAL_VERSION = 1
+JOURNAL_VERSION = 2
 
 _REPORT_COUNTERS = (
     "iterations",
     "fused",
-    "elapsed",
     "fusion_failures",
     "unknowns",
     "retries",
@@ -69,6 +82,7 @@ def serialize_bug_record(record):
         "schemes": list(record.schemes),
         "logic": record.logic,
         "note": record.note,
+        "iteration": record.iteration,
     }
 
 
@@ -84,6 +98,7 @@ def deserialize_bug_record(data):
         schemes=tuple(data["schemes"]),
         logic=data["logic"],
         note=data["note"],
+        iteration=data.get("iteration", -1),
     )
 
 
@@ -117,7 +132,10 @@ class CampaignJournal:
       resume a mismatch raises :class:`JournalError` (a journal from a
       different campaign must not silently poison a run);
     - ``cell`` — one completed ``(solver, family, oracle)`` cell with
-      its serialized report and bug records.
+      its serialized report and bug records;
+    - ``shard`` — one completed shard of a cell (only in worker
+      sidecar journals): a cell report restricted to the iteration ids
+      ``range(shard, iterations, of)``.
     """
 
     def __init__(self, path):
@@ -202,6 +220,26 @@ class CampaignJournal:
         )
         self._commit()
 
+    def record_shard(self, key, shard, of, report):
+        """Append one completed (cell, shard) and commit it durably.
+
+        Only worker sidecar journals hold shard entries; the parent
+        merges them into plain ``cell`` entries of the main journal.
+        """
+        solver, family, oracle = key
+        self.entries.append(
+            {
+                "type": "shard",
+                "solver": solver,
+                "family": family,
+                "oracle": oracle,
+                "shard": shard,
+                "of": of,
+                "report": serialize_report(report),
+            }
+        )
+        self._commit()
+
     # -- reading ---------------------------------------------------------
 
     def meta(self):
@@ -219,3 +257,65 @@ class CampaignJournal:
             key = (entry["solver"], entry["family"], entry["oracle"])
             cells[key] = deserialize_report(entry["report"])
         return cells
+
+    def completed_shards(self):
+        """{(solver, family, oracle): {(shard, of): YinYangReport}}."""
+        shards = {}
+        for entry in self.entries:
+            if entry.get("type") != "shard":
+                continue
+            key = (entry["solver"], entry["family"], entry["oracle"])
+            shards.setdefault(key, {})[(entry["shard"], entry["of"])] = (
+                deserialize_report(entry["report"])
+            )
+        return shards
+
+
+# ---------------------------------------------------------------------------
+# Worker sidecar journals (process-sharded campaigns)
+# ---------------------------------------------------------------------------
+
+
+def sidecar_path(journal_path, worker_id):
+    """The sidecar journal path of one worker process."""
+    return f"{os.fspath(journal_path)}.shard-{worker_id}.jsonl"
+
+
+def sidecar_paths(journal_path):
+    """All sidecar journals next to ``journal_path`` (any run's workers)."""
+    return sorted(_glob.glob(f"{os.fspath(journal_path)}.shard-*.jsonl"))
+
+
+def load_sidecar_shards(journal_path, expect_meta):
+    """Collect completed shards from all sidecars whose meta matches.
+
+    ``expect_meta`` holds the current campaign parameters (seed,
+    iterations per cell, worker count). Sidecars written by a campaign
+    with different parameters — notably a different ``workers`` count,
+    whose shard partition would not line up — are ignored wholesale:
+    their cells are simply re-run. Unreadable sidecars are skipped too;
+    they can only cost re-work, never correctness.
+
+    Returns ``{cell_key: {(shard, of): YinYangReport}}``.
+    """
+    collected = {}
+    for path in sidecar_paths(journal_path):
+        try:
+            sidecar = CampaignJournal(path)
+        except (JournalError, OSError):
+            continue
+        meta = sidecar.meta() or {}
+        if any(meta.get(key) != value for key, value in expect_meta.items()):
+            continue
+        for cell, shards in sidecar.completed_shards().items():
+            collected.setdefault(cell, {}).update(shards)
+    return collected
+
+
+def remove_sidecars(journal_path):
+    """Delete all sidecar journals (the campaign completed)."""
+    for path in sidecar_paths(journal_path):
+        try:
+            os.remove(path)
+        except OSError:
+            pass

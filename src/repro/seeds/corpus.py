@@ -29,7 +29,11 @@ def build_corpus(family, scale=0.01, seed=0):
     if family not in PAPER_SEED_COUNTS:
         raise KeyError(f"unknown benchmark family {family!r}")
     unsat_count, sat_count = PAPER_SEED_COUNTS[family]
-    rng = random.Random(seed ^ hash(family) & 0xFFFF)
+    # Seeding with a string hashes it with SHA-512 (stable), unlike
+    # hash(family) which is randomized per process: the same (family,
+    # seed) must yield the same corpus in every process, or journal
+    # resume and process-mode workers would disagree with the parent.
+    rng = random.Random(f"corpus:{family}:{seed}")
     corpus = SeedCorpus(family)
     for oracle, count in (("unsat", unsat_count), ("sat", sat_count)):
         for _ in range(_scaled(count, scale, keep_zero=True)):

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import contextlib
 import itertools
+import threading
 from dataclasses import dataclass, field
 from fractions import Fraction
 
@@ -154,12 +155,25 @@ def count_occurrences(term, var):
     return 0
 
 
-_FRESH_COUNTER = itertools.count()
+# The fresh-name counter is thread-local: YinYang's thread mode builds
+# formulas concurrently, and a process-global counter would make the
+# names one thread draws depend on what every other thread has done so
+# far (a gensym race that breaks shard-count determinism). Each thread
+# lazily gets its own counter; worker processes (spawn) start clean.
+_FRESH_STATE = threading.local()
+
+
+def _fresh_counter():
+    counter = getattr(_FRESH_STATE, "counter", None)
+    if counter is None:
+        counter = _FRESH_STATE.counter = itertools.count()
+    return counter
 
 
 def fresh_name(prefix="fv"):
-    """Return a globally fresh symbol name with the given prefix."""
-    return f"{prefix}!{next(_FRESH_COUNTER)}"
+    """Return a symbol name that is fresh within the current thread's
+    fresh-name scope (see :func:`fresh_scope`)."""
+    return f"{prefix}!{next(_fresh_counter())}"
 
 
 @contextlib.contextmanager
@@ -168,18 +182,22 @@ def fresh_scope(start=0):
     restore the outer counter on exit.
 
     Fresh names only need to be unique within one formula's
-    construction; the global counter otherwise makes generated scripts
-    depend on everything the process did before. The campaign runner
-    wraps each (solver, corpus, oracle) cell in a scope so a journaled
-    cell replays byte-for-byte on resume.
+    construction; a longer-lived counter otherwise makes generated
+    scripts depend on everything the thread did before. The YinYang
+    loop wraps each iteration in a scope, so a fused script is a pure
+    function of ``(campaign seed, cell, iteration index)`` — the
+    property that journal resume and process-sharded execution rely on
+    (any shard can rebuild any iteration bit-for-bit).
+
+    The counter (and therefore the scope) is per-thread: entering a
+    scope in one worker thread never perturbs names drawn by another.
     """
-    global _FRESH_COUNTER
-    saved = _FRESH_COUNTER
-    _FRESH_COUNTER = itertools.count(start)
+    saved = _fresh_counter()  # materialize so the outer scope resumes, not resets
+    _FRESH_STATE.counter = itertools.count(start)
     try:
         yield
     finally:
-        _FRESH_COUNTER = saved
+        _FRESH_STATE.counter = saved
 
 
 def substitute(term, mapping):

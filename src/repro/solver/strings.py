@@ -410,10 +410,20 @@ def check_strings(literals, config=None, seed=0, deadline=None):
                     assigned[name] = "".join(pieces)
                     progress = True
 
+    # A literal can only fold to a constant once every variable in it is
+    # assigned (_fold evaluates bottom-up, no short-circuiting), so the
+    # conflict pruner need not re-fold the still-open ones.
+    literal_vars = [
+        {node.name for node in term.walk() if isinstance(node, Var)}
+        for term, _ in literals
+    ]
+
     def prune_conflict(assigned):
         """True if some literal is already decided false under ``assigned``."""
         model = Model(assigned)
-        for term, polarity in literals:
+        for (term, polarity), names in zip(literals, literal_vars):
+            if not names <= assigned.keys():
+                continue
             folded = _fold(term, model)
             kind, payload = _residual_atom(folded, polarity)
             if kind == "decided" and not payload:
@@ -450,11 +460,26 @@ def check_strings(literals, config=None, seed=0, deadline=None):
         return None
 
     def leaf(assigned):
-        """Full free assignment: probe numerics, solve residual arithmetic."""
+        """Full free assignment: probe numerics, solve residual arithmetic.
+
+        Each numeric probe solves a residual arithmetic problem, so the
+        probe product is real work and must count against the
+        assignment budget — otherwise a handful of numeric variables
+        turns one leaf into ``len(probe_values) ** k`` uncounted solver
+        calls and the budget no longer bounds anything.
+        """
         if numeric_probe_names:
             for probe in itertools.product(
                 probe_values, repeat=len(numeric_probe_names)
             ):
+                state["tried"] += 1
+                if state["tried"] > config.max_assignments:
+                    line_probe("strings.budget_exhausted")
+                    state["truncated"] = True
+                    return None
+                if deadline is not None and time.monotonic() > deadline:
+                    state["truncated"] = True
+                    return None
                 model = Model(assigned)
                 for pname, pval in zip(numeric_probe_names, probe):
                     model[pname] = pval
@@ -512,6 +537,15 @@ def check_strings(literals, config=None, seed=0, deadline=None):
         return None
 
     for lengths in _length_vectors(free_names, analysis, config):
+        # A length vector costs a full fold of every literal even when
+        # its DFS dies immediately, and there are exponentially many of
+        # them in the number of free variables — count each one so the
+        # budget bounds total work, not just leaf assignments.
+        state["tried"] += 1
+        if state["tried"] > config.max_assignments:
+            line_probe("strings.budget_exhausted")
+            state["truncated"] = True
+            break
         seedling = {}
         compute_derived(seedling)
         if prune_conflict(seedling):

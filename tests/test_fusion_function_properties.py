@@ -1,0 +1,117 @@
+"""Property tests for the Figure 6 fusion/inversion functions.
+
+Two families of seeded properties:
+
+- **Semantic**: for every registered scheme, under any model where
+  ``z = f(x, y)`` the inversion terms evaluate back to ``x`` and ``y``
+  and all three fusion constraints hold (Definitions 1/2 — this is
+  what makes fusion satisfiability-preserving, the tool's oracle).
+- **Syntactic**: scripts built from fusion constraints, like fully
+  fused scripts, survive print -> parse (which sort-checks every term)
+  -> re-print as a fixpoint, over Int, Real and String fusion.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FusionConfig
+from repro.core.fusion_functions import (
+    all_scheme_names,
+    pick_instance,
+    schemes_for_sort,
+)
+from repro.semantics.evaluator import evaluate
+from repro.semantics.model import Model
+from repro.smtlib.ast import Assert, CheckSat, DeclareFun, Script, Var
+from repro.smtlib.parser import parse_script
+from repro.smtlib.printer import print_script
+from repro.smtlib.sorts import INT, REAL, STRING
+
+_SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+_SORTS = {"Int": INT, "Real": REAL, "String": STRING}
+
+
+def _scheme(name):
+    for sort in _SORTS.values():
+        for scheme in schemes_for_sort(sort):
+            if scheme.name == name:
+                return scheme
+    raise AssertionError(f"unregistered scheme {name!r}")
+
+
+def _draw_value(sort, rng):
+    """A random value of ``sort``.
+
+    Int/Real draws are nonzero: the multiplication schemes invert by
+    dividing through the other variable, which the paper's Figure 6
+    table (and our oracle) only guarantees away from zero.
+    """
+    if sort == INT:
+        value = 0
+        while value == 0:
+            value = rng.randint(-50, 50)
+        return value
+    if sort == REAL:
+        numerator = 0
+        while numerator == 0:
+            numerator = rng.randint(-50, 50)
+        return Fraction(numerator, rng.randint(1, 9))
+    return "".join(rng.choice("abcdef") for _ in range(rng.randint(0, 5)))
+
+
+def test_figure6_table_is_fully_registered():
+    names = set(all_scheme_names())
+    for prefix in ("int", "real"):
+        for family in ("addition", "addition-constant", "multiplication", "affine"):
+            assert f"{prefix}-{family}" in names
+    assert {
+        "string-concat-substr",
+        "string-concat-replace",
+        "string-concat-infix",
+    } <= names
+
+
+@pytest.mark.parametrize("scheme_name", all_scheme_names())
+@_SETTINGS
+@given(seed=st.integers(0, 10**6))
+def test_inversion_identities_hold_under_fusion(scheme_name, seed):
+    rng = random.Random(seed)
+    scheme = _scheme(scheme_name)
+    instance = scheme.instantiate(rng, FusionConfig())
+    x = Var("x", scheme.sort)
+    y = Var("y", scheme.sort)
+    z = Var("z", scheme.sort)
+    vx = _draw_value(scheme.sort, rng)
+    vy = _draw_value(scheme.sort, rng)
+    vz = evaluate(instance.fusion(x, y), Model({"x": vx, "y": vy}))
+    model = Model({"x": vx, "y": vy, "z": vz})
+    assert evaluate(instance.invert_x(x, y, z), model) == vx
+    assert evaluate(instance.invert_y(x, y, z), model) == vy
+    for constraint in instance.constraints(x, y, z):
+        assert evaluate(constraint, model) is True
+
+
+@pytest.mark.parametrize("sort_name", sorted(_SORTS))
+@_SETTINGS
+@given(seed=st.integers(0, 10**6))
+def test_constraint_scripts_roundtrip(sort_name, seed):
+    sort = _SORTS[sort_name]
+    rng = random.Random(seed)
+    instance = pick_instance(sort, rng, FusionConfig())
+    x, y, z = (Var(name, sort) for name in "xyz")
+    script = Script(
+        [DeclareFun(v.name, (), sort) for v in (x, y, z)]
+        + [Assert(term) for term in instance.constraints(x, y, z)]
+        + [CheckSat()]
+    )
+    text = print_script(script)
+    reparsed = parse_script(text)  # the parser sort-checks as it builds
+    assert reparsed.asserts == script.asserts
+    assert print_script(reparsed) == text

@@ -1,0 +1,180 @@
+"""Cross-shard determinism suite: sharding must be invisible to the oracle.
+
+The headline guarantee of the parallel campaign architecture: for a
+fixed seed, every execution mode (serial / thread / process) and every
+worker count produces
+
+- identical bug records (byte-for-byte on their serialized form),
+- identical ``found_faults`` triage,
+- identical deterministic summary counters, and
+- byte-identical campaign journals.
+
+If any of these ever diverges, parallelism has silently altered what
+the campaign reports — the one failure mode a metamorphic testing tool
+cannot tolerate.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.runner import deterministic_solvers, run_campaign
+from repro.core.config import YinYangConfig
+from repro.core.yinyang import YinYang, merge_shard_reports, shard_indices
+from repro.robustness.journal import serialize_bug_record, sidecar_paths
+from repro.seeds import build_corpus
+
+# deterministic_solvers: no wall-clock solver deadline, so a loaded CI
+# machine cannot flip a borderline check to `unknown` in one mode only.
+CAMPAIGN = dict(
+    iterations_per_cell=8,
+    seed=6,
+    performance_threshold=None,
+    solver_factory=deterministic_solvers,
+)
+
+
+@pytest.fixture(scope="module")
+def corpora():
+    return {
+        "QF_S": build_corpus("QF_S", scale=0.0015, seed=5),
+        "QF_LIA": build_corpus("QF_LIA", scale=0.003, seed=5),
+    }
+
+
+@pytest.fixture(scope="module")
+def baseline(corpora, tmp_path_factory):
+    path = tmp_path_factory.mktemp("journal") / "serial.jsonl"
+    result = run_campaign(corpora, journal=path, **CAMPAIGN)
+    return result, path.read_bytes()
+
+
+@pytest.fixture(scope="module")
+def process2(corpora, tmp_path_factory):
+    path = tmp_path_factory.mktemp("journal") / "process2.jsonl"
+    result = run_campaign(
+        corpora, journal=path, mode="process", workers=2, **CAMPAIGN
+    )
+    return result, path.read_bytes(), path
+
+
+def records_of(result):
+    return [json.dumps(serialize_bug_record(r), sort_keys=True) for r in result.records]
+
+
+def fault_counts(result):
+    return {
+        solver: {fault: len(records) for fault, records in faults.items()}
+        for solver, faults in result.found_faults().items()
+    }
+
+
+class TestThreadDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_bug_records_match_serial(self, corpora, baseline, workers):
+        result = run_campaign(corpora, mode="thread", workers=workers, **CAMPAIGN)
+        assert records_of(result) == records_of(baseline[0])
+
+    def test_counters_and_faults_match_serial(self, corpora, baseline):
+        result = run_campaign(corpora, mode="thread", workers=4, **CAMPAIGN)
+        assert result.summary_counters() == baseline[0].summary_counters()
+        assert fault_counts(result) == fault_counts(baseline[0])
+
+    def test_thread_journal_bytes_match_serial(self, corpora, baseline, tmp_path):
+        path = tmp_path / "thread3.jsonl"
+        run_campaign(corpora, journal=path, mode="thread", workers=3, **CAMPAIGN)
+        assert path.read_bytes() == baseline[1]
+
+
+class TestProcessDeterminism:
+    def test_bug_records_match_serial(self, baseline, process2):
+        assert records_of(process2[0]) == records_of(baseline[0])
+
+    def test_counters_and_faults_match_serial(self, baseline, process2):
+        assert process2[0].summary_counters() == baseline[0].summary_counters()
+        assert fault_counts(process2[0]) == fault_counts(baseline[0])
+
+    def test_journal_bytes_match_serial(self, baseline, process2):
+        assert process2[1] == baseline[1]
+
+    def test_sidecars_removed_after_completion(self, process2):
+        assert sidecar_paths(process2[2]) == []
+
+    def test_per_shard_counters_cover_every_cell(self, baseline, process2):
+        result = process2[0]
+        assert set(result.shard_counters) == set(baseline[0].reports)
+        for key, shards in result.shard_counters.items():
+            assert sum(c["iterations"] for c in shards) == CAMPAIGN[
+                "iterations_per_cell"
+            ]
+            assert [c["shard"] for c in shards] == sorted(c["shard"] for c in shards)
+
+    @pytest.mark.slow
+    def test_four_workers_match_serial(self, corpora, baseline, tmp_path):
+        path = tmp_path / "process4.jsonl"
+        result = run_campaign(
+            corpora, journal=path, mode="process", workers=4, **CAMPAIGN
+        )
+        assert records_of(result) == records_of(baseline[0])
+        assert path.read_bytes() == baseline[1]
+
+
+class _AlwaysUnsat:
+    """Every fused sat formula becomes a soundness record (with script)."""
+
+    name = "always-unsat"
+
+    def check_script(self, script):
+        from repro.solver.result import CheckOutcome, SolverResult
+
+        return CheckOutcome(SolverResult.UNSAT)
+
+
+class TestShardingPrimitive:
+    """run_iterations is the unit the modes are built from: any
+    partition of the index space merges back to the full run."""
+
+    def _tool_and_seeds(self, corpora):
+        seeds = corpora["QF_LIA"].by_oracle("sat")
+        tool = YinYang(_AlwaysUnsat(), YinYangConfig(seed=9))
+        scripts = [s.script for s in seeds]
+        logics = [s.logic for s in seeds]
+        return tool, scripts, logics
+
+    def test_any_partition_merges_to_full_run(self, corpora):
+        tool, scripts, logics = self._tool_and_seeds(corpora)
+        full = tool.run_iterations("sat", scripts, logics, range(10))
+        for workers in (2, 3, 7):
+            shards = [
+                tool.run_iterations(
+                    "sat", scripts, logics, shard_indices(10, t, workers)
+                )
+                for t in range(workers)
+            ]
+            merged = merge_shard_reports(shards)
+            assert [serialize_bug_record(b) for b in merged.bugs] == [
+                serialize_bug_record(b) for b in full.bugs
+            ]
+            assert merged.counters() == full.counters()
+
+    def test_single_iteration_rebuilds_identically(self, corpora):
+        # The gensym-collision regression: iteration k run in isolation
+        # (as a process shard would) must produce the very script the
+        # full run produced — fresh names must not shift with history.
+        tool, scripts, logics = self._tool_and_seeds(corpora)
+        full = tool.run_iterations("sat", scripts, logics, range(8))
+        by_iteration = {b.iteration: b for b in full.bugs}
+        for k in (0, 3, 7):
+            alone = tool.run_iterations("sat", scripts, logics, [k])
+            assert len(alone.bugs) <= 1
+            if alone.bugs:
+                assert serialize_bug_record(alone.bugs[0]) == serialize_bug_record(
+                    by_iteration[k]
+                )
+
+    def test_bug_records_carry_iteration_ids(self, corpora):
+        tool, scripts, logics = self._tool_and_seeds(corpora)
+        report = tool.run_iterations("sat", scripts, logics, range(6))
+        ids = [b.iteration for b in report.bugs]
+        assert ids == sorted(ids)
+        assert all(0 <= i < 6 for i in ids)

@@ -1,0 +1,122 @@
+"""Term-layer micro-benchmarks: interning, substitution, evaluation.
+
+The hash-consed term layer is the PR-3 performance tentpole; these
+benches record its vital signs so regressions are visible in
+``benchmarks/results/term_ops.txt``:
+
+- intern hit rate while parsing a realistic corpus (how much sharing
+  hash-consing actually finds),
+- ``substitute``/``random_occurrence_substitution`` ops/s on
+  shared-subterm formulas (the fusion inner loop), and
+- ``evaluate`` ops/s on a fused-style conjunction (the oracle check).
+
+A micro-assert also pins the cached-``__hash__`` invariant: hashing a
+term must not rebuild the structural hash (it is precomputed at
+construction and identical across calls).
+"""
+
+import random
+
+from _util import emit
+
+from repro.semantics.evaluator import evaluate
+from repro.semantics.model import Model
+from repro.smtlib import builder as b
+from repro.smtlib.ast import (
+    fresh_scope,
+    intern_stats,
+    reset_intern_stats,
+    substitute,
+)
+from repro.core.substitution import random_occurrence_substitution
+from repro.seeds import build_corpus
+from repro.smtlib.parser import parse_script
+from repro.smtlib.printer import print_script
+
+_LINES = []
+
+
+def _record(line):
+    _LINES.append(line)
+    emit("term_ops", "Term-layer micro-benchmarks\n" + "\n".join(_LINES) + "\n")
+
+
+def _shared_formula(width=24):
+    """A conjunction with heavy subterm sharing, fusion-style."""
+    x, y = b.int_var("x"), b.int_var("y")
+    core = b.add(b.mul(x, y), b.sub(x, y), 1)
+    parts = [b.gt(b.add(core, i), b.mul(core, 2)) for i in range(width)]
+    return x, b.and_(*parts)
+
+
+def test_hash_is_cached_micro_assert():
+    _, phi = _shared_formula()
+    first = hash(phi)
+    assert first == phi._hash  # precomputed at construction...
+    assert hash(phi) == first  # ...and stable on every probe
+    # An O(1) dict hit on a 100+-node term is the point of the cache.
+    assert {phi: 1}[phi] == 1
+
+
+def test_intern_hit_rate(benchmark):
+    corpus = build_corpus("QF_LIA", scale=0.004, seed=21)
+    texts = [print_script(s.script) for s in corpus.seeds]
+
+    def parse_all():
+        with fresh_scope():
+            reset_intern_stats()
+            for text in texts:
+                parse_script(text)
+            return intern_stats()
+
+    stats = benchmark(parse_all)
+    hit_rate = stats["hits"] / (stats["hits"] + stats["misses"])
+    _record(
+        f"intern hit rate  : {hit_rate:6.1%} over {len(texts)} parsed seeds "
+        f"({stats['hits']:,} hits / {stats['misses']:,} misses, "
+        f"table size {stats['size']:,})"
+    )
+    # Real corpora repeat structure; hash-consing must find a lot of it.
+    assert hit_rate > 0.30
+
+
+def test_substitute_ops(benchmark):
+    x, phi = _shared_formula()
+    replacement = b.add(b.int_var("z"), 3)
+
+    def run():
+        return substitute(phi, {x: replacement})
+
+    out = benchmark(run)
+    assert out is not phi
+    per_second = 1.0 / benchmark.stats.stats.mean
+    _record(f"substitute       : {per_second:>12,.0f} ops/s (shared-subterm formula)")
+
+
+def test_random_occurrence_substitution_ops(benchmark):
+    x, phi = _shared_formula()
+    replacement = b.add(b.int_var("z"), 3)
+    rng = random.Random(7)
+
+    def run():
+        return random_occurrence_substitution(phi, x, replacement, rng, 0.5)
+
+    _, _, total = benchmark(run)
+    assert total > 0
+    per_second = 1.0 / benchmark.stats.stats.mean
+    _record(f"phi[e/x]_R       : {per_second:>12,.0f} ops/s (fusion inner loop)")
+
+
+def test_evaluate_ops(benchmark):
+    _, phi = _shared_formula()
+    model = Model()
+    model["x"] = 5
+    model["y"] = -3
+
+    def run():
+        return evaluate(phi, model)
+
+    value = benchmark(run)
+    assert value in (True, False)
+    per_second = 1.0 / benchmark.stats.stats.mean
+    _record(f"evaluate         : {per_second:>12,.0f} ops/s (oracle ground check)")

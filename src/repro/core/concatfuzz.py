@@ -23,7 +23,7 @@ def concat_scripts(oracle, phi1, phi2):
     if oracle not in ("sat", "unsat"):
         raise FusionError(f"oracle must be 'sat' or 'unsat', got {oracle!r}")
     asserts1 = list(phi1.asserts)
-    asserts2, phi2_decls, _ = _rename_apart(phi1, phi2)
+    asserts2, phi2_decls, _, _ = _rename_apart(phi1, phi2)
     declarations = _merged_declarations(phi1, phi2_decls, ())
     if oracle == "sat":
         fused_asserts = asserts1 + asserts2

@@ -39,6 +39,10 @@ from repro.smtlib.ast import (
     SetLogic,
     Var,
     fresh_name,
+    fresh_name_position,
+    free_vars,
+    mk_var,
+    skip_fresh_names,
     substitute,
 )
 from repro.smtlib.sorts import INT, REAL, STRING
@@ -75,10 +79,58 @@ class FusionResult:
         return str(self.script)
 
 
-def _typed_free_vars(script):
-    """Free variables of a script grouped by sort, deterministic order."""
+def _seed_view(script):
+    """Cached fusion-facing view of a seed script.
+
+    Returns ``(taken_names, decl_items, vars_by_sort)`` — the name set
+    occupied by the script, its zero-arity declarations in script order,
+    and its free variables grouped by sort. Seed scripts are probed on
+    every fusion, so this consolidates what used to be several
+    property-copy-and-validate round trips into one identity-validated
+    cache (immutable values; callers copy what they mutate).
+    """
+    commands = script.commands
+    cached = getattr(script, "_seed_view_cache", None)
+    if cached is not None:
+        prev, view = cached
+        # List equality short-circuits on element identity in C (and a
+        # rebuilt-but-equal command yields the same view anyway).
+        if prev == commands:
+            return view
+    decls = script.declarations
+    fvars = script.free_variables()
+    taken = frozenset(v.name for v in fvars) | frozenset(decls)
     grouped = {}
-    for var in script.free_variables():
+    for var in fvars:
+        grouped.setdefault(var.sort, []).append(var)
+    view = (
+        taken,
+        tuple(decls.items()),
+        {sort: tuple(vs) for sort, vs in grouped.items()},
+    )
+    script._seed_view_cache = (list(commands), view)
+    return view
+
+
+def _typed_free_vars(script):
+    """Free variables of a script grouped by sort, deterministic order.
+
+    Returns the seed view's dict of *tuples* — callers copy what they
+    shuffle (see :func:`_random_pairs`)."""
+    _, _, vars_by_sort = _seed_view(script)
+    return vars_by_sort
+
+
+def _grouped_free_vars(asserts):
+    """Free variables of ``asserts`` grouped by sort, in the same
+    deterministic order :meth:`Script.free_variables` produces
+    (per-assert name-sorted, first occurrence wins)."""
+    seen = {}
+    for term in asserts:
+        for var in sorted(free_vars(term), key=lambda v: v.name):
+            seen.setdefault(var.name, var)
+    grouped = {}
+    for var in seen.values():
         grouped.setdefault(var.sort, []).append(var)
     return grouped
 
@@ -86,23 +138,62 @@ def _typed_free_vars(script):
 def _rename_apart(phi1, phi2):
     """Rename phi2's variables that collide with phi1's.
 
-    Returns ``(renamed_phi2_asserts, declarations, renaming_dict)``.
+    Returns ``(renamed_phi2_asserts, declarations, renaming_dict,
+    renamed_vars_by_sort)``.
+
+    The renamed view is cached on ``phi2``: the fresh names drawn are a
+    pure function of the gensym position (campaigns reset it every
+    iteration via ``fresh_scope``), so re-fusing the same seed pair
+    recomputes the identical renaming. The cache keys on the drawn
+    name mapping (validated against the script's current command
+    objects) and replays any extra gensym draws the substitution made,
+    keeping the gensym stream bit-identical with an uncached run.
     """
-    taken = {v.name for v in phi1.free_variables()}
-    taken |= set(phi1.declarations)
+    taken, _, _ = _seed_view(phi1)
+    _, phi2_decl_items, _ = _seed_view(phi2)
     mapping = {}
     renaming = {}
     declarations = []
-    for name, var in phi2.declarations.items():
+    for name, var in phi2_decl_items:
         if name in taken:
             new_name = fresh_name(name)
-            mapping[var] = Var(new_name, var.sort)
+            new_var = mk_var(new_name, var.sort)
+            mapping[var] = new_var
             renaming[name] = new_name
-            declarations.append(Var(new_name, var.sort))
+            declarations.append(new_var)
         else:
             declarations.append(var)
-    asserts = [substitute(t, mapping) for t in phi2.asserts] if mapping else list(phi2.asserts)
-    return asserts, declarations, renaming
+
+    key = tuple(renaming.items())
+    commands = phi2.commands
+    cache = getattr(phi2, "_rename_cache", None)
+    if cache is not None:
+        entry = cache.get(key)
+        if entry is not None:
+            prev_commands, asserts, vars_by_sort, extra_draws = entry
+            if prev_commands == commands:
+                skip_fresh_names(extra_draws)
+                # The cached vars_by_sort holds tuples and callers only
+                # read it (pair selection copies before shuffling), so
+                # it is shared as-is; the assert list is copied because
+                # callers rebind per-element results into fresh lists.
+                return list(asserts), declarations, renaming, vars_by_sort
+
+    before = fresh_name_position()
+    if mapping:
+        asserts = [substitute(t, mapping) for t in phi2.asserts]
+    else:
+        asserts = list(phi2.asserts)
+    extra_draws = fresh_name_position() - before
+    vars_by_sort = {
+        s: tuple(vs) for s, vs in _grouped_free_vars(asserts).items()
+    }
+    if cache is None:
+        cache = phi2._rename_cache = {}
+    elif len(cache) >= 16:
+        cache.clear()  # bound per-seed memory in very large corpora
+    cache[key] = (list(commands), list(asserts), vars_by_sort, extra_draws)
+    return asserts, declarations, renaming, vars_by_sort
 
 
 def _random_pairs(vars1, vars2, rng, config):
@@ -125,7 +216,7 @@ def _random_pairs(vars1, vars2, rng, config):
 def _build_triplets(pairs, rng, config):
     triplets = []
     for x, y in pairs:
-        z = Var(fresh_name("z"), x.sort)
+        z = mk_var(fresh_name("z"), x.sort)
         instance = pick_instance(x.sort, rng, config)
         triplets.append(FusionTriplet(z, x, y, instance))
     return triplets
@@ -134,34 +225,44 @@ def _build_triplets(pairs, rng, config):
 def _variable_fusion(asserts1, asserts2, triplets, rng, config):
     """Algorithm 2's ``variable_fusion``: random inversion substitution."""
     replaced = total = 0
+    probability = config.substitution_probability
     for triplet in triplets:
-        rx = triplet.instance.invert_x(triplet.x, triplet.y, triplet.z)
-        ry = triplet.instance.invert_y(triplet.x, triplet.y, triplet.z)
-        new1 = []
-        for term in asserts1:
-            term, r, t = random_occurrence_substitution(
-                term, triplet.x, rx, rng, config.substitution_probability
-            )
-            replaced += r
-            total += t
-            new1.append(term)
-        asserts1 = new1
-        new2 = []
-        for term in asserts2:
-            term, r, t = random_occurrence_substitution(
-                term, triplet.y, ry, rng, config.substitution_probability
-            )
-            replaced += r
-            total += t
-            new2.append(term)
-        asserts2 = new2
+        x, y, z = triplet.x, triplet.y, triplet.z
+        rx = triplet.instance.invert_x(x, y, z)
+        ry = triplet.instance.invert_y(x, y, z)
+        for var, inversion, asserts in ((x, rx, asserts1), (y, ry, asserts2)):
+            name = var.name
+            new = []
+            for term in asserts:
+                # An assert whose cached free-name set lacks the
+                # variable has zero occurrences: keep it as-is without
+                # the substitution round trip (no RNG draw happens for
+                # zero occurrences, so the stream is unchanged).
+                names = term.__dict__.get("_free_names")
+                if names is not None and name not in names:
+                    new.append(term)
+                    continue
+                term, r, t = random_occurrence_substitution(
+                    term, var, inversion, rng, probability
+                )
+                replaced += r
+                total += t
+                new.append(term)
+            if var is x:
+                asserts1 = new
+            else:
+                asserts2 = new
     return asserts1, asserts2, replaced, total
 
 
 def _merged_declarations(phi1, phi2_decls, triplets):
     out = []
     seen = set()
-    for var in list(phi1.declarations.values()) + list(phi2_decls):
+    _, decl_items, _ = _seed_view(phi1)
+    for _, var in decl_items:
+        seen.add(var.name)
+        out.append(var)
+    for var in phi2_decls:
         if var.name not in seen:
             seen.add(var.name)
             out.append(var)
@@ -170,15 +271,30 @@ def _merged_declarations(phi1, phi2_decls, triplets):
     return out
 
 
+_CHECK_SAT = CheckSat()
+
+
 def _assemble(logic, declarations, asserts):
     commands = []
+    append = commands.append
     if logic:
-        commands.append(SetLogic(logic))
+        append(SetLogic(logic))
     for var in declarations:
-        commands.append(DeclareFun(var.name, (), var.sort))
+        # A variable's declare-fun is a pure function of the (interned)
+        # Var node; cache it there so repeated fusions of the same seeds
+        # reuse the command objects.
+        d = var.__dict__
+        cmd = d.get("_decl_cmd")
+        if cmd is None:
+            cmd = d["_decl_cmd"] = DeclareFun(var.name, (), var.sort)
+        append(cmd)
     for term in asserts:
-        commands.append(Assert(term))
-    commands.append(CheckSat())
+        d = term.__dict__
+        cmd = d.get("_assert_cmd")
+        if cmd is None:
+            cmd = d["_assert_cmd"] = Assert(term)
+        append(cmd)
+    append(_CHECK_SAT)
     return Script(commands)
 
 
@@ -204,14 +320,9 @@ def fuse(oracle, phi1, phi2, rng=None, config=None):
     config = config or FusionConfig()
 
     asserts1 = list(phi1.asserts)
-    asserts2, phi2_decls, renaming = _rename_apart(phi1, phi2)
-    phi2_view = Script(
-        [DeclareFun(v.name, (), v.sort) for v in phi2_decls]
-        + [Assert(t) for t in asserts2]
-    )
+    asserts2, phi2_decls, renaming, vars2 = _rename_apart(phi1, phi2)
 
     vars1 = _typed_free_vars(phi1)
-    vars2 = _typed_free_vars(phi2_view)
     pairs = _random_pairs(vars1, vars2, rng, config)
     triplets = _build_triplets(pairs, rng, config)
 
@@ -259,14 +370,8 @@ def fuse_mixed(phi_sat, phi_unsat, want, rng=None, config=None):
     config = config or FusionConfig()
 
     asserts1 = list(phi_sat.asserts)
-    asserts2, phi2_decls, renaming = _rename_apart(phi_sat, phi_unsat)
-    phi2_view = Script(
-        [DeclareFun(v.name, (), v.sort) for v in phi2_decls]
-        + [Assert(t) for t in asserts2]
-    )
-    pairs = _random_pairs(
-        _typed_free_vars(phi_sat), _typed_free_vars(phi2_view), rng, config
-    )
+    asserts2, phi2_decls, renaming, vars2 = _rename_apart(phi_sat, phi_unsat)
+    pairs = _random_pairs(_typed_free_vars(phi_sat), vars2, rng, config)
     triplets = _build_triplets(pairs, rng, config)
     asserts1, asserts2, replaced, total = _variable_fusion(
         asserts1, asserts2, triplets, rng, config

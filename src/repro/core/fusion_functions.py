@@ -25,7 +25,7 @@ from fractions import Fraction
 
 from repro.errors import FusionError
 from repro.smtlib import builder as b
-from repro.smtlib.ast import Const
+from repro.smtlib.ast import mk_const
 from repro.smtlib.sorts import INT, REAL, STRING
 
 _LETTERS = "abcdef"
@@ -91,9 +91,9 @@ def _make_addition(sort, divider):
 
 def _make_addition_constant(sort, divider):
     def instantiate(rng, config):
-        c = Const(_any_coeff(rng, config.coefficient_range), INT)
+        c = mk_const(_any_coeff(rng, config.coefficient_range), INT)
         if sort == REAL:
-            c = Const(Fraction(c.value), REAL)
+            c = mk_const(Fraction(c.value), REAL)
         return FusionInstance(
             scheme=f"{sort.name.lower()}-addition-constant",
             sort=sort,
@@ -125,13 +125,13 @@ def _make_affine(sort, divider):
         c2_val = _nonzero(rng, bound)
         c3_val = _any_coeff(rng, bound)
         if sort == REAL:
-            c1 = Const(Fraction(c1_val), REAL)
-            c2 = Const(Fraction(c2_val), REAL)
-            c3 = Const(Fraction(c3_val), REAL)
+            c1 = mk_const(Fraction(c1_val), REAL)
+            c2 = mk_const(Fraction(c2_val), REAL)
+            c3 = mk_const(Fraction(c3_val), REAL)
         else:
-            c1 = Const(c1_val, INT)
-            c2 = Const(c2_val, INT)
-            c3 = Const(c3_val, INT)
+            c1 = mk_const(c1_val, INT)
+            c2 = mk_const(c2_val, INT)
+            c3 = mk_const(c3_val, INT)
         return FusionInstance(
             scheme=f"{sort.name.lower()}-affine",
             sort=sort,
@@ -183,11 +183,15 @@ def _string_concat_infix(rng, config):
 _SCHEMES = {}
 
 
+_SORTED_SCHEME_CACHE = {}  # (sort.name, requested names) -> sorted scheme list
+
+
 def register_scheme(scheme):
     """Register a fusion-function family (extension hook)."""
     if scheme.name in _SCHEMES:
         raise FusionError(f"fusion scheme {scheme.name!r} already registered")
     _SCHEMES[scheme.name] = scheme
+    _SORTED_SCHEME_CACHE.clear()
 
 
 def _register_builtins():
@@ -237,8 +241,14 @@ def pick_instance(sort, rng, config):
     Raises :class:`FusionError` if no scheme supports the sort (e.g.
     Bool variables are never fused).
     """
-    available = schemes_for_sort(sort, config.schemes)
+    key = (sort.name, tuple(config.schemes) if config.schemes else ())
+    available = _SORTED_SCHEME_CACHE.get(key)
+    if available is None:
+        available = sorted(
+            schemes_for_sort(sort, config.schemes), key=lambda s: s.name
+        )
+        _SORTED_SCHEME_CACHE[key] = available
     if not available:
         raise FusionError(f"no fusion scheme for sort {sort}")
-    scheme = rng.choice(sorted(available, key=lambda s: s.name))
+    scheme = rng.choice(available)
     return scheme.instantiate(rng, config)

@@ -4,24 +4,24 @@
 (possibly none) by the term ``e``. The model-count inequality
 ``C(phi[e/x]) <= C(phi[e/x]_R)`` from Section 3.1 is exercised by the
 property tests.
+
+Both traversals are iterative (deeply nested fused formulas must not
+ride Python's recursion limit) and pruned by the term layer's cached
+free-name sets and per-node occurrence counts, so subtrees that cannot
+contain a selected occurrence are skipped in O(1).
 """
 
 from __future__ import annotations
 
-from repro.smtlib.ast import App, Quantifier, Var
+from repro.smtlib.ast import (
+    occurrence_counts,
+    substitute_selected_occurrences,
+)
 
 
 def count_free_occurrences(term, var):
     """Number of free occurrences of ``var`` in ``term``."""
-    if isinstance(term, Var):
-        return 1 if term == var else 0
-    if isinstance(term, App):
-        return sum(count_free_occurrences(a, var) for a in term.args)
-    if isinstance(term, Quantifier):
-        if var.name in term.bound_names:
-            return 0
-        return count_free_occurrences(term.body, var)
-    return 0
+    return occurrence_counts(term, var)
 
 
 def substitute_occurrences(term, var, replacement, selected):
@@ -31,42 +31,29 @@ def substitute_occurrences(term, var, replacement, selected):
     rewritten term; occurrences inside ``replacement`` are never
     re-visited (the substitution is simultaneous, not iterated).
     """
-    selected = frozenset(selected)
-    counter = [0]
-
-    def walk(node):
-        if isinstance(node, Var):
-            if node == var:
-                index = counter[0]
-                counter[0] += 1
-                if index in selected:
-                    return replacement
-            return node
-        if isinstance(node, App):
-            new_args = tuple(walk(a) for a in node.args)
-            if new_args == node.args:
-                return node
-            return App(node.op, new_args, node.sort)
-        if isinstance(node, Quantifier):
-            if var.name in node.bound_names:
-                return node
-            new_body = walk(node.body)
-            if new_body is node.body:
-                return node
-            return Quantifier(node.kind, node.bindings, new_body)
-        return node
-
-    return walk(term)
+    selected = sorted(set(selected))
+    if not selected:
+        return term
+    if occurrence_counts(term, var) == 0:
+        return term
+    return substitute_selected_occurrences(term, var, replacement, selected)
 
 
 def random_occurrence_substitution(term, var, replacement, rng, probability):
     """``phi[e/x]_R``: each free occurrence is replaced with ``probability``.
 
     Returns ``(new_term, replaced_count, total_count)``.
+
+    The RNG is drawn exactly once per occurrence, in occurrence order —
+    campaign determinism depends on this draw count, so the occurrence
+    totals here must match the historical tree-walk semantics exactly.
     """
-    total = count_free_occurrences(term, var)
+    total = occurrence_counts(term, var)
     if total == 0:
         return term, 0, 0
-    selected = [i for i in range(total) if rng.random() < probability]
-    new_term = substitute_occurrences(term, var, replacement, selected)
+    rand = rng.random
+    selected = [i for i in range(total) if rand() < probability]
+    if not selected:
+        return term, 0, total
+    new_term = substitute_selected_occurrences(term, var, replacement, selected)
     return new_term, len(selected), total

@@ -18,7 +18,7 @@ from repro.coverage.probes import (
 )
 from repro.faults.fault import analyze_script
 from repro.semantics.values import default_value
-from repro.smtlib.ast import App, Const, Var
+from repro.smtlib.ast import App, Var, mk_app, mk_const
 from repro.smtlib.sorts import INT, STRING
 from repro.smtlib.typecheck import app as mk
 from repro.solver.result import CheckOutcome, SolverCrash, SolverResult
@@ -157,11 +157,11 @@ def _rewrite_toint_empty(term):
     """Unsound: treat ``str.to.int ""`` as 0 (Figure 13b's root cause)."""
     if isinstance(term, App):
         args = tuple(_rewrite_toint_empty(a) for a in term.args)
-        term = App(term.op, args, term.sort)
+        term = mk_app(term.op, args, term.sort)
         if term.op == "str.to.int":
             inner = term.args[0]
-            is_empty = mk("=", inner, Const("", STRING))
-            return mk("ite", is_empty, Const(0, INT), term)
+            is_empty = mk("=", inner, mk_const("", STRING))
+            return mk("ite", is_empty, mk_const(0, INT), term)
     return term
 
 
@@ -170,7 +170,7 @@ def _rewrite_replace_var(term):
     simplified to ``s`` (assumes the pattern never occurs)."""
     if isinstance(term, App):
         args = tuple(_rewrite_replace_var(a) for a in term.args)
-        term = App(term.op, args, term.sort)
+        term = mk_app(term.op, args, term.sort)
         if term.op == "str.replace" and isinstance(term.args[1], Var):
             return term.args[0]
     return term

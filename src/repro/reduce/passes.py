@@ -10,15 +10,24 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from repro.smtlib.ast import App, Const, Quantifier, Script, term_size
+from repro.smtlib.ast import (
+    App,
+    Const,
+    Quantifier,
+    Script,
+    mk_app,
+    mk_const,
+    mk_quantifier,
+    term_size,
+)
 from repro.smtlib.pretty import prettify_script
 from repro.smtlib.sorts import BOOL, INT, REAL, STRING
 
 _NEUTRAL_BY_SORT = {
-    BOOL: Const(True, BOOL),
-    INT: Const(0, INT),
-    REAL: Const(Fraction(0), REAL),
-    STRING: Const("", STRING),
+    BOOL: mk_const(True, BOOL),
+    INT: mk_const(0, INT),
+    REAL: mk_const(Fraction(0), REAL),
+    STRING: mk_const("", STRING),
 }
 
 
@@ -49,12 +58,12 @@ def _replace_at(term, target_id, replacement):
         new_args = tuple(_replace_at(a, target_id, replacement) for a in term.args)
         if new_args == term.args:
             return term
-        return App(term.op, new_args, term.sort)
+        return mk_app(term.op, new_args, term.sort)
     if isinstance(term, Quantifier):
         new_body = _replace_at(term.body, target_id, replacement)
         if new_body is term.body:
             return term
-        return Quantifier(term.kind, term.bindings, new_body)
+        return mk_quantifier(term.kind, term.bindings, new_body)
     return term
 
 
@@ -91,7 +100,7 @@ def shrink_nary_candidates(script, per_assert_limit=40):
                 tried += 1
                 if tried > per_assert_limit:
                     break
-                smaller = App(sub.op, sub.args[:k] + sub.args[k + 1 :], sub.sort)
+                smaller = mk_app(sub.op, sub.args[:k] + sub.args[k + 1 :], sub.sort)
                 new_term = _replace_at(term, id(sub), smaller)
                 yield script.with_asserts(
                     asserts[:i] + [new_term] + asserts[i + 1 :]

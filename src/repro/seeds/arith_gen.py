@@ -19,7 +19,7 @@ from repro.seeds.spec import LOGICS
 from repro.semantics.evaluator import evaluate
 from repro.semantics.model import Model
 from repro.smtlib import builder as b
-from repro.smtlib.ast import Assert, CheckSat, Const, DeclareFun, Script, SetLogic, Var
+from repro.smtlib.ast import Assert, CheckSat, DeclareFun, Script, SetLogic, mk_const, mk_var
 from repro.smtlib.sorts import BOOL, INT, REAL
 
 
@@ -33,8 +33,8 @@ def _random_value(sort, rng):
 
 def _const(value, sort):
     if sort == REAL:
-        return Const(Fraction(value), REAL)
-    return Const(int(value), INT)
+        return mk_const(Fraction(value), REAL)
+    return mk_const(int(value), INT)
 
 
 def _random_term(variables, rng, sort, nonlinear, depth=2):
@@ -83,7 +83,7 @@ def _structured_assert(atom, variables, model, rng, bool_pool):
         return [atom]
     if roll < 0.65:
         # Paper phi1 style: (= w atom) and assert w.
-        w = Var(f"w{len(bool_pool)}", BOOL)
+        w = mk_var(f"w{len(bool_pool)}", BOOL)
         bool_pool.append(w)
         model[w.name] = True
         return [b.eq(w, atom), w]
@@ -110,7 +110,7 @@ def _quantified_extras(variables, rng, sort):
     extras = []
     x = rng.choice(variables)
     kind = rng.random()
-    h = Var("h", sort)
+    h = mk_var("h", sort)
     if kind < 0.5:
         # exists h. h > x  (true over Int and Real)
         extras.append(b.exists([h], b.gt(h, x)))
@@ -168,8 +168,8 @@ def _contradiction(variables, rng, spec):
     if kind == "square-equation":
         return [b.eq(b.mul(x, x), _const(-1 - abs(c), sort))]
     # sign-division: the paper's phi4 (0 < y < v <= w and w/v < 0).
-    v = Var("v.t", REAL)
-    w = Var("w.t", REAL)
+    v = mk_var("v.t", REAL)
+    w = mk_var("w.t", REAL)
     yy = rng.choice(variables)
     return [
         b.and_(
@@ -202,7 +202,7 @@ def generate_arith_seed(logic_name, oracle, rng=None, num_vars=None):
     spec = LOGICS[logic_name]
     rng = rng or random.Random()
     n = num_vars or rng.randint(2, 4)
-    variables = [Var(f"{'x' if spec.sort == INT else 'r'}{i}", spec.sort) for i in range(n)]
+    variables = [mk_var(f"{'x' if spec.sort == INT else 'r'}{i}", spec.sort) for i in range(n)]
 
     if oracle == "sat":
         return _generate_sat(spec, variables, rng)
@@ -240,7 +240,7 @@ def _generate_unsat(spec, variables, rng):
     for _ in range(rng.randint(0, 3)):
         asserts.append(_noise_atom(variables, rng, spec))
     if spec.quantified and rng.random() < 0.5:
-        h = Var("h", spec.sort)
+        h = mk_var("h", spec.sort)
         asserts.append(b.exists([h], b.gt(h, rng.choice(variables))))
     rng.shuffle(asserts)
     extra_vars = sorted(

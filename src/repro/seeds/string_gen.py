@@ -17,7 +17,7 @@ from repro.seeds.spec import LOGICS
 from repro.semantics.evaluator import evaluate
 from repro.semantics.model import Model
 from repro.smtlib import builder as b
-from repro.smtlib.ast import Assert, CheckSat, DeclareFun, Script, SetLogic, Var
+from repro.smtlib.ast import Assert, CheckSat, DeclareFun, Script, SetLogic, mk_var
 from repro.smtlib.sorts import INT, STRING
 
 _ALPHABET = "ab01"
@@ -139,10 +139,10 @@ def generate_string_seed(logic_name, oracle, rng=None, num_vars=None):
     spec = LOGICS[logic_name]
     rng = rng or random.Random()
     n = num_vars or rng.randint(2, 3)
-    variables = [Var(f"s{i}", STRING) for i in range(n)]
+    variables = [mk_var(f"s{i}", STRING) for i in range(n)]
     with_ints = logic_name == "QF_SLIA"
     if with_ints:
-        variables.append(Var("i0", INT))
+        variables.append(mk_var("i0", INT))
 
     if oracle == "sat":
         model = Model(

@@ -17,7 +17,7 @@ from repro.core.oracle import LabeledSeed
 from repro.semantics.evaluator import evaluate
 from repro.semantics.model import Model
 from repro.smtlib import builder as b
-from repro.smtlib.ast import Assert, CheckSat, DeclareFun, Script, SetLogic, Var
+from repro.smtlib.ast import Assert, CheckSat, DeclareFun, Script, SetLogic, mk_var
 from repro.smtlib.sorts import STRING
 
 _ALPHABET = "abc"
@@ -47,7 +47,7 @@ def generate_stringfuzz_seed(oracle, rng=None, chain_length=None):
     """Generate one StringFuzz-style labeled QF_S seed."""
     rng = rng or random.Random()
     n = chain_length or rng.randint(3, 5)
-    variables = [Var(f"t{i}", STRING) for i in range(n)]
+    variables = [mk_var(f"t{i}", STRING) for i in range(n)]
     values = {
         v.name: "".join(rng.choice(_ALPHABET) for _ in range(rng.randint(0, 2)))
         for v in variables

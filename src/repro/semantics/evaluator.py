@@ -20,7 +20,7 @@ from repro.coverage.probes import declare_probes, line_probe
 from repro.errors import EvaluationError
 from repro.semantics import regex as rx
 from repro.semantics.values import euclidean_div, euclidean_mod
-from repro.smtlib.ast import App, Const, Quantifier, Var
+from repro.smtlib.ast import App, Const, Quantifier, Var, free_names
 from repro.smtlib.sorts import BOOL, INT, REAL, STRING
 
 # Bounded quantifier enumeration domain (integers and a few rationals).
@@ -37,32 +37,150 @@ def evaluate(term, model):
     Raises :class:`EvaluationError` when a free variable has no
     assignment or a quantifier cannot be decided by bounded enumeration.
     """
-    return _eval(term, model, {})
+    return _eval(term, model, {}, {})
 
 
 def evaluate_script(script, model):
-    """Evaluate the conjunction of a script's assertions under ``model``."""
+    """Evaluate the conjunction of a script's assertions under ``model``.
+
+    One memo table is shared across the assertions, so a subterm the
+    fused script asserts (or embeds) repeatedly is evaluated once.
+    """
     complete = model.complete(script.free_variables())
-    return all(evaluate(t, complete) for t in script.asserts)
+    memo = {}
+    return all(_eval(t, complete, {}, memo) for t in script.asserts)
 
 
-def _eval(term, model, bound):
-    if isinstance(term, Const):
-        return term.value
-    if isinstance(term, Var):
-        if term.name in bound:
-            return bound[term.name]
-        if term.name not in model:
-            raise EvaluationError(f"no assignment for variable {term.name!r}")
-        return model[term.name]
-    if isinstance(term, Quantifier):
-        return _eval_quantifier(term, model, bound)
-    if isinstance(term, App):
-        return _eval_app(term, model, bound)
-    raise TypeError(f"not a term: {term!r}")
+_UNSET = object()
+
+# Operators whose arguments must not be evaluated eagerly.
+_LAZY_OPS = frozenset(("and", "or", "ite", "=>", "str.in.re"))
 
 
-def _eval_quantifier(term, model, bound):
+def _memoizable(node, bound):
+    # A memo entry is only valid when the node's value cannot depend on
+    # the enclosing binder environment. Interning makes the *same* node
+    # object reachable under different binders, so this check guards the
+    # lookup as well as the store.
+    return not bound or free_names(node).isdisjoint(bound)
+
+
+def _eval(term, model, bound, memo):
+    """Iterative evaluation over the shared term DAG.
+
+    An explicit frame stack replaces recursion (fused formulas nest far
+    past Python's recursion limit), and an identity-keyed memo table
+    evaluates each shared ground subterm once per (model, binder
+    environment) — see :func:`_memoizable`. Short-circuit semantics of
+    ``and``/``or``/``ite``/``=>`` are preserved: unreached arguments are
+    never evaluated.
+    """
+    stack = [[term, None, False]]  # [node, arg values, memoizable?]
+    retval = _UNSET
+    while stack:
+        frame = stack[-1]
+        node = frame[0]
+        cls = node.__class__
+        if cls is not App:
+            if cls is Const:
+                retval = node.value
+            elif cls is Var:
+                name = node.name
+                if name in bound:
+                    retval = bound[name]
+                elif name in model:
+                    retval = model[name]
+                else:
+                    raise EvaluationError(
+                        f"no assignment for variable {name!r}"
+                    )
+            elif cls is Quantifier:
+                nid = id(node)
+                ok = _memoizable(node, bound)
+                if ok and nid in memo:
+                    retval = memo[nid]
+                else:
+                    retval = _eval_quantifier(node, model, bound, memo)
+                    if ok:
+                        memo[nid] = retval
+            else:
+                raise TypeError(f"not a term: {node!r}")
+            stack.pop()
+            continue
+
+        vals = frame[1]
+        if vals is None:
+            nid = id(node)
+            ok = _memoizable(node, bound)
+            if ok and nid in memo:
+                retval = memo[nid]
+                stack.pop()
+                continue
+            line_probe(f"eval.{node.op}")
+            vals = frame[1] = []
+            frame[2] = ok
+        if retval is not _UNSET:
+            vals.append(retval)
+            retval = _UNSET
+
+        op = node.op
+        if op in _LAZY_OPS:
+            result = _step_lazy(op, node, vals, model, bound, memo, stack)
+            if result is _UNSET:
+                continue  # a child frame was pushed
+        else:
+            if len(vals) < len(node.args):
+                stack.append([node.args[len(vals)], None, False])
+                continue
+            result = _apply_op(op, vals, node, model)
+        if frame[2]:
+            memo[id(node)] = result
+        retval = result
+        stack.pop()
+    return retval
+
+
+def _step_lazy(op, node, vals, model, bound, memo, stack):
+    """Advance a short-circuit operator by one step.
+
+    Returns the operator's final value, or ``_UNSET`` after pushing the
+    next argument frame.
+    """
+    n = len(node.args)
+    done = len(vals)
+    if op == "and":
+        if done and not vals[-1]:
+            return False
+        if done == n:
+            return True
+    elif op == "or":
+        if done and vals[-1]:
+            return True
+        if done == n:
+            return False
+    elif op == "ite":
+        if done == 2:
+            return vals[1]
+        if done == 1:
+            branch = node.args[1] if vals[0] else node.args[2]
+            stack.append([branch, None, False])
+            return _UNSET
+    elif op == "=>":
+        if done == n:
+            return bool(vals[-1])
+        if done and done < n and not vals[-1]:
+            return True  # a falsified hypothesis decides the implication
+    else:  # str.in.re
+        if done == 1:
+            regex = rx.regex_from_term(
+                node.args[1], lambda t: _eval(t, model, bound, memo)
+            )
+            return rx.matches(regex, vals[0])
+    stack.append([node.args[done], None, False])
+    return _UNSET
+
+
+def _eval_quantifier(term, model, bound, memo):
     # Guard-bounded *universals* are decided exactly: outside the guard
     # range the implication body is vacuously true, so checking the
     # finite range suffices. (The same is NOT true for existentials —
@@ -77,7 +195,7 @@ def _eval_quantifier(term, model, bound):
 
             def exact(i, env):
                 if i == len(names):
-                    return bool(_eval(term.body, model, env))
+                    return bool(_eval(term.body, model, env, memo))
                 lo, hi = exact_bounds[names[i]]
                 for value in range(lo, hi + 1):
                     env2 = dict(env)
@@ -121,7 +239,7 @@ def _eval_quantifier(term, model, bound):
 
     def search(i, env):
         if i == len(names):
-            return _eval(term.body, model, env)
+            return _eval(term.body, model, env, memo)
         for value in domains[i]:
             env2 = dict(env)
             env2[names[i]] = value
@@ -144,33 +262,8 @@ def _eval_quantifier(term, model, bound):
     )
 
 
-def _eval_app(term, model, bound):
-    op = term.op
-    line_probe(f"eval.{op}")
-
-    # Lazy/short-circuit operators first.
-    if op == "and":
-        return all(_eval(a, model, bound) for a in term.args)
-    if op == "or":
-        return any(_eval(a, model, bound) for a in term.args)
-    if op == "ite":
-        if _eval(term.args[0], model, bound):
-            return _eval(term.args[1], model, bound)
-        return _eval(term.args[2], model, bound)
-    if op == "=>":
-        *hyps, conclusion = term.args
-        if all(_eval(h, model, bound) for h in hyps):
-            return bool(_eval(conclusion, model, bound))
-        return True
-    if op == "str.in.re":
-        text = _eval(term.args[0], model, bound)
-        regex = rx.regex_from_term(
-            term.args[1], lambda t: _eval(t, model, bound)
-        )
-        return rx.matches(regex, text)
-
-    args = [_eval(a, model, bound) for a in term.args]
-
+def _apply_op(op, args, term, model):
+    """Apply an eager operator to its already-evaluated arguments."""
     # --- core -----------------------------------------------------------
     if op == "not":
         return not args[0]

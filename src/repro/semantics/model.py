@@ -113,12 +113,12 @@ class Model:
 
     def to_smtlib(self):
         """Render the model as SMT-LIB ``define-fun`` lines (like get-model)."""
-        from repro.smtlib.ast import Const
+        from repro.smtlib.ast import mk_const
         from repro.smtlib.printer import print_term
 
         lines = []
         for name, value in sorted(self._assignment.items()):
             sort = value_sort(value)
-            body = print_term(Const(value, sort))
+            body = print_term(mk_const(value, sort))
             lines.append(f"(define-fun {name} () {sort} {body})")
         return "\n".join(lines)

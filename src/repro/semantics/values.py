@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from repro.smtlib.ast import Const
+from repro.smtlib.ast import mk_const
 from repro.smtlib.sorts import BOOL, INT, REAL, STRING
 
 
@@ -64,7 +64,7 @@ def check_value(value, sort):
 
 def value_to_const(value):
     """Wrap a Python value in a :class:`~repro.smtlib.ast.Const` term."""
-    return Const(value, value_sort(value))
+    return mk_const(value, value_sort(value))
 
 
 def euclidean_div(a, b):

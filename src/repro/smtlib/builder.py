@@ -15,25 +15,25 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from repro.smtlib.ast import Const, Quantifier, Term, Var
+from repro.smtlib.ast import Term, Var, mk_const, mk_quantifier, mk_var
 from repro.smtlib.sorts import BOOL, INT, REAL, STRING
-from repro.smtlib.typecheck import app
+from repro.smtlib.typecheck import _HANDLERS, app
 
 
 def int_var(name):
-    return Var(name, INT)
+    return mk_var(name, INT)
 
 
 def real_var(name):
-    return Var(name, REAL)
+    return mk_var(name, REAL)
 
 
 def bool_var(name):
-    return Var(name, BOOL)
+    return mk_var(name, BOOL)
 
 
 def string_var(name):
-    return Var(name, STRING)
+    return mk_var(name, STRING)
 
 
 def lift(value, sort_hint=None):
@@ -41,22 +41,29 @@ def lift(value, sort_hint=None):
     if isinstance(value, Term):
         return value
     if isinstance(value, bool):
-        return Const(value, BOOL)
+        return mk_const(value, BOOL)
     if isinstance(value, int):
         if sort_hint == REAL:
-            return Const(Fraction(value), REAL)
-        return Const(value, INT)
+            return mk_const(Fraction(value), REAL)
+        return mk_const(value, INT)
     if isinstance(value, Fraction):
-        return Const(value, REAL)
+        return mk_const(value, REAL)
     if isinstance(value, float):
-        return Const(Fraction(value).limit_denominator(10**9), REAL)
+        return mk_const(Fraction(value).limit_denominator(10**9), REAL)
     if isinstance(value, str):
-        return Const(value, STRING)
+        return mk_const(value, STRING)
     raise TypeError(f"cannot lift {value!r} to a term")
 
 
 def _lifted(op, *args):
-    return app(op, *(lift(a) for a in args))
+    # Most call sites pass Terms already; only lift the stragglers, and
+    # dispatch straight to the typecheck handler (every op here is
+    # already canonical, so the alias/error layer of ``app`` is skipped;
+    # non-Term failures still surface through ``app``).
+    try:
+        return _HANDLERS[op](op, [a if isinstance(a, Term) else lift(a) for a in args])
+    except AttributeError:
+        return app(op, *[a if isinstance(a, Term) else lift(a) for a in args])
 
 
 # Core ----------------------------------------------------------------------
@@ -262,11 +269,11 @@ def re_range(lo, hi):
 
 def forall(bindings, body):
     """``bindings`` is a list of (name, Sort) or Var."""
-    return Quantifier("forall", _normalize_bindings(bindings), lift(body))
+    return mk_quantifier("forall", _normalize_bindings(bindings), lift(body))
 
 
 def exists(bindings, body):
-    return Quantifier("exists", _normalize_bindings(bindings), lift(body))
+    return mk_quantifier("exists", _normalize_bindings(bindings), lift(body))
 
 
 def _normalize_bindings(bindings):

@@ -17,17 +17,17 @@ from repro.smtlib import lexer
 from repro.smtlib.ast import (
     Assert,
     CheckSat,
-    Const,
     DeclareFun,
     DefineFun,
     Exit,
     GetModel,
-    Quantifier,
     Script,
     SetInfo,
     SetLogic,
     SetOption,
-    Var,
+    mk_const,
+    mk_quantifier,
+    mk_var,
     substitute,
 )
 from repro.smtlib.sorts import BOOL, INT, REAL, STRING, sort_by_name
@@ -140,19 +140,19 @@ def _parse_term(sexpr, env):
 
 def _parse_atom(tok, env):
     if tok.kind == lexer.NUMERAL:
-        return Const(int(tok.text), INT)
+        return mk_const(int(tok.text), INT)
     if tok.kind == lexer.DECIMAL:
         whole, _, frac = tok.text.partition(".")
         denominator = 10 ** len(frac)
-        return Const(Fraction(int(whole) * denominator + int(frac or 0), denominator), REAL)
+        return mk_const(Fraction(int(whole) * denominator + int(frac or 0), denominator), REAL)
     if tok.kind == lexer.STRING:
-        return Const(tok.text, STRING)
+        return mk_const(tok.text, STRING)
     if tok.kind == lexer.SYMBOL:
         text = tok.text
         if text == "true":
-            return Const(True, BOOL)
+            return mk_const(True, BOOL)
         if text == "false":
-            return Const(False, BOOL)
+            return mk_const(False, BOOL)
         if text in env.variables:
             return env.variables[text]
         if text in env.macros:
@@ -176,10 +176,10 @@ def _parse_let(sexpr, env):
             raise ParseError("let binding name must be a symbol", head.line, head.column)
         # Let bindings are simultaneous: right-hand sides see the outer env.
         bindings[name] = _parse_term(binding[1], env)
-    inner = env.copy_with({name: Var(name, value.sort) for name, value in bindings.items()})
+    inner = env.copy_with({name: mk_var(name, value.sort) for name, value in bindings.items()})
     body = _parse_term(sexpr[2], inner)
     # Expand the binder eagerly: substitute values for the bound names.
-    mapping = {Var(name, value.sort): value for name, value in bindings.items()}
+    mapping = {mk_var(name, value.sort): value for name, value in bindings.items()}
     return substitute(body, mapping)
 
 
@@ -195,11 +195,11 @@ def _parse_quantifier(sexpr, env):
         name = _atom_text(binding[0])
         sort = _parse_sort(binding[1])
         bindings.append((name, sort))
-        extra[name] = Var(name, sort)
+        extra[name] = mk_var(name, sort)
     body = _parse_term(sexpr[2], env.copy_with(extra))
     if body.sort != BOOL:
         raise ParseError("quantifier body must be Bool", head.line, head.column)
-    return Quantifier(head.text, tuple(bindings), body)
+    return mk_quantifier(head.text, tuple(bindings), body)
 
 
 def _expand_macro(definition, args, head):
@@ -215,7 +215,7 @@ def _expand_macro(definition, args, head):
             raise ParseError(
                 f"macro {definition.name!r}: argument sort mismatch", head.line, head.column
             )
-        mapping[Var(name, sort)] = value
+        mapping[mk_var(name, sort)] = value
     return substitute(definition.body, mapping)
 
 
@@ -262,7 +262,7 @@ def _parse_command(sexpr, env):
                 head.line,
                 head.column,
             )
-        env.variables[sym] = Var(sym, ret)
+        env.variables[sym] = mk_var(sym, ret)
         return DeclareFun(sym, arg_sorts, ret, const_syntax)
     if name == "define-fun":
         if len(sexpr) != 5 or not isinstance(sexpr[2], list):
@@ -272,7 +272,7 @@ def _parse_command(sexpr, env):
         for binding in sexpr[2]:
             params.append((_atom_text(binding[0]), _parse_sort(binding[1])))
         ret = _parse_sort(sexpr[3])
-        body_env = env.copy_with({p: Var(p, s) for p, s in params})
+        body_env = env.copy_with({p: mk_var(p, s) for p, s in params})
         body = _parse_term(sexpr[4], body_env)
         if body.sort != ret:
             raise ParseError(

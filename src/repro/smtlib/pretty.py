@@ -6,14 +6,16 @@ multiplications with neutral elements and returns the modified formula
 in a human-readable format."
 
 These passes are *semantics-preserving* rewrites used during bug
-reduction; they are deliberately simple and syntax-directed.
+reduction; they are deliberately simple and syntax-directed. Each pass
+is a bottom-up :func:`~repro.smtlib.ast.map_terms` rewrite, so shared
+subterms are simplified once and deep formulas do not recurse.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
 
-from repro.smtlib.ast import App, Const, Quantifier
+from repro.smtlib.ast import App, Const, map_terms, mk_app, mk_const
 from repro.smtlib.sorts import INT, REAL
 
 # Operators that are associative and may be flattened.
@@ -29,36 +31,33 @@ _NEUTRAL = {
 }
 
 
+def _flatten_node(term):
+    if isinstance(term, App) and term.op in _FLATTENABLE:
+        if any(isinstance(a, App) and a.op == term.op for a in term.args):
+            flat = []
+            for arg in term.args:
+                if isinstance(arg, App) and arg.op == term.op:
+                    flat.extend(arg.args)
+                else:
+                    flat.append(arg)
+            return mk_app(term.op, tuple(flat), term.sort)
+    return term
+
+
 def flatten(term):
     """Flatten nestings of the same associative operator.
 
     ``(and a (and b c))`` becomes ``(and a b c)``.
     """
-    if isinstance(term, App):
-        args = tuple(flatten(a) for a in term.args)
-        if term.op in _FLATTENABLE:
-            flat = []
-            for arg in args:
-                if isinstance(arg, App) and arg.op == term.op:
-                    flat.extend(arg.args)
-                else:
-                    flat.append(arg)
-            args = tuple(flat)
-        return App(term.op, args, term.sort)
-    if isinstance(term, Quantifier):
-        return Quantifier(term.kind, term.bindings, flatten(term.body))
-    return term
+    return map_terms(term, _flatten_node)
 
 
-def drop_neutral(term):
-    """Remove neutral elements of ``+``, ``*``, ``and``, ``or``, ``str.++``."""
-    if isinstance(term, Quantifier):
-        return Quantifier(term.kind, term.bindings, drop_neutral(term.body))
+def _drop_neutral_node(term):
     if not isinstance(term, App):
         return term
-    args = [drop_neutral(a) for a in term.args]
     is_neutral = _NEUTRAL.get(term.op)
-    if is_neutral is not None and len(args) > 1:
+    if is_neutral is not None and len(term.args) > 1:
+        args = list(term.args)
         kept = [a for a in args if not (isinstance(a, Const) and is_neutral(a))]
         if not kept:
             kept = [args[0]]
@@ -66,24 +65,21 @@ def drop_neutral(term):
             only = kept[0]
             if only.sort == term.sort:
                 return only
-        args = kept
-    return App(term.op, tuple(args), term.sort)
+        if len(kept) != len(args):
+            return mk_app(term.op, tuple(kept), term.sort)
+    return term
 
 
-def fold_constants(term):
-    """Fold constant arithmetic subterms (a small, safe subset).
+def drop_neutral(term):
+    """Remove neutral elements of ``+``, ``*``, ``and``, ``or``, ``str.++``."""
+    return map_terms(term, _drop_neutral_node)
 
-    Only total operations over literals are folded; division and string
-    functions are left alone so reduction cannot change which solver
-    code paths a formula reaches in surprising ways.
-    """
-    if isinstance(term, Quantifier):
-        return Quantifier(term.kind, term.bindings, fold_constants(term.body))
+
+def _fold_constants_node(term):
     if not isinstance(term, App):
         return term
-    args = tuple(fold_constants(a) for a in term.args)
-    term = App(term.op, args, term.sort)
-    if term.op in ("+", "*", "-") and all(isinstance(a, Const) for a in args) and args:
+    args = term.args
+    if term.op in ("+", "*", "-") and args and all(isinstance(a, Const) for a in args):
         values = [a.value for a in args]
         if term.op == "+":
             result = sum(values)
@@ -94,19 +90,33 @@ def fold_constants(term):
         else:
             result = -values[0] if len(values) == 1 else values[0] - sum(values[1:])
         if term.sort == REAL:
-            return Const(Fraction(result), REAL)
+            return mk_const(Fraction(result), REAL)
         if term.sort == INT:
-            return Const(int(result), INT)
+            return mk_const(int(result), INT)
     if term.op == "not" and isinstance(args[0], Const):
-        return Const(not args[0].value, term.sort)
+        return mk_const(not args[0].value, term.sort)
     return term
 
 
+def fold_constants(term):
+    """Fold constant arithmetic subterms (a small, safe subset).
+
+    Only total operations over literals are folded; division and string
+    functions are left alone so reduction cannot change which solver
+    code paths a formula reaches in surprising ways.
+    """
+    return map_terms(term, _fold_constants_node)
+
+
 def prettify(term):
-    """Apply all pretty-printer passes to a fixpoint (bounded)."""
+    """Apply all pretty-printer passes to a fixpoint (bounded).
+
+    With interned terms the fixpoint check is an identity check: a pass
+    that changes nothing returns the very same object.
+    """
     for _ in range(8):
         new = drop_neutral(flatten(fold_constants(term)))
-        if new == term:
+        if new is term:
             return new
         term = new
     return term

@@ -53,34 +53,69 @@ def _print_string(value):
     return '"' + value.replace('"', '""') + '"'
 
 
-def print_term(term):
-    """Render a term in SMT-LIB concrete syntax."""
-    if isinstance(term, Const):
-        if term.sort == BOOL:
-            return "true" if term.value else "false"
-        if term.sort == INT:
-            if term.value < 0:
-                return f"(- {-term.value})"
-            return str(term.value)
-        if term.sort == REAL:
-            return _print_real(Fraction(term.value))
-        if term.sort == STRING:
-            return _print_string(term.value)
-        raise TypeError(f"cannot print constant of sort {term.sort}")
-    if isinstance(term, Var):
-        return term.name
-    if isinstance(term, App):
-        if not term.args:
-            return term.op
-        inner = " ".join(print_term(a) for a in term.args)
-        return f"({term.op} {inner})"
-    if isinstance(term, Quantifier):
-        bindings = " ".join(f"({name} {sort})" for name, sort in term.bindings)
-        return f"({term.kind} ({bindings}) {print_term(term.body)})"
-    raise TypeError(f"not a term: {term!r}")
+def _print_const(term):
+    if term.sort == BOOL:
+        return "true" if term.value else "false"
+    if term.sort == INT:
+        if term.value < 0:
+            return f"(- {-term.value})"
+        return str(term.value)
+    if term.sort == REAL:
+        return _print_real(Fraction(term.value))
+    if term.sort == STRING:
+        return _print_string(term.value)
+    raise TypeError(f"cannot print constant of sort {term.sort}")
 
 
-def print_command(cmd):
+def print_term(term, _memo=None):
+    """Render a term in SMT-LIB concrete syntax.
+
+    Iterative DAG traversal: an identity-keyed memo renders each shared
+    subterm once, and deep terms do not hit the recursion limit. Pass a
+    shared ``_memo`` dict to amortize rendering across several terms
+    (see :func:`print_script`); interned terms make its hit rate high.
+    """
+    memo = {} if _memo is None else _memo
+    stack = [term]
+    while stack:
+        node = stack[-1]
+        nid = id(node)
+        if nid in memo:
+            stack.pop()
+            continue
+        cls = node.__class__
+        if cls is Const:
+            memo[nid] = _print_const(node)
+            stack.pop()
+        elif cls is Var:
+            memo[nid] = node.name
+            stack.pop()
+        elif cls is App:
+            if not node.args:
+                memo[nid] = node.op
+                stack.pop()
+                continue
+            pending = [a for a in node.args if id(a) not in memo]
+            if pending:
+                stack.extend(pending)
+                continue
+            inner = " ".join(memo[id(a)] for a in node.args)
+            memo[nid] = f"({node.op} {inner})"
+            stack.pop()
+        elif cls is Quantifier:
+            body = node.body
+            if id(body) not in memo:
+                stack.append(body)
+                continue
+            bindings = " ".join(f"({name} {sort})" for name, sort in node.bindings)
+            memo[nid] = f"({node.kind} ({bindings}) {memo[id(body)]})"
+            stack.pop()
+        else:
+            raise TypeError(f"not a term: {node!r}")
+    return memo[id(term)]
+
+
+def print_command(cmd, _memo=None):
     """Render a single command in SMT-LIB concrete syntax."""
     if isinstance(cmd, SetLogic):
         return f"(set-logic {cmd.logic})"
@@ -97,9 +132,9 @@ def print_command(cmd):
         return f"(declare-fun {cmd.name} ({arg_sorts}) {cmd.return_sort})"
     if isinstance(cmd, DefineFun):
         params = " ".join(f"({name} {sort})" for name, sort in cmd.params)
-        return f"(define-fun {cmd.name} ({params}) {cmd.return_sort} {print_term(cmd.body)})"
+        return f"(define-fun {cmd.name} ({params}) {cmd.return_sort} {print_term(cmd.body, _memo)})"
     if isinstance(cmd, Assert):
-        return f"(assert {print_term(cmd.term)})"
+        return f"(assert {print_term(cmd.term, _memo)})"
     if isinstance(cmd, CheckSat):
         return "(check-sat)"
     if isinstance(cmd, GetModel):
@@ -110,5 +145,10 @@ def print_command(cmd):
 
 
 def print_script(script):
-    """Render a script, one command per line."""
-    return "\n".join(print_command(cmd) for cmd in script.commands) + "\n"
+    """Render a script, one command per line.
+
+    A single render memo is shared across all commands, so a subterm
+    asserted (or embedded) repeatedly is rendered once.
+    """
+    memo = {}
+    return "\n".join(print_command(cmd, memo) for cmd in script.commands) + "\n"

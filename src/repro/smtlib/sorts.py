@@ -21,6 +21,15 @@ class Sort:
 
     name: str
 
+    def __post_init__(self):
+        # Sorts appear in every term's intern key and structural hash;
+        # precomputing the hash keeps those probes O(1) instead of
+        # re-hashing the field tuple on every lookup.
+        object.__setattr__(self, "_hash", hash((Sort, self.name)))
+
+    def __hash__(self):
+        return self._hash
+
     def __str__(self):
         return self.name
 

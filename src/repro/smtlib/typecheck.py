@@ -8,6 +8,13 @@ standard Int-to-Real numeral coercions, and returns a well-sorted
 The operator universe covers everything the paper's logics need:
 core booleans, integer and real (non)linear arithmetic, unicode-free
 strings, and regular expressions.
+
+Construction sits on the fuzzing hot path (every fused constraint and
+inversion term goes through :func:`app`), so dispatch is a per-operator
+handler table rather than an if-chain, and the common all-arguments-
+already-well-sorted case is checked with identity comparisons against
+the interned sort singletons before falling back to the general
+coercion logic.
 """
 
 from __future__ import annotations
@@ -15,7 +22,7 @@ from __future__ import annotations
 from fractions import Fraction
 
 from repro.errors import SortError
-from repro.smtlib.ast import App, Const, Term
+from repro.smtlib.ast import Const, Term, mk_app, mk_const
 from repro.smtlib.sorts import BOOL, INT, REAL, REGLAN, STRING
 
 # Canonical operator spellings follow the paper's figures (SMT-LIB 2.5
@@ -75,8 +82,8 @@ def _coerce_real(term):
     if term.sort != INT:
         raise SortError(f"cannot coerce sort {term.sort} to Real")
     if isinstance(term, Const):
-        return Const(Fraction(term.value), REAL)
-    return App("to_real", (term,), REAL)
+        return mk_const(Fraction(term.value), REAL)
+    return mk_app("to_real", (term,), REAL)
 
 
 def _numeric_common(op, args):
@@ -87,159 +94,6 @@ def _numeric_common(op, args):
     if sorts == {INT}:
         return list(args), INT
     return [_coerce_real(a) for a in args], REAL
-
-
-def app(op, *args):
-    """Build a well-sorted application of ``op`` to ``args``.
-
-    Raises :class:`~repro.errors.SortError` for arity or sort mismatches.
-    """
-    op = canonical_op(op)
-    args = list(args)
-    for a in args:
-        if not isinstance(a, Term):
-            raise TypeError(f"argument to {op} is not a Term: {a!r}")
-
-    if op not in ALL_OPS:
-        raise SortError(f"unknown operator: {op!r}")
-
-    # --- core ---------------------------------------------------------
-    if op == "not":
-        _expect_arity(op, args, 1)
-        _expect_sorts(op, args, BOOL)
-        return App("not", tuple(args), BOOL)
-    if op in ("and", "or", "xor", "=>"):
-        _expect_min_arity(op, args, 2 if op == "=>" else 1)
-        _expect_sorts(op, args, BOOL)
-        return App(op, tuple(args), BOOL)
-    if op in ("=", "distinct"):
-        _expect_min_arity(op, args, 2)
-        sorts = {a.sort for a in args}
-        if sorts <= {INT, REAL} and len(sorts) > 1:
-            args = [_coerce_real(a) for a in args]
-        elif len(sorts) > 1:
-            _fail(op, args, "arguments must share a sort")
-        return App(op, tuple(args), BOOL)
-    if op == "ite":
-        _expect_arity(op, args, 3)
-        if args[0].sort != BOOL:
-            _fail(op, args, "condition must be Bool")
-        then, other = args[1], args[2]
-        if then.sort != other.sort:
-            if {then.sort, other.sort} == {INT, REAL}:
-                then, other = _coerce_real(then), _coerce_real(other)
-            else:
-                _fail(op, args, "branches must share a sort")
-        return App("ite", (args[0], then, other), then.sort)
-
-    # --- arithmetic ----------------------------------------------------
-    if op in ("+", "*"):
-        _expect_min_arity(op, args, 1)
-        args, sort = _numeric_common(op, args)
-        return App(op, tuple(args), sort)
-    if op == "-":
-        _expect_min_arity(op, args, 1)
-        args, sort = _numeric_common(op, args)
-        if len(args) == 1 and isinstance(args[0], Const):
-            # Normalize unary minus of a literal to a negative constant,
-            # so printing and re-parsing yield identical ASTs.
-            value = args[0].value
-            return Const(-value if sort == INT else Fraction(-value), sort)
-        return App("-", tuple(args), sort)
-    if op == "/":
-        _expect_min_arity(op, args, 2)
-        args = [_coerce_real(a) for a in args]
-        return App("/", tuple(args), REAL)
-    if op in ("div", "mod"):
-        _expect_arity(op, args, 2)
-        _expect_sorts(op, args, INT)
-        return App(op, tuple(args), INT)
-    if op == "abs":
-        _expect_arity(op, args, 1)
-        if args[0].sort not in (INT, REAL):
-            _fail(op, args, "expected a numeric argument")
-        return App("abs", tuple(args), args[0].sort)
-    if op in ("<", "<=", ">", ">="):
-        _expect_min_arity(op, args, 2)
-        args, _ = _numeric_common(op, args)
-        return App(op, tuple(args), BOOL)
-    if op == "to_real":
-        _expect_arity(op, args, 1)
-        _expect_sorts(op, args, INT)
-        return App("to_real", tuple(args), REAL)
-    if op == "to_int":
-        _expect_arity(op, args, 1)
-        _expect_sorts(op, args, REAL)
-        return App("to_int", tuple(args), INT)
-    if op == "is_int":
-        _expect_arity(op, args, 1)
-        _expect_sorts(op, args, REAL)
-        return App("is_int", tuple(args), BOOL)
-
-    # --- strings ---------------------------------------------------------
-    if op == "str.++":
-        _expect_min_arity(op, args, 2)
-        _expect_sorts(op, args, STRING)
-        return App(op, tuple(args), STRING)
-    if op == "str.len":
-        _expect_arity(op, args, 1)
-        _expect_sorts(op, args, STRING)
-        return App(op, tuple(args), INT)
-    if op == "str.at":
-        _expect_arity(op, args, 2)
-        _expect_sig(op, args, (STRING, INT))
-        return App(op, tuple(args), STRING)
-    if op == "str.substr":
-        _expect_arity(op, args, 3)
-        _expect_sig(op, args, (STRING, INT, INT))
-        return App(op, tuple(args), STRING)
-    if op == "str.indexof":
-        _expect_arity(op, args, 3)
-        _expect_sig(op, args, (STRING, STRING, INT))
-        return App(op, tuple(args), INT)
-    if op == "str.replace":
-        _expect_arity(op, args, 3)
-        _expect_sorts(op, args, STRING)
-        return App(op, tuple(args), STRING)
-    if op in ("str.prefixof", "str.suffixof", "str.contains"):
-        _expect_arity(op, args, 2)
-        _expect_sorts(op, args, STRING)
-        return App(op, tuple(args), BOOL)
-    if op == "str.to.int":
-        _expect_arity(op, args, 1)
-        _expect_sorts(op, args, STRING)
-        return App(op, tuple(args), INT)
-    if op == "str.from.int":
-        _expect_arity(op, args, 1)
-        _expect_sorts(op, args, INT)
-        return App(op, tuple(args), STRING)
-    if op == "str.in.re":
-        _expect_arity(op, args, 2)
-        _expect_sig(op, args, (STRING, REGLAN))
-        return App(op, tuple(args), BOOL)
-    if op == "str.to.re":
-        _expect_arity(op, args, 1)
-        _expect_sorts(op, args, STRING)
-        return App(op, tuple(args), REGLAN)
-
-    # --- regular expressions ----------------------------------------------
-    if op in ("re.none", "re.all", "re.allchar"):
-        _expect_arity(op, args, 0)
-        return App(op, (), REGLAN)
-    if op in ("re.++", "re.union", "re.inter"):
-        _expect_min_arity(op, args, 2)
-        _expect_sorts(op, args, REGLAN)
-        return App(op, tuple(args), REGLAN)
-    if op in ("re.*", "re.+", "re.opt", "re.comp"):
-        _expect_arity(op, args, 1)
-        _expect_sorts(op, args, REGLAN)
-        return App(op, tuple(args), REGLAN)
-    if op == "re.range":
-        _expect_arity(op, args, 2)
-        _expect_sorts(op, args, STRING)
-        return App(op, tuple(args), REGLAN)
-
-    raise SortError(f"unhandled operator: {op!r}")  # pragma: no cover
 
 
 def _expect_arity(op, args, n):
@@ -254,11 +108,308 @@ def _expect_min_arity(op, args, n):
 
 def _expect_sorts(op, args, sort):
     for a in args:
-        if a.sort != sort:
+        if a.sort is not sort and a.sort != sort:
             _fail(op, args, f"expected all arguments of sort {sort}")
 
 
 def _expect_sig(op, args, sig):
     for a, s in zip(args, sig):
-        if a.sort != s:
+        if a.sort is not s and a.sort != s:
             _fail(op, args, f"expected signature {tuple(str(x) for x in sig)}")
+
+
+# -- per-operator handlers (receive the canonical op and an args tuple) ----
+
+
+def _h_not(op, args):
+    _expect_arity(op, args, 1)
+    _expect_sorts(op, args, BOOL)
+    return mk_app("not", args, BOOL)
+
+
+def _h_bool_nary(op, args):
+    _expect_min_arity(op, args, 2 if op == "=>" else 1)
+    _expect_sorts(op, args, BOOL)
+    return mk_app(op, args, BOOL)
+
+
+def _h_eq(op, args):
+    _expect_min_arity(op, args, 2)
+    first = args[0].sort
+    for a in args:
+        if a.sort is not first:
+            return _h_eq_general(op, args)
+    return mk_app(op, args, BOOL)
+
+
+def _h_eq_general(op, args):
+    sorts = {a.sort for a in args}
+    if sorts <= {INT, REAL} and len(sorts) > 1:
+        args = tuple(_coerce_real(a) for a in args)
+    elif len(sorts) > 1:
+        _fail(op, args, "arguments must share a sort")
+    return mk_app(op, args, BOOL)
+
+
+def _h_ite(op, args):
+    _expect_arity(op, args, 3)
+    if args[0].sort != BOOL:
+        _fail(op, args, "condition must be Bool")
+    then, other = args[1], args[2]
+    if then.sort != other.sort:
+        if {then.sort, other.sort} == {INT, REAL}:
+            then, other = _coerce_real(then), _coerce_real(other)
+        else:
+            _fail(op, args, "branches must share a sort")
+    return mk_app("ite", (args[0], then, other), then.sort)
+
+
+def _h_add_mul(op, args):
+    _expect_min_arity(op, args, 1)
+    sort = args[0].sort
+    if sort is INT or sort is REAL:
+        for a in args:
+            if a.sort is not sort:
+                break
+        else:
+            return mk_app(op, args, sort)
+    largs, sort = _numeric_common(op, args)
+    return mk_app(op, tuple(largs), sort)
+
+
+def _h_sub(op, args):
+    _expect_min_arity(op, args, 1)
+    sort = args[0].sort
+    if sort is INT or sort is REAL:
+        for a in args:
+            if a.sort is not sort:
+                break
+        else:
+            if len(args) == 1 and isinstance(args[0], Const):
+                # Normalize unary minus of a literal to a negative
+                # constant, so printing and re-parsing yield identical
+                # ASTs.
+                value = args[0].value
+                return mk_const(-value if sort is INT else Fraction(-value), sort)
+            return mk_app("-", args, sort)
+    largs, sort = _numeric_common(op, args)
+    if len(largs) == 1 and isinstance(largs[0], Const):
+        value = largs[0].value
+        return mk_const(-value if sort == INT else Fraction(-value), sort)
+    return mk_app("-", tuple(largs), sort)
+
+
+def _h_real_div(op, args):
+    _expect_min_arity(op, args, 2)
+    for a in args:
+        if a.sort is not REAL:
+            return mk_app("/", tuple(_coerce_real(x) for x in args), REAL)
+    return mk_app("/", args, REAL)
+
+
+def _h_div_mod(op, args):
+    _expect_arity(op, args, 2)
+    _expect_sorts(op, args, INT)
+    return mk_app(op, args, INT)
+
+
+def _h_abs(op, args):
+    _expect_arity(op, args, 1)
+    if args[0].sort not in (INT, REAL):
+        _fail(op, args, "expected a numeric argument")
+    return mk_app("abs", args, args[0].sort)
+
+
+def _h_compare(op, args):
+    _expect_min_arity(op, args, 2)
+    sort = args[0].sort
+    if sort is INT or sort is REAL:
+        for a in args:
+            if a.sort is not sort:
+                break
+        else:
+            return mk_app(op, args, BOOL)
+    largs, _ = _numeric_common(op, args)
+    return mk_app(op, tuple(largs), BOOL)
+
+
+def _h_to_real(op, args):
+    _expect_arity(op, args, 1)
+    _expect_sorts(op, args, INT)
+    return mk_app("to_real", args, REAL)
+
+
+def _h_to_int(op, args):
+    _expect_arity(op, args, 1)
+    _expect_sorts(op, args, REAL)
+    return mk_app("to_int", args, INT)
+
+
+def _h_is_int(op, args):
+    _expect_arity(op, args, 1)
+    _expect_sorts(op, args, REAL)
+    return mk_app("is_int", args, BOOL)
+
+
+def _h_str_concat(op, args):
+    _expect_min_arity(op, args, 2)
+    _expect_sorts(op, args, STRING)
+    return mk_app(op, args, STRING)
+
+
+def _h_str_len(op, args):
+    _expect_arity(op, args, 1)
+    _expect_sorts(op, args, STRING)
+    return mk_app(op, args, INT)
+
+
+def _h_str_at(op, args):
+    _expect_arity(op, args, 2)
+    _expect_sig(op, args, (STRING, INT))
+    return mk_app(op, args, STRING)
+
+
+def _h_str_substr(op, args):
+    _expect_arity(op, args, 3)
+    _expect_sig(op, args, (STRING, INT, INT))
+    return mk_app(op, args, STRING)
+
+
+def _h_str_indexof(op, args):
+    _expect_arity(op, args, 3)
+    _expect_sig(op, args, (STRING, STRING, INT))
+    return mk_app(op, args, INT)
+
+
+def _h_str_replace(op, args):
+    _expect_arity(op, args, 3)
+    _expect_sorts(op, args, STRING)
+    return mk_app(op, args, STRING)
+
+
+def _h_str_pred(op, args):
+    _expect_arity(op, args, 2)
+    _expect_sorts(op, args, STRING)
+    return mk_app(op, args, BOOL)
+
+
+def _h_str_to_int(op, args):
+    _expect_arity(op, args, 1)
+    _expect_sorts(op, args, STRING)
+    return mk_app(op, args, INT)
+
+
+def _h_str_from_int(op, args):
+    _expect_arity(op, args, 1)
+    _expect_sorts(op, args, INT)
+    return mk_app(op, args, STRING)
+
+
+def _h_str_in_re(op, args):
+    _expect_arity(op, args, 2)
+    _expect_sig(op, args, (STRING, REGLAN))
+    return mk_app(op, args, BOOL)
+
+
+def _h_str_to_re(op, args):
+    _expect_arity(op, args, 1)
+    _expect_sorts(op, args, STRING)
+    return mk_app(op, args, REGLAN)
+
+
+def _h_re_nullary(op, args):
+    _expect_arity(op, args, 0)
+    return mk_app(op, (), REGLAN)
+
+
+def _h_re_nary(op, args):
+    _expect_min_arity(op, args, 2)
+    _expect_sorts(op, args, REGLAN)
+    return mk_app(op, args, REGLAN)
+
+
+def _h_re_unary(op, args):
+    _expect_arity(op, args, 1)
+    _expect_sorts(op, args, REGLAN)
+    return mk_app(op, args, REGLAN)
+
+
+def _h_re_range(op, args):
+    _expect_arity(op, args, 2)
+    _expect_sorts(op, args, STRING)
+    return mk_app(op, args, REGLAN)
+
+
+_HANDLERS = {
+    "not": _h_not,
+    "and": _h_bool_nary,
+    "or": _h_bool_nary,
+    "xor": _h_bool_nary,
+    "=>": _h_bool_nary,
+    "=": _h_eq,
+    "distinct": _h_eq,
+    "ite": _h_ite,
+    "+": _h_add_mul,
+    "*": _h_add_mul,
+    "-": _h_sub,
+    "/": _h_real_div,
+    "div": _h_div_mod,
+    "mod": _h_div_mod,
+    "abs": _h_abs,
+    "<": _h_compare,
+    "<=": _h_compare,
+    ">": _h_compare,
+    ">=": _h_compare,
+    "to_real": _h_to_real,
+    "to_int": _h_to_int,
+    "is_int": _h_is_int,
+    "str.++": _h_str_concat,
+    "str.len": _h_str_len,
+    "str.at": _h_str_at,
+    "str.substr": _h_str_substr,
+    "str.indexof": _h_str_indexof,
+    "str.replace": _h_str_replace,
+    "str.prefixof": _h_str_pred,
+    "str.suffixof": _h_str_pred,
+    "str.contains": _h_str_pred,
+    "str.to.int": _h_str_to_int,
+    "str.from.int": _h_str_from_int,
+    "str.in.re": _h_str_in_re,
+    "str.to.re": _h_str_to_re,
+    "re.none": _h_re_nullary,
+    "re.all": _h_re_nullary,
+    "re.allchar": _h_re_nullary,
+    "re.++": _h_re_nary,
+    "re.union": _h_re_nary,
+    "re.inter": _h_re_nary,
+    "re.*": _h_re_unary,
+    "re.+": _h_re_unary,
+    "re.opt": _h_re_unary,
+    "re.comp": _h_re_unary,
+    "re.range": _h_re_range,
+}
+
+assert set(_HANDLERS) == ALL_OPS
+
+
+def app(op, *args):
+    """Build a well-sorted application of ``op`` to ``args``.
+
+    Raises :class:`~repro.errors.SortError` for arity or sort mismatches.
+    """
+    handler = _HANDLERS.get(op)
+    if handler is None:
+        op = OP_ALIASES.get(op, op)
+        handler = _HANDLERS.get(op)
+        if handler is None:
+            raise SortError(f"unknown operator: {op!r}")
+    try:
+        return handler(op, args)
+    except AttributeError:
+        # Handlers read ``.sort`` without an upfront isinstance sweep;
+        # recover the historical TypeError for non-Term arguments here,
+        # off the hot path.
+        for a in args:
+            if not isinstance(a, Term):
+                raise TypeError(f"argument to {op} is not a Term: {a!r}") from None
+        raise

@@ -27,7 +27,7 @@ from repro.errors import EvaluationError
 from repro.semantics.evaluator import evaluate
 from repro.semantics.model import Model
 from repro.semantics.values import default_value
-from repro.smtlib.ast import Const, Var, free_vars
+from repro.smtlib.ast import Const, Var, free_vars, mk_const
 from repro.smtlib.sorts import BOOL, INT, REAL, STRING
 from repro.solver import nonlinear, strings, tseitin
 from repro.solver.preprocess import instantiate_for_refutation, preprocess
@@ -288,10 +288,10 @@ def _instantiation_candidates(assertions):
             elif isinstance(node, Var) and node.name not in variables:
                 variables[node.name] = node
     candidates = {
-        "Int": [Const(v, INT) for v in sorted(ints)][:8],
-        "Real": [Const(v, REAL) for v in sorted(reals)][:8],
-        "String": [Const(v, STRING) for v in sorted(strings_)][:6],
-        "Bool": [Const(False, BOOL), Const(True, BOOL)],
+        "Int": [mk_const(v, INT) for v in sorted(ints)][:8],
+        "Real": [mk_const(v, REAL) for v in sorted(reals)][:8],
+        "String": [mk_const(v, STRING) for v in sorted(strings_)][:6],
+        "Bool": [mk_const(False, BOOL), mk_const(True, BOOL)],
     }
     for var in variables.values():
         bucket = candidates.get(var.sort.name)

@@ -31,6 +31,10 @@ from repro.smtlib.ast import (
     Quantifier,
     Var,
     fresh_name,
+    has_quantifier,
+    map_terms,
+    mk_const,
+    mk_var,
     substitute,
 )
 from repro.smtlib.quantbounds import guarded_integer_bounds
@@ -96,7 +100,7 @@ def preprocess(assertions):
 
 
 def _has_quantifier(term):
-    return any(isinstance(node, Quantifier) for node in term.walk())
+    return has_quantifier(term)
 
 
 def _transform_quantifiers(term, positive, under_forall):
@@ -112,7 +116,7 @@ def _transform_quantifiers(term, positive, under_forall):
         if is_existential and not under_forall:
             line_probe("preprocess.skolemize")
             mapping = {
-                Var(name, sort): Var(fresh_name(f".sk.{name}"), sort)
+                mk_var(name, sort): mk_var(fresh_name(f".sk.{name}"), sort)
                 for name, sort in term.bindings
             }
             body = substitute(term.body, mapping)
@@ -176,7 +180,7 @@ def _try_bounded_expansion(term):
     total = 1
     for lo, hi in bounds.values():
         if hi < lo:
-            return [Const(True, BOOL)]
+            return [mk_const(True, BOOL)]
         total *= hi - lo + 1
         if total > _BOUNDED_EXPANSION_LIMIT:
             return None
@@ -187,7 +191,7 @@ def _try_bounded_expansion(term):
         ]
     out = []
     for inst in instances:
-        mapping = {Var(name, INT): Const(value, INT) for name, value in inst.items()}
+        mapping = {mk_var(name, INT): mk_const(value, INT) for name, value in inst.items()}
         out.append(substitute(body, mapping))
     return out
 
@@ -210,14 +214,14 @@ def instantiate_for_refutation(term, candidate_terms):
                 for name, sort in node.bindings:
                     values = candidate_terms.get(sort.name, [])
                     if not values:
-                        return Const(positive, BOOL)
+                        return mk_const(positive, BOOL)
                     instances = [
                         {**inst, name: value} for inst in instances for value in values
                     ]
                 parts = []
                 for inst in instances:
                     mapping = {
-                        Var(name, sort): value
+                        mk_var(name, sort): value
                         for (name, sort), value in (
                             ((n, s), inst[n]) for n, s in node.bindings
                         )
@@ -226,7 +230,7 @@ def instantiate_for_refutation(term, candidate_terms):
                 combiner = "and" if positive else "or"
                 return parts[0] if len(parts) == 1 else app(combiner, *parts)
             # Weakened existential: conservatively satisfied.
-            return Const(positive, BOOL)
+            return mk_const(positive, BOOL)
         if isinstance(node, App):
             if node.op == "not":
                 return app("not", go(node.args[0], not positive))
@@ -239,7 +243,7 @@ def instantiate_for_refutation(term, candidate_terms):
                 return app("=>", *parts)
             if _has_quantifier(node):
                 # Mixed polarity below: conservative replacement.
-                return Const(positive, BOOL)
+                return mk_const(positive, BOOL)
             return node
         return node
 
@@ -252,17 +256,23 @@ def instantiate_for_refutation(term, candidate_terms):
 
 
 def _normalize(term):
-    """Rewrite abs/is_int, binarize comparisons and distinct."""
-    if isinstance(term, (Var, Const)):
+    """Rewrite abs/is_int, binarize comparisons and distinct.
+
+    A bottom-up :func:`map_terms` pass: each shared subterm is rewritten
+    once (nodes arrive with already-normalized arguments).
+    """
+    return map_terms(term, _normalize_node)
+
+
+def _normalize_node(term):
+    if not isinstance(term, App):
         return term
-    if isinstance(term, Quantifier):
-        return Quantifier(term.kind, term.bindings, _normalize(term.body))
-    args = [_normalize(a) for a in term.args]
+    args = term.args
     op = term.op
     if op == "abs":
         line_probe("preprocess.abs")
         (a,) = args
-        zero = Const(0, INT) if a.sort == INT else Const(Fraction(0), REAL)
+        zero = mk_const(0, INT) if a.sort == INT else mk_const(Fraction(0), REAL)
         return app("ite", app(">=", a, zero), a, app("-", a))
     if op == "is_int":
         line_probe("preprocess.is_int")
@@ -282,7 +292,7 @@ def _normalize(term):
             for j in range(i + 1, len(args)):
                 parts.append(app("not", app("=", args[i], args[j])))
         return parts[0] if len(parts) == 1 else app("and", *parts)
-    return App(op, tuple(args), term.sort)
+    return term
 
 
 # ---------------------------------------------------------------------------
@@ -291,19 +301,23 @@ def _normalize(term):
 
 
 def _lift_ites(term, extra):
-    if isinstance(term, (Var, Const)):
-        return term
-    if isinstance(term, Quantifier):
-        return term  # unreachable: quantified scripts stop earlier
-    args = [_lift_ites(a, extra) for a in term.args]
-    if term.op == "ite" and term.sort != BOOL:
-        line_probe("preprocess.lift_ite")
-        condition, then_branch, else_branch = args
-        fresh = Var(fresh_name(".ite"), term.sort)
-        extra.append(app("=>", condition, app("=", fresh, then_branch)))
-        extra.append(app("=>", app("not", condition), app("=", fresh, else_branch)))
-        return fresh
-    return App(term.op, tuple(args), term.sort)
+    # A shared non-boolean ite (the same interned node reachable through
+    # several parents) is lifted once: one fresh variable, one guarded
+    # definition pair — map_terms memoizes the rewrite by node identity.
+    def lift(node):
+        if isinstance(node, App) and node.op == "ite" and node.sort != BOOL:
+            line_probe("preprocess.lift_ite")
+            condition, then_branch, else_branch = node.args
+            fresh = mk_var(fresh_name(".ite"), node.sort)
+            extra.append(app("=>", condition, app("=", fresh, then_branch)))
+            extra.append(
+                app("=>", app("not", condition), app("=", fresh, else_branch))
+            )
+            return fresh
+        return node
+
+    # Quantifiers are unreachable here (quantified scripts stop earlier).
+    return map_terms(term, lift, descend_quantifiers=False)
 
 
 # ---------------------------------------------------------------------------
@@ -312,39 +326,40 @@ def _lift_ites(term, extra):
 
 
 def _purify(term, extra, table):
-    if isinstance(term, (Var, Const)):
-        return term
-    if isinstance(term, Quantifier):
-        return term
-    args = [_purify(a, extra, table) for a in term.args]
-    op = term.op
-    if op == "/":
-        line_probe("preprocess.purify_real_div")
-        result = args[0]
-        for denominator in args[1:]:
-            result = _purified_division("/", result, denominator, extra, table)
-        return result
-    if op == "div":
-        line_probe("preprocess.purify_int_div")
-        quotient, _ = _purified_euclid(args[0], args[1], extra, table)
-        return quotient
-    if op == "mod":
-        line_probe("preprocess.purify_mod")
-        _, remainder = _purified_euclid(args[0], args[1], extra, table)
-        return remainder
-    if op == "to_int":
-        line_probe("preprocess.purify_to_int")
-        key = ("to_int", args[0], None)
-        if key not in table:
-            fresh = fresh_name(".toint")
-            table[key] = fresh
-            v = Var(fresh, INT)
-            real_v = app("to_real", v)
-            one = Const(Fraction(1), REAL)
-            extra.append(app("<=", real_v, args[0]))
-            extra.append(app("<", args[0], app("+", real_v, one)))
-        return Var(table[key], INT)
-    return App(op, tuple(args), term.sort)
+    def purify(node):
+        if not isinstance(node, App):
+            return node
+        args = node.args
+        op = node.op
+        if op == "/":
+            line_probe("preprocess.purify_real_div")
+            result = args[0]
+            for denominator in args[1:]:
+                result = _purified_division("/", result, denominator, extra, table)
+            return result
+        if op == "div":
+            line_probe("preprocess.purify_int_div")
+            quotient, _ = _purified_euclid(args[0], args[1], extra, table)
+            return quotient
+        if op == "mod":
+            line_probe("preprocess.purify_mod")
+            _, remainder = _purified_euclid(args[0], args[1], extra, table)
+            return remainder
+        if op == "to_int":
+            line_probe("preprocess.purify_to_int")
+            key = ("to_int", args[0], None)
+            if key not in table:
+                fresh = fresh_name(".toint")
+                table[key] = fresh
+                v = mk_var(fresh, INT)
+                real_v = app("to_real", v)
+                one = mk_const(Fraction(1), REAL)
+                extra.append(app("<=", real_v, args[0]))
+                extra.append(app("<", args[0], app("+", real_v, one)))
+            return mk_var(table[key], INT)
+        return node
+
+    return map_terms(term, purify, descend_quantifiers=False)
 
 
 def _purified_division(op, numerator, denominator, extra, table):
@@ -352,11 +367,11 @@ def _purified_division(op, numerator, denominator, extra, table):
     if key not in table:
         fresh = fresh_name(".rdiv")
         table[key] = fresh
-        v = Var(fresh, REAL)
-        zero = Const(Fraction(0), REAL)
+        v = mk_var(fresh, REAL)
+        zero = mk_const(Fraction(0), REAL)
         nonzero = app("not", app("=", denominator, zero))
         extra.append(app("=>", nonzero, app("=", app("*", v, denominator), numerator)))
-    return Var(table[key], REAL)
+    return mk_var(table[key], REAL)
 
 
 def _purified_euclid(numerator, denominator, extra, table):
@@ -367,9 +382,9 @@ def _purified_euclid(numerator, denominator, extra, table):
         r_name = fresh_name(".imod")
         table[key_div] = q_name
         table[key_mod] = r_name
-        q = Var(q_name, INT)
-        r = Var(r_name, INT)
-        zero = Const(0, INT)
+        q = mk_var(q_name, INT)
+        r = mk_var(r_name, INT)
+        zero = mk_const(0, INT)
         relation = app("=", numerator, app("+", app("*", denominator, q), r))
         positive = app(
             "=>",
@@ -383,7 +398,7 @@ def _purified_euclid(numerator, denominator, extra, table):
         )
         extra.append(positive)
         extra.append(negative)
-    return Var(table[key_div], INT), Var(table[key_mod], INT)
+    return mk_var(table[key_div], INT), mk_var(table[key_mod], INT)
 
 
 def _add_ackermann(result):
@@ -403,7 +418,7 @@ def _add_ackermann(result):
                     app(
                         "=>",
                         app("and", app("=", n1, n2), app("=", d1, d2)),
-                        app("=", Var(v1, sort), Var(v2, sort)),
+                        app("=", mk_var(v1, sort), mk_var(v2, sort)),
                     )
                 )
 

@@ -43,7 +43,7 @@ from repro.errors import EvaluationError, ReproError
 from repro.semantics import regex as rx
 from repro.semantics.evaluator import evaluate
 from repro.semantics.model import Model
-from repro.smtlib.ast import App, Const, Var, free_vars
+from repro.smtlib.ast import App, Const, Var, free_vars, mk_app, mk_const, mk_var
 from repro.smtlib.sorts import INT, REAL, STRING
 from repro.solver import nonlinear
 from repro.solver.linarith import LinearAtom, check_linear
@@ -89,12 +89,12 @@ def _fold(term, model):
     """Fold subterms that are closed under ``model`` to constants."""
     if isinstance(term, Var):
         if term.name in model:
-            return Const(model[term.name], term.sort)
+            return mk_const(model[term.name], term.sort)
         return term
     if not isinstance(term, App):
         return term
     args = tuple(_fold(a, model) for a in term.args)
-    folded = App(term.op, args, term.sort)
+    folded = mk_app(term.op, args, term.sort)
     if all(isinstance(a, Const) for a in args) or term.op == "str.in.re":
         try:
             value = evaluate(folded, model)
@@ -102,7 +102,7 @@ def _fold(term, model):
             return folded
         if folded.sort == REAL:
             value = Fraction(value)
-        return Const(value, folded.sort)
+        return mk_const(value, folded.sort)
     return folded
 
 
@@ -582,7 +582,7 @@ def _as_length_atom(term, polarity):
         if isinstance(node, App) and node.op == "str.len" and isinstance(
             node.args[0], Var
         ):
-            return Var(f".len.{node.args[0].name}", INT)
+            return mk_var(f".len.{node.args[0].name}", INT)
         if isinstance(node, Var):
             return None if node.sort == STRING else node
         if isinstance(node, App):
@@ -594,7 +594,7 @@ def _as_length_atom(term, polarity):
                 if new_arg is None:
                     return None
                 new_args.append(new_arg)
-            return App(node.op, tuple(new_args), node.sort)
+            return mk_app(node.op, tuple(new_args), node.sort)
         return node
 
     rewritten = lengthify(term)

@@ -1,0 +1,54 @@
+"""AST lint: term nodes must be built through the interning constructors.
+
+Direct ``App(...)``/``Var(...)``/``Const(...)``/``Quantifier(...)``
+calls bypass the per-scope intern table, producing un-shared nodes that
+defeat identity-keyed memo tables and O(1) equality. Only
+``repro/smtlib`` (the term layer itself) may call the dataclass
+constructors; everything else goes through ``mk_*`` or the typechecked
+``app()``.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+_FORBIDDEN = {"App", "Var", "Const", "Quantifier"}
+
+# The term layer itself: definitions, interning, and its internal users.
+_ALLOWED = {SRC / "smtlib" / "ast.py"}
+
+
+def _modules():
+    return sorted(p for p in SRC.rglob("*.py") if p not in _ALLOWED)
+
+
+def _direct_constructions(path):
+    """(line, name) for every direct term-constructor call in ``path``."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    hits = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            fn = node.func
+            if isinstance(fn, ast.Name) and fn.id in _FORBIDDEN:
+                hits.append((node.lineno, fn.id))
+            elif isinstance(fn, ast.Attribute) and fn.attr in _FORBIDDEN:
+                hits.append((node.lineno, fn.attr))
+    return hits
+
+
+@pytest.mark.parametrize("path", _modules(), ids=lambda p: str(p.relative_to(SRC)))
+def test_no_direct_term_construction(path):
+    hits = _direct_constructions(path)
+    assert not hits, (
+        f"{path.relative_to(SRC)} constructs term nodes directly "
+        f"(use mk_app/mk_var/mk_const/mk_quantifier or typecheck.app): {hits}"
+    )
+
+
+def test_lint_actually_detects_violations(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("t = App('and', (a, b), BOOL)\nu = x.Const(1, INT)\n")
+    assert _direct_constructions(bad) == [(1, "App"), (2, "Const")]

@@ -6,6 +6,11 @@ budget (YinYang), and compare line / function / branch probe coverage.
 The paper's key observation must reproduce: *YinYang consistently
 increases the coverage achieved by the Benchmark* (the shaded cells of
 Figure 11 are all on the YinYang side).
+
+Probe-hit counts flow through the metrics registry
+(``publish_coverage_session`` → ``coverage_counts``), the same
+encode/decode pair behind ``yinyang stats`` — this table and the
+dashboard share one source of truth for coverage.
 """
 
 from _util import emit, once

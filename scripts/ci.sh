@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# The tier-1 CI gate, runnable locally and in any runner.
+#
+# Three stages, strictly ordered so the cheapest failures surface first:
+#
+#   1. AST lint  — term nodes must be built via the interning
+#      constructors, and the observability layer must never import
+#      random (telemetry cannot be allowed to perturb the campaign's
+#      RNG streams).
+#   2. Telemetry determinism — journals must stay byte-identical with
+#      metrics off, on, or traced, across modes and worker counts.
+#   3. Fast lane — the full suite minus the soak/slow markers
+#      (see pyproject.toml; run the slow and chaos lanes nightly:
+#      `pytest -m slow` / `pytest -m chaos`).
+#
+# Stages 1 and 2 are subsets of stage 3; running them first just makes
+# the common failure modes fail in seconds instead of minutes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== stage 1/3: AST lint (interning constructors, no RNG in telemetry) =="
+python -m pytest tests/test_ast_lint.py \
+    "tests/test_observability.py::TestHotPathHygiene" -q
+
+echo "== stage 2/3: telemetry determinism (journal byte-identity) =="
+python -m pytest tests/test_parallel_determinism.py -q -m "not slow"
+
+echo "== stage 3/3: fast lane (full suite minus slow/chaos) =="
+python -m pytest -m "not slow and not chaos" -q
+
+echo "CI gate passed."

@@ -23,7 +23,27 @@ from repro.core.fusion import fuse
 from repro.coverage.probes import coverage_session
 from repro.coverage.report import CoverageComparison, CoverageReport, average_reports
 from repro.errors import FusionError
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.telemetry import publish_coverage_session
 from repro.solver.result import SolverCrash
+
+
+def _session_report(session, label, telemetry=None):
+    """Turn a coverage session into a report *through* the metrics
+    registry.
+
+    The session's fired probes are published into a registry and the
+    percentages read back out of its snapshot — the same encode/decode
+    pair ``yinyang stats`` uses — so the Figure 11 numbers and the
+    dashboard share one source of truth. When a campaign ``telemetry``
+    is supplied, the probes also accumulate into it (value-sets union,
+    so republishing across cells stays exact).
+    """
+    registry = MetricsRegistry()
+    publish_coverage_session(registry, session)
+    if telemetry is not None:
+        telemetry.registry.merge_snapshot(registry.snapshot())
+    return CoverageReport.from_metrics(registry.snapshot(), label)
 
 
 def _run_scripts(solver, scripts, session_label):
@@ -55,10 +75,14 @@ def _fused_scripts(oracle, scripts, budget, seed, mode):
     return out
 
 
-def coverage_cell(solver, corpus, oracle, fuzz_budget=30, seed=0, with_concatfuzz=False):
+def coverage_cell(
+    solver, corpus, oracle, fuzz_budget=30, seed=0, with_concatfuzz=False, telemetry=None
+):
     """One Figure 11 cell: Benchmark vs YinYang (vs ConcatFuzz) coverage.
 
-    Returns a :class:`~repro.coverage.report.CoverageComparison`.
+    Returns a :class:`~repro.coverage.report.CoverageComparison`. Pass
+    a campaign ``telemetry`` to also accumulate the cell's probe hits
+    into its cumulative ``coverage.*`` metrics.
     """
     seeds = corpus.by_oracle(oracle)
     scripts = [s.script for s in seeds]
@@ -67,29 +91,32 @@ def coverage_cell(solver, corpus, oracle, fuzz_budget=30, seed=0, with_concatfuz
         return CoverageComparison(corpus.name, oracle, empty, empty, empty)
 
     benchmark_session = _run_scripts(solver, scripts, "benchmark")
-    benchmark = CoverageReport.from_session(
-        benchmark_session, f"{corpus.name}/{oracle}/benchmark"
+    benchmark = _session_report(
+        benchmark_session, f"{corpus.name}/{oracle}/benchmark", telemetry
     )
 
     # YinYang coverage is cumulative on top of the benchmark run.
     fused = _fused_scripts(oracle, scripts, fuzz_budget, seed, "yinyang")
     yy_session = _run_scripts(solver, fused, "yinyang")
     yy_session.merge(benchmark_session)
-    yinyang = CoverageReport.from_session(yy_session, f"{corpus.name}/{oracle}/yinyang")
+    yinyang = _session_report(yy_session, f"{corpus.name}/{oracle}/yinyang", telemetry)
 
     concat = None
     if with_concatfuzz:
         concatenated = _fused_scripts(oracle, scripts, fuzz_budget, seed, "concat")
         cf_session = _run_scripts(solver, concatenated, "concatfuzz")
         cf_session.merge(benchmark_session)
-        concat = CoverageReport.from_session(
-            cf_session, f"{corpus.name}/{oracle}/concatfuzz"
+        concat = _session_report(
+            cf_session, f"{corpus.name}/{oracle}/concatfuzz", telemetry
         )
 
     return CoverageComparison(corpus.name, oracle, benchmark, yinyang, concat)
 
 
-def coverage_table(solver, corpora, families, fuzz_budget=30, seed=0, with_concatfuzz=False):
+def coverage_table(
+    solver, corpora, families, fuzz_budget=30, seed=0, with_concatfuzz=False,
+    telemetry=None,
+):
     """Figure 11: comparisons for each (family, oracle) cell."""
     cells = []
     for family in families:
@@ -99,7 +126,8 @@ def coverage_table(solver, corpora, families, fuzz_budget=30, seed=0, with_conca
                 continue
             cells.append(
                 coverage_cell(
-                    solver, corpus, oracle, fuzz_budget, seed, with_concatfuzz
+                    solver, corpus, oracle, fuzz_budget, seed, with_concatfuzz,
+                    telemetry=telemetry,
                 )
             )
     return cells

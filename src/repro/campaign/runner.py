@@ -163,14 +163,23 @@ def _campaign_cells(solvers, corpora):
     return cells
 
 
-def _absorb_cell(result, key, report, journal):
+def _absorb_cell(result, key, report, journal, telemetry=None):
     """Fold one completed cell into the result and the journal."""
     result.reports[key] = report
     result.records.extend(report.bugs)
     result.fused_total += report.fused
     result.elapsed_total += report.elapsed
+    if telemetry is not None:
+        telemetry.count("cells")
     if journal is not None:
-        journal.record_cell(key, report)
+        if telemetry is not None:
+            # The print/journal phase: serializing bug scripts back to
+            # SMT-LIB and committing the cell durably. Timed only —
+            # telemetry never writes into the journal itself.
+            with telemetry.phase("journal_write"):
+                journal.record_cell(key, report)
+        else:
+            journal.record_cell(key, report)
 
 
 def run_campaign(
@@ -186,6 +195,7 @@ def run_campaign(
     mode="serial",
     workers=1,
     solver_factory=None,
+    telemetry=None,
 ):
     """Run the full campaign.
 
@@ -210,6 +220,14 @@ def run_campaign(
     callable building the solvers under test; process mode requires it
     (it defaults to :func:`default_solvers` when ``solvers`` is not
     given) because live solver objects cannot cross a spawn boundary.
+
+    ``telemetry`` (a :class:`~repro.observability.Telemetry`) collects
+    metrics/traces/profiles for the whole campaign. It is strictly an
+    observer: it draws no randomness, and journal bytes are identical
+    with telemetry off, on, or traced (see
+    ``tests/test_parallel_determinism.py``). In process mode each
+    worker runs its own telemetry and the parent merges per-shard
+    snapshots, exactly like sidecar journals.
     """
     if mode not in EXECUTION_MODES:
         raise ValueError(f"mode must be one of {EXECUTION_MODES}, got {mode!r}")
@@ -266,6 +284,7 @@ def run_campaign(
             journal=journal,
             resume=resume,
             workers=workers,
+            telemetry=telemetry,
         )
         return result
     tools = {}
@@ -277,11 +296,12 @@ def run_campaign(
                 config,
                 performance_threshold=performance_threshold,
                 policy=policy,
+                telemetry=telemetry,
             )
         report = tool.test(
             key[2], seeds, iterations=iterations_per_cell, mode=mode, workers=workers
         )
-        _absorb_cell(result, key, report, journal)
+        _absorb_cell(result, key, report, journal, telemetry)
     return result
 
 
@@ -296,6 +316,7 @@ def _run_cells_process(
     journal,
     resume,
     workers,
+    telemetry=None,
 ):
     """Shard each remaining cell over a persistent worker pool.
 
@@ -329,6 +350,7 @@ def _run_cells_process(
         policy=policy,
         journal_path=journal.path if journal is not None else None,
         journal_meta=meta,
+        telemetry=telemetry.config() if telemetry is not None else None,
     )
     quarantined = set()
     seed_text_cache = {}
@@ -336,7 +358,13 @@ def _run_cells_process(
         for key, _solver, seeds in remaining:
             cache_key = (key[1], key[2])  # (family, oracle): seeds shared by solvers
             if cache_key not in seed_text_cache:
-                seed_text_cache[cache_key] = serialize_seeds(seeds)
+                if telemetry is not None:
+                    # The print phase: seeds cross the spawn boundary
+                    # as SMT-LIB text.
+                    with telemetry.phase("print"):
+                        seed_text_cache[cache_key] = serialize_seeds(seeds)
+                else:
+                    seed_text_cache[cache_key] = serialize_seeds(seeds)
             texts, logics = seed_text_cache[cache_key]
             have = {
                 shard: report
@@ -371,6 +399,8 @@ def _run_cells_process(
             for shard, future in futures.items():
                 payload = future.result()
                 shard_reports[shard] = collect_shard(payload)
+                if telemetry is not None and payload.get("telemetry") is not None:
+                    telemetry.merge_snapshot(payload["telemetry"])
                 counters[shard] = {
                     "shard": shard,
                     "of": workers,
@@ -387,7 +417,7 @@ def _run_cells_process(
             result.shard_counters[key] = [
                 counters[shard] for shard in sorted(counters)
             ]
-            _absorb_cell(result, key, merged, journal)
+            _absorb_cell(result, key, merged, journal, telemetry)
     if journal is not None:
         # Every cell is durably in the main journal now; the sidecar
         # partials have served their purpose.

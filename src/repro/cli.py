@@ -71,6 +71,73 @@ def _policy_from_args(args):
     )
 
 
+def _telemetry_from_args(args):
+    """A Telemetry when any observability flag was given, else None."""
+    if not (args.metrics or args.trace or getattr(args, "coverage", False)):
+        return None
+    from repro.observability import Telemetry
+
+    return Telemetry(
+        trace=args.trace,
+        profile=True,
+        coverage=getattr(args, "coverage", False),
+    )
+
+
+def _finish_telemetry(telemetry, args):
+    """Write the metrics sidecar (out-of-band, never the journal)."""
+    if telemetry is None:
+        return
+    try:
+        if args.metrics:
+            telemetry.write(args.metrics)
+            print(f"metrics written to {args.metrics}")
+        elif args.trace:
+            # No sidecar requested: show the phase profile directly.
+            from repro.campaign.report import render_table
+            from repro.observability.trace import phase_rows
+
+            rows = [
+                (name, calls, f"{total:.3f}s", f"{mean * 1e3:.2f}ms")
+                for name, calls, total, mean, _p90 in phase_rows(
+                    telemetry.snapshot()
+                )
+            ]
+            if rows:
+                print(
+                    render_table(
+                        ["phase", "calls", "total", "mean"],
+                        rows,
+                        "Phase profile (wall time)",
+                    )
+                )
+    finally:
+        telemetry.close()
+
+
+def _add_telemetry_flags(parser, coverage=False):
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="collect campaign metrics and write them to PATH as JSON "
+        "(a sidecar — journal bytes are unaffected)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="trace per-phase wall times (seed-pick/fuse/solve/oracle-check) "
+        "into fixed-bucket histograms",
+    )
+    if coverage:
+        parser.add_argument(
+            "--coverage",
+            action="store_true",
+            help="accumulate solver probe coverage across all cells into "
+            "the metrics (cumulative, not per-cell)",
+        )
+
+
 def _add_resilience_flags(parser):
     parser.add_argument(
         "--retries",
@@ -189,6 +256,7 @@ def _cmd_campaign(args):
 
         solver_factory = deterministic_solvers
         performance_threshold = None
+    telemetry = _telemetry_from_args(args)
     result = run_campaign(
         corpora,
         iterations_per_cell=args.iterations,
@@ -200,8 +268,10 @@ def _cmd_campaign(args):
         mode=args.mode,
         workers=args.workers,
         solver_factory=solver_factory,
+        telemetry=telemetry,
     )
     print(result.summary())
+    _finish_telemetry(telemetry, args)
     shard_table = render_shard_table(result)
     if shard_table:
         print(shard_table)
@@ -225,11 +295,13 @@ def _cmd_test(args):
         ),
         seed=args.seed,
     )
+    telemetry = _telemetry_from_args(args)
     tool = YinYang(
         solver,
         config,
         performance_threshold=args.perf_threshold,
         policy=_policy_from_args(args),
+        telemetry=telemetry,
     )
     mode = args.mode
     workers = args.workers
@@ -247,9 +319,19 @@ def _cmd_test(args):
     )
     print(report.summary())
     print(f"throughput: {report.throughput:.1f} fused formulas/s")
+    _finish_telemetry(telemetry, args)
     for i, bug in enumerate(report.bugs[: args.show]):
         print(f"--- bug {i}: {bug}")
         sys.stdout.write(print_script(bug.script))
+    return 0
+
+
+def _cmd_stats(args):
+    from repro.observability.stats import render_stats
+    from repro.observability.telemetry import load_snapshot
+
+    snapshot = load_snapshot(args.metrics) if args.metrics else None
+    sys.stdout.write(render_stats(args.journal, snapshot))
     return 0
 
 
@@ -326,6 +408,7 @@ def build_parser():
         help="shard count for --mode thread/process",
     )
     _add_resilience_flags(p_campaign)
+    _add_telemetry_flags(p_campaign, coverage=True)
     p_campaign.add_argument(
         "--journal",
         default=None,
@@ -337,6 +420,19 @@ def build_parser():
         help="skip cells already completed in --journal",
     )
     p_campaign.set_defaults(func=_cmd_campaign)
+
+    p_stats = sub.add_parser(
+        "stats", help="render a campaign dashboard from a journal (+ metrics)"
+    )
+    p_stats.add_argument(
+        "--journal", required=True, help="campaign journal written by `campaign`"
+    )
+    p_stats.add_argument(
+        "--metrics",
+        default=None,
+        help="metrics sidecar written by `campaign --metrics`",
+    )
+    p_stats.set_defaults(func=_cmd_stats)
 
     p_test = sub.add_parser("test", help="run the YinYang loop (Algorithm 1)")
     p_test.add_argument(
@@ -368,6 +464,7 @@ def build_parser():
     p_test.add_argument("--perf-threshold", type=float, default=0.3)
     p_test.add_argument("--show", type=int, default=2, help="bug scripts to print")
     _add_resilience_flags(p_test)
+    _add_telemetry_flags(p_test)
     p_test.set_defaults(func=_cmd_test)
 
     return parser

@@ -63,6 +63,10 @@ class WorkerSpec:
     policy: object = None  # ResiliencePolicy | None
     journal_path: str | None = None
     journal_meta: dict = field(default_factory=dict)
+    # A TelemetryConfig (picklable) — live registries must not cross
+    # the spawn boundary; each worker builds its own Telemetry and
+    # ships per-shard snapshots back with its results.
+    telemetry: object = None
 
 
 @dataclass(frozen=True)
@@ -117,6 +121,7 @@ class _WorkerState:
         self.by_name = {s.name: s for s in solvers}
         self.config = spec.config
         self.performance_threshold = spec.performance_threshold
+        self.telemetry_config = spec.telemetry
         self.parse_cache = {}
         self.journal = None
         if spec.journal_path:
@@ -175,24 +180,38 @@ def _run_shard(task):
         solver = state.by_name.get(name)
         if solver is not None and hasattr(solver, "force_quarantine"):
             solver.force_quarantine()
-    tool = YinYang(
-        solvers,
-        config=state.config,
-        performance_threshold=state.performance_threshold,
-    )
-    report = tool.run_iterations(
-        task.oracle,
-        scripts,
-        list(task.logics),
-        shard_indices(task.iterations, task.shard, task.of),
-        seed=task.seed,
-    )
+    # One Telemetry per shard (not per worker): each payload carries a
+    # clean per-shard snapshot, so the parent's merge — which sums
+    # counters like sidecar journals sum cells — never double-counts a
+    # long-lived worker's history.
+    from repro.observability.telemetry import Telemetry
+
+    telemetry = Telemetry.from_config(state.telemetry_config)
+    try:
+        tool = YinYang(
+            solvers,
+            config=state.config,
+            performance_threshold=state.performance_threshold,
+            telemetry=telemetry,
+        )
+        report = tool.run_iterations(
+            task.oracle,
+            scripts,
+            list(task.logics),
+            shard_indices(task.iterations, task.shard, task.of),
+            seed=task.seed,
+        )
+        telemetry_snapshot = telemetry.snapshot() if telemetry is not None else None
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     if state.journal is not None and task.cell is not None:
         state.journal.record_shard(tuple(task.cell), task.shard, task.of, report)
     return {
         "report": serialize_report(report),
         "elapsed": report.elapsed,
         "pid": os.getpid(),
+        "telemetry": telemetry_snapshot,
         "guards": [
             s.guard_state() for s in solvers if hasattr(s, "guard_state")
         ],
@@ -261,6 +280,7 @@ def run_sharded_test(
     seeds,
     iterations,
     workers,
+    telemetry=None,
 ):
     """``YinYang.test(mode="process")``: one run sharded over a pool."""
     if solver_factory is None:
@@ -277,6 +297,7 @@ def run_sharded_test(
         config=config,
         performance_threshold=performance_threshold,
         policy=policy,
+        telemetry=telemetry.config() if telemetry is not None else None,
     )
     start = time.perf_counter()
     with ShardedPool(workers, spec) as pool:
@@ -295,8 +316,11 @@ def run_sharded_test(
             for shard in range(pool.workers)
             if len(shard_indices(iterations, shard, pool.workers)) > 0
         ]
-        merged = merge_shard_reports(
-            [collect_shard(future.result()) for future in futures]
-        )
+        payloads = [future.result() for future in futures]
+        merged = merge_shard_reports([collect_shard(p) for p in payloads])
+    if telemetry is not None:
+        for payload in payloads:
+            if payload.get("telemetry") is not None:
+                telemetry.merge_snapshot(payload["telemetry"])
     merged.elapsed = time.perf_counter() - start
     return merged

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from repro.core.config import YinYangConfig
 from repro.core.fusion import fuse
 from repro.errors import FusionError
+from repro.observability.telemetry import NULL_TELEMETRY, attach_telemetry
 from repro.smtlib.ast import fresh_scope
 from repro.solver.result import SolverCrash, SolverResult
 
@@ -226,7 +227,14 @@ class YinYang:
     before (no guard overhead).
     """
 
-    def __init__(self, solvers, config=None, performance_threshold=None, policy=None):
+    def __init__(
+        self,
+        solvers,
+        config=None,
+        performance_threshold=None,
+        policy=None,
+        telemetry=None,
+    ):
         solvers = solvers if isinstance(solvers, (list, tuple)) else [solvers]
         if policy is not None:
             # Imported lazily: repro.robustness imports this module.
@@ -240,6 +248,13 @@ class YinYang:
         self.config = config or YinYangConfig()
         self.performance_threshold = performance_threshold
         self.policy = policy
+        # Telemetry observes and never steers: it draws no randomness
+        # and the loop's control flow is identical with it on or off.
+        # The null singleton keeps the hot path branch-free.
+        self.telemetry = telemetry
+        self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        if telemetry is not None:
+            attach_telemetry(self.solvers, telemetry)
 
     # -- Algorithm 1 -----------------------------------------------------
 
@@ -291,6 +306,7 @@ class YinYang:
                 seeds=seeds,
                 iterations=iterations,
                 workers=workers,
+                telemetry=self.telemetry,
             )
         if mode == "serial" or workers <= 1:
             return self.run_iterations(oracle, scripts, logics, range(iterations))
@@ -330,50 +346,67 @@ class YinYang:
             if getattr(solver, "quarantined", False):
                 report.quarantined.add(solver.name)
         report.elapsed = time.perf_counter() - start
+        # Profiling samples happen at shard boundaries, never per
+        # iteration — the hot path stays counter-increments only.
+        self._tel.sample_term_tables()
+        self._tel.sample_guards(self.solvers)
         return report
 
     def _one_iteration(self, oracle, scripts, logics, index, seed, report):
+        tel = self._tel
         rng = iteration_rng(seed, index)
         report.iterations += 1
+        tel.count("iterations")
         # The fresh-name scope makes the fused script a pure function
         # of (seed, index): gensyms restart at 0 for every iteration
         # instead of accumulating across the run, so shard boundaries
         # can never shift them.
         with fresh_scope():
-            i = rng.randrange(len(scripts))
-            j = rng.randrange(len(scripts))
+            with tel.phase("seed_pick"):
+                i = rng.randrange(len(scripts))
+                j = rng.randrange(len(scripts))
             try:
-                result = fuse(oracle, scripts[i], scripts[j], rng, self.config.fusion)
+                with tel.phase("fuse"):
+                    result = fuse(
+                        oracle, scripts[i], scripts[j], rng, self.config.fusion
+                    )
             except FusionError:
                 report.fusion_failures += 1
+                tel.count("fusion_failures")
                 return
             report.fused += 1
+            tel.count("fused")
             logic = logics[i] or logics[j]
             self._check_one(result, (i, j), logic, report, iteration=index)
 
     def _check_one(self, fusion_result, seed_indices, logic, report, iteration=-1):
+        tel = self._tel
         schemes = tuple(t.scheme for t in fusion_result.triplets)
         for solver in self.solvers:
             if getattr(solver, "quarantined", False):
                 # Circuit breaker tripped: degrade gracefully to the
                 # remaining solvers instead of hammering a dead one.
                 report.quarantine_skips += 1
+                tel.count("quarantine_skips")
                 report.quarantined.add(solver.name)
                 continue
             began = time.perf_counter()
             try:
-                outcome = solver.check_script(fusion_result.script)
+                with tel.phase("solve"):
+                    outcome = solver.check_script(fusion_result.script)
             except SolverCrash as crash:
                 if crash.kind == _QUARANTINED_KIND:
                     # The breaker tripped between our check above and
                     # the call (thread-mode race): a skip, not a crash.
                     report.quarantine_skips += 1
+                    tel.count("quarantine_skips")
                     report.quarantined.add(solver.name)
                     continue
                 report.retries += getattr(crash, "retries", 0)
                 contained = crash.kind == _HARNESS_ERROR_KIND
                 if contained:
                     report.contained_errors += 1
+                tel.count("bugs.harness" if contained else "bugs.crash")
                 report.bugs.append(
                     BugRecord(
                         kind=HARNESS if contained else CRASH,
@@ -391,42 +424,68 @@ class YinYang:
                 )
                 continue
             elapsed = time.perf_counter() - began
+            tel.count("checks")
+            # Guard-level events (retries, timeouts, containment) are
+            # counted by the GuardedSolver itself once telemetry is
+            # attached — counting them here too would double-count.
             report.retries += outcome.stats.get("guard_retries", 0)
             if outcome.stats.get("guard_timeout"):
                 report.timeouts += 1
-            if (
-                self.performance_threshold is not None
-                and elapsed > self.performance_threshold
-            ):
-                slow_faults = outcome.stats.get("slow_faults", [])
-                report.bugs.append(
-                    BugRecord(
-                        kind=PERFORMANCE,
-                        solver=solver.name,
-                        oracle=fusion_result.oracle,
-                        reported=f"{elapsed:.2f}s",
-                        script=fusion_result.script,
-                        seed_indices=seed_indices,
-                        schemes=schemes,
-                        logic=logic,
-                        elapsed=elapsed,
-                        note=slow_faults[0] if slow_faults else "",
-                        iteration=iteration,
-                    )
-                )
-            if outcome.result is SolverResult.UNKNOWN:
-                report.unknowns += 1
-                # An unknown accompanied by an internal error note is a
-                # bug in its own right; a plain unknown is a bug only
-                # under the strict (unknown-is-crash) policy.
-                internal_error = outcome.reason.startswith("error:")
-                if internal_error or self.config.unknown_is_crash:
+            with tel.phase("oracle_check"):
+                if (
+                    self.performance_threshold is not None
+                    and elapsed > self.performance_threshold
+                ):
+                    slow_faults = outcome.stats.get("slow_faults", [])
+                    tel.count("bugs.performance")
                     report.bugs.append(
                         BugRecord(
-                            kind=UNKNOWN_BUG,
+                            kind=PERFORMANCE,
                             solver=solver.name,
                             oracle=fusion_result.oracle,
-                            reported="unknown",
+                            reported=f"{elapsed:.2f}s",
+                            script=fusion_result.script,
+                            seed_indices=seed_indices,
+                            schemes=schemes,
+                            logic=logic,
+                            elapsed=elapsed,
+                            note=slow_faults[0] if slow_faults else "",
+                            iteration=iteration,
+                        )
+                    )
+                if outcome.result is SolverResult.UNKNOWN:
+                    report.unknowns += 1
+                    tel.count("unknowns")
+                    # An unknown accompanied by an internal error note is a
+                    # bug in its own right; a plain unknown is a bug only
+                    # under the strict (unknown-is-crash) policy.
+                    internal_error = outcome.reason.startswith("error:")
+                    if internal_error or self.config.unknown_is_crash:
+                        tel.count("bugs.unknown")
+                        report.bugs.append(
+                            BugRecord(
+                                kind=UNKNOWN_BUG,
+                                solver=solver.name,
+                                oracle=fusion_result.oracle,
+                                reported="unknown",
+                                script=fusion_result.script,
+                                seed_indices=seed_indices,
+                                schemes=schemes,
+                                logic=logic,
+                                elapsed=elapsed,
+                                note=outcome.reason,
+                                iteration=iteration,
+                            )
+                        )
+                    continue
+                if str(outcome.result) != fusion_result.oracle:
+                    tel.count("bugs.soundness")
+                    report.bugs.append(
+                        BugRecord(
+                            kind=SOUNDNESS,
+                            solver=solver.name,
+                            oracle=fusion_result.oracle,
+                            reported=str(outcome.result),
                             script=fusion_result.script,
                             seed_indices=seed_indices,
                             schemes=schemes,
@@ -436,23 +495,6 @@ class YinYang:
                             iteration=iteration,
                         )
                     )
-                continue
-            if str(outcome.result) != fusion_result.oracle:
-                report.bugs.append(
-                    BugRecord(
-                        kind=SOUNDNESS,
-                        solver=solver.name,
-                        oracle=fusion_result.oracle,
-                        reported=str(outcome.result),
-                        script=fusion_result.script,
-                        seed_indices=seed_indices,
-                        schemes=schemes,
-                        logic=logic,
-                        elapsed=elapsed,
-                        note=outcome.reason,
-                        iteration=iteration,
-                    )
-                )
 
     def test_mixed(self, want, sat_seeds, unsat_seeds, iterations=None):
         """Mixed fusion mode (paper Section 3.2): one satisfiable and one
@@ -468,22 +510,27 @@ class YinYang:
         iterations = (
             iterations if iterations is not None else self.config.max_iterations
         )
+        tel = self._tel
         report = YinYangReport()
         start = time.perf_counter()
         for index in range(iterations):
             rng = iteration_rng(self.config.seed, index)
             report.iterations += 1
+            tel.count("iterations")
             with fresh_scope():
                 phi_sat = sat_scripts[rng.randrange(len(sat_scripts))]
                 phi_unsat = unsat_scripts[rng.randrange(len(unsat_scripts))]
                 try:
-                    result = fuse_mixed(
-                        phi_sat, phi_unsat, want, rng, self.config.fusion
-                    )
+                    with tel.phase("fuse"):
+                        result = fuse_mixed(
+                            phi_sat, phi_unsat, want, rng, self.config.fusion
+                        )
                 except FusionError:
                     report.fusion_failures += 1
+                    tel.count("fusion_failures")
                     continue
                 report.fused += 1
+                tel.count("fused")
                 self._check_one(result, (0, 0), "", report, iteration=index)
         report.elapsed = time.perf_counter() - start
         return report

@@ -68,6 +68,25 @@ def coverage_session(label=""):
         _ACTIVE.remove(session)
 
 
+def activate_session(session):
+    """Activate a session without a ``with`` block (long-lived sessions).
+
+    The telemetry layer uses this for its *cumulative* coverage
+    session: one session spanning a whole campaign, so probe hits
+    accumulate across cells instead of being recomputed from scratch
+    per cell. Pair with :func:`deactivate_session`.
+    """
+    _ACTIVE.append(session)
+
+
+def deactivate_session(session):
+    """Deactivate a session activated by :func:`activate_session`."""
+    try:
+        _ACTIVE.remove(session)
+    except ValueError:
+        pass  # already deactivated; idempotent by design
+
+
 def _declare(kind, probe_id):
     with _LOCK:
         _REGISTRY[kind].add(probe_id)

@@ -24,6 +24,23 @@ class CoverageReport:
             branch=pct["branch"],
         )
 
+    @classmethod
+    def from_metrics(cls, snapshot, label):
+        """Build a report from a metrics-registry snapshot.
+
+        The registry is the shared source of truth for probe-hit
+        counts: the Figure 11 study publishes its sessions into a
+        registry and reads the percentages back through here, so its
+        numbers can never drift from what ``yinyang stats`` shows for
+        the same probes.
+        """
+        pct = {}
+        for kind, (fired, registered) in coverage_counts(snapshot).items():
+            pct[kind] = 100.0 * fired / registered if registered else 0.0
+        return cls(
+            label=label, line=pct["line"], function=pct["function"], branch=pct["branch"]
+        )
+
     def row(self):
         """The (l, f, b) triple formatted like the paper's Figure 11."""
         return (round(self.line, 1), round(self.function, 1), round(self.branch, 1))
@@ -60,6 +77,26 @@ class CoverageComparison:
             "function": self.yinyang.function - self.benchmark.function,
             "branch": self.yinyang.branch - self.benchmark.branch,
         }
+
+
+def coverage_counts(snapshot):
+    """Mapping kind -> (fired, registered) from a metrics snapshot.
+
+    The single decoding of the ``coverage.<kind>.fired`` value-sets and
+    ``coverage.<kind>.registered`` gauges written by
+    :func:`repro.observability.telemetry.publish_coverage_session`.
+    Both :meth:`CoverageReport.from_metrics` (Figure 11) and the
+    ``yinyang stats`` dashboard consume coverage through this function.
+    """
+    sets = snapshot.get("sets", {})
+    gauges = snapshot.get("gauges", {})
+    return {
+        kind: (
+            len(sets.get(f"coverage.{kind}.fired", ())),
+            int(gauges.get(f"coverage.{kind}.registered", 0)),
+        )
+        for kind in ("line", "function", "branch")
+    }
 
 
 def average_reports(reports, label):

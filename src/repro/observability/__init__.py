@@ -1,0 +1,37 @@
+"""Campaign observability: metrics, phase tracing, profiling hooks.
+
+See DESIGN.md §10. The package deliberately has no dependency on the
+campaign layers (``stats`` — the dashboard renderer — is imported
+lazily by the CLI) so that ``core``/``robustness``/``solver`` can
+import it without cycles.
+"""
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from repro.observability.telemetry import (
+    Telemetry,
+    TelemetryConfig,
+    attach_telemetry,
+    load_snapshot,
+)
+from repro.observability.trace import NULL_SPAN, PhaseTracer, Span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "PhaseTracer",
+    "Span",
+    "Telemetry",
+    "TelemetryConfig",
+    "attach_telemetry",
+    "load_snapshot",
+    "merge_snapshots",
+]

@@ -1,0 +1,104 @@
+"""Span-based phase tracing of the YinYang iteration.
+
+A *span* times one phase of the fuzzing pipeline — the paper's
+iteration decomposes as seed-pick → fuse → print → solve →
+oracle-check → classify — and records the wall time into a fixed-bucket
+histogram ``phase.<name>`` in the metrics registry. Spans nest freely
+(``solve`` runs inside the iteration) but carry no parent pointers or
+ids: the campaign needs aggregate phase profiles, not per-iteration
+flame graphs, and aggregation is what keeps tracing cheap and its
+output deterministic to merge.
+
+When tracing is disabled the instrumentation points receive
+:data:`NULL_SPAN`, a shared no-op context manager: entering it does no
+clock read and no allocation, so an untraced run pays only a truthiness
+check per phase.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class _NullSpan:
+    """Shared no-op span: zero clock reads, zero allocations."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed phase; records its duration on exit."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram):
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info):
+        self._histogram.observe(time.perf_counter() - self._start)
+        return False
+
+
+class PhaseTracer:
+    """Hands out spans bound to per-phase histograms.
+
+    Histogram handles are cached so a steady-state span costs one dict
+    lookup, one small object, and two clock reads.
+    """
+
+    PREFIX = "phase."
+
+    def __init__(self, registry):
+        self.registry = registry
+        self._histograms = {}
+
+    def span(self, name):
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = self.registry.histogram(
+                self.PREFIX + name
+            )
+        return Span(histogram)
+
+
+def phase_rows(snapshot):
+    """(phase, calls, total_s, mean_s, ~p90_s) rows from a snapshot.
+
+    The p90 is bucket-resolution: the upper bound of the bucket holding
+    the 90th-percentile observation.
+    """
+    from repro.observability.metrics import Histogram
+
+    rows = []
+    for name, data in snapshot.get("histograms", {}).items():
+        if not name.startswith(PhaseTracer.PREFIX):
+            continue
+        hist = Histogram(name, data["bounds"])
+        hist.counts = list(data["counts"])
+        hist.sum = data["sum"]
+        hist.count = data["count"]
+        rows.append(
+            (
+                name[len(PhaseTracer.PREFIX):],
+                hist.count,
+                hist.sum,
+                hist.mean,
+                hist.quantile(0.9),
+            )
+        )
+    rows.sort(key=lambda r: -r[2])
+    return rows

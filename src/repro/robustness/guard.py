@@ -118,13 +118,18 @@ class GuardedSolver:
     them per report even when one guard spans many reports.
     """
 
-    def __init__(self, solver, policy=None):
+    def __init__(self, solver, policy=None, telemetry=None):
         self.base = solver
         self.policy = policy or ResiliencePolicy()
         self.name = solver.name
         self.quarantined = False
         self.consecutive_failures = 0
         self.stats = {"retries": 0, "timeouts": 0, "contained": 0, "crashes": 0}
+        # Observability hook (see repro.observability): when attached,
+        # guard events also bump campaign-wide "guard.*" counters.
+        # Declared explicitly so an unattached guard never falls
+        # through __getattr__ to the wrapped solver's handle.
+        self.telemetry = telemetry
         self._lock = threading.Lock()
         # One watchdog per calling thread: concurrent checks (YinYang's
         # thread mode) must not serialize behind a single helper.
@@ -138,14 +143,23 @@ class GuardedSolver:
     def _count(self, key, n=1):
         with self._lock:
             self.stats[key] += n
+        tel = self.telemetry
+        if tel is not None:
+            tel.count("guard." + key, n)
 
     def _failure(self):
         """One crash/timeout/contained error; may trip the breaker."""
+        tripped = False
         with self._lock:
             self.consecutive_failures += 1
             threshold = self.policy.quarantine_after
             if threshold is not None and self.consecutive_failures >= threshold:
+                tripped = not self.quarantined
                 self.quarantined = True
+        if tripped:
+            tel = self.telemetry
+            if tel is not None:
+                tel.count("guard.quarantine_trips")
 
     def _success(self):
         with self._lock:

@@ -72,6 +72,10 @@ class ReferenceSolver:
 
     def __init__(self, config=None):
         self.config = config or SolverConfig()
+        # Observability hook: attach_telemetry() points this at a
+        # Telemetry so every check is counted (and, under --trace,
+        # timed). None costs a single truthiness test per check.
+        self.telemetry = None
 
     def check(self, source):
         """Check an SMT-LIB script (text or :class:`Script`).
@@ -89,14 +93,28 @@ class ReferenceSolver:
             raise TypeError(f"expected a Script, got {type(script).__name__}")
         seconds = self.config.timeout_seconds
         deadline = time.monotonic() + seconds if seconds > 0 else None
-        return check_assertions(
-            script.asserts,
-            string_config=self.config.strings,
-            seed=self.config.seed,
-            max_rounds=self.config.max_rounds,
-            nonlinear_budget=self.config.nonlinear_budget,
-            deadline=deadline,
-        )
+        tel = self.telemetry
+        if tel is None:
+            return check_assertions(
+                script.asserts,
+                string_config=self.config.strings,
+                seed=self.config.seed,
+                max_rounds=self.config.max_rounds,
+                nonlinear_budget=self.config.nonlinear_budget,
+                deadline=deadline,
+            )
+        with tel.phase("solver.check"):
+            outcome = check_assertions(
+                script.asserts,
+                string_config=self.config.strings,
+                seed=self.config.seed,
+                max_rounds=self.config.max_rounds,
+                nonlinear_budget=self.config.nonlinear_budget,
+                deadline=deadline,
+            )
+        tel.count("solver.checks")
+        tel.count("solver.result." + outcome.result.value)
+        return outcome
 
     def check_result(self, source):
         """Convenience: just the :class:`SolverResult` verdict."""

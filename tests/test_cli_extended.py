@@ -1,4 +1,6 @@
-"""Tests for the reduce and campaign CLI subcommands."""
+"""Tests for the reduce, campaign, stats and telemetry CLI surface."""
+
+import json
 
 import pytest
 
@@ -108,3 +110,87 @@ class TestResilienceFlags:
         code = main(["campaign", "--resume"])
         assert code == 2
         assert "requires --journal" in capsys.readouterr().err
+
+
+_TINY_CAMPAIGN = ["campaign", "--scale", "0.0005", "--iterations", "3",
+                  "--deterministic"]
+
+
+class TestTelemetryCli:
+    def test_metrics_sidecar_leaves_journal_alone(self, tmp_path, capsys):
+        plain = tmp_path / "plain.jsonl"
+        assert main(_TINY_CAMPAIGN + ["--journal", str(plain)]) == 0
+        metered = tmp_path / "metered.jsonl"
+        sidecar = tmp_path / "metrics.json"
+        assert (
+            main(
+                _TINY_CAMPAIGN
+                + ["--journal", str(metered), "--metrics", str(sidecar), "--trace"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # The metered journal is byte-identical: metrics went out-of-band.
+        assert metered.read_bytes() == plain.read_bytes()
+        snapshot = json.loads(sidecar.read_text())
+        assert snapshot["counters"]["iterations"] > 0
+        assert any(name.startswith("phase.") for name in snapshot["histograms"])
+
+    def test_trace_without_sidecar_prints_profile(self, capsys):
+        assert main(_TINY_CAMPAIGN + ["--trace"]) == 0
+        assert "Phase profile" in capsys.readouterr().out
+
+    def test_coverage_flag_fills_coverage_sets(self, tmp_path, capsys):
+        sidecar = tmp_path / "metrics.json"
+        args = _TINY_CAMPAIGN + ["--metrics", str(sidecar), "--coverage"]
+        assert main(args) == 0
+        capsys.readouterr()
+        snapshot = json.loads(sidecar.read_text())
+        assert snapshot["sets"]["coverage.line.fired"]
+        assert snapshot["gauges"]["coverage.line.registered"] > 0
+
+    def test_test_subcommand_writes_sidecar(self, tmp_path, capsys):
+        sidecar = tmp_path / "metrics.json"
+        code = main(
+            [
+                "test", "--oracle", "sat", "--corpus", "QF_LIA",
+                "--scale", "0.003", "--iterations", "4",
+                "--metrics", str(sidecar),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        snapshot = json.loads(sidecar.read_text())
+        assert snapshot["counters"]["iterations"] == 4
+
+
+class TestStatsCommand:
+    @pytest.fixture()
+    def campaign_artifacts(self, tmp_path, capsys):
+        journal = tmp_path / "journal.jsonl"
+        sidecar = tmp_path / "metrics.json"
+        assert (
+            main(
+                _TINY_CAMPAIGN
+                + ["--journal", str(journal), "--metrics", str(sidecar), "--trace"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return str(journal), str(sidecar)
+
+    def test_stats_with_metrics(self, campaign_artifacts, capsys):
+        journal, sidecar = campaign_artifacts
+        assert main(["stats", "--journal", journal, "--metrics", sidecar]) == 0
+        out = capsys.readouterr().out
+        assert "Per-cell results" in out
+        assert "Bugs by kind" in out
+        assert "Metrics" in out
+        assert "Phase profile" in out
+
+    def test_stats_journal_only(self, campaign_artifacts, capsys):
+        journal, _ = campaign_artifacts
+        assert main(["stats", "--journal", journal]) == 0
+        out = capsys.readouterr().out
+        assert "Per-cell results" in out
+        assert "Phase profile" not in out

@@ -21,6 +21,7 @@ import pytest
 from repro.campaign.runner import deterministic_solvers, run_campaign
 from repro.core.config import YinYangConfig
 from repro.core.yinyang import YinYang, merge_shard_reports, shard_indices
+from repro.observability.telemetry import Telemetry
 from repro.robustness.journal import serialize_bug_record, sidecar_paths
 from repro.seeds import build_corpus
 
@@ -117,6 +118,92 @@ class TestProcessDeterminism:
         )
         assert records_of(result) == records_of(baseline[0])
         assert path.read_bytes() == baseline[1]
+
+
+class TestTelemetryInvisibility:
+    """Telemetry is an observer: attaching it — metrics only or fully
+    traced — must leave journal bytes, bug records and summaries
+    untouched, in every mode and at every worker count. Anything else
+    would mean observation perturbed the campaign's RNG streams or its
+    durable output."""
+
+    def _run(self, corpora, path, trace, mode="serial", workers=1):
+        telemetry = Telemetry(trace=trace, profile=True)
+        try:
+            result = run_campaign(
+                corpora,
+                journal=path,
+                mode=mode,
+                workers=workers,
+                telemetry=telemetry,
+                **CAMPAIGN,
+            )
+            snapshot = telemetry.snapshot()
+        finally:
+            telemetry.close()
+        return result, snapshot
+
+    @pytest.mark.parametrize("trace", [False, True], ids=["metrics", "traced"])
+    def test_serial_journal_bytes_unchanged(self, corpora, baseline, tmp_path, trace):
+        path = tmp_path / "tel-serial.jsonl"
+        result, _ = self._run(corpora, path, trace)
+        assert path.read_bytes() == baseline[1]
+        assert result.summary() == baseline[0].summary()
+        assert records_of(result) == records_of(baseline[0])
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_thread_journal_bytes_unchanged(self, corpora, baseline, tmp_path, workers):
+        path = tmp_path / f"tel-thread{workers}.jsonl"
+        result, _ = self._run(corpora, path, trace=True, mode="thread", workers=workers)
+        assert path.read_bytes() == baseline[1]
+        # summary() embeds the mode tag, so compare its mode-independent
+        # ingredients instead.
+        assert result.summary_counters() == baseline[0].summary_counters()
+        assert fault_counts(result) == fault_counts(baseline[0])
+
+    def test_process_journal_bytes_unchanged(self, corpora, baseline, tmp_path):
+        path = tmp_path / "tel-process2.jsonl"
+        result, _ = self._run(corpora, path, trace=False, mode="process", workers=2)
+        assert path.read_bytes() == baseline[1]
+        assert result.summary_counters() == baseline[0].summary_counters()
+        assert records_of(result) == records_of(baseline[0])
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_process_traced_journal_bytes_unchanged(
+        self, corpora, baseline, tmp_path, workers
+    ):
+        path = tmp_path / f"tel-process{workers}.jsonl"
+        result, _ = self._run(
+            corpora, path, trace=True, mode="process", workers=workers
+        )
+        assert path.read_bytes() == baseline[1]
+        assert result.summary_counters() == baseline[0].summary_counters()
+        assert fault_counts(result) == fault_counts(baseline[0])
+
+    def test_counters_agree_across_modes(self, corpora, tmp_path):
+        """The merged process-mode counters equal the serial counters:
+        shard snapshots merged by the parent lose and invent nothing."""
+        _, serial = self._run(corpora, tmp_path / "a.jsonl", trace=False)
+        _, merged = self._run(
+            corpora, tmp_path / "b.jsonl", trace=False, mode="process", workers=2
+        )
+        assert serial["counters"] == merged["counters"]
+
+    def test_counters_match_campaign_summary(self, corpora, baseline, tmp_path):
+        """The registry's counters and the journal-derived summary agree
+        on the shared quantities — two views of one campaign."""
+        result, snapshot = self._run(corpora, tmp_path / "c.jsonl", trace=False)
+        totals = result.summary_counters()
+        counters = snapshot["counters"]
+        assert counters["iterations"] == totals["iterations"]
+        assert counters["fused"] == totals["fused"]
+        assert counters.get("fusion_failures", 0) == totals["fusion_failures"]
+        bug_kinds = ("soundness", "crash", "performance", "unknown", "harness")
+        assert (
+            sum(counters.get(f"bugs.{kind}", 0) for kind in bug_kinds)
+            == totals["bugs"]
+        )
 
 
 class _AlwaysUnsat:

@@ -68,11 +68,11 @@ def _interrupt_after_cells(corpora, path, after_cells, **kwargs):
     original = runner_mod._absorb_cell
     state = {"cells": 0}
 
-    def interrupting(result, key, report, journal):
+    def interrupting(result, key, report, journal, telemetry=None):
         if state["cells"] >= after_cells:
             raise KeyboardInterrupt
         state["cells"] += 1
-        return original(result, key, report, journal)
+        return original(result, key, report, journal, telemetry)
 
     runner_mod._absorb_cell = interrupting
     try:

@@ -13,12 +13,12 @@ terms in the seed bodies) finds fewer faults than the default.
 
 from _util import emit, once
 
+from repro.core.checker import retriggers_bug
 from repro.core.concatfuzz import concat_scripts
 from repro.core.config import FusionConfig, YinYangConfig
 from repro.core.yinyang import YinYang
 from repro.campaign.runner import default_solvers
 from repro.seeds import build_corpus
-from repro.solver.result import SolverCrash, SolverResult
 
 
 def _collect_bugs(solver, corpora_specs, iterations):
@@ -33,16 +33,6 @@ def _collect_bugs(solver, corpora_specs, iterations):
         for bug in report.bugs:
             bugs.append((family, oracle, bug))
     return bugs, seed_lists
-
-
-def _retriggers(solver, script, oracle, kind):
-    try:
-        outcome = solver.check_script(script)
-    except SolverCrash:
-        return kind == "crash"
-    if kind == "soundness":
-        return outcome.result.is_definite and str(outcome.result) != oracle
-    return False
 
 
 def test_rq4_concatfuzz_retrigger(benchmark):
@@ -64,7 +54,7 @@ def test_rq4_concatfuzz_retrigger(benchmark):
         seeds = seed_lists[(family, oracle)]
         i, j = bug.seed_indices
         concatenated = concat_scripts(oracle, seeds[i].script, seeds[j].script)
-        if _retriggers(z3, concatenated, oracle, bug.kind):
+        if retriggers_bug(z3, concatenated, oracle, bug.kind):
             retriggered += 1
 
     fraction = retriggered / len(sample)

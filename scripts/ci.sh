@@ -1,32 +1,39 @@
 #!/usr/bin/env bash
 # The tier-1 CI gate, runnable locally and in any runner.
 #
-# Three stages, strictly ordered so the cheapest failures surface first:
+# Four stages, strictly ordered so the cheapest failures surface first:
 #
 #   1. AST lint  — term nodes must be built via the interning
-#      constructors, and the observability layer must never import
-#      random (telemetry cannot be allowed to perturb the campaign's
-#      RNG streams).
-#   2. Telemetry determinism — journals must stay byte-identical with
+#      constructors, the observability layer must never import random
+#      (telemetry cannot be allowed to perturb the campaign's RNG
+#      streams), and the campaign core must stay strategy-agnostic (no
+#      fusion/concatfuzz imports in yinyang.py).
+#   2. Strategy determinism — the default fusion strategy must
+#      reproduce the pre-refactor golden journal byte-for-byte, and
+#      opfuzz must journal identically across modes/worker counts.
+#   3. Telemetry determinism — journals must stay byte-identical with
 #      metrics off, on, or traced, across modes and worker counts.
-#   3. Fast lane — the full suite minus the soak/slow markers
+#   4. Fast lane — the full suite minus the soak/slow markers
 #      (see pyproject.toml; run the slow and chaos lanes nightly:
 #      `pytest -m slow` / `pytest -m chaos`).
 #
-# Stages 1 and 2 are subsets of stage 3; running them first just makes
+# Stages 1-3 are subsets of stage 4; running them first just makes
 # the common failure modes fail in seconds instead of minutes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== stage 1/3: AST lint (interning constructors, no RNG in telemetry) =="
+echo "== stage 1/4: AST lint (interning, no RNG in telemetry, strategy-agnostic core) =="
 python -m pytest tests/test_ast_lint.py \
     "tests/test_observability.py::TestHotPathHygiene" -q
 
-echo "== stage 2/3: telemetry determinism (journal byte-identity) =="
+echo "== stage 2/4: strategy determinism (golden fusion journal, opfuzz byte-identity) =="
+python -m pytest tests/test_strategies.py -q -m "not slow"
+
+echo "== stage 3/4: telemetry determinism (journal byte-identity) =="
 python -m pytest tests/test_parallel_determinism.py -q -m "not slow"
 
-echo "== stage 3/3: fast lane (full suite minus slow/chaos) =="
+echo "== stage 4/4: fast lane (full suite minus slow/chaos) =="
 python -m pytest -m "not slow and not chaos" -q
 
 echo "CI gate passed."

@@ -46,6 +46,7 @@ from repro.robustness.journal import (
 )
 from repro.solver.solver import ReferenceSolver, SolverConfig
 from repro.solver.strings import StringConfig
+from repro.strategies.registry import make_strategy
 
 
 def default_solvers(release="trunk", base_config=None):
@@ -96,6 +97,7 @@ class CampaignResult:
     elapsed_total: float = 0.0
     mode: str = "serial"
     workers: int = 1
+    strategy: str = "fusion"  # the mutation strategy's registry name
     # (solver, corpus, oracle) -> [per-shard counter dicts] (process mode)
     shard_counters: dict = field(default_factory=dict)
 
@@ -134,6 +136,8 @@ class CampaignResult:
     def summary(self):
         found = self.found_faults()
         parts = [f"{self.fused_total} fused formulas"]
+        if self.strategy != "fusion":
+            parts.append(f"strategy {self.strategy}")
         if self.mode != "serial":
             parts.append(f"mode {self.mode} x{self.workers}")
         for solver_name, faults in found.items():
@@ -196,6 +200,7 @@ def run_campaign(
     workers=1,
     solver_factory=None,
     telemetry=None,
+    strategy="fusion",
 ):
     """Run the full campaign.
 
@@ -228,10 +233,17 @@ def run_campaign(
     ``tests/test_parallel_determinism.py``). In process mode each
     worker runs its own telemetry and the parent merges per-shard
     snapshots, exactly like sidecar journals.
+
+    ``strategy`` selects the mutation workload by registry name
+    (``"fusion"``, ``"concatfuzz"``, ``"opfuzz"``, ...) or as a ready
+    :class:`~repro.strategies.base.MutationStrategy` instance; the
+    journal records it (non-default strategies only, to keep fusion
+    journal bytes stable) and a resume refuses to mix strategies.
     """
     if mode not in EXECUTION_MODES:
         raise ValueError(f"mode must be one of {EXECUTION_MODES}, got {mode!r}")
     workers = max(1, workers)
+    strategy_name = strategy if isinstance(strategy, str) else strategy.name
     if mode == "process":
         if solver_factory is None:
             if solvers is not None:
@@ -255,10 +267,17 @@ def run_campaign(
         },
         mode=mode,
         workers=workers,
+        strategy=strategy_name,
     )
     completed = {}
     if journal is not None:
-        journal.ensure_meta(seed=seed, iterations_per_cell=iterations_per_cell)
+        meta_params = {"seed": seed, "iterations_per_cell": iterations_per_cell}
+        if strategy_name != "fusion":
+            # Fusion journals predate strategies and must keep their
+            # exact bytes; only other workloads stamp the meta key.
+            meta_params["strategy"] = strategy_name
+        journal.ensure_meta(**meta_params)
+        journal.ensure_strategy(strategy_name)
         if resume:
             completed = journal.completed_cells()
     config = YinYangConfig(fusion=fusion_config or FusionConfig(), seed=seed)
@@ -285,8 +304,17 @@ def run_campaign(
             resume=resume,
             workers=workers,
             telemetry=telemetry,
+            strategy=strategy_name,
         )
         return result
+    # One strategy instance shared across all cells and solvers: its
+    # caches (e.g. opfuzz's reference solver) keep earning, and mutants
+    # stay a pure function of (strategy, seed, index) regardless.
+    strategy_obj = (
+        make_strategy(strategy_name, config.fusion)
+        if isinstance(strategy, str)
+        else strategy
+    )
     tools = {}
     for key, solver, seeds in remaining:
         tool = tools.get(key[0])
@@ -297,6 +325,7 @@ def run_campaign(
                 performance_threshold=performance_threshold,
                 policy=policy,
                 telemetry=telemetry,
+                strategy=strategy_obj,
             )
         report = tool.test(
             key[2], seeds, iterations=iterations_per_cell, mode=mode, workers=workers
@@ -317,6 +346,7 @@ def _run_cells_process(
     resume,
     workers,
     telemetry=None,
+    strategy="fusion",
 ):
     """Shard each remaining cell over a persistent worker pool.
 
@@ -335,10 +365,15 @@ def _run_cells_process(
         serialize_seeds,
     )
 
+    # Sidecars are transient (removed once the campaign lands in the
+    # main journal), so they carry the strategy unconditionally: a
+    # resume must never splice one strategy's partial shards into
+    # another's cells.
     meta = {
         "seed": config.seed,
         "iterations_per_cell": iterations_per_cell,
         "workers": workers,
+        "strategy": strategy,
     }
     partials = {}
     if journal is not None and resume:
@@ -389,6 +424,7 @@ def _run_cells_process(
                         cell=key,
                         solver_names=(key[0],),
                         quarantined=tuple(sorted(quarantined)),
+                        strategy=strategy,
                     )
                 )
             shard_reports = dict(have)

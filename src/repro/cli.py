@@ -10,8 +10,10 @@ Examples::
 
     yinyang fuse --oracle sat seed1.smt2 seed2.smt2
     yinyang test --oracle unsat --solver z3-like --corpus QF_S --iterations 200
+    yinyang test --oracle sat --strategy opfuzz --corpus QF_LIA
     yinyang generate --family QF_NRA --oracle unsat --count 5
     yinyang check formula.smt2 --solver reference
+    yinyang strategies
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ from repro.smtlib.parser import parse_script
 from repro.smtlib.printer import print_script
 from repro.solver.result import SolverCrash
 from repro.solver.solver import ReferenceSolver
+from repro.strategies import iter_strategies, strategy_names
 
 
 def _load_script(path):
@@ -136,6 +139,16 @@ def _add_telemetry_flags(parser, coverage=False):
             help="accumulate solver probe coverage across all cells into "
             "the metrics (cumulative, not per-cell)",
         )
+
+
+def _add_strategy_flag(parser):
+    parser.add_argument(
+        "--strategy",
+        choices=strategy_names(),
+        default="fusion",
+        help="mutation strategy (see `yinyang strategies`); opfuzz uses a "
+        "differential oracle instead of fusion's metamorphic one",
+    )
 
 
 def _add_resilience_flags(parser):
@@ -269,6 +282,7 @@ def _cmd_campaign(args):
         workers=args.workers,
         solver_factory=solver_factory,
         telemetry=telemetry,
+        strategy=args.strategy,
     )
     print(result.summary())
     _finish_telemetry(telemetry, args)
@@ -302,6 +316,7 @@ def _cmd_test(args):
         performance_threshold=args.perf_threshold,
         policy=_policy_from_args(args),
         telemetry=telemetry,
+        strategy=args.strategy,
     )
     mode = args.mode
     workers = args.workers
@@ -323,6 +338,25 @@ def _cmd_test(args):
     for i, bug in enumerate(report.bugs[: args.show]):
         print(f"--- bug {i}: {bug}")
         sys.stdout.write(print_script(bug.script))
+    return 0
+
+
+def _cmd_strategies(args):
+    from repro.campaign.report import render_table
+
+    rows = [
+        (name, str(seeds), kind, summary)
+        for name, seeds, kind, summary in (
+            s.describe() for s in iter_strategies()
+        )
+    ]
+    print(
+        render_table(
+            ["strategy", "seeds/iter", "oracle", "description"],
+            rows,
+            "Registered mutation strategies",
+        )
+    )
     return 0
 
 
@@ -407,6 +441,7 @@ def build_parser():
         default=1,
         help="shard count for --mode thread/process",
     )
+    _add_strategy_flag(p_campaign)
     _add_resilience_flags(p_campaign)
     _add_telemetry_flags(p_campaign, coverage=True)
     p_campaign.add_argument(
@@ -463,9 +498,15 @@ def build_parser():
     )
     p_test.add_argument("--perf-threshold", type=float, default=0.3)
     p_test.add_argument("--show", type=int, default=2, help="bug scripts to print")
+    _add_strategy_flag(p_test)
     _add_resilience_flags(p_test)
     _add_telemetry_flags(p_test)
     p_test.set_defaults(func=_cmd_test)
+
+    p_strategies = sub.add_parser(
+        "strategies", help="list the registered mutation strategies"
+    )
+    p_strategies.set_defaults(func=_cmd_strategies)
 
     return parser
 

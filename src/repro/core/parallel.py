@@ -83,6 +83,10 @@ class ShardTask:
     cell: tuple | None = None  # (solver, family, oracle) for journaling
     solver_names: tuple | None = None  # None = all of the worker's solvers
     quarantined: tuple = ()  # names to pre-quarantine (cross-worker breaker)
+    # The mutation strategy's registry name: strategies cross the spawn
+    # boundary by name (live instances may hold caches/solver handles);
+    # the worker rebuilds the instance from name + config.
+    strategy: str = "fusion"
 
 
 def serialize_seeds(seeds):
@@ -193,6 +197,7 @@ def _run_shard(task):
             config=state.config,
             performance_threshold=state.performance_threshold,
             telemetry=telemetry,
+            strategy=task.strategy,
         )
         report = tool.run_iterations(
             task.oracle,
@@ -281,6 +286,7 @@ def run_sharded_test(
     iterations,
     workers,
     telemetry=None,
+    strategy="fusion",
 ):
     """``YinYang.test(mode="process")``: one run sharded over a pool."""
     if solver_factory is None:
@@ -311,6 +317,7 @@ def run_sharded_test(
                     shard=shard,
                     of=pool.workers,
                     seed=config.seed,
+                    strategy=strategy,
                 )
             )
             for shard in range(pool.workers)

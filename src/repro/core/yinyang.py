@@ -1,7 +1,10 @@
-"""YinYang's main process (the paper's Algorithm 1).
+"""YinYang's main process (the paper's Algorithm 1), strategy-agnostic.
 
-The loop repeatedly draws two random seeds of the same satisfiability,
-fuses them, and feeds the fused formula to each solver under test:
+The loop repeatedly asks a pluggable
+:class:`~repro.strategies.base.MutationStrategy` for one mutant — for
+the default Semantic Fusion strategy: draw two random seeds of the same
+satisfiability and fuse them — and feeds the mutant to each solver
+under test:
 
 - a solver **crash** (abnormal termination / internal error) is a crash
   bug;
@@ -10,15 +13,22 @@ fuses them, and feeds the fused formula to each solver under test:
   performance issue (the paper found these during reduction);
 - ``unknown`` is either ignored or treated as a crash, per config.
 
+The loop knows nothing about fusion: seed drawing, mutation, and the
+expected-verdict discipline all live behind the strategy interface
+(:mod:`repro.strategies`), and the answer-classification tail lives in
+the shared checker (:mod:`repro.core.checker`). An AST lint
+(``tests/test_ast_lint.py``) pins this by forbidding
+``repro.core.fusion`` / ``repro.core.concatfuzz`` imports here.
+
 Everything is deterministic given the config seed, *independent of the
 execution mode*: each iteration draws its randomness from a private RNG
-seeded by ``(campaign seed, iteration index)`` and builds its fused
-formula inside its own fresh-name scope, so iteration ``k`` produces
-the same fused script whether it runs alone, interleaved with others on
-a thread pool, or on shard 3 of a process pool. Parallel modes merely
+seeded by ``(campaign seed, iteration index)`` and builds its mutant
+inside its own fresh-name scope, so iteration ``k`` produces the same
+mutated script whether it runs alone, interleaved with others on a
+thread pool, or on shard 3 of a process pool. Parallel modes merely
 partition the index space ``range(iterations)`` across workers and
 merge the partial reports back in index order — the bug records of a
-run are a pure function of ``(seed, iterations)``.
+run are a pure function of ``(strategy, seed, iterations)``.
 
 Two parallel modes are offered: ``thread`` (the paper's "YinYang is
 able to run in multiple-threaded mode"; cheap, but GIL-bound for the
@@ -34,24 +44,26 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+# Classification constants and BugRecord moved to the shared checker;
+# re-exported here because journal/campaign/tests import them from this
+# module (the stable public surface).
+from repro.core.checker import (  # noqa: F401
+    CRASH,
+    HARNESS,
+    PERFORMANCE,
+    SOUNDNESS,
+    UNKNOWN_BUG,
+    BugRecord,
+    check_mutant,
+)
+from repro.core.checker import HARNESS_ERROR_KIND as _HARNESS_ERROR_KIND  # noqa: F401
+from repro.core.checker import QUARANTINED_KIND as _QUARANTINED_KIND  # noqa: F401
 from repro.core.config import YinYangConfig
-from repro.core.fusion import fuse
-from repro.errors import FusionError
+from repro.errors import MutationError
 from repro.observability.telemetry import NULL_TELEMETRY, attach_telemetry
 from repro.smtlib.ast import fresh_scope
-from repro.solver.result import SolverCrash, SolverResult
-
-SOUNDNESS = "soundness"
-CRASH = "crash"
-PERFORMANCE = "performance"
-UNKNOWN_BUG = "unknown"
-HARNESS = "harness"
-
-# A GuardedSolver tags contained non-SolverCrash exceptions and
-# quarantine refusals with these crash kinds (string-matched here to
-# avoid a core -> robustness import).
-_HARNESS_ERROR_KIND = "harness-error"
-_QUARANTINED_KIND = "quarantined"
+from repro.strategies.fusion import FusionStrategy, MixedFusionStrategy
+from repro.strategies.registry import make_strategy
 
 EXECUTION_MODES = ("serial", "thread", "process")
 
@@ -65,29 +77,6 @@ def iteration_rng(seed, index):
     ``hash()`` and could differ between interpreter runs).
     """
     return random.Random(f"yinyang:{seed}:{index}")
-
-
-@dataclass
-class BugRecord:
-    """One bug-triggering fused formula."""
-
-    kind: str  # soundness | crash | performance | unknown
-    solver: str
-    oracle: str
-    reported: str  # what the solver answered / crash message
-    script: object  # the fused Script
-    seed_indices: tuple = (0, 0)
-    schemes: tuple = ()
-    logic: str = ""
-    elapsed: float = 0.0
-    note: str = ""  # solver-side detail (e.g. internal fault id / stderr)
-    iteration: int = -1  # global iteration id within the run/cell
-
-    def __str__(self):
-        return (
-            f"[{self.kind}] {self.solver}: expected {self.oracle}, "
-            f"got {self.reported} (schemes: {', '.join(self.schemes) or '-'})"
-        )
 
 
 @dataclass
@@ -163,7 +152,13 @@ class YinYangReport:
         return text
 
     def counters(self):
-        """Deterministic summary counters (everything but wall-clock)."""
+        """Deterministic summary counters (everything but wall-clock).
+
+        Field names are part of the journal format (``fused`` counts
+        successful mutants of *any* strategy, ``fusion_failures`` counts
+        :class:`~repro.errors.MutationError` draws) — renaming them
+        would break byte-compatibility with existing journals.
+        """
         return {
             "iterations": self.iterations,
             "fused": self.fused,
@@ -218,6 +213,11 @@ class YinYang:
     ``check_script(script) -> CheckOutcome`` and may raise
     :class:`~repro.solver.result.SolverCrash`.
 
+    ``strategy`` selects the mutation workload: ``None`` (the default
+    Semantic Fusion strategy, built from ``config.fusion``), a registry
+    name such as ``"fusion"``/``"concatfuzz"``/``"opfuzz"``, or a
+    ready :class:`~repro.strategies.base.MutationStrategy` instance.
+
     ``policy`` (a :class:`~repro.robustness.policy.ResiliencePolicy`)
     wraps every solver in a
     :class:`~repro.robustness.guard.GuardedSolver`: per-check watchdog
@@ -234,6 +234,7 @@ class YinYang:
         performance_threshold=None,
         policy=None,
         telemetry=None,
+        strategy=None,
     ):
         solvers = solvers if isinstance(solvers, (list, tuple)) else [solvers]
         if policy is not None:
@@ -248,6 +249,11 @@ class YinYang:
         self.config = config or YinYangConfig()
         self.performance_threshold = performance_threshold
         self.policy = policy
+        if strategy is None:
+            strategy = FusionStrategy(self.config.fusion)
+        elif isinstance(strategy, str):
+            strategy = make_strategy(strategy, self.config.fusion)
+        self.strategy = strategy
         # Telemetry observes and never steers: it draws no randomness
         # and the loop's control flow is identical with it on or off.
         # The null singleton keeps the hot path branch-free.
@@ -281,7 +287,8 @@ class YinYang:
         identical bug records for a fixed config seed. ``process`` mode
         needs ``solver_factory`` — a picklable zero-argument callable
         returning the solver list — because live solver objects (locks,
-        caches) do not cross a spawn boundary.
+        caches) do not cross a spawn boundary; the strategy crosses it
+        as its registry name.
         """
         scripts = [getattr(s, "script", s) for s in seeds]
         logics = [getattr(s, "logic", "") for s in seeds]
@@ -307,21 +314,23 @@ class YinYang:
                 iterations=iterations,
                 workers=workers,
                 telemetry=self.telemetry,
+                strategy=self.strategy.name,
             )
+        work = self.strategy.prepare(oracle, scripts, logics)
         if mode == "serial" or workers <= 1:
-            return self.run_iterations(oracle, scripts, logics, range(iterations))
+            return self._run_prepared(self.strategy, work, range(iterations))
         # Thread mode: partition the iteration index space (strided, so
         # worker t runs iterations t, t+W, t+2W, ...) and merge the
         # partial reports back in index order. Per-iteration RNGs and
         # fresh-name scopes make every iteration self-contained, so the
-        # partition never changes what any iteration computes.
+        # partition never changes what any iteration computes. The work
+        # item is immutable and shared across shards.
         with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = [
                 pool.submit(
-                    self.run_iterations,
-                    oracle,
-                    scripts,
-                    logics,
+                    self._run_prepared,
+                    self.strategy,
+                    work,
                     shard_indices(iterations, t, workers),
                 )
                 for t in range(workers)
@@ -337,11 +346,20 @@ class YinYang:
         ``range(n)`` across workers merges back (via
         :func:`merge_shard_reports`) to the same report.
         """
+        work = self.strategy.prepare(oracle, scripts, logics)
+        return self._run_prepared(self.strategy, work, indices, seed)
+
+    def _run_prepared(self, strategy, work, indices, seed=None):
+        """The shared shard loop: run ``indices`` of ``strategy`` over a
+        prepared work item and fold the outcomes into one report."""
         seed = self.config.seed if seed is None else seed
+        mutant_counter = "mutants." + strategy.name
         report = YinYangReport()
         start = time.perf_counter()
         for index in indices:
-            self._one_iteration(oracle, scripts, logics, index, seed, report)
+            self._one_iteration(
+                strategy, work, index, seed, report, mutant_counter
+            )
         for solver in self.solvers:
             if getattr(solver, "quarantined", False):
                 report.quarantined.add(solver.name)
@@ -352,157 +370,49 @@ class YinYang:
         self._tel.sample_guards(self.solvers)
         return report
 
-    def _one_iteration(self, oracle, scripts, logics, index, seed, report):
+    def _one_iteration(self, strategy, work, index, seed, report, mutant_counter):
         tel = self._tel
         rng = iteration_rng(seed, index)
         report.iterations += 1
         tel.count("iterations")
-        # The fresh-name scope makes the fused script a pure function
-        # of (seed, index): gensyms restart at 0 for every iteration
-        # instead of accumulating across the run, so shard boundaries
-        # can never shift them.
+        # The fresh-name scope makes the mutated script a pure function
+        # of (strategy, seed, index): gensyms restart at 0 for every
+        # iteration instead of accumulating across the run, so shard
+        # boundaries can never shift them.
         with fresh_scope():
-            with tel.phase("seed_pick"):
-                i = rng.randrange(len(scripts))
-                j = rng.randrange(len(scripts))
             try:
-                with tel.phase("fuse"):
-                    result = fuse(
-                        oracle, scripts[i], scripts[j], rng, self.config.fusion
-                    )
-            except FusionError:
+                mutant = strategy.mutate(rng, work, tel)
+            except MutationError:
+                # "fusion_failures" counts failed mutation draws of any
+                # strategy; the name is journal-format legacy.
                 report.fusion_failures += 1
                 tel.count("fusion_failures")
                 return
             report.fused += 1
             tel.count("fused")
-            logic = logics[i] or logics[j]
-            self._check_one(result, (i, j), logic, report, iteration=index)
-
-    def _check_one(self, fusion_result, seed_indices, logic, report, iteration=-1):
-        tel = self._tel
-        schemes = tuple(t.scheme for t in fusion_result.triplets)
-        for solver in self.solvers:
-            if getattr(solver, "quarantined", False):
-                # Circuit breaker tripped: degrade gracefully to the
-                # remaining solvers instead of hammering a dead one.
-                report.quarantine_skips += 1
-                tel.count("quarantine_skips")
-                report.quarantined.add(solver.name)
-                continue
-            began = time.perf_counter()
-            try:
-                with tel.phase("solve"):
-                    outcome = solver.check_script(fusion_result.script)
-            except SolverCrash as crash:
-                if crash.kind == _QUARANTINED_KIND:
-                    # The breaker tripped between our check above and
-                    # the call (thread-mode race): a skip, not a crash.
-                    report.quarantine_skips += 1
-                    tel.count("quarantine_skips")
-                    report.quarantined.add(solver.name)
-                    continue
-                report.retries += getattr(crash, "retries", 0)
-                contained = crash.kind == _HARNESS_ERROR_KIND
-                if contained:
-                    report.contained_errors += 1
-                tel.count("bugs.harness" if contained else "bugs.crash")
-                report.bugs.append(
-                    BugRecord(
-                        kind=HARNESS if contained else CRASH,
-                        solver=solver.name,
-                        oracle=fusion_result.oracle,
-                        reported=str(crash),
-                        script=fusion_result.script,
-                        seed_indices=seed_indices,
-                        schemes=schemes,
-                        logic=logic,
-                        elapsed=time.perf_counter() - began,
-                        note=getattr(crash, "fault_id", ""),
-                        iteration=iteration,
-                    )
-                )
-                continue
-            elapsed = time.perf_counter() - began
-            tel.count("checks")
-            # Guard-level events (retries, timeouts, containment) are
-            # counted by the GuardedSolver itself once telemetry is
-            # attached — counting them here too would double-count.
-            report.retries += outcome.stats.get("guard_retries", 0)
-            if outcome.stats.get("guard_timeout"):
-                report.timeouts += 1
-            with tel.phase("oracle_check"):
-                if (
-                    self.performance_threshold is not None
-                    and elapsed > self.performance_threshold
-                ):
-                    slow_faults = outcome.stats.get("slow_faults", [])
-                    tel.count("bugs.performance")
-                    report.bugs.append(
-                        BugRecord(
-                            kind=PERFORMANCE,
-                            solver=solver.name,
-                            oracle=fusion_result.oracle,
-                            reported=f"{elapsed:.2f}s",
-                            script=fusion_result.script,
-                            seed_indices=seed_indices,
-                            schemes=schemes,
-                            logic=logic,
-                            elapsed=elapsed,
-                            note=slow_faults[0] if slow_faults else "",
-                            iteration=iteration,
-                        )
-                    )
-                if outcome.result is SolverResult.UNKNOWN:
-                    report.unknowns += 1
-                    tel.count("unknowns")
-                    # An unknown accompanied by an internal error note is a
-                    # bug in its own right; a plain unknown is a bug only
-                    # under the strict (unknown-is-crash) policy.
-                    internal_error = outcome.reason.startswith("error:")
-                    if internal_error or self.config.unknown_is_crash:
-                        tel.count("bugs.unknown")
-                        report.bugs.append(
-                            BugRecord(
-                                kind=UNKNOWN_BUG,
-                                solver=solver.name,
-                                oracle=fusion_result.oracle,
-                                reported="unknown",
-                                script=fusion_result.script,
-                                seed_indices=seed_indices,
-                                schemes=schemes,
-                                logic=logic,
-                                elapsed=elapsed,
-                                note=outcome.reason,
-                                iteration=iteration,
-                            )
-                        )
-                    continue
-                if str(outcome.result) != fusion_result.oracle:
-                    tel.count("bugs.soundness")
-                    report.bugs.append(
-                        BugRecord(
-                            kind=SOUNDNESS,
-                            solver=solver.name,
-                            oracle=fusion_result.oracle,
-                            reported=str(outcome.result),
-                            script=fusion_result.script,
-                            seed_indices=seed_indices,
-                            schemes=schemes,
-                            logic=logic,
-                            elapsed=elapsed,
-                            note=outcome.reason,
-                            iteration=iteration,
-                        )
-                    )
+            tel.count(mutant_counter)
+            if not mutant.oracle:
+                # Differential strategy whose ground truth could not be
+                # established: nothing to compare against, skip checks.
+                report.unknowns += 1
+                tel.count("oracle_unresolved")
+                return
+            check_mutant(
+                self.solvers,
+                mutant,
+                report,
+                tel,
+                performance_threshold=self.performance_threshold,
+                unknown_is_crash=self.config.unknown_is_crash,
+                iteration=index,
+            )
 
     def test_mixed(self, want, sat_seeds, unsat_seeds, iterations=None):
         """Mixed fusion mode (paper Section 3.2): one satisfiable and one
         unsatisfiable seed per iteration; ``want`` selects whether the
         fused formula is satisfiable (disjunction) or unsatisfiable
         (conjunction plus fusion constraints)."""
-        from repro.core.fusion import fuse_mixed
-
+        strategy = MixedFusionStrategy(want, self.config.fusion)
         sat_scripts = [getattr(s, "script", s) for s in sat_seeds]
         unsat_scripts = [getattr(s, "script", s) for s in unsat_seeds]
         if not sat_scripts or not unsat_scripts:
@@ -510,34 +420,17 @@ class YinYang:
         iterations = (
             iterations if iterations is not None else self.config.max_iterations
         )
-        tel = self._tel
-        report = YinYangReport()
-        start = time.perf_counter()
-        for index in range(iterations):
-            rng = iteration_rng(self.config.seed, index)
-            report.iterations += 1
-            tel.count("iterations")
-            with fresh_scope():
-                phi_sat = sat_scripts[rng.randrange(len(sat_scripts))]
-                phi_unsat = unsat_scripts[rng.randrange(len(unsat_scripts))]
-                try:
-                    with tel.phase("fuse"):
-                        result = fuse_mixed(
-                            phi_sat, phi_unsat, want, rng, self.config.fusion
-                        )
-                except FusionError:
-                    report.fusion_failures += 1
-                    tel.count("fusion_failures")
-                    continue
-                report.fused += 1
-                tel.count("fused")
-                self._check_one(result, (0, 0), "", report, iteration=index)
-        report.elapsed = time.perf_counter() - start
-        return report
+        work = strategy.prepare_pools(sat_scripts, unsat_scripts)
+        return self._run_prepared(strategy, work, range(iterations))
 
     # -- single-shot helpers --------------------------------------------------
 
     def fuse_once(self, oracle, phi1, phi2, seed=0):
         """Fuse one pair (for examples and debugging)."""
         rng = random.Random(seed)
-        return fuse(oracle, phi1, phi2, rng, self.config.fusion)
+        strategy = (
+            self.strategy
+            if isinstance(self.strategy, FusionStrategy)
+            else FusionStrategy(self.config.fusion)
+        )
+        return strategy.fuse_pair(oracle, phi1, phi2, rng)

@@ -34,7 +34,18 @@ class EvaluationError(ReproError):
     """A term could not be evaluated under the given model."""
 
 
-class FusionError(ReproError):
+class MutationError(ReproError):
+    """A mutation strategy could not produce a mutant for this draw.
+
+    The generic failure of the strategy pipeline: a strategy that
+    cannot mutate the selected seed(s) raises this (or a subclass) and
+    the campaign loop counts the iteration as a mutation failure and
+    moves on. :class:`FusionError` subclasses it, so pre-pipeline code
+    that catches ``FusionError`` keeps working unchanged.
+    """
+
+
+class FusionError(MutationError):
     """Semantic Fusion could not be applied (e.g. no fusible variable pair)."""
 
 

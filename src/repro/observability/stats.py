@@ -59,6 +59,10 @@ def journal_cell_rows(journal):
 def _header_lines(journal):
     meta = journal.meta() or {}
     parts = [f"seed {meta.get('seed', '?')}"]
+    if "strategy" in meta:
+        # Fusion journals omit the key (byte-stability); only other
+        # strategies surface here.
+        parts.append(f"strategy {meta['strategy']}")
     if "iterations_per_cell" in meta:
         parts.append(f"{meta['iterations_per_cell']} iterations/cell")
     if "workers" in meta:

@@ -72,7 +72,7 @@ def serialize_script(script):
 
 def serialize_bug_record(record):
     """A JSON-ready dict for one :class:`BugRecord` (``elapsed`` excluded)."""
-    return {
+    data = {
         "kind": record.kind,
         "solver": record.solver,
         "oracle": record.oracle,
@@ -84,6 +84,12 @@ def serialize_bug_record(record):
         "note": record.note,
         "iteration": record.iteration,
     }
+    # Journal-format compatibility: fusion records predate the strategy
+    # pipeline and must keep their exact bytes (the golden-diff tests
+    # pin this), so the strategy key appears only for other workloads.
+    if record.strategy != "fusion":
+        data["strategy"] = record.strategy
+    return data
 
 
 def deserialize_bug_record(data):
@@ -99,6 +105,7 @@ def deserialize_bug_record(data):
         logic=data["logic"],
         note=data["note"],
         iteration=data.get("iteration", -1),
+        strategy=data.get("strategy", "fusion"),
     )
 
 
@@ -205,6 +212,26 @@ class CampaignJournal:
                     f"journal {self.path} was written by a campaign with "
                     f"{key}={existing[key]!r}, not {value!r}; refusing to mix"
                 )
+
+    def ensure_strategy(self, name):
+        """Verify the journal's strategy matches ``name``.
+
+        Journals written before the strategy pipeline (and all fusion
+        journals since — the key is omitted to keep fusion bytes
+        stable) carry no ``strategy`` meta key; absence means
+        ``"fusion"``. :meth:`ensure_meta` alone cannot catch the
+        absent-vs-other cases, since it only compares keys present on
+        both sides.
+        """
+        existing = self.meta()
+        if existing is None:
+            return
+        recorded = existing.get("strategy", "fusion")
+        if recorded != name:
+            raise JournalError(
+                f"journal {self.path} was written by a {recorded!r} "
+                f"campaign, not {name!r}; refusing to mix strategies"
+            )
 
     def record_cell(self, key, report):
         """Append one completed cell and commit it durably."""

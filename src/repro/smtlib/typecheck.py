@@ -392,6 +392,63 @@ _HANDLERS = {
 assert set(_HANDLERS) == ALL_OPS
 
 
+# -- type-equivalence classes (OpFuzz-style operator mutation) -------------
+#
+# Two operators are *type-equivalent* when they share a handler above:
+# the handler IS the signature — same accepted argument sorts, same
+# coercions, same result sort — so swapping one class member for
+# another can never produce an ill-sorted term. This is the ground
+# truth the type-aware operator-mutation strategy
+# (:mod:`repro.strategies.opfuzz`) draws its replacement candidates
+# from; deriving it from the dispatch table means a new operator joins
+# the right mutation class the moment it gets a handler.
+#
+# The one intra-class arity wrinkle: ``=>`` demands at least two
+# arguments while its boolean classmates accept one, so it is only a
+# valid replacement at arity >= 2.
+_CLASS_MIN_ARITY = {"=>": 2}
+
+
+def _equivalence_by_op():
+    by_handler = {}
+    for op, handler in _HANDLERS.items():
+        by_handler.setdefault(handler, []).append(op)
+    return {
+        op: tuple(sorted(ops))
+        for ops in by_handler.values()
+        if len(ops) > 1
+        for op in ops
+    }
+
+
+_EQUIV_BY_OP = _equivalence_by_op()
+
+
+def operator_equivalence_classes():
+    """The type-equivalence classes of the dispatch table.
+
+    Returns a sorted tuple of sorted operator tuples, one per class
+    with at least two members (singletons have no mutation partners).
+    """
+    return tuple(sorted({ops for ops in _EQUIV_BY_OP.values()}))
+
+
+def mutation_alternatives(op, arity):
+    """Type-compatible replacements for ``op`` applied to ``arity`` args.
+
+    Returns the other members of ``op``'s type-equivalence class that
+    accept ``arity`` arguments (sorted, deterministic). Empty when the
+    operator is unknown, alone in its class, or no classmate admits the
+    arity — i.e. exactly when this occurrence cannot be mutated.
+    """
+    ops = _EQUIV_BY_OP.get(canonical_op(op))
+    if not ops:
+        return ()
+    return tuple(
+        o for o in ops if o != op and arity >= _CLASS_MIN_ARITY.get(o, 0)
+    )
+
+
 def app(op, *args):
     """Build a well-sorted application of ``op`` to ``args``.
 

@@ -1,0 +1,51 @@
+"""Pluggable mutation strategies: the campaign's workload layer.
+
+- :mod:`repro.strategies.base` — the :class:`MutationStrategy`
+  protocol, work items, mutants, and oracle-preservation kinds.
+- :mod:`repro.strategies.registry` — name-keyed factories; names are
+  how strategies cross the CLI, journal, and process-spawn boundaries.
+- :mod:`repro.strategies.fusion` — Semantic Fusion (the default) and
+  mixed fusion, extracted from the old monolithic loop.
+- :mod:`repro.strategies.concatfuzz` — the RQ4 concatenation baseline.
+- :mod:`repro.strategies.opfuzz` — type-aware operator mutation under a
+  differential oracle (the second workload).
+"""
+
+from repro.strategies.base import (
+    ORACLE_DIFFERENTIAL,
+    ORACLE_PRESERVING,
+    Mutant,
+    MutationError,
+    MutationStrategy,
+    WorkItem,
+)
+from repro.strategies.concatfuzz import ConcatFuzzStrategy
+from repro.strategies.fusion import FusionStrategy, MixedFusionStrategy
+from repro.strategies.opfuzz import OpFuzzStrategy
+from repro.strategies.registry import (
+    iter_strategies,
+    make_strategy,
+    register_strategy,
+    strategy_names,
+)
+
+register_strategy("fusion", lambda config: FusionStrategy(config))
+register_strategy("concatfuzz", lambda config: ConcatFuzzStrategy(config))
+register_strategy("opfuzz", lambda config: OpFuzzStrategy(config))
+
+__all__ = [
+    "ConcatFuzzStrategy",
+    "FusionStrategy",
+    "MixedFusionStrategy",
+    "Mutant",
+    "MutationError",
+    "MutationStrategy",
+    "OpFuzzStrategy",
+    "ORACLE_DIFFERENTIAL",
+    "ORACLE_PRESERVING",
+    "WorkItem",
+    "iter_strategies",
+    "make_strategy",
+    "register_strategy",
+    "strategy_names",
+]

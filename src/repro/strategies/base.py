@@ -1,0 +1,141 @@
+"""The mutation-strategy protocol: what a campaign workload must provide.
+
+Semantic Fusion, ConcatFuzz and OpFuzz-style operator mutation are all
+the same loop — *draw seeds, mutate, ask a solver, compare against an
+oracle* — differing only in the mutator and in how the expected answer
+is known. A :class:`MutationStrategy` captures exactly that difference,
+so the campaign core (:mod:`repro.core.yinyang`), the process pool
+(:mod:`repro.core.parallel`), the journal and the telemetry stack drive
+any workload without knowing which one it is.
+
+The contract every strategy must keep, because every layer above relies
+on it:
+
+- **Determinism**: :meth:`MutationStrategy.mutate` draws randomness
+  *only* from the ``rng`` it is handed (the per-iteration RNG seeded by
+  ``(campaign seed, iteration index)``) and runs inside the caller's
+  ``fresh_scope()``. A mutant is then a pure function of
+  ``(strategy, seed corpus, campaign seed, index)`` — which is what
+  makes shard partitions, resume, and worker counts invisible to the
+  oracle.
+- **Picklability by name**: strategies cross the spawn boundary as
+  their registry name plus the shared
+  :class:`~repro.core.config.YinYangConfig`; live instances (which may
+  hold solver handles or caches) never travel.
+- **Telemetry is observational**: the ``tel`` handed to ``mutate`` may
+  time phases and bump counters but must never feed back into the
+  mutation (it defaults to the null telemetry).
+
+Oracle-preservation kinds:
+
+- :data:`ORACLE_PRESERVING` — the mutant provably keeps the seeds'
+  satisfiability label (fusion's Propositions 1/2, concatenation), so
+  the expected answer is the cell's oracle, free of charge.
+- :data:`ORACLE_DIFFERENTIAL` — the mutation does not preserve
+  satisfiability (operator mutation), so the strategy must establish
+  ground truth per mutant (here: a trusted, deterministically
+  configured reference solve). A mutant whose truth cannot be
+  established carries an empty ``oracle`` and is skipped, counted as an
+  unknown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MutationError
+from repro.observability.telemetry import NULL_TELEMETRY
+
+ORACLE_PRESERVING = "oracle-preserving"
+ORACLE_DIFFERENTIAL = "differential"
+
+
+@dataclass
+class WorkItem:
+    """One prepared cell: the seed pool a strategy mutates from.
+
+    Built once per cell/shard by :meth:`MutationStrategy.prepare`;
+    strategies may subclass or wrap it to stash precomputed views, but
+    must keep whatever they add derivable from the seeds (no hidden
+    RNG, no mutable cross-iteration state).
+    """
+
+    oracle: str  # the cell's seed label ("sat" | "unsat"), "" if none
+    scripts: list
+    logics: list
+
+
+@dataclass
+class Mutant:
+    """One mutated script plus the provenance the report layer records."""
+
+    script: object  # Script
+    oracle: str  # expected verdict; "" = ground truth unknown, skip checks
+    seed_indices: tuple = (0, 0)
+    logic: str = ""
+    schemes: tuple = ()  # per-mutation labels (fusion schemes, op rewrites)
+    strategy: str = "fusion"  # the registry name, journaled per record
+
+
+class MutationStrategy:
+    """Base class / protocol for campaign workloads.
+
+    Subclasses override the three methods and the class metadata:
+
+    - ``name`` — the registry identity (CLI ``--strategy``, journal
+      meta, per-record provenance);
+    - ``seeds_per_iteration`` — how many seeds one mutant consumes
+      (informational: the strategy draws its own indices from ``rng``);
+    - ``oracle_preservation`` — :data:`ORACLE_PRESERVING` or
+      :data:`ORACLE_DIFFERENTIAL` (see the module docstring);
+    - ``mutate_phase`` — the telemetry span name of the mutation step.
+    """
+
+    name = "abstract"
+    seeds_per_iteration = 1
+    oracle_preservation = ORACLE_PRESERVING
+    mutate_phase = "mutate"
+
+    def prepare(self, oracle, scripts, logics):
+        """Build the per-cell work item (called once per cell/shard)."""
+        return WorkItem(oracle=oracle, scripts=scripts, logics=logics)
+
+    def mutate(self, rng, work, tel=NULL_TELEMETRY):
+        """Produce one :class:`Mutant` from ``work`` using ``rng``.
+
+        Must raise :class:`~repro.errors.MutationError` when no mutant
+        can be built for this draw; draws randomness only from ``rng``.
+        """
+        raise NotImplementedError
+
+    def expected_oracle(self, work):
+        """The expected verdict for mutants of ``work``.
+
+        Oracle-preserving strategies return the cell's label;
+        differential strategies return ``""`` here and stamp each
+        mutant with the ground truth they established for it.
+        """
+        if self.oracle_preservation == ORACLE_PRESERVING:
+            return work.oracle
+        return ""
+
+    def describe(self):
+        """One registry row: (name, seeds/iter, oracle kind, summary)."""
+        doc = (self.__doc__ or "").strip().splitlines()
+        summary = doc[0].rstrip(".") if doc else ""
+        return (
+            self.name,
+            self.seeds_per_iteration,
+            self.oracle_preservation,
+            summary,
+        )
+
+
+__all__ = [
+    "Mutant",
+    "MutationError",
+    "MutationStrategy",
+    "ORACLE_DIFFERENTIAL",
+    "ORACLE_PRESERVING",
+    "WorkItem",
+]

@@ -1,0 +1,116 @@
+"""Semantic Fusion as a pluggable strategy (the default workload).
+
+This is the paper's Algorithm 1 body, extracted verbatim from the old
+``YinYang._one_iteration``: draw two seed indices, fuse the pair, hand
+back the fused script under the seeds' shared label. The extraction is
+draw-for-draw identical to the pre-pipeline loop — two ``randrange``
+calls inside the ``seed_pick`` span, then :func:`repro.core.fusion.fuse`
+consuming the same ``rng`` inside the ``fuse`` span — which is what
+keeps campaign journals byte-for-byte identical to pre-refactor builds
+(enforced by the golden-diff tests in ``tests/test_strategies.py``).
+
+:class:`MixedFusionStrategy` is Section 3.2's mixed mode on the same
+interface: one satisfiable and one unsatisfiable seed per iteration,
+with ``want`` selecting which label the fusion preserves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import FusionConfig
+from repro.core.fusion import fuse, fuse_mixed
+from repro.observability.telemetry import NULL_TELEMETRY
+from repro.strategies.base import (
+    ORACLE_PRESERVING,
+    Mutant,
+    MutationStrategy,
+    WorkItem,
+)
+
+
+class FusionStrategy(MutationStrategy):
+    """Semantic Fusion (PLDI 2020): fuse same-label seed pairs via
+    variable fusion and inversion substitution; satisfiability is
+    preserved by construction (Propositions 1 and 2)."""
+
+    name = "fusion"
+    seeds_per_iteration = 2
+    oracle_preservation = ORACLE_PRESERVING
+    mutate_phase = "fuse"
+
+    def __init__(self, config=None):
+        self.config = config or FusionConfig()
+
+    def mutate(self, rng, work, tel=NULL_TELEMETRY):
+        scripts = work.scripts
+        with tel.phase("seed_pick"):
+            i = rng.randrange(len(scripts))
+            j = rng.randrange(len(scripts))
+        with tel.phase("fuse"):
+            result = fuse(work.oracle, scripts[i], scripts[j], rng, self.config)
+        return Mutant(
+            script=result.script,
+            oracle=result.oracle,
+            seed_indices=(i, j),
+            logic=work.logics[i] or work.logics[j],
+            schemes=tuple(t.scheme for t in result.triplets),
+            strategy=self.name,
+        )
+
+    # -- fusion-specific surface (single-shot helpers) -------------------
+
+    def fuse_pair(self, oracle, phi1, phi2, rng):
+        """Fuse one explicit pair, returning the full
+        :class:`~repro.core.fusion.FusionResult` (triplets, renaming,
+        occurrence counts) — the strategy-interface home of what used
+        to be ``YinYang.fuse_once`` reaching into fusion internals."""
+        return fuse(oracle, phi1, phi2, rng, self.config)
+
+
+@dataclass
+class MixedWorkItem(WorkItem):
+    """Mixed fusion's work item: both seed pools, kept separate."""
+
+    unsat_scripts: list = None
+
+
+class MixedFusionStrategy(MutationStrategy):
+    """Mixed fusion (paper Section 3.2): one satisfiable and one
+    unsatisfiable seed per iteration; ``want`` selects whether the
+    fused formula is satisfiable (disjunction) or unsatisfiable
+    (conjunction plus fusion constraints)."""
+
+    name = "fusion-mixed"
+    seeds_per_iteration = 2
+    oracle_preservation = ORACLE_PRESERVING
+    mutate_phase = "fuse"
+
+    def __init__(self, want, config=None):
+        if want not in ("sat", "unsat"):
+            raise ValueError(f"want must be 'sat' or 'unsat', got {want!r}")
+        self.want = want
+        self.config = config or FusionConfig()
+
+    def prepare_pools(self, sat_scripts, unsat_scripts):
+        """The mixed-mode work item (two pools instead of one)."""
+        return MixedWorkItem(
+            oracle=self.want,
+            scripts=sat_scripts,
+            logics=[""] * len(sat_scripts),
+            unsat_scripts=unsat_scripts,
+        )
+
+    def mutate(self, rng, work, tel=NULL_TELEMETRY):
+        phi_sat = work.scripts[rng.randrange(len(work.scripts))]
+        phi_unsat = work.unsat_scripts[rng.randrange(len(work.unsat_scripts))]
+        with tel.phase("fuse"):
+            result = fuse_mixed(phi_sat, phi_unsat, self.want, rng, self.config)
+        return Mutant(
+            script=result.script,
+            oracle=result.oracle,
+            seed_indices=(0, 0),
+            logic="",
+            schemes=tuple(t.scheme for t in result.triplets),
+            strategy=self.name,
+        )

@@ -52,3 +52,56 @@ def test_lint_actually_detects_violations(tmp_path):
     bad = tmp_path / "bad.py"
     bad.write_text("t = App('and', (a, b), BOOL)\nu = x.Const(1, INT)\n")
     assert _direct_constructions(bad) == [(1, "App"), (2, "Const")]
+
+
+# ---------------------------------------------------------------------------
+# Strategy-pipeline lint: the campaign core must stay workload-agnostic.
+# ---------------------------------------------------------------------------
+
+# Mutator modules the strategy-agnostic loop must never reach into;
+# they are only reachable through repro.strategies.
+_MUTATOR_MODULES = {"repro.core.fusion", "repro.core.concatfuzz"}
+
+
+def _mutator_imports(path):
+    """(line, module) for every import of a mutator module in ``path``."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    hits = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in _MUTATOR_MODULES:
+                    hits.append((node.lineno, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module in _MUTATOR_MODULES:
+                hits.append((node.lineno, node.module))
+    return hits
+
+
+def test_yinyang_has_no_fusion_imports():
+    """The main loop drives strategies, not fusion: a fusion-specific
+    import creeping back into yinyang.py would quietly re-monolith the
+    pipeline."""
+    hits = _mutator_imports(SRC / "core" / "yinyang.py")
+    assert not hits, (
+        "repro/core/yinyang.py must stay strategy-agnostic; route mutation "
+        f"through repro.strategies instead of importing: {hits}"
+    )
+
+
+def test_checker_has_no_mutator_imports():
+    """The shared checker classifies any strategy's mutants; it must not
+    depend on a particular mutator either."""
+    hits = _mutator_imports(SRC / "core" / "checker.py")
+    assert not hits
+
+
+def test_mutator_import_lint_detects_violations(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "from repro.core.fusion import fuse\nimport repro.core.concatfuzz\n"
+    )
+    assert _mutator_imports(bad) == [
+        (1, "repro.core.fusion"),
+        (2, "repro.core.concatfuzz"),
+    ]

@@ -88,6 +88,88 @@ def test_guarded_solver_overhead(benchmark):
     assert overhead < OVERHEAD_BUDGET
 
 
+def test_supervised_loop_overhead(benchmark):
+    """Supervised-lease loop vs bare shard loop, same worker, same work.
+
+    The supervised path adds, per iteration: one heartbeat write
+    (tmpfile + atomic rename), one progress-log append (flocked write +
+    flush), and a per-index ``run_iterations`` call merged at the end.
+    All of it must stay inside the same **< 5%** budget as the guard —
+    process supervision is pointless if nobody can afford to leave it
+    on. Measured in-process (the pool's spawn cost is identical in both
+    arms and would only add noise): alternating bare/leased shard runs
+    over identical iterations, overhead = median per-round time ratio.
+    """
+    import os
+    import tempfile
+    from dataclasses import replace as dc_replace
+
+    from repro.campaign.runner import deterministic_solvers
+    from repro.core.parallel import ShardTask, WorkerSpec, _init_worker, _run_shard
+    from repro.core.parallel import serialize_seeds
+
+    corpus = build_corpus("QF_S", scale=0.0015, seed=5)
+    texts, logics = serialize_seeds(corpus.by_oracle("sat"))
+    spec = WorkerSpec(
+        solver_factory=deterministic_solvers,
+        config=YinYangConfig(seed=6),
+    )
+    _init_worker(spec)
+    base = ShardTask(
+        oracle="sat",
+        seed_texts=texts,
+        logics=logics,
+        iterations=12,
+        shard=0,
+        of=1,
+        seed=6,
+        strategy="fusion",
+    )
+    rounds = 10
+
+    def measure():
+        with tempfile.TemporaryDirectory() as tmp:
+            _run_shard(base)  # warmup: parse cache, strategy prepare
+            bare_times, leased_times = [], []
+            for index in range(rounds):
+                leased = dc_replace(
+                    base,
+                    lease_id=index + 1,
+                    heartbeat_dir=tmp,
+                    # A fresh log per round: replaying checkpoints would
+                    # measure skipping the work, not doing it.
+                    progress_path=os.path.join(tmp, f"round-{index}.jsonl"),
+                )
+                arms = [("bare", base), ("leased", leased)]
+                if index % 2:
+                    arms.reverse()
+                for label, task in arms:
+                    start = time.perf_counter()
+                    _run_shard(task)
+                    elapsed = time.perf_counter() - start
+                    (bare_times if label == "bare" else leased_times).append(elapsed)
+        return bare_times, leased_times
+
+    bare_times, leased_times = once(benchmark, measure)
+    ratios = [s / b for s, b in zip(leased_times, bare_times)]
+    overhead = statistics.median(ratios) - 1.0
+    bare_rate = rounds * base.iterations / sum(bare_times)
+    leased_rate = rounds * base.iterations / sum(leased_times)
+
+    emit(
+        "supervised_pool_overhead",
+        (
+            "Supervised-lease loop overhead — iterations per second, one worker\n"
+            f"bare shard loop : {bare_rate:,.1f}/s\n"
+            f"supervised lease: {leased_rate:,.1f}/s "
+            "(heartbeat + progress checkpoint + per-index loop)\n"
+            f"overhead        : {overhead:+.1%} median per-round "
+            f"(budget < {OVERHEAD_BUDGET:.0%})\n"
+        ),
+    )
+    assert overhead < OVERHEAD_BUDGET
+
+
 def test_watchdog_handoff_latency(benchmark):
     """Microbenchmark: the raw cost of one watchdog-guarded no-op check."""
     from repro.robustness.guard import GuardedSolver

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # The tier-1 CI gate, runnable locally and in any runner.
 #
-# Four stages, strictly ordered so the cheapest failures surface first:
+# Five stages, strictly ordered so the cheapest failures surface first:
 #
 #   1. AST lint  — term nodes must be built via the interning
 #      constructors, the observability layer must never import random
@@ -16,6 +16,11 @@
 #   4. Fast lane — the full suite minus the soak/slow markers
 #      (see pyproject.toml; run the slow and chaos lanes nightly:
 #      `pytest -m slow` / `pytest -m chaos`).
+#   5. Fault tolerance — the supervised-campaign acceptance property:
+#      seeded chaos kills of worker processes must leave the merged
+#      journal byte-identical to a failure-free deterministic run, and
+#      a permanently poisonous iteration must be quarantined instead
+#      of aborting the campaign.
 #
 # Stages 1-3 are subsets of stage 4; running them first just makes
 # the common failure modes fail in seconds instead of minutes.
@@ -23,17 +28,21 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== stage 1/4: AST lint (interning, no RNG in telemetry, strategy-agnostic core) =="
+echo "== stage 1/5: AST lint (interning, no RNG in telemetry, strategy-agnostic core) =="
 python -m pytest tests/test_ast_lint.py \
     "tests/test_observability.py::TestHotPathHygiene" -q
 
-echo "== stage 2/4: strategy determinism (golden fusion journal, opfuzz byte-identity) =="
+echo "== stage 2/5: strategy determinism (golden fusion journal, opfuzz byte-identity) =="
 python -m pytest tests/test_strategies.py -q -m "not slow"
 
-echo "== stage 3/4: telemetry determinism (journal byte-identity) =="
+echo "== stage 3/5: telemetry determinism (journal byte-identity) =="
 python -m pytest tests/test_parallel_determinism.py -q -m "not slow"
 
-echo "== stage 4/4: fast lane (full suite minus slow/chaos) =="
+echo "== stage 4/5: fast lane (full suite minus slow/chaos) =="
 python -m pytest -m "not slow and not chaos" -q
+
+echo "== stage 5/5: fault tolerance (chaos-kill determinism, poison quarantine) =="
+python -m pytest tests/test_supervisor.py -q
+python -m pytest tests/test_supervised_campaign.py -q
 
 echo "CI gate passed."

@@ -100,6 +100,11 @@ class CampaignResult:
     strategy: str = "fusion"  # the mutation strategy's registry name
     # (solver, corpus, oracle) -> [per-shard counter dicts] (process mode)
     shard_counters: dict = field(default_factory=dict)
+    # Supervised process mode: quarantined poison-iteration artifacts
+    # (PoisonedIteration records) and the supervisor's counters
+    # (restarts / retries / requeues / bisections / poisoned / ...).
+    poisoned: list = field(default_factory=list)
+    supervision: dict = field(default_factory=dict)
 
     def found_faults(self):
         """{solver: {fault_id: [records]}} via triage."""
@@ -151,6 +156,10 @@ class CampaignResult:
             parts.append(f"{counters['contained_errors']} contained errors")
         if counters["quarantined"]:
             parts.append("quarantined: " + "/".join(counters["quarantined"]))
+        if self.supervision.get("restarts"):
+            parts.append(f"{self.supervision['restarts']} worker restarts")
+        if self.poisoned:
+            parts.append(f"{len(self.poisoned)} poisoned iterations")
         return ", ".join(parts)
 
 
@@ -201,6 +210,9 @@ def run_campaign(
     solver_factory=None,
     telemetry=None,
     strategy="fusion",
+    supervise=None,
+    containment=None,
+    chaos_process=None,
 ):
     """Run the full campaign.
 
@@ -239,9 +251,29 @@ def run_campaign(
     :class:`~repro.strategies.base.MutationStrategy` instance; the
     journal records it (non-default strategies only, to keep fusion
     journal bytes stable) and a resume refuses to mix strategies.
+
+    ``supervise`` (``True`` or a
+    :class:`~repro.robustness.supervisor.SupervisorPolicy`) runs
+    process mode under the self-healing coordinator: dead or hung
+    workers are respawned, their shard leases resume from crash-safe
+    checkpoints, and an iteration that keeps killing workers is
+    bisected out and quarantined as a reproduction artifact
+    (``result.poisoned`` / journal ``poison`` entries) instead of
+    failing the campaign. ``containment`` (a
+    :class:`~repro.robustness.containment.ContainmentPolicy`) applies
+    rlimits inside every worker; ``chaos_process`` (a
+    :class:`~repro.robustness.chaos.ProcessChaos`) injects planned
+    worker-level faults for recovery testing. All three imply
+    ``mode="process"`` supervision and are rejected elsewhere.
     """
     if mode not in EXECUTION_MODES:
         raise ValueError(f"mode must be one of {EXECUTION_MODES}, got {mode!r}")
+    supervised = bool(supervise) or containment is not None or chaos_process is not None
+    if supervised and mode != "process":
+        raise ValueError(
+            "supervise/containment/chaos_process need mode='process': "
+            "supervision works at the worker-process boundary"
+        )
     workers = max(1, workers)
     strategy_name = strategy if isinstance(strategy, str) else strategy.name
     if mode == "process":
@@ -305,6 +337,9 @@ def run_campaign(
             workers=workers,
             telemetry=telemetry,
             strategy=strategy_name,
+            supervise=(supervise or True) if supervised else None,
+            containment=containment,
+            chaos_process=chaos_process,
         )
         return result
     # One strategy instance shared across all cells and solvers: its
@@ -347,6 +382,9 @@ def _run_cells_process(
     workers,
     telemetry=None,
     strategy="fusion",
+    supervise=None,
+    containment=None,
+    chaos_process=None,
 ):
     """Shard each remaining cell over a persistent worker pool.
 
@@ -356,6 +394,10 @@ def _run_cells_process(
     between cells: once any shard's breaker trips for a solver, later
     cells pre-quarantine it everywhere, mirroring serial mode where one
     guard object spans the campaign.
+
+    With ``supervise`` the same cells run as supervised shard leases
+    (see :func:`_run_cells_supervised`); the journal bytes are
+    identical either way as long as no iteration is poisoned.
     """
     from repro.core.parallel import (
         ShardedPool,
@@ -386,7 +428,26 @@ def _run_cells_process(
         journal_path=journal.path if journal is not None else None,
         journal_meta=meta,
         telemetry=telemetry.config() if telemetry is not None else None,
+        containment=containment,
+        chaos_process=chaos_process,
     )
+    if supervise is not None:
+        _run_cells_supervised(
+            result,
+            remaining,
+            spec=spec,
+            iterations_per_cell=iterations_per_cell,
+            journal=journal,
+            partials=partials,
+            workers=workers,
+            telemetry=telemetry,
+            strategy=strategy,
+            supervise=supervise,
+            containment=containment,
+        )
+        if journal is not None:
+            remove_sidecars(journal.path)
+        return
     quarantined = set()
     seed_text_cache = {}
     with ShardedPool(workers, spec) as pool:
@@ -458,3 +519,137 @@ def _run_cells_process(
         # Every cell is durably in the main journal now; the sidecar
         # partials have served their purpose.
         remove_sidecars(journal.path)
+
+
+def _run_cells_supervised(
+    result,
+    remaining,
+    spec,
+    iterations_per_cell,
+    journal,
+    partials,
+    workers,
+    telemetry=None,
+    strategy="fusion",
+    supervise=True,
+    containment=None,
+):
+    """Run the remaining cells as supervised shard leases.
+
+    One :class:`~repro.robustness.supervisor.Supervisor` spans the
+    campaign (restart budget and counters are campaign-global); each
+    cell's shards become leases whose checkpoints live in lease
+    progress files next to the journal, so a lease re-executed after a
+    worker death replays its completed iterations and the merged cell
+    report — and therefore the journal — matches a failure-free run
+    byte for byte. Poisoned iterations are journaled as ``poison``
+    entries and collected on ``result.poisoned``.
+    """
+    from repro.core.parallel import (
+        ShardTask,
+        SupervisedPoolBackend,
+        collect_shard,
+        reconstruct_iteration_script,
+        serialize_seeds,
+    )
+    from repro.robustness.supervisor import Supervisor, SupervisorPolicy
+
+    policy = supervise if isinstance(supervise, SupervisorPolicy) else SupervisorPolicy()
+
+    def poison_artifact(task, index):
+        return reconstruct_iteration_script(
+            spec.config,
+            task.strategy,
+            task.oracle,
+            task.seed_texts,
+            task.logics,
+            task.seed,
+            index,
+        )
+
+    def on_poison(record):
+        if journal is not None and record.cell is not None:
+            journal.record_poison(tuple(record.cell), record.as_dict())
+
+    quarantined = set()
+    seed_text_cache = {}
+    with SupervisedPoolBackend(workers, spec) as backend:
+        supervisor = Supervisor(
+            backend,
+            policy=policy,
+            containment=containment,
+            telemetry=telemetry,
+            poison_artifact=poison_artifact,
+            on_poison=on_poison,
+        )
+        for key, _solver, seeds in remaining:
+            cache_key = (key[1], key[2])
+            if cache_key not in seed_text_cache:
+                seed_text_cache[cache_key] = serialize_seeds(seeds)
+            texts, logics = seed_text_cache[cache_key]
+            have = {
+                shard: report
+                for (shard, of), report in partials.get(key, {}).items()
+                if of == workers
+            }
+            leases = []
+            for shard in range(workers):
+                indices = shard_indices(iterations_per_cell, shard, workers)
+                if len(indices) == 0 or shard in have:
+                    continue
+                progress_path = None
+                if journal is not None:
+                    from repro.robustness.journal import lease_progress_path
+
+                    progress_path = lease_progress_path(
+                        journal.path, key, shard, workers
+                    )
+                task = ShardTask(
+                    oracle=key[2],
+                    seed_texts=texts,
+                    logics=logics,
+                    iterations=iterations_per_cell,
+                    shard=shard,
+                    of=workers,
+                    seed=spec.config.seed,
+                    cell=key,
+                    solver_names=(key[0],),
+                    quarantined=tuple(sorted(quarantined)),
+                    strategy=strategy,
+                    progress_path=progress_path,
+                )
+                leases.append(supervisor.lease((key, shard), task, indices))
+            outcome = supervisor.run(leases)
+            shard_reports = dict(have)
+            counters = {
+                shard: {"shard": shard, "of": workers, "pid": None, "resumed": True}
+                for shard in have
+            }
+            for (_cell, shard), pairs in outcome.items():
+                reports = []
+                pid = None
+                for _lease, payload in pairs:
+                    reports.append(collect_shard(payload))
+                    pid = payload["pid"]
+                    if telemetry is not None and payload.get("telemetry") is not None:
+                        telemetry.merge_snapshot(payload["telemetry"])
+                shard_reports[shard] = (
+                    reports[0] if len(reports) == 1 else merge_shard_reports(reports)
+                )
+                counters[shard] = {
+                    "shard": shard,
+                    "of": workers,
+                    "pid": pid,
+                    "resumed": False,
+                }
+            for shard, report in shard_reports.items():
+                counters[shard].update(report.counters())
+                counters[shard]["elapsed"] = report.elapsed
+            merged = merge_shard_reports(
+                [shard_reports[shard] for shard in sorted(shard_reports)]
+            )
+            quarantined |= merged.quarantined
+            result.shard_counters[key] = [counters[shard] for shard in sorted(counters)]
+            _absorb_cell(result, key, merged, journal, telemetry)
+    result.poisoned = list(supervisor.poisoned)
+    result.supervision = dict(supervisor.counters)

@@ -74,6 +74,42 @@ def _policy_from_args(args):
     )
 
 
+def _supervision_from_args(args):
+    """(supervise, containment) when any supervision flag was given.
+
+    Returns ``(None, None)`` otherwise. ``--supervise`` alone takes
+    the default policy; any tuning or containment flag implies
+    supervision (which in turn requires ``--mode process``).
+    """
+    tuned = (
+        args.max_worker_restarts is not None
+        or args.max_shard_retries is not None
+        or args.heartbeat_timeout is not None
+    )
+    contained = (
+        args.worker_mem_limit is not None or args.worker_cpu_limit is not None
+    )
+    if not (args.supervise or tuned or contained):
+        return None, None
+    from repro.robustness import ContainmentPolicy, SupervisorPolicy
+
+    policy_kwargs = {}
+    if args.max_worker_restarts is not None:
+        policy_kwargs["max_worker_restarts"] = args.max_worker_restarts
+    if args.max_shard_retries is not None:
+        policy_kwargs["max_shard_retries"] = args.max_shard_retries
+    if args.heartbeat_timeout is not None:
+        policy_kwargs["heartbeat_timeout"] = args.heartbeat_timeout
+    supervise = SupervisorPolicy(**policy_kwargs)
+    containment = None
+    if contained:
+        containment = ContainmentPolicy(
+            mem_limit_mb=args.worker_mem_limit,
+            cpu_limit_seconds=args.worker_cpu_limit,
+        )
+    return supervise, containment
+
+
 def _telemetry_from_args(args):
     """A Telemetry when any observability flag was given, else None."""
     if not (args.metrics or args.trace or getattr(args, "coverage", False)):
@@ -270,6 +306,10 @@ def _cmd_campaign(args):
         solver_factory = deterministic_solvers
         performance_threshold = None
     telemetry = _telemetry_from_args(args)
+    supervise, containment = _supervision_from_args(args)
+    if supervise is not None and args.mode != "process":
+        print("--supervise and worker limits require --mode process", file=sys.stderr)
+        return 2
     result = run_campaign(
         corpora,
         iterations_per_cell=args.iterations,
@@ -283,6 +323,8 @@ def _cmd_campaign(args):
         solver_factory=solver_factory,
         telemetry=telemetry,
         strategy=args.strategy,
+        supervise=supervise,
+        containment=containment,
     )
     print(result.summary())
     _finish_telemetry(telemetry, args)
@@ -444,6 +486,54 @@ def build_parser():
     _add_strategy_flag(p_campaign)
     _add_resilience_flags(p_campaign)
     _add_telemetry_flags(p_campaign, coverage=True)
+    p_campaign.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run --mode process under the self-healing coordinator: "
+        "dead/hung workers are respawned, shard leases resume from "
+        "checkpoints, repeat-killer iterations are quarantined",
+    )
+    p_campaign.add_argument(
+        "--max-worker-restarts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker-pool respawns allowed before the campaign gives up "
+        "(implies --supervise; default 8)",
+    )
+    p_campaign.add_argument(
+        "--max-shard-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-executions of a dying shard lease before its iteration "
+        "range is bisected to isolate the killer (implies --supervise; "
+        "default 2)",
+    )
+    p_campaign.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill a worker whose lease heartbeat goes stale this long "
+        "(implies --supervise; default off)",
+    )
+    p_campaign.add_argument(
+        "--worker-mem-limit",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="RLIMIT_AS ceiling per worker process in megabytes "
+        "(implies --supervise)",
+    )
+    p_campaign.add_argument(
+        "--worker-cpu-limit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="RLIMIT_CPU ceiling per worker process in CPU-seconds "
+        "(implies --supervise)",
+    )
     p_campaign.add_argument(
         "--journal",
         default=None,

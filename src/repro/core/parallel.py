@@ -30,14 +30,30 @@ a circuit breaker trips on *consecutive* failures, an order-dependent
 notion, so the parent aggregates quarantined names from merged shard
 reports and re-broadcasts them to workers via
 :meth:`~repro.robustness.guard.GuardedSolver.force_quarantine`.
+
+Supervised mode (:class:`SupervisedPoolBackend` +
+:class:`~repro.robustness.supervisor.Supervisor`) extends the same
+invariant across worker *death*: a shard runs as a leased
+iteration-by-iteration loop that heartbeats before each iteration,
+fires planned :class:`~repro.robustness.chaos.ProcessChaos` faults,
+and checkpoints every completed iteration to a crash-safe
+:class:`~repro.robustness.journal.ShardProgress` log. Because each
+iteration is a pure function of ``(strategy, seed, index)``, a lease
+re-executed on a respawned worker replays its checkpoints and re-runs
+only the missing iterations — the merged report (and therefore the
+campaign journal) is byte-identical to a failure-free run.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import shutil
+import signal
+import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro.core.yinyang import YinYang, merge_shard_reports, shard_indices
@@ -67,6 +83,11 @@ class WorkerSpec:
     # the spawn boundary; each worker builds its own Telemetry and
     # ships per-shard snapshots back with its results.
     telemetry: object = None
+    # A ContainmentPolicy the worker applies to itself (setrlimit) at
+    # startup, and a ProcessChaos fault plan for supervised tests —
+    # both picklable, both optional.
+    containment: object = None
+    chaos_process: object = None
 
 
 @dataclass(frozen=True)
@@ -87,6 +108,18 @@ class ShardTask:
     # boundary by name (live instances may hold caches/solver handles);
     # the worker rebuilds the instance from name + config.
     strategy: str = "fusion"
+    # Supervised-lease fields (stamped by the Supervisor; all None in
+    # bare pool mode). ``indices`` overrides the strided index set —
+    # bisected child leases carry an explicit slice of the parent
+    # shard's iterations. ``lease_id`` switches the worker to the
+    # per-iteration loop with heartbeats (``heartbeat_dir``) and
+    # crash-safe checkpoints (``progress_path``); ``attempt`` gates
+    # planned chaos faults so injected deaths stop on retry.
+    indices: tuple | None = None
+    attempt: int = 0
+    lease_id: int | None = None
+    heartbeat_dir: str | None = None
+    progress_path: str | None = None
 
 
 def serialize_seeds(seeds):
@@ -126,6 +159,7 @@ class _WorkerState:
         self.config = spec.config
         self.performance_threshold = spec.performance_threshold
         self.telemetry_config = spec.telemetry
+        self.chaos_process = spec.chaos_process
         self.parse_cache = {}
         self.journal = None
         if spec.journal_path:
@@ -167,6 +201,10 @@ class _WorkerState:
 
 def _init_worker(spec):
     global _STATE
+    if spec.containment is not None:
+        # Before anything else allocates: the rlimits bound the whole
+        # worker lifetime, solver construction included.
+        spec.containment.apply()
     _STATE = _WorkerState(spec)
 
 
@@ -199,18 +237,24 @@ def _run_shard(task):
             telemetry=telemetry,
             strategy=task.strategy,
         )
-        report = tool.run_iterations(
-            task.oracle,
-            scripts,
-            list(task.logics),
-            shard_indices(task.iterations, task.shard, task.of),
-            seed=task.seed,
-        )
+        if task.lease_id is None:
+            report = tool.run_iterations(
+                task.oracle,
+                scripts,
+                list(task.logics),
+                shard_indices(task.iterations, task.shard, task.of),
+                seed=task.seed,
+            )
+        else:
+            report = _run_leased(state, tool, task, scripts)
         telemetry_snapshot = telemetry.snapshot() if telemetry is not None else None
     finally:
         if telemetry is not None:
             telemetry.close()
-    if state.journal is not None and task.cell is not None:
+    # Bisected child leases (explicit ``indices``) never write the pid
+    # sidecar: only a whole strided shard is a unit the campaign-resume
+    # merge understands, and a child's partial report must not shadow it.
+    if state.journal is not None and task.cell is not None and task.indices is None:
         state.journal.record_shard(tuple(task.cell), task.shard, task.of, report)
     return {
         "report": serialize_report(report),
@@ -221,6 +265,96 @@ def _run_shard(task):
             s.guard_state() for s in solvers if hasattr(s, "guard_state")
         ],
     }
+
+
+def _run_leased(state, tool, task, scripts):
+    """The supervised per-iteration loop for one shard lease.
+
+    Order per iteration: replay a checkpoint if one exists, else
+    heartbeat (so a death at this iteration is attributable), fire any
+    planned chaos fault, run the iteration, checkpoint it. Because each
+    iteration is self-contained, the merge of per-iteration reports is
+    exactly the report of one uninterrupted ``run_iterations`` call
+    over the same indices — crash recovery cannot change the campaign's
+    output, only how many times the work was attempted.
+    """
+    from repro.robustness.journal import (
+        ShardProgress,
+        deserialize_report,
+        serialize_report,
+    )
+    from repro.robustness.supervisor import write_heartbeat
+
+    if task.indices is not None:
+        indices = list(task.indices)
+    else:
+        indices = list(shard_indices(task.iterations, task.shard, task.of))
+    progress = None
+    if task.progress_path:
+        progress = ShardProgress(
+            task.progress_path,
+            meta={
+                "seed": task.seed,
+                "iterations": task.iterations,
+                "shard": task.shard,
+                "of": task.of,
+                "strategy": task.strategy,
+            },
+        )
+    work = tool.prepare_work(task.oracle, scripts, list(task.logics))
+    chaos = state.chaos_process
+    reports = []
+    for index in indices:
+        if progress is not None and index in progress.completed:
+            reports.append(deserialize_report(progress.completed[index]))
+            continue
+        if task.heartbeat_dir:
+            write_heartbeat(
+                task.heartbeat_dir, task.lease_id, os.getpid(), task.attempt, index
+            )
+        if chaos is not None:
+            chaos.fire(index, task.attempt)
+        report = tool.run_iterations(
+            task.oracle,
+            scripts,
+            list(task.logics),
+            [index],
+            seed=task.seed,
+            work=work,
+        )
+        if progress is not None:
+            progress.record(index, serialize_report(report))
+        reports.append(report)
+    return merge_shard_reports(reports)
+
+
+def reconstruct_iteration_script(config, strategy, oracle, seed_texts, logics, seed, index):
+    """Rebuild iteration ``index``'s mutated script text in the parent.
+
+    Used for poison artifacts: the killer iteration's formula is a pure
+    function of ``(strategy, seed, index)``, so the coordinator can
+    regenerate it without any worker — mutation needs no solvers.
+    Returns ``None`` when the iteration's mutation draw failed (such an
+    iteration runs no solver and can only die to injected chaos).
+    """
+    from repro.core.yinyang import iteration_rng
+    from repro.errors import MutationError
+    from repro.observability.telemetry import NULL_TELEMETRY
+    from repro.smtlib.ast import fresh_scope
+    from repro.smtlib.parser import parse_script
+    from repro.smtlib.printer import print_script
+    from repro.strategies.registry import make_strategy
+
+    strat = make_strategy(strategy, config.fusion)
+    scripts = [parse_script(text) for text in seed_texts]
+    work = strat.prepare(oracle, scripts, list(logics))
+    rng = iteration_rng(seed, index)
+    with fresh_scope():
+        try:
+            mutant = strat.mutate(rng, work, NULL_TELEMETRY)
+        except MutationError:
+            return None
+        return print_script(mutant.script)
 
 
 # ---------------------------------------------------------------------------
@@ -240,6 +374,7 @@ class ShardedPool:
     def __init__(self, workers, spec):
         self.workers = max(1, workers)
         self.spec = spec
+        self._futures = []
         self._executor = ProcessPoolExecutor(
             max_workers=self.workers,
             mp_context=_spawn_context(),
@@ -248,16 +383,107 @@ class ShardedPool:
         )
 
     def submit(self, task):
-        return self._executor.submit(_run_shard, task)
+        future = self._executor.submit(_run_shard, task)
+        self._futures.append(future)
+        return future
 
-    def shutdown(self):
-        self._executor.shutdown()
+    def worker_exitcodes(self):
+        """Exit codes of the pool's worker processes, by pid.
+
+        ``None`` means still alive. Reads the executor's process table —
+        there is no public API for this, but the attribute has been
+        stable across CPython versions and the supervisor needs it to
+        attribute deaths.
+        """
+        processes = getattr(self._executor, "_processes", None) or {}
+        return {pid: proc.exitcode for pid, proc in list(processes.items())}
+
+    def shutdown(self, wait=True):
+        # cancel_futures: once the pool is coming down (error or exit),
+        # queued shards must be dropped, not left to run against a
+        # half-torn-down parent.
+        self._executor.shutdown(wait=wait, cancel_futures=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.shutdown()
+        if exc_type is None:
+            # Surface a worker failure the caller never gathered (e.g.
+            # a shard whose result was skipped): exiting cleanly while
+            # a shard silently died would hide real campaign failures.
+            for future in self._futures:
+                if future.done() and not future.cancelled():
+                    error = future.exception()
+                    if error is not None:
+                        raise error
+        return False
+
+
+class SupervisedPoolBackend:
+    """The process backend a :class:`~repro.robustness.supervisor.Supervisor`
+    drives: a :class:`ShardedPool` that can be respawned after it breaks.
+
+    Owns the heartbeat directory workers write into (a private temp dir
+    unless one is supplied) and translates pool breakage into the
+    supervisor's vocabulary: ``respawn()`` tears down the broken
+    executor, reports how every old worker exited (by pid), and stands
+    up a fresh pool so requeued leases have somewhere to run.
+    """
+
+    broken_exceptions = (BrokenProcessPool,)
+
+    def __init__(self, workers, spec, heartbeat_dir=None):
+        self.workers = max(1, workers)
+        self.spec = spec
+        self._own_heartbeat_dir = heartbeat_dir is None
+        self.heartbeat_dir = (
+            tempfile.mkdtemp(prefix="repro-heartbeat-")
+            if heartbeat_dir is None
+            else os.fspath(heartbeat_dir)
+        )
+        self.pool = ShardedPool(self.workers, spec)
+
+    def submit(self, task):
+        return self.pool.submit(task)
+
+    def respawn(self):
+        """Replace the broken pool; return {pid: exitcode} of old workers."""
+        old = self.pool
+        processes = getattr(old._executor, "_processes", None)
+        processes = dict(processes) if processes else {}
+        try:
+            old._executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        exitcodes = {}
+        for pid, proc in processes.items():
+            try:
+                proc.join(timeout=5)
+                exitcodes[pid] = proc.exitcode
+            except Exception:
+                exitcodes[pid] = None
+        self.pool = ShardedPool(self.workers, self.spec)
+        return exitcodes
+
+    def kill_worker(self, pid):
+        """SIGKILL one worker (hang recovery: stale heartbeat)."""
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except OSError:
+            pass  # already gone
+
+    def close(self):
+        self.pool.shutdown()
+        if self._own_heartbeat_dir:
+            shutil.rmtree(self.heartbeat_dir, ignore_errors=True)
 
     def __enter__(self):
         return self
 
     def __exit__(self, *exc_info):
-        self.shutdown()
+        self.close()
         return False
 
 
@@ -307,23 +533,30 @@ def run_sharded_test(
     )
     start = time.perf_counter()
     with ShardedPool(workers, spec) as pool:
-        futures = [
-            pool.submit(
-                ShardTask(
-                    oracle=oracle,
-                    seed_texts=seed_texts,
-                    logics=logics,
-                    iterations=iterations,
-                    shard=shard,
-                    of=pool.workers,
-                    seed=config.seed,
-                    strategy=strategy,
-                )
+        futures = {}
+        for shard in range(pool.workers):
+            if len(shard_indices(iterations, shard, pool.workers)) == 0:
+                continue
+            task = ShardTask(
+                oracle=oracle,
+                seed_texts=seed_texts,
+                logics=logics,
+                iterations=iterations,
+                shard=shard,
+                of=pool.workers,
+                seed=config.seed,
+                strategy=strategy,
             )
-            for shard in range(pool.workers)
-            if len(shard_indices(iterations, shard, pool.workers)) > 0
-        ]
-        payloads = [future.result() for future in futures]
+            futures[pool.submit(task)] = shard
+        # Gather as shards finish, not in submission order: a failing
+        # shard surfaces the moment it dies instead of queueing behind
+        # every slower sibling (the pool's __exit__ then cancels the
+        # rest). Results are keyed by shard so downstream merging stays
+        # order-independent of completion timing.
+        by_shard = {}
+        for future in as_completed(futures):
+            by_shard[futures[future]] = future.result()
+        payloads = [by_shard[shard] for shard in sorted(by_shard)]
         merged = merge_shard_reports([collect_shard(p) for p in payloads])
     if telemetry is not None:
         for payload in payloads:

@@ -338,16 +338,24 @@ class YinYang:
             ]
             return merge_shard_reports([future.result() for future in futures])
 
-    def run_iterations(self, oracle, scripts, logics, indices, seed=None):
+    def run_iterations(self, oracle, scripts, logics, indices, seed=None, work=None):
         """Run the iterations whose global ids are in ``indices``.
 
         This is the sharding primitive: a full run is
         ``run_iterations(..., range(n))``, and any partition of
         ``range(n)`` across workers merges back (via
-        :func:`merge_shard_reports`) to the same report.
+        :func:`merge_shard_reports`) to the same report. Callers that
+        split one shard into many small index batches (the supervised
+        per-iteration loop) pass a pre-built ``work`` item so the
+        strategy's preparation cost is paid once, not per batch.
         """
-        work = self.strategy.prepare(oracle, scripts, logics)
+        if work is None:
+            work = self.strategy.prepare(oracle, scripts, logics)
         return self._run_prepared(self.strategy, work, indices, seed)
+
+    def prepare_work(self, oracle, scripts, logics):
+        """Pre-build the strategy work item for repeated ``run_iterations``."""
+        return self.strategy.prepare(oracle, scripts, logics)
 
     def _run_prepared(self, strategy, work, indices, seed=None):
         """The shared shard loop: run ``indices`` of ``strategy`` over a

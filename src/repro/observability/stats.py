@@ -139,6 +139,23 @@ def coverage_rows(snapshot):
     return rows
 
 
+def poison_rows(journal):
+    """(cell, iteration, classification, attempts, strategy/seed) rows
+    for the quarantined poison-iteration artifacts of a journal."""
+    rows = []
+    for entry in journal.poison_entries():
+        rows.append(
+            (
+                f"{entry['solver']}/{entry['family']}/{entry['oracle']}",
+                entry.get("iteration", "?"),
+                entry.get("classification", "?"),
+                entry.get("attempts", "?"),
+                f"{entry.get('strategy', '?')}@{entry.get('seed', '?')}",
+            )
+        )
+    return rows
+
+
 def render_stats(journal, snapshot=None):
     """The full dashboard text.
 
@@ -167,6 +184,16 @@ def render_stats(journal, snapshot=None):
         lines += ["", totals_line, "", _bug_bars(totals)]
     else:
         lines += ["", "no completed cells in the journal"]
+    poisons = poison_rows(journal)
+    if poisons:
+        lines += [
+            "",
+            render_table(
+                ["cell", "iter", "death", "attempts", "repro"],
+                poisons,
+                "Quarantined poison iterations",
+            ),
+        ]
     if snapshot is not None:
         lines += _metrics_sections(snapshot)
     return "\n".join(lines) + "\n"

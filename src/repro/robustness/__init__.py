@@ -14,10 +14,26 @@ our campaign loop production-hard:
   crash-safe JSONL journaling of per-cell campaign progress, enabling
   ``run_campaign(..., resume=True)``;
 - :class:`ResiliencePolicy` (:mod:`~repro.robustness.policy`) — the
-  dataclass plumbed from CLI flags down to the guard.
+  dataclass plumbed from CLI flags down to the guard;
+- :class:`Supervisor` (:mod:`~repro.robustness.supervisor`) — the
+  self-healing coordinator for process-sharded campaigns: worker
+  respawn, shard-lease recovery from :class:`ShardProgress`
+  checkpoints, heartbeat hang detection, and poison-iteration
+  bisection/quarantine;
+- :class:`ContainmentPolicy` (:mod:`~repro.robustness.containment`) —
+  per-worker rlimits plus parent-side death classification;
+- :class:`ProcessChaos` (:mod:`~repro.robustness.chaos`) — seeded
+  process-level fault injection (kill/hang/spin/OOM a worker at chosen
+  iterations) so crash recovery is provable deterministically.
 """
 
-from repro.robustness.chaos import ChaosError, ChaosSolver
+from repro.robustness.chaos import ChaosError, ChaosSolver, ProcessChaos
+from repro.robustness.containment import (
+    ContainmentPolicy,
+    classify_exception,
+    classify_exit,
+    is_teardown_exit,
+)
 from repro.robustness.guard import (
     GuardedSolver,
     HarnessError,
@@ -26,20 +42,41 @@ from repro.robustness.guard import (
 from repro.robustness.journal import (
     CampaignJournal,
     JournalError,
+    ShardProgress,
     deserialize_bug_record,
+    lease_progress_path,
     serialize_bug_record,
 )
 from repro.robustness.policy import ResiliencePolicy
+from repro.robustness.supervisor import (
+    PoisonedIteration,
+    ShardLease,
+    SupervisionExhausted,
+    Supervisor,
+    SupervisorPolicy,
+)
 
 __all__ = [
     "ChaosError",
     "ChaosSolver",
+    "ProcessChaos",
+    "ContainmentPolicy",
+    "classify_exit",
+    "classify_exception",
+    "is_teardown_exit",
     "GuardedSolver",
     "HarnessError",
     "SolverQuarantined",
     "CampaignJournal",
     "JournalError",
+    "ShardProgress",
+    "lease_progress_path",
     "serialize_bug_record",
     "deserialize_bug_record",
     "ResiliencePolicy",
+    "PoisonedIteration",
+    "ShardLease",
+    "SupervisionExhausted",
+    "Supervisor",
+    "SupervisorPolicy",
 ]

@@ -27,6 +27,16 @@ resume reloads matching sidecars and re-runs only the missing shards.
 Sidecars are keyed by ``(shard, of)``: a resume with a *different*
 worker count simply finds no matching partials and re-runs whole
 cells, never duplicating or skipping one.
+
+Supervised campaigns add a third, finer layer: :class:`ShardProgress`,
+an *append-only* per-lease log of completed iterations
+(``<path>.lease-*.jsonl``). Unlike the journals above it is not
+atomically rewritten — each iteration appends one line — so a worker
+killed mid-write can leave a torn final line; the loader discards it
+and the iteration is simply re-executed. Because every iteration is a
+pure function of ``(strategy, seed, index)``, replaying recorded
+iterations and re-running the missing ones merges to the exact bytes
+of a failure-free run (see ``tests/test_supervised_campaign.py``).
 """
 
 from __future__ import annotations
@@ -267,6 +277,28 @@ class CampaignJournal:
         )
         self._commit()
 
+    def record_poison(self, cell, data):
+        """Append one quarantined poison-iteration artifact.
+
+        ``data`` is the JSON-ready artifact dict (iteration id,
+        classification, attempts, strategy, seed, rlimits, formula
+        text) produced by the supervisor when a shard kept dying past
+        the retry cap and bisection isolated the killer iteration.
+        Poison entries only ever appear in campaigns that met such an
+        iteration — failure-free journals keep their exact bytes.
+        """
+        solver, family, oracle = cell
+        self.entries.append(
+            {
+                "type": "poison",
+                "solver": solver,
+                "family": family,
+                "oracle": oracle,
+                **data,
+            }
+        )
+        self._commit()
+
     # -- reading ---------------------------------------------------------
 
     def meta(self):
@@ -296,6 +328,10 @@ class CampaignJournal:
                 deserialize_report(entry["report"])
             )
         return shards
+
+    def poison_entries(self):
+        """All quarantined poison-iteration artifacts, in journal order."""
+        return [e for e in self.entries if e.get("type") == "poison"]
 
 
 # ---------------------------------------------------------------------------
@@ -340,9 +376,132 @@ def load_sidecar_shards(journal_path, expect_meta):
 
 
 def remove_sidecars(journal_path):
-    """Delete all sidecar journals (the campaign completed)."""
-    for path in sidecar_paths(journal_path):
+    """Delete all sidecar journals and lease progress logs (the
+    campaign completed; every cell is durably in the main journal)."""
+    for path in sidecar_paths(journal_path) + lease_progress_paths(journal_path):
         try:
             os.remove(path)
         except OSError:
             pass
+
+
+# ---------------------------------------------------------------------------
+# Per-lease iteration progress (supervised campaigns)
+# ---------------------------------------------------------------------------
+
+
+def _cell_slug(cell):
+    import re
+
+    return re.sub(r"[^A-Za-z0-9_.-]", "_", "-".join(str(part) for part in cell))
+
+
+def lease_progress_path(journal_path, cell, shard, of):
+    """The progress log of one shard lease (shared by its bisected
+    descendants — records are keyed by iteration id, so disjoint child
+    leases never collide)."""
+    return (
+        f"{os.fspath(journal_path)}.lease-{_cell_slug(cell)}-{shard}of{of}.jsonl"
+    )
+
+
+def lease_progress_paths(journal_path):
+    """All lease progress logs next to ``journal_path``."""
+    return sorted(_glob.glob(f"{os.fspath(journal_path)}.lease-*.jsonl"))
+
+
+class ShardProgress:
+    """Append-only per-lease log of completed iterations.
+
+    Deliberately *not* the atomic-rewrite discipline of
+    :class:`CampaignJournal`: a shard lease records one line per
+    finished iteration (``{"type": "iter", "i": id, "report": ...}``),
+    flushed but never rewritten, so the cost per iteration is one
+    small append instead of a full-file fsync+rename. The price is a
+    possible torn final line when a worker dies mid-write; the loader
+    discards it and the supervisor simply re-executes that iteration —
+    correctness never depends on the tail surviving.
+
+    A meta line (first line) stamps the campaign parameters; a log
+    whose meta does not match the current campaign is discarded
+    wholesale (a stale file from a differently-parameterized run on
+    the same journal path cannot poison a resume).
+
+    Appends take an advisory ``fcntl`` lock so bisected sibling leases
+    running in different workers can safely share one log.
+    """
+
+    def __init__(self, path, meta=None):
+        self.path = os.fspath(path)
+        self.meta = dict(meta or {})
+        self.completed = {}
+        self._load()
+
+    def _load(self):
+        if not os.path.exists(self.path):
+            self._write_meta()
+            return
+        entries = []
+        with open(self.path, "rb+") as handle:
+            data = handle.read()
+            good = 0
+            for raw in data.splitlines(keepends=True):
+                if not raw.strip():
+                    good += len(raw)
+                    continue
+                if not raw.endswith(b"\n"):
+                    break  # torn tail: the worker died mid-append
+                try:
+                    entries.append(json.loads(raw.decode("utf-8")))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    break
+                good += len(raw)
+            if good < len(data):
+                # Truncate the torn tail durably: a later append must
+                # start on a fresh line, not glue onto half a record
+                # (which would silently lose every record after it on
+                # the next load).
+                try:
+                    import fcntl
+
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                except (ImportError, OSError):
+                    pass
+                handle.truncate(good)
+        if not entries or entries[0].get("type") != "meta":
+            self._reset()
+            return
+        recorded = entries[0]
+        if any(recorded.get(k) != v for k, v in self.meta.items()):
+            self._reset()
+            return
+        for entry in entries[1:]:
+            if entry.get("type") == "iter":
+                self.completed[entry["i"]] = entry["report"]
+
+    def _reset(self):
+        try:
+            os.remove(self.path)
+        except OSError:
+            pass
+        self._write_meta()
+
+    def _write_meta(self):
+        self._append({"type": "meta", "version": JOURNAL_VERSION, **self.meta})
+
+    def _append(self, entry):
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        with open(self.path, "a", encoding="utf-8") as handle:
+            try:
+                import fcntl
+
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            except (ImportError, OSError):
+                pass
+            handle.write(line)
+            handle.flush()
+
+    def record(self, index, report_data):
+        """Durably append one completed iteration's serialized report."""
+        self.completed[index] = report_data
+        self._append({"type": "iter", "i": index, "report": report_data})

@@ -1,0 +1,267 @@
+"""Self-healing campaign integration tests: real pools, real deaths.
+
+The acceptance property under test: a supervised process campaign in
+which seeded :class:`~repro.robustness.chaos.ProcessChaos` faults kill
+workers mid-cell completes anyway, and its journal is **byte-identical**
+to the failure-free serial ``--deterministic`` run — crash recovery is
+invisible in the campaign's output. A permanently poisonous iteration
+is bisected out and quarantined instead of aborting the campaign.
+
+These tests spawn and respawn process pools; the heavy ones are marked
+``chaos`` (the CI fault-tolerance stage runs them explicitly; the fast
+lane skips them).
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.runner import deterministic_solvers, run_campaign
+from repro.core.parallel import ShardTask, WorkerSpec, _init_worker, _run_shard
+from repro.robustness import (
+    CampaignJournal,
+    ContainmentPolicy,
+    ProcessChaos,
+    SupervisorPolicy,
+)
+from repro.seeds import build_corpus
+
+CAMPAIGN = dict(
+    iterations_per_cell=6,
+    seed=6,
+    performance_threshold=None,
+    solver_factory=deterministic_solvers,
+)
+
+NO_BACKOFF = dict(backoff_base=0.0, backoff_cap=0.0)
+
+
+def one_deterministic_solver():
+    """A single-solver factory: halves the campaign's cell count."""
+    return deterministic_solvers()[:1]
+
+
+class SatOnly:
+    """A corpus view exposing only the ``sat`` seeds (fewer cells)."""
+
+    def __init__(self, corpus):
+        self._corpus = corpus
+
+    def by_oracle(self, oracle):
+        return self._corpus.by_oracle(oracle) if oracle == "sat" else []
+
+
+@pytest.fixture(scope="module")
+def corpora():
+    return {"QF_S": SatOnly(build_corpus("QF_S", scale=0.0015, seed=5))}
+
+
+@pytest.fixture(scope="module")
+def baseline(corpora, tmp_path_factory):
+    path = tmp_path_factory.mktemp("journal") / "baseline.jsonl"
+    result = run_campaign(
+        corpora, journal=path, **dict(CAMPAIGN, solver_factory=one_deterministic_solver)
+    )
+    return result, path.read_bytes()
+
+
+@pytest.mark.chaos
+class TestChaosKillDeterminism:
+    def test_seeded_worker_kills_leave_journal_byte_identical(
+        self, corpora, baseline, tmp_path
+    ):
+        # Iterations 2 and 3 land in different shards at workers=2, so
+        # the campaign survives two separate worker deaths (each shard
+        # lease is killed once, charged via its heartbeat, respawned,
+        # and resumed from its progress checkpoints).
+        path = tmp_path / "supervised.jsonl"
+        result = run_campaign(
+            corpora,
+            journal=path,
+            mode="process",
+            workers=2,
+            supervise=SupervisorPolicy(max_worker_restarts=20, **NO_BACKOFF),
+            chaos_process=ProcessChaos(kill_at=(2, 3)),
+            **dict(CAMPAIGN, solver_factory=one_deterministic_solver),
+        )
+        assert result.supervision["restarts"] >= 1
+        assert result.supervision["retries"] >= 1
+        assert result.poisoned == []
+        assert path.read_bytes() == baseline[1]
+        # Leases' progress checkpoints are cleaned up with the sidecars.
+        assert list(tmp_path.glob("*.lease-*")) == []
+
+    def test_unsupervised_campaign_dies_on_the_same_faults(self, corpora, tmp_path):
+        from concurrent.futures.process import BrokenProcessPool
+
+        with pytest.raises(BrokenProcessPool):
+            run_campaign(
+                corpora,
+                mode="process",
+                workers=2,
+                chaos_process=None,  # bare pool, no supervision
+                **dict(CAMPAIGN, solver_factory=_killing_solvers),
+            )
+
+
+class _KillOnFirstCheck:
+    """A solver whose first check SIGKILLs its own process (picklable)."""
+
+    name = "suicidal"
+
+    def check_script(self, script):
+        import os
+        import signal as signal_mod
+
+        os.kill(os.getpid(), signal_mod.SIGKILL)
+
+
+def _killing_solvers():
+    return [_KillOnFirstCheck()]
+
+
+@pytest.mark.chaos
+class TestPoisonQuarantine:
+    def test_permanent_killer_iteration_is_quarantined(self, corpora, tmp_path):
+        # Iteration 1 kills its worker on *every* attempt: the lease is
+        # bisected down to the single killer index, which is quarantined
+        # as a reproduction artifact while the rest of the cell (and the
+        # campaign) completes normally.
+        path = tmp_path / "poisoned.jsonl"
+        result = run_campaign(
+            corpora,
+            journal=path,
+            mode="process",
+            workers=2,
+            supervise=SupervisorPolicy(
+                max_shard_retries=0, max_worker_restarts=50, **NO_BACKOFF
+            ),
+            chaos_process=ProcessChaos(kill_at=(1,), attempts=10**9),
+            **dict(CAMPAIGN, solver_factory=one_deterministic_solver),
+        )
+        assert len(result.poisoned) == 1
+        poison = result.poisoned[0]
+        assert poison.iteration == 1
+        assert poison.classification == "killed"
+        assert poison.strategy == "fusion"
+        assert poison.seed == CAMPAIGN["seed"]
+        assert poison.script  # the killer formula, reconstructed
+        assert "(check-sat)" in poison.script
+        # The quarantine is durable: the journal carries a poison entry
+        # alongside the completed cell.
+        journal = CampaignJournal(path)
+        [entry] = journal.poison_entries()
+        assert entry["iteration"] == 1
+        assert entry["classification"] == "killed"
+        assert entry["script"] == poison.script
+        # The cell completed minus exactly the poisoned iteration.
+        [report] = list(result.reports.values())
+        assert report.iterations == CAMPAIGN["iterations_per_cell"] - 1
+        assert result.supervision["poisoned"] == 1
+        assert result.supervision["bisections"] >= 1
+
+
+class TestLeasedResume:
+    """In-process coverage of the worker-side leased loop: no pools, so
+    these run in the fast lane."""
+
+    def _spec_and_task(self, tmp_path, **task_overrides):
+        from repro.core.config import FusionConfig, YinYangConfig
+        from repro.core.parallel import serialize_seeds
+
+        corpus = build_corpus("QF_S", scale=0.0015, seed=5)
+        texts, logics = serialize_seeds(corpus.by_oracle("sat"))
+        spec = WorkerSpec(
+            solver_factory=one_deterministic_solver,
+            config=YinYangConfig(fusion=FusionConfig(), seed=6),
+        )
+        task = dict(
+            oracle="sat",
+            seed_texts=texts,
+            logics=logics,
+            iterations=5,
+            shard=0,
+            of=1,
+            seed=6,
+            cell=("z3-like", "QF_S", "sat"),
+            strategy="fusion",
+            lease_id=1,
+            attempt=0,
+            progress_path=str(tmp_path / "j.jsonl.lease-cell-0of1.jsonl"),
+        )
+        task.update(task_overrides)
+        return spec, ShardTask(**task)
+
+    def test_leased_run_matches_bare_run(self, tmp_path):
+        spec, task = self._spec_and_task(tmp_path)
+        _init_worker(spec)
+        leased = _run_shard(task)
+        from dataclasses import replace
+
+        bare = _run_shard(replace(task, lease_id=None, progress_path=None))
+        assert leased["report"] == bare["report"]
+
+    def test_truncated_progress_line_reruns_iteration_same_bytes(self, tmp_path):
+        spec, task = self._spec_and_task(tmp_path)
+        _init_worker(spec)
+        full = _run_shard(task)
+        progress_path = tmp_path / "j.jsonl.lease-cell-0of1.jsonl"
+        lines = progress_path.read_text(encoding="utf-8").splitlines(keepends=True)
+        assert len(lines) == 1 + task.iterations  # meta + one line per iteration
+        # A worker died mid-append: the final line is half-written.
+        progress_path.write_text(
+            "".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2], encoding="utf-8"
+        )
+        from dataclasses import replace
+
+        resumed = _run_shard(replace(task, attempt=1))
+        assert resumed["report"] == full["report"]
+        # The torn iteration was re-executed and re-checkpointed.
+        healed = progress_path.read_text(encoding="utf-8").splitlines()
+        recorded = [json.loads(line)["i"] for line in healed[1:]]
+        assert sorted(recorded) == list(range(task.iterations))
+
+    def test_resume_replays_checkpoints_without_rerunning(self, tmp_path):
+        spec, task = self._spec_and_task(tmp_path)
+        _init_worker(spec)
+        full = _run_shard(task)
+        progress_path = tmp_path / "j.jsonl.lease-cell-0of1.jsonl"
+        before = progress_path.read_text(encoding="utf-8")
+        from dataclasses import replace
+
+        resumed = _run_shard(replace(task, attempt=1))
+        assert resumed["report"] == full["report"]
+        # Nothing was re-executed: the log gained no new lines.
+        assert progress_path.read_text(encoding="utf-8") == before
+
+    def test_bisected_child_lease_runs_exact_indices(self, tmp_path):
+        spec, task = self._spec_and_task(tmp_path, indices=(1, 3))
+        _init_worker(spec)
+        payload = _run_shard(task)
+        from repro.robustness.journal import deserialize_report
+
+        report = deserialize_report(payload["report"])
+        assert report.iterations == 2
+
+
+@pytest.mark.chaos
+class TestContainment:
+    def test_oom_alloc_is_contained_and_retried(self, corpora, tmp_path):
+        # RLIMIT_AS turns the planned 2 GiB allocation into an in-worker
+        # MemoryError; the supervisor classifies it "oom", retries the
+        # lease (the fault is attempt-gated), and the campaign's output
+        # is unaffected. The worker never dies, so no respawns.
+        result = run_campaign(
+            corpora,
+            mode="process",
+            workers=1,
+            supervise=SupervisorPolicy(max_worker_restarts=10, **NO_BACKOFF),
+            containment=ContainmentPolicy(mem_limit_mb=1024),
+            chaos_process=ProcessChaos(oom_at=(0,), oom_bytes=1 << 31),
+            **dict(CAMPAIGN, solver_factory=one_deterministic_solver),
+        )
+        assert result.supervision["retries"] == 1
+        assert result.supervision["restarts"] == 0
+        assert result.poisoned == []
+        [report] = list(result.reports.values())
+        assert report.iterations == CAMPAIGN["iterations_per_cell"]

@@ -1,15 +1,20 @@
-"""Strategy throughput: fusion vs. concatfuzz vs. opfuzz iterations/s.
+"""Strategy throughput: fusion (full and triaged) vs. concatfuzz vs.
+opfuzz iterations/s.
 
-All three strategies run the identical loop (same solvers, seeds,
-iteration count, serial mode), so the deltas measure what each
-workload costs end to end: mutation plus solving the mutants it
-produces. That second part dominates. Fusion's variable fusion
-introduces nonlinear definitions that burn the deterministic solvers'
-budgets (most iterations end undecided), while concatfuzz and opfuzz
-mutants stay as easy as their seeds — even opfuzz's extra reference
-solve per mutant (for its differential oracle) is cheap on those.
-The table exists to keep those relative costs visible as the pipeline
-evolves: a regression in the generic loop shows up in every row.
+All rows run the identical loop (same solvers, seeds, iteration
+count, serial mode), so the deltas measure what each workload costs
+end to end: mutation plus solving the mutants it produces. That
+second part dominates. Fusion's variable fusion introduces nonlinear
+definitions that historically burned the deterministic solvers' full
+budgets at ~0.4 iter/s; the solver-side fast paths (definition
+elimination, model guessing, incremental branch & bound, QuickXplain
+core shrinking) and the triage tier policy reclaim that wall clock.
+The ``fusion+triage`` row runs the same campaign with the default
+:class:`~repro.campaign.triage.TriagePolicy`; the assertion at the
+bottom pins the headline claim — triaged fusion sustains at least ten
+times the 0.4 iter/s the pre-triage pipeline recorded — so a
+regression in either the solver fast paths or the tier routing fails
+the benchmark, not just a number in a text file.
 """
 
 import time
@@ -17,6 +22,7 @@ import time
 from _util import emit, once
 
 from repro.campaign.runner import deterministic_solvers
+from repro.campaign.triage import TriagePolicy
 from repro.core.config import YinYangConfig
 from repro.core.yinyang import YinYang
 from repro.seeds import build_corpus
@@ -25,12 +31,17 @@ from repro.strategies import make_strategy
 ITERATIONS = 60
 SEED = 11
 
+#: The fusion throughput the pre-triage pipeline recorded on this
+#: exact campaign (60 iterations, QF_LIA sat, two deterministic
+#: solvers, serial). The triaged row must sustain >= 10x this.
+PRE_TRIAGE_BASELINE = 0.4
 
-def _run_strategy(name, seeds):
+
+def _run_strategy(name, seeds, triage=None):
     solvers = deterministic_solvers()
     tool = YinYang(
         solvers,
-        YinYangConfig(seed=SEED),
+        YinYangConfig(seed=SEED, triage=triage),
         performance_threshold=None,
         strategy=make_strategy(name),
     )
@@ -47,6 +58,8 @@ def _campaign():
     for name in ("fusion", "concatfuzz", "opfuzz"):
         report, elapsed = _run_strategy(name, seeds)
         rows[name] = (report, elapsed)
+    report, elapsed = _run_strategy("fusion", seeds, triage=TriagePolicy())
+    rows["fusion+triage"] = (report, elapsed)
     return rows
 
 
@@ -56,24 +69,38 @@ def test_strategy_throughput(benchmark):
     lines = [
         "Strategy throughput — identical loop, solvers and seeds "
         f"({ITERATIONS} iterations, QF_LIA sat, serial)",
-        f"{'strategy':<12} {'iter/s':>8} {'vs fusion':>10} "
+        f"{'strategy':<14} {'iter/s':>8} {'vs fusion':>10} "
         f"{'mutants':>8} {'failed':>7} {'bugs':>5} {'unknown':>8}",
     ]
     for name, (report, elapsed) in rows.items():
         rate = ITERATIONS / elapsed
         lines.append(
-            f"{name:<12} {rate:>8.1f} {rate / fusion_rate:>9.2f}x "
+            f"{name:<14} {rate:>8.1f} {rate / fusion_rate:>9.2f}x "
             f"{report.fused:>8} {report.fusion_failures:>7} "
             f"{len(report.bugs):>5} {report.unknowns:>8}"
         )
+    triage_rate = ITERATIONS / rows["fusion+triage"][1]
     lines.append(
-        "solve time dominates: fusion's variable fusion yields "
-        "nonlinear mutants that exhaust the deterministic solvers' "
-        "budgets (see unknown), while concatfuzz/opfuzz mutants stay "
-        "as easy as their seeds — opfuzz's extra reference solve per "
-        "mutant (differential oracle) is cheap on those."
+        "solve time dominates. The solver fast paths (definition "
+        "elimination, model guess, incremental branch & bound, "
+        "QuickXplain cores) lifted full-budget fusion well above the "
+        f"{PRE_TRIAGE_BASELINE} iter/s it once recorded; triage "
+        "additionally fail-fasts the budget-burning nonlinear mutants "
+        f"(fusion+triage: {triage_rate:.1f} iter/s, "
+        f"{triage_rate / PRE_TRIAGE_BASELINE:.0f}x the pre-triage "
+        "pipeline). concatfuzz/opfuzz mutants stay as easy as their "
+        "seeds — opfuzz's extra reference solve per mutant "
+        "(differential oracle) is cheap on those."
     )
     emit("strategy_throughput", "\n".join(lines))
     for name, (report, _elapsed) in rows.items():
         assert report.iterations == ITERATIONS, name
         assert report.fused > 0, name
+    # The headline acceptance bar: triaged fusion sustains >= 10x the
+    # pre-triage pipeline's recorded throughput.
+    assert triage_rate >= 10 * PRE_TRIAGE_BASELINE, (
+        f"triaged fusion throughput regressed: {triage_rate:.2f} iter/s "
+        f"< 10x the {PRE_TRIAGE_BASELINE} iter/s pre-triage baseline"
+    )
+    # Triage must not change what the campaign reports as bugs.
+    assert len(rows["fusion+triage"][0].bugs) == len(rows["fusion"][0].bugs)

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # The tier-1 CI gate, runnable locally and in any runner.
 #
-# Five stages, strictly ordered so the cheapest failures surface first:
+# Six stages, strictly ordered so the cheapest failures surface first:
 #
 #   1. AST lint  — term nodes must be built via the interning
 #      constructors, the observability layer must never import random
@@ -13,35 +13,43 @@
 #      opfuzz must journal identically across modes/worker counts.
 #   3. Telemetry determinism — journals must stay byte-identical with
 #      metrics off, on, or traced, across modes and worker counts.
-#   4. Fast lane — the full suite minus the soak/slow markers
+#   4. Triage determinism — with the tier policy on, journals must
+#      stay byte-identical across worker counts, every definite
+#      full-budget verdict must survive tiering (verdict equivalence),
+#      and a fault-injected campaign must find the same bugs with
+#      triage on and off.
+#   5. Fast lane — the full suite minus the soak/slow markers
 #      (see pyproject.toml; run the slow and chaos lanes nightly:
 #      `pytest -m slow` / `pytest -m chaos`).
-#   5. Fault tolerance — the supervised-campaign acceptance property:
+#   6. Fault tolerance — the supervised-campaign acceptance property:
 #      seeded chaos kills of worker processes must leave the merged
 #      journal byte-identical to a failure-free deterministic run, and
 #      a permanently poisonous iteration must be quarantined instead
 #      of aborting the campaign.
 #
-# Stages 1-3 are subsets of stage 4; running them first just makes
+# Stages 1-4 are subsets of stage 5; running them first just makes
 # the common failure modes fail in seconds instead of minutes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== stage 1/5: AST lint (interning, no RNG in telemetry, strategy-agnostic core) =="
+echo "== stage 1/6: AST lint (interning, no RNG in telemetry, strategy-agnostic core) =="
 python -m pytest tests/test_ast_lint.py \
     "tests/test_observability.py::TestHotPathHygiene" -q
 
-echo "== stage 2/5: strategy determinism (golden fusion journal, opfuzz byte-identity) =="
+echo "== stage 2/6: strategy determinism (golden fusion journal, opfuzz byte-identity) =="
 python -m pytest tests/test_strategies.py -q -m "not slow"
 
-echo "== stage 3/5: telemetry determinism (journal byte-identity) =="
+echo "== stage 3/6: telemetry determinism (journal byte-identity) =="
 python -m pytest tests/test_parallel_determinism.py -q -m "not slow"
 
-echo "== stage 4/5: fast lane (full suite minus slow/chaos) =="
+echo "== stage 4/6: triage determinism (verdict equivalence, bug-finding power) =="
+python -m pytest tests/test_triage.py -q -m "not slow"
+
+echo "== stage 5/6: fast lane (full suite minus slow/chaos) =="
 python -m pytest -m "not slow and not chaos" -q
 
-echo "== stage 5/5: fault tolerance (chaos-kill determinism, poison quarantine) =="
+echo "== stage 6/6: fault tolerance (chaos-kill determinism, poison quarantine) =="
 python -m pytest tests/test_supervisor.py -q
 python -m pytest tests/test_supervised_campaign.py -q
 

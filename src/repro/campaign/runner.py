@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.campaign.classify import collect_found_faults, found_fault_objects
+from repro.campaign.triage import TriagePolicy, parse_budget_tiers
 from repro.core.config import FusionConfig, YinYangConfig
 from repro.core.yinyang import (
     EXECUTION_MODES,
@@ -213,6 +214,7 @@ def run_campaign(
     supervise=None,
     containment=None,
     chaos_process=None,
+    triage=None,
 ):
     """Run the full campaign.
 
@@ -265,6 +267,16 @@ def run_campaign(
     :class:`~repro.robustness.chaos.ProcessChaos`) injects planned
     worker-level faults for recovery testing. All three imply
     ``mode="process"`` supervision and are rejected elsewhere.
+
+    ``triage`` routes each mutant to a solve-budget tier before
+    checking: ``True`` (the default
+    :class:`~repro.campaign.triage.TriagePolicy`), a ``--budget-tiers``
+    spec string, or a ready policy. Routing is a pure function of the
+    mutant's formula, so journals stay identical across modes and
+    worker counts; the journal records the policy spec and the
+    unknown-kind split, and a resume refuses to mix triage and
+    non-triage shards. ``None`` keeps journal bytes identical to the
+    pre-triage campaign.
     """
     if mode not in EXECUTION_MODES:
         raise ValueError(f"mode must be one of {EXECUTION_MODES}, got {mode!r}")
@@ -276,6 +288,10 @@ def run_campaign(
         )
     workers = max(1, workers)
     strategy_name = strategy if isinstance(strategy, str) else strategy.name
+    if triage is True:
+        triage = TriagePolicy()
+    elif isinstance(triage, str):
+        triage = parse_budget_tiers(triage)
     if mode == "process":
         if solver_factory is None:
             if solvers is not None:
@@ -308,11 +324,19 @@ def run_campaign(
             # Fusion journals predate strategies and must keep their
             # exact bytes; only other workloads stamp the meta key.
             meta_params["strategy"] = strategy_name
+        if triage is not None:
+            # The canonical policy spec: a resume with a different
+            # policy (or none) mismatches and is refused, and the
+            # split counters ride every cell report.
+            meta_params["triage"] = triage.describe()
+            journal.unknown_split = True
         journal.ensure_meta(**meta_params)
         journal.ensure_strategy(strategy_name)
         if resume:
             completed = journal.completed_cells()
-    config = YinYangConfig(fusion=fusion_config or FusionConfig(), seed=seed)
+    config = YinYangConfig(
+        fusion=fusion_config or FusionConfig(), seed=seed, triage=triage
+    )
     cells = _campaign_cells(solvers, corpora)
     # Resumed cells are folded in first, in canonical order, so the
     # in-memory result (not just the journal) is shard- and
@@ -417,6 +441,11 @@ def _run_cells_process(
         "workers": workers,
         "strategy": strategy,
     }
+    if config.triage is not None:
+        # Like strategy: sidecar partials from a triage run must never
+        # be spliced into a non-triage resume (different budgets mean
+        # different unknown counts for the same iterations).
+        meta["triage"] = config.triage.describe()
     partials = {}
     if journal is not None and resume:
         partials = load_sidecar_shards(journal.path, meta)

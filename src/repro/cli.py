@@ -187,6 +187,37 @@ def _add_strategy_flag(parser):
     )
 
 
+def _add_triage_flags(parser):
+    parser.add_argument(
+        "--triage",
+        action="store_true",
+        help="route each mutant to a solve-budget tier by structural "
+        "difficulty (nonlinear terms, quantifier depth, string ops, "
+        "size); hopeless mutants fail fast instead of burning the "
+        "full budget",
+    )
+    parser.add_argument(
+        "--budget-tiers",
+        default=None,
+        metavar="SPEC",
+        help="triage tier spec `hard@SCORE:NUM/DEN,hopeless@SCORE:NUM/DEN` "
+        "(default hard@4:1/2,hopeless@9:1/8); implies --triage",
+    )
+
+
+def _triage_from_args(args):
+    """A TriagePolicy when a triage flag was given, else None."""
+    if args.budget_tiers:
+        from repro.campaign.triage import parse_budget_tiers
+
+        return parse_budget_tiers(args.budget_tiers)
+    if args.triage:
+        from repro.campaign.triage import TriagePolicy
+
+        return TriagePolicy()
+    return None
+
+
 def _add_resilience_flags(parser):
     parser.add_argument(
         "--retries",
@@ -325,6 +356,7 @@ def _cmd_campaign(args):
         strategy=args.strategy,
         supervise=supervise,
         containment=containment,
+        triage=_triage_from_args(args),
     )
     print(result.summary())
     _finish_telemetry(telemetry, args)
@@ -350,6 +382,7 @@ def _cmd_test(args):
             max_pairs=args.pairs, substitution_probability=args.probability
         ),
         seed=args.seed,
+        triage=_triage_from_args(args),
     )
     telemetry = _telemetry_from_args(args)
     tool = YinYang(
@@ -484,6 +517,7 @@ def build_parser():
         help="shard count for --mode thread/process",
     )
     _add_strategy_flag(p_campaign)
+    _add_triage_flags(p_campaign)
     _add_resilience_flags(p_campaign)
     _add_telemetry_flags(p_campaign, coverage=True)
     p_campaign.add_argument(
@@ -589,6 +623,7 @@ def build_parser():
     p_test.add_argument("--perf-threshold", type=float, default=0.3)
     p_test.add_argument("--show", type=int, default=2, help="bug scripts to print")
     _add_strategy_flag(p_test)
+    _add_triage_flags(p_test)
     _add_resilience_flags(p_test)
     _add_telemetry_flags(p_test)
     p_test.set_defaults(func=_cmd_test)

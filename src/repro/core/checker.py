@@ -38,6 +38,37 @@ HARNESS = "harness"
 HARNESS_ERROR_KIND = "harness-error"
 QUARANTINED_KIND = "quarantined"
 
+# The two kinds of ``unknown``: a *budget* unknown would have been
+# decided with more steps/time (round/sat budget, enumeration budget,
+# timeout); a *genuine* unknown hit a solver limitation. The reference
+# solver stamps ``outcome.stats["unknown_kind"]``; for solvers that do
+# not (external binaries, fakes), the reason string is classified here.
+UNKNOWN_BUDGET = "budget"
+UNKNOWN_GENUINE = "genuine"
+
+_BUDGET_REASONS = frozenset(
+    {"round budget exhausted", "sat budget exhausted", "timeout"}
+)
+
+
+def unknown_kind(reason="", stats=None):
+    """Classify an ``unknown`` outcome as budget-bounded or genuine.
+
+    The ``unknown_kind`` stat stamped by the reference solver takes
+    precedence; the reason-string fallback covers wrappers that build
+    their own outcomes (the guard's watchdog deadline is a wall-clock
+    budget) and external solvers.
+    """
+    if stats:
+        stamped = stats.get("unknown_kind")
+        if stamped == UNKNOWN_BUDGET:
+            return UNKNOWN_BUDGET
+        if stamped:
+            return UNKNOWN_GENUINE
+    if reason in _BUDGET_REASONS or reason.startswith("guard: check exceeded"):
+        return UNKNOWN_BUDGET
+    return UNKNOWN_GENUINE
+
 
 @dataclass
 class BugRecord:
@@ -106,11 +137,15 @@ def check_mutant(
     performance_threshold=None,
     unknown_is_crash=False,
     iteration=-1,
+    directive=None,
 ):
     """Check one mutant against every solver, folding records into
     ``report``. Byte-compatible with the pre-pipeline
     ``YinYang._check_one``: same counter increments, same record
-    fields, same ordering."""
+    fields, same ordering. ``directive`` (triage's per-mutant budget
+    tier) is forwarded to each solver; ``None`` keeps the exact
+    pre-triage call shape, so fakes with a one-argument
+    ``check_script`` keep working."""
     schemes = mutant.schemes
     for solver in solvers:
         if getattr(solver, "quarantined", False):
@@ -123,7 +158,12 @@ def check_mutant(
         began = time.perf_counter()
         try:
             with tel.phase("solve"):
-                outcome = solver.check_script(mutant.script)
+                if directive is None:
+                    outcome = solver.check_script(mutant.script)
+                else:
+                    outcome = solver.check_script(
+                        mutant.script, directive=directive
+                    )
         except SolverCrash as crash:
             if crash.kind == QUARANTINED_KIND:
                 # The breaker tripped between our check above and
@@ -188,6 +228,13 @@ def check_mutant(
             if outcome.result is SolverResult.UNKNOWN:
                 report.unknowns += 1
                 tel.count("unknowns")
+                kind = unknown_kind(outcome.reason, outcome.stats)
+                if kind == UNKNOWN_BUDGET:
+                    report.unknowns_budget += 1
+                    tel.count("unknowns.budget")
+                else:
+                    report.unknowns_genuine += 1
+                    tel.count("unknowns.genuine")
                 # An unknown accompanied by an internal error note is a
                 # bug in its own right; a plain unknown is a bug only
                 # under the strict (unknown-is-crash) policy.

@@ -46,3 +46,9 @@ class YinYangConfig:
     unknown_is_crash: bool = False
     max_iterations: int = 1000
     seed: int = 0
+    # Optional mutant triage: a frozen, picklable
+    # :class:`~repro.campaign.triage.TriagePolicy` that routes each
+    # mutant to a solve-budget tier before checking. ``None`` (the
+    # default) keeps the loop byte-identical to the pre-triage tool.
+    # Declared ``object`` to avoid a core -> campaign import cycle.
+    triage: object = None

@@ -177,14 +177,17 @@ class _WorkerState:
         try:
             journal = CampaignJournal(path)
             journal.ensure_meta(**meta)
-            return journal
         except JournalError:
             # A stale sidecar from a differently-parameterized run (a
             # recycled pid): its partials cannot line up — start over.
             os.remove(path)
             journal = CampaignJournal(path)
             journal.ensure_meta(**meta)
-            return journal
+        # Sidecars are wire format, not archive: always carry the
+        # unknown-kind split so it survives a resume merge (the main
+        # journal still gates on the campaign's own flag).
+        journal.unknown_split = True
+        return journal
 
     def scripts_for(self, seed_texts):
         """Parse (and thereby typecheck) seed texts, cached per worker."""
@@ -257,7 +260,7 @@ def _run_shard(task):
     if state.journal is not None and task.cell is not None and task.indices is None:
         state.journal.record_shard(tuple(task.cell), task.shard, task.of, report)
     return {
-        "report": serialize_report(report),
+        "report": serialize_report(report, unknown_split=True),
         "elapsed": report.elapsed,
         "pid": os.getpid(),
         "telemetry": telemetry_snapshot,
@@ -323,7 +326,7 @@ def _run_leased(state, tool, task, scripts):
             work=work,
         )
         if progress is not None:
-            progress.record(index, serialize_report(report))
+            progress.record(index, serialize_report(report, unknown_split=True))
         reports.append(report)
     return merge_shard_reports(reports)
 

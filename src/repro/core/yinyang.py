@@ -95,6 +95,12 @@ class YinYangReport:
     contained_errors: int = 0
     quarantine_skips: int = 0
     quarantined: set = field(default_factory=set)
+    # The unknown-kind split (ISSUE 7 satellite): every ``unknown`` is
+    # counted once above *and* once here as budget-bounded or genuine.
+    # ``unknowns`` may additionally include oracle-unresolved skips, so
+    # budget + genuine <= unknowns.
+    unknowns_budget: int = 0
+    unknowns_genuine: int = 0
 
     @property
     def incorrects(self):
@@ -131,6 +137,8 @@ class YinYangReport:
         self.contained_errors += other.contained_errors
         self.quarantine_skips += other.quarantine_skips
         self.quarantined |= other.quarantined
+        self.unknowns_budget += other.unknowns_budget
+        self.unknowns_genuine += other.unknowns_genuine
 
     def summary(self):
         text = (
@@ -172,6 +180,8 @@ class YinYangReport:
             "timeouts": self.timeouts,
             "contained_errors": self.contained_errors,
             "quarantine_skips": self.quarantine_skips,
+            "unknowns_budget": self.unknowns_budget,
+            "unknowns_genuine": self.unknowns_genuine,
         }
 
 
@@ -197,6 +207,8 @@ def merge_shard_reports(reports):
         merged.contained_errors += report.contained_errors
         merged.quarantine_skips += report.quarantine_skips
         merged.quarantined |= report.quarantined
+        merged.unknowns_budget += report.unknowns_budget
+        merged.unknowns_genuine += report.unknowns_genuine
     merged.bugs.sort(key=lambda b: b.iteration)  # stable: intra-iteration order kept
     return merged
 
@@ -405,6 +417,18 @@ class YinYang:
                 report.unknowns += 1
                 tel.count("oracle_unresolved")
                 return
+            directive = None
+            triage = self.config.triage
+            if triage is not None:
+                # Routing is a pure function of the mutant's formula
+                # (plus an optional strategy-stamped feature hint), so
+                # every worker computes the same tier for the same
+                # iteration — shard shapes stay invisible.
+                tier, directive = triage.route(
+                    mutant.script, hint=getattr(mutant, "difficulty", None)
+                )
+                tel.count("triage.routed")
+                tel.count("triage.tier." + tier)
             check_mutant(
                 self.solvers,
                 mutant,
@@ -413,6 +437,7 @@ class YinYang:
                 performance_threshold=self.performance_threshold,
                 unknown_is_crash=self.config.unknown_is_crash,
                 iteration=index,
+                directive=directive,
             )
 
     def test_mixed(self, want, sat_seeds, unsat_seeds, iterations=None):

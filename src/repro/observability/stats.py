@@ -67,6 +67,10 @@ def _header_lines(journal):
         parts.append(f"{meta['iterations_per_cell']} iterations/cell")
     if "workers" in meta:
         parts.append(f"{meta['workers']} workers")
+    if "triage" in meta:
+        # Triage campaigns record the canonical policy spec so a stats
+        # reader can tell which budget tiers produced the numbers.
+        parts.append(f"triage {meta['triage']}")
     return [f"Campaign journal: {journal.path}", "  " + ", ".join(parts)]
 
 
@@ -181,7 +185,19 @@ def render_stats(journal, snapshot=None):
         ]
         if resilience:
             totals_line += " (" + ", ".join(resilience) + ")"
-        lines += ["", totals_line, "", _bug_bars(totals)]
+        lines += ["", totals_line]
+        budget = totals.get("unknowns_budget", 0)
+        genuine = totals.get("unknowns_genuine", 0)
+        if budget or genuine:
+            # The unknown-kind split (journalled only by campaigns that
+            # enable it, so legacy dashboards render unchanged): budget
+            # unknowns are the tunable kind — more solve budget would
+            # decide them — genuine ones are solver limitations.
+            lines += [
+                f"unknowns: {budget} budget-exhausted, {genuine} genuine "
+                f"(of {totals.get('unknowns', 0)})"
+            ]
+        lines += ["", _bug_bars(totals)]
     else:
         lines += ["", "no completed cells in the journal"]
     poisons = poison_rows(journal)

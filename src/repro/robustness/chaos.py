@@ -104,7 +104,7 @@ class ChaosSolver:
                 return kind
         return None
 
-    def check_script(self, script):
+    def check_script(self, script, directive=None):
         self.checks += 1
         fault = self._draw()
         if fault is not None:
@@ -123,7 +123,10 @@ class ChaosSolver:
             )
         elif fault == EXCEPTION:
             raise ChaosError(f"{self.name}: injected harness exception")
-        outcome = self.base.check_script(script)
+        if directive is None:
+            outcome = self.base.check_script(script)
+        else:
+            outcome = self.base.check_script(script, directive=directive)
         if fault == WRONG and outcome.result.is_definite:
             return CheckOutcome(
                 outcome.result.flipped(),

@@ -196,28 +196,35 @@ class GuardedSolver:
 
     # -- the guarded check ----------------------------------------------
 
-    def _call_base(self, script):
+    def _call_base(self, script, directive=None):
+        # The directive travels as an explicit argument (never a
+        # thread-local): the watchdog runs the check on a helper
+        # thread, where ambient state would silently not propagate.
+        if directive is None:
+            call = lambda: self.base.check_script(script)
+        else:
+            call = lambda: self.base.check_script(script, directive=directive)
         timeout = self.policy.check_timeout
         if timeout is None:
-            return self.base.check_script(script)
+            return call()
         watchdog = getattr(self._local, "watchdog", None)
         if watchdog is None:
             watchdog = self._local.watchdog = _Watchdog()
-        return watchdog.run(lambda: self.base.check_script(script), timeout)
+        return watchdog.run(call, timeout)
 
     def _is_transient(self, exc):
         if isinstance(exc, SolverCrash):
             return exc.kind in self.policy.retryable_kinds
         return isinstance(exc, OSError)
 
-    def check_script(self, script):
+    def check_script(self, script, directive=None):
         if self.quarantined:
             raise SolverQuarantined(self.name)
         policy = self.policy
         retries_used = 0
         while True:
             try:
-                outcome = self._call_base(script)
+                outcome = self._call_base(script, directive=directive)
             except _WatchdogTimeout:
                 self._count("timeouts")
                 self._failure()

@@ -61,6 +61,11 @@ _REPORT_COUNTERS = (
     "quarantine_skips",
 )
 
+# The unknown-kind split is serialized only on request (triage
+# campaigns and worker-sidecar wire formats): legacy journals stay
+# byte-identical, and the golden-diff tests keep pinning them.
+_SPLIT_COUNTERS = ("unknowns_budget", "unknowns_genuine")
+
 
 class JournalError(ReproError):
     """The journal is unusable (bad version, mismatched campaign params)."""
@@ -119,8 +124,11 @@ def deserialize_bug_record(data):
     )
 
 
-def serialize_report(report):
+def serialize_report(report, unknown_split=False):
     data = {key: getattr(report, key) for key in _REPORT_COUNTERS}
+    if unknown_split:
+        for key in _SPLIT_COUNTERS:
+            data[key] = getattr(report, key, 0)
     data["quarantined"] = sorted(report.quarantined)
     data["bugs"] = [serialize_bug_record(b) for b in report.bugs]
     return data
@@ -130,6 +138,8 @@ def deserialize_report(data):
     report = YinYangReport(
         **{key: data.get(key, 0) for key in _REPORT_COUNTERS}
     )
+    for key in _SPLIT_COUNTERS:
+        setattr(report, key, data.get(key, 0))
     report.quarantined = set(data.get("quarantined", ()))
     report.bugs = [deserialize_bug_record(b) for b in data.get("bugs", ())]
     return report
@@ -158,6 +168,10 @@ class CampaignJournal:
     def __init__(self, path):
         self.path = os.fspath(path)
         self.entries = []
+        # Campaigns that track the unknown-kind split (triage) flip
+        # this on so cell/shard reports carry the split counters;
+        # default off keeps legacy journals byte-identical.
+        self.unknown_split = False
         if os.path.exists(self.path):
             self.entries = self._load(self.path)
 
@@ -252,7 +266,7 @@ class CampaignJournal:
                 "solver": solver,
                 "family": family,
                 "oracle": oracle,
-                "report": serialize_report(report),
+                "report": serialize_report(report, unknown_split=self.unknown_split),
             }
         )
         self._commit()
@@ -272,7 +286,7 @@ class CampaignJournal:
                 "oracle": oracle,
                 "shard": shard,
                 "of": of,
-                "report": serialize_report(report),
+                "report": serialize_report(report, unknown_split=self.unknown_split),
             }
         )
         self._commit()

@@ -39,25 +39,70 @@ SAT = "sat"
 UNSAT = "unsat"
 UNKNOWN = "unknown"
 
+# ``unknown`` comes in two kinds, stamped on ``outcome.stats`` so the
+# campaign checker can journal them distinctly (never serialized into
+# the outcome's reason, which is part of the journal byte format):
+# a *budget* unknown would have been decided with more steps/time; a
+# *genuine* unknown hit a solver limitation (out-of-fragment atom,
+# failed model verification, unrefutable quantifier residue).
+BUDGET_UNKNOWN = "budget"
+GENUINE_UNKNOWN = "genuine"
 
-def check_assertions(assertions, string_config=None, seed=0, max_rounds=600, nonlinear_budget=900, deadline=None):
+
+def _unknown(reason, kind):
+    outcome = CheckOutcome(SolverResult.UNKNOWN, reason=reason)
+    outcome.stats["unknown_kind"] = kind
+    return outcome
+
+
+def check_assertions(
+    assertions,
+    string_config=None,
+    seed=0,
+    max_rounds=600,
+    nonlinear_budget=900,
+    deadline=None,
+    eliminate_definitions=False,
+    model_guess=False,
+    shrink_cores=True,
+):
     """Decide the conjunction of ``assertions``; returns a CheckOutcome.
 
     ``deadline`` is an absolute ``time.monotonic()`` timestamp; it is
     checked cooperatively at round boundaries, so the wall-clock limit
     holds on any thread (unlike a signal-based alarm).
+
+    ``eliminate_definitions`` and ``model_guess`` switch on the triage
+    layer's fused-structure fast paths (see
+    :mod:`repro.solver.preprocess` and :func:`_guess_model`); both are
+    sound, both default off, and the default path is byte-identical in
+    behaviour to the pre-triage solver.
+
+    ``shrink_cores=False`` skips deletion-based conflict minimization
+    and blocks the whole theory assignment instead — weaker lemmas, but
+    no extra theory checks per conflict. Sound either way (shrinking is
+    a search heuristic, not a correctness step); reduced-budget tiers
+    turn it off because on budget-burning mutants most solve time goes
+    into the minimization probes.
     """
     function_probe("dpllt.check")
     original = list(assertions)
     string_config = string_config or StringConfig()
 
-    pre = preprocess(original)
+    pre = preprocess(original, eliminate_definitions=eliminate_definitions)
     if branch_probe("dpllt.quantified_residue", pre.quantified):
         return _refutation_path(original, pre, string_config, seed, deadline)
+
+    if model_guess:
+        guessed = _guess_model(original)
+        if guessed is not None:
+            line_probe("dpllt.model_guess")
+            return guessed
 
     sat_core = SatSolver()
     abstraction = tseitin.encode(pre.assertions, sat_core)
     saw_unknown = False
+    saw_genuine = False
     rounds = 0
     theory_cache = {}
 
@@ -69,23 +114,41 @@ def check_assertions(assertions, string_config=None, seed=0, max_rounds=600, non
             )
         return theory_cache[key]
 
+    # Conflict-minimization probes only need to *refute* subsets of an
+    # already-refuted assignment, and a reduced-budget UNSAT is as much
+    # a proof as a full-budget one — an undecided probe just keeps its
+    # literal in the core. A quarter of the enumeration budget decides
+    # almost all probes at a fraction of the cost. Kept in a separate
+    # cache so probe answers never masquerade as full-budget answers.
+    probe_budget = max(1, nonlinear_budget // 4)
+    probe_cache = {}
+
+    def probe_check(literal_list):
+        key = frozenset(literal_list)
+        if key not in probe_cache:
+            probe_cache[key] = _check_theory(
+                literal_list, string_config, seed, probe_budget, deadline
+            )
+        return probe_cache[key]
+
     while True:
         rounds += 1
         if rounds > max_rounds:
             line_probe("dpllt.round_budget")
-            return CheckOutcome(SolverResult.UNKNOWN, reason="round budget exhausted")
+            return _unknown("round budget exhausted", BUDGET_UNKNOWN)
         if deadline is not None and time.monotonic() > deadline:
             line_probe("dpllt.deadline")
-            return CheckOutcome(SolverResult.UNKNOWN, reason="timeout")
+            return _unknown("timeout", BUDGET_UNKNOWN)
         verdict = sat_core.solve()
         if verdict is None:
             line_probe("dpllt.sat_budget")
-            return CheckOutcome(SolverResult.UNKNOWN, reason="sat budget exhausted")
+            return _unknown("sat budget exhausted", BUDGET_UNKNOWN)
         if verdict is False:
             if saw_unknown:
                 line_probe("dpllt.unsat_but_unknown")
-                return CheckOutcome(
-                    SolverResult.UNKNOWN, reason="abstraction closed with unknowns"
+                return _unknown(
+                    "abstraction closed with unknowns",
+                    GENUINE_UNKNOWN if saw_genuine else BUDGET_UNKNOWN,
                 )
             line_probe("dpllt.unsat")
             return CheckOutcome(SolverResult.UNSAT)
@@ -99,7 +162,7 @@ def check_assertions(assertions, string_config=None, seed=0, max_rounds=600, non
             (atom, value) for atom, value in literals if not isinstance(atom, Var)
         ]
 
-        status, theory_model = cached_check(theory_literals)
+        status, theory_model, kind = cached_check(theory_literals)
         if status == SAT:
             model = _assemble_model(
                 original, pre, bool_literals, theory_model or Model()
@@ -109,16 +172,22 @@ def check_assertions(assertions, string_config=None, seed=0, max_rounds=600, non
                 return CheckOutcome(SolverResult.SAT, model=model)
             line_probe("dpllt.verification_failed")
             saw_unknown = True
+            saw_genuine = True
         elif status == UNKNOWN:
             line_probe("dpllt.theory_unknown")
             saw_unknown = True
+            if kind == GENUINE_UNKNOWN:
+                saw_genuine = True
 
         # Refuted (or unverifiable) abstraction: block it and continue.
         # A theory refutation depends only on the theory literals, so
         # blocking just those — shrunk to a small core — prunes the
         # search far more aggressively than blocking the assignment.
         if status == UNSAT and theory_literals:
-            to_block = _shrink_core(theory_literals, cached_check)
+            if shrink_cores:
+                to_block = _shrink_core(theory_literals, probe_check)
+            else:
+                to_block = theory_literals
         else:
             to_block = literals
         block = [
@@ -132,42 +201,65 @@ def check_assertions(assertions, string_config=None, seed=0, max_rounds=600, non
                 model = _assemble_model(original, pre, bool_literals, Model())
                 if model is not None:
                     return CheckOutcome(SolverResult.SAT, model=model)
-                return CheckOutcome(SolverResult.UNKNOWN, reason="verification failed")
-            return CheckOutcome(SolverResult.UNKNOWN, reason="empty abstraction")
+                return _unknown("verification failed", GENUINE_UNKNOWN)
+            return _unknown("empty abstraction", GENUINE_UNKNOWN)
         abstraction.block(block)
 
 
 def _shrink_core(theory_literals, cached_check, max_literals=32):
-    """Greedy deletion-based minimization of a theory conflict.
+    """QuickXplain-style divide-and-conquer conflict minimization.
 
-    Each literal is dropped in turn; if the rest is still refuted, the
-    literal is permanently removed. The result is a (not necessarily
-    minimum) conflict core whose negation makes a strong lemma.
+    Conflict cores here are tiny (often 1-3 literals out of ~30), so
+    the divide-and-conquer recursion reaches them in ``O(k log n)``
+    refutation probes where greedy per-literal deletion needs ``O(n)``
+    — and those probes are full theory checks, which is where
+    budget-burning mutants spend most of their solve time.
+
+    Soundness needs only the *top-level* refutation (established by the
+    caller before shrinking): every subset the recursion returns is
+    itself probed ``UNSAT``, or kept conservatively when a probe cannot
+    decide. A probe that answers ``unknown`` merely keeps extra
+    literals — the result is always a refuted (not necessarily
+    minimum) core whose negation makes a valid lemma.
     """
     function_probe("dpllt.shrink_core")
     if len(theory_literals) > max_literals:
         line_probe("dpllt.shrink_skipped")
         return theory_literals
-    core = list(theory_literals)
-    index = 0
-    while index < len(core) and len(core) > 1:
-        trial = core[:index] + core[index + 1 :]
-        status, _ = cached_check(trial)
-        if status == UNSAT:
-            core = trial
-        else:
-            index += 1
-    return core
+
+    def minimize(background, candidates, background_changed):
+        if background_changed and cached_check(background)[0] == UNSAT:
+            return []
+        if len(candidates) == 1:
+            return list(candidates)
+        half = len(candidates) // 2
+        first, second = candidates[:half], candidates[half:]
+        core_second = minimize(background + first, second, True)
+        core_first = minimize(
+            background + core_second, first, bool(core_second)
+        )
+        return core_first + core_second
+
+    return minimize([], list(theory_literals), False)
 
 
 def _check_theory(theory_literals, string_config, seed, nonlinear_budget=900, deadline=None):
-    """Dispatch a conjunction of theory literals to the right core."""
+    """Dispatch a conjunction of theory literals to the right core.
+
+    Returns ``(status, model, unknown_kind)``: the kind distinguishes a
+    budget-bounded ``unknown`` (string/nonlinear enumeration ran out of
+    steps — more budget could decide it) from a genuine one (an atom
+    outside every core's fragment).
+    """
     function_probe("dpllt.check_theory")
     if not theory_literals:
-        return SAT, Model()
+        return SAT, Model(), ""
     atoms = [term for term, _ in theory_literals]
     if branch_probe("dpllt.uses_strings", strings.involves_strings(atoms)):
-        return strings.check_strings(theory_literals, string_config, seed, deadline)
+        status, model = strings.check_strings(
+            theory_literals, string_config, seed, deadline
+        )
+        return status, model, BUDGET_UNKNOWN if status == UNKNOWN else ""
 
     poly_atoms = []
     int_vars = set()
@@ -178,21 +270,64 @@ def _check_theory(theory_literals, string_config, seed, nonlinear_budget=900, de
         kind, payload = nonlinear.atom_to_poly(term, polarity)
         if kind == "decided":
             if not payload:
-                return UNSAT, None
+                return UNSAT, None, ""
         elif kind == "poly":
             poly_atoms.append(payload)
         else:
             line_probe("dpllt.stuck_atom")
-            return UNKNOWN, None
+            return UNKNOWN, None, GENUINE_UNKNOWN
     status, values = nonlinear.check_nonlinear(
         poly_atoms, int_vars, seed=seed, enum_budget=nonlinear_budget, deadline=deadline
     )
     if status != SAT:
-        return status, None
+        return status, None, BUDGET_UNKNOWN if status == UNKNOWN else ""
     model = Model()
     for name, value in (values or {}).items():
         model[name] = int(value) if name in int_vars else Fraction(value)
-    return SAT, model
+    return SAT, model, ""
+
+
+def _guess_model(original, max_variables=128):
+    """The model-guess fast path: cheap candidate assignments, verified.
+
+    Before DPLL(T) builds any abstraction, evaluate the original
+    assertions under a couple of deterministic candidate models (all
+    defaults, all ones). A candidate that makes every assertion true
+    *is* a verified model — the exact check ``sat`` verdicts already
+    rest on — so the fast path can only ever add sat answers the full
+    search would also have found, never flip one. Fused sat mutants (a
+    disjunction of substituted seeds with ``z`` free) are frequently
+    satisfied by such trivial assignments.
+    """
+    function_probe("dpllt.guess_model")
+    every_var = {}
+    for term in original:
+        for var in free_vars(term):
+            every_var[var.name] = var
+    if len(every_var) > max_variables:
+        return None
+    for make in (default_value, _one_value):
+        model = Model()
+        for name, var in every_var.items():
+            model[name] = make(var.sort)
+        try:
+            if all(evaluate(term, model) for term in original):
+                line_probe("dpllt.model_guess_hit")
+                return CheckOutcome(SolverResult.SAT, model=model)
+        except EvaluationError:
+            continue
+    return None
+
+
+def _one_value(sort):
+    """The all-ones candidate: nonzero, nonempty, true."""
+    if sort == INT:
+        return 1
+    if sort == REAL:
+        return Fraction(1)
+    if sort == BOOL:
+        return True
+    return "a"
 
 
 def _assemble_model(original, pre, bool_literals, theory_model):
@@ -214,11 +349,28 @@ def _assemble_model(original, pre, bool_literals, theory_model):
     for term in pre.assertions:
         for var in free_vars(term):
             every_var.setdefault(var.name, var)
+    eliminated_names = {name for name, _sort, _term in pre.eliminated}
     for name, var in every_var.items():
+        if name in eliminated_names:
+            continue
         if name not in model:
             model[name] = default_value(var.sort)
         elif var.sort == REAL and isinstance(model[name], int):
             model[name] = Fraction(model[name])
+
+    # Reconstruct eliminated definition variables (``(= z (f x y))``
+    # substituted away before the search) by evaluating their recorded
+    # defining terms — closed over surviving variables thanks to the
+    # back-substitution in the elimination pass.
+    for name, sort, definition in pre.eliminated:
+        try:
+            value = evaluate(definition, model)
+        except EvaluationError:
+            line_probe("dpllt.eliminated_eval_error")
+            return None
+        if sort == REAL and isinstance(value, int):
+            value = Fraction(value)
+        model[name] = value
 
     # Translate purified division variables into division-at-zero
     # choices so the original formula evaluates consistently.
@@ -262,12 +414,15 @@ def _refutation_path(original, pre, string_config, seed, deadline=None):
     ]
     if any(_still_quantified(t) for t in weakened):
         line_probe("dpllt.refutation_stuck")
-        return CheckOutcome(SolverResult.UNKNOWN, reason="quantifier out of fragment")
+        return _unknown("quantifier out of fragment", GENUINE_UNKNOWN)
     outcome = check_assertions(weakened, string_config, seed, deadline=deadline)
     if outcome.result is SolverResult.UNSAT:
         line_probe("dpllt.refutation_success")
         return CheckOutcome(SolverResult.UNSAT)
-    return CheckOutcome(SolverResult.UNKNOWN, reason="quantified: refutation failed")
+    kind = GENUINE_UNKNOWN
+    if outcome.result is SolverResult.UNKNOWN:
+        kind = outcome.stats.get("unknown_kind", GENUINE_UNKNOWN)
+    return _unknown("quantified: refutation failed", kind)
 
 
 def _instantiation_candidates(assertions):

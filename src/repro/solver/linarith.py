@@ -10,8 +10,16 @@ Entry point: :func:`check_linear`.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 from fractions import Fraction
+
+
+def remove_sorted(items, value):
+    """Remove ``value`` from a sorted list in O(log n + shift)."""
+    index = bisect_left(items, value)
+    if index < len(items) and items[index] == value:
+        del items[index]
 
 from repro.coverage.probes import (
     branch_probe,
@@ -21,14 +29,19 @@ from repro.coverage.probes import (
 )
 
 
+_ZERO = Fraction(0)
+
+
 class DeltaRational:
     """A rational plus an infinitesimal: ``c + k * delta`` with delta > 0."""
 
     __slots__ = ("c", "k")
 
     def __init__(self, c, k=0):
-        self.c = Fraction(c)
-        self.k = Fraction(k)
+        # Fraction(Fraction) allocates a copy; the simplex inner loop
+        # creates millions of these, so skip the rewrap when possible.
+        self.c = c if type(c) is Fraction else Fraction(c)
+        self.k = k if type(k) is Fraction else Fraction(k)
 
     def __add__(self, other):
         return DeltaRational(self.c + other.c, self.k + other.k)
@@ -110,6 +123,12 @@ class Simplex:
         self.all_vars = []
         self._slack_index = {}  # normalized form -> slack name
         self._slack_count = 0
+        # Column index: nonbasic var -> set of basic vars whose row
+        # mentions it. Lets updates and pivots touch only the rows that
+        # actually contain the changed variable instead of all of them.
+        self._cols = {}
+        # Basic vars kept sorted so Bland's rule needn't re-sort per pivot.
+        self._basic_sorted = []
 
     # -- setup ------------------------------------------------------------
 
@@ -139,6 +158,9 @@ class Simplex:
         row = {v: c for v, c in row.items() if c != 0}
         self.rows[name] = row
         self.is_basic.add(name)
+        insort(self._basic_sorted, name)
+        for var in row:
+            self._cols.setdefault(var, set()).add(name)
         self.assign[name] = self._row_value(row)
         return name
 
@@ -196,20 +218,42 @@ class Simplex:
             self._update(var, bound)
         return True
 
+    # -- backtracking -----------------------------------------------------
+
+    def push(self):
+        """Snapshot the bound state (for branch & bound backtracking).
+
+        Only bounds need saving: the tableau stays a valid basis under
+        any bounds, and the assignment always satisfies the row
+        equations. Restoring *weaker* bounds can never put a nonbasic
+        variable out of range, so :meth:`pop` is just a dict restore.
+        """
+        return (dict(self.lower), dict(self.upper))
+
+    def pop(self, saved):
+        """Restore bounds saved by :meth:`push`."""
+        self.lower = dict(saved[0])
+        self.upper = dict(saved[1])
+
     # -- pivoting ---------------------------------------------------------
 
     def _update(self, nonbasic, value):
         delta = value - self.assign[nonbasic]
         self.assign[nonbasic] = value
-        for basic, row in self.rows.items():
-            coeff = row.get(nonbasic)
-            if coeff:
-                self.assign[basic] = self.assign[basic] + delta.scale(coeff)
+        assign = self.assign
+        rows = self.rows
+        for basic in self._cols.get(nonbasic, ()):
+            coeff = rows[basic][nonbasic]
+            assign[basic] = assign[basic] + delta.scale(coeff)
 
     def _pivot(self, basic, nonbasic):
         """Swap roles of ``basic`` and ``nonbasic``."""
+        cols = self._cols
         row = self.rows.pop(basic)
         self.is_basic.discard(basic)
+        remove_sorted(self._basic_sorted, basic)
+        for var in row:
+            cols[var].discard(basic)
         coeff = row.pop(nonbasic)
         # nonbasic = (basic - sum(other)) / coeff
         new_row = {basic: Fraction(1) / coeff}
@@ -217,27 +261,41 @@ class Simplex:
             new_row[var] = -c / coeff
         self.rows[nonbasic] = new_row
         self.is_basic.add(nonbasic)
-        # Substitute into all other rows.
-        for other, other_row in self.rows.items():
-            if other == nonbasic:
-                continue
-            c = other_row.pop(nonbasic, None)
-            if c:
+        insort(self._basic_sorted, nonbasic)
+        for var in new_row:
+            cols.setdefault(var, set()).add(nonbasic)
+        # Substitute into the rows that mention the entering variable.
+        holders = cols.get(nonbasic)
+        if holders:
+            for other in sorted(holders - {nonbasic}):
+                other_row = self.rows[other]
+                c = other_row.pop(nonbasic)
+                holders.discard(other)
                 for var, c2 in new_row.items():
-                    other_row[var] = other_row.get(var, Fraction(0)) + c * c2
-                    if other_row[var] == 0:
-                        del other_row[var]
+                    total = other_row.get(var, _ZERO) + c * c2
+                    if total == 0:
+                        if var in other_row:
+                            del other_row[var]
+                            cols[var].discard(other)
+                    else:
+                        if var not in other_row:
+                            cols.setdefault(var, set()).add(other)
+                        other_row[var] = total
 
     def _pivot_and_update(self, basic, nonbasic, new_value):
         coeff = self.rows[basic][nonbasic]
         delta = (new_value - self.assign[basic]).scale(Fraction(1) / coeff)
-        self.assign[basic] = new_value
-        self.assign[nonbasic] = self.assign[nonbasic] + delta
+        assign = self.assign
+        assign[basic] = new_value
+        assign[nonbasic] = assign[nonbasic] + delta
+        # Incrementally adjust the other rows that mention ``nonbasic``:
+        # their value shifts by (row coeff) * delta, exactly what a full
+        # re-evaluation would compute.
+        rows = self.rows
+        for other in self._cols.get(nonbasic, ()):
+            if other != basic:
+                assign[other] = assign[other] + delta.scale(rows[other][nonbasic])
         self._pivot(basic, nonbasic)
-        # Recompute dependents of the newly adjusted nonbasic set.
-        for other in self.rows:
-            if other != nonbasic:
-                self.assign[other] = self._row_value(self.rows[other])
 
     def check(self, max_pivots=20000):
         """Run simplex; SAT/UNSAT/UNKNOWN (pivot budget exhausted)."""
@@ -246,7 +304,7 @@ class Simplex:
         while True:
             violated = None
             # Bland's rule: smallest variable name first, for termination.
-            for var in sorted(self.is_basic):
+            for var in self._basic_sorted:
                 value = self.assign[var]
                 lower, upper = self.lower.get(var), self.upper.get(var)
                 if lower is not None and value < lower:
@@ -344,16 +402,24 @@ def check_linear(atoms, int_vars=(), max_branch_nodes=400):
         atoms = [_tighten_for_ints(a, int_vars) for a in atoms]
     budget = [max_branch_nodes]
 
-    def solve(extra):
+    # One tableau for the whole search: the initial constraints are
+    # asserted once, and branch & bound explores integer splits by
+    # pushing/popping *bounds* on the branch variable — a branch
+    # constraint is always a single-variable bound, so no new slack or
+    # re-assertion work is ever needed, and each node's simplex call is
+    # an incremental repair of the previous solution rather than a
+    # solve from scratch.
+    simplex = Simplex()
+    for var in problem_vars:
+        simplex._ensure_var(var)
+    for atom in atoms:
+        if not simplex.assert_atom(atom):
+            return UNSAT, None
+
+    def solve():
         if budget[0] <= 0:
             return UNKNOWN, None
         budget[0] -= 1
-        simplex = Simplex()
-        for var in problem_vars:
-            simplex._ensure_var(var)
-        for atom in list(atoms) + extra:
-            if not simplex.assert_atom(atom):
-                return UNSAT, None
         status = simplex.check()
         if status != SAT:
             return status, None
@@ -367,19 +433,24 @@ def check_linear(atoms, int_vars=(), max_branch_nodes=400):
             return SAT, model
         value = model[fractional]
         floor = value.numerator // value.denominator
-        lo_branch = LinearAtom.make({fractional: 1}, "<=", Fraction(floor))
-        hi_branch = LinearAtom.make({fractional: -1}, "<=", Fraction(-(floor + 1)))
         line_probe("linarith.branch")
         saw_unknown = False
-        for branch in (lo_branch, hi_branch):
-            status, model = solve(extra + [branch])
-            if status == SAT:
-                return SAT, model
-            if status == UNKNOWN:
-                saw_unknown = True
+        for is_low in (True, False):
+            saved = simplex.push()
+            if is_low:
+                feasible = simplex._assert_upper(fractional, DeltaRational(floor))
+            else:
+                feasible = simplex._assert_lower(fractional, DeltaRational(floor + 1))
+            if feasible:
+                status, model = solve()
+                if status == SAT:
+                    return SAT, model
+                if status == UNKNOWN:
+                    saw_unknown = True
+            simplex.pop(saved)
         return (UNKNOWN, None) if saw_unknown else (UNSAT, None)
 
-    return solve([])
+    return solve()
 
 
 declare_module_probes(__file__)

@@ -307,6 +307,8 @@ FULL = Interval(None, None)
 
 
 def _point(value):
+    if type(value) is int or type(value) is Fraction:
+        return Interval(value, value)
     return Interval(Fraction(value), Fraction(value))
 
 
@@ -353,7 +355,7 @@ def _endpoint_mul(a, a_open, b, b_open):
     if a == 0 or b == 0:
         # Zero endpoints: the product value 0; openness handled by the
         # caller via attains-zero reasoning.
-        return Fraction(0), a_open or b_open
+        return 0, a_open or b_open
     if isinstance(a, float) or isinstance(b, float):
         positive = (a > 0) == (b > 0)
         return (_POS_INF if positive else _NEG_INF), True
@@ -384,14 +386,16 @@ def _iv_mul(a, b):
     if hi == 0 and (a.attains_zero() or b.attains_zero()):
         hi_open = False
     return Interval(
-        None if lo == _NEG_INF else Fraction(lo),
-        None if hi == _POS_INF else Fraction(hi),
+        None if lo == _NEG_INF else lo,
+        None if hi == _POS_INF else hi,
         False if lo == _NEG_INF else lo_open,
         False if hi == _POS_INF else hi_open,
     )
 
 
 def _iv_pow(a, exp):
+    if exp == 1:
+        return a
     result = _point(1)
     for _ in range(exp):
         result = _iv_mul(result, a)
@@ -399,16 +403,22 @@ def _iv_pow(a, exp):
     if exp % 2 == 0:
         lo = result.lo
         if lo is None or lo < 0:
-            result = Interval(Fraction(0), result.hi, not a.attains_zero(), result.hi_open)
+            result = Interval(0, result.hi, not a.attains_zero(), result.hi_open)
     return result
 
 
+_POINT_ONE = Interval(1, 1)
+
+
 def eval_poly_interval(poly, box):
-    total = _point(0)
+    total = Interval(0, 0)
     for mono, coeff in poly.items():
-        term = _point(1)
+        term = _POINT_ONE
         for var, exp in mono:
             term = _iv_mul(term, _iv_pow(box.get(var, FULL), exp))
+        # Integral coefficients scale with native int arithmetic.
+        if coeff.denominator == 1:
+            coeff = coeff.numerator
         total = _iv_add(total, _iv_scale(term, coeff))
     return total
 
@@ -526,15 +536,18 @@ def _contract(atoms, box, int_vars):
 
 
 def _round_int(iv):
+    # Integer bounds are returned as plain ints (exact, and far cheaper
+    # than Fraction in the interval arithmetic this feeds — the ICP
+    # loop over integer boxes then runs on native int ops).
     lo = iv.lo
     hi = iv.hi
     if lo is not None:
-        ceil = Fraction(-((-lo.numerator) // lo.denominator))
+        ceil = -((-lo.numerator) // lo.denominator)
         if iv.lo_open and ceil == lo:
             ceil += 1
         lo = ceil
     if hi is not None:
-        floor = Fraction(hi.numerator // hi.denominator)
+        floor = hi.numerator // hi.denominator
         if iv.hi_open and floor == hi:
             floor -= 1
         hi = floor
@@ -575,7 +588,10 @@ def icp_unsat(atoms, variables, int_vars, max_depth=10, max_nodes=300):
             # Point box that survived contraction: cannot refute.
             return False
         iv = box[best]
-        mid = (iv.lo + iv.hi) / 2
+        # Exact halving: endpoints may be plain ints, and int/int true
+        # division would produce a float.
+        span = iv.lo + iv.hi
+        mid = Fraction(span, 2) if type(span) is int else span / 2
         left = dict(box)
         left[best] = Interval(iv.lo, mid, iv.lo_open, False)
         right = dict(box)

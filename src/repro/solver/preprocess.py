@@ -17,6 +17,16 @@ quantifier-free, division-free form the lazy DPLL(T) loop consumes:
    a zero divisor), with Ackermann constraints enforcing functional
    consistency. The purification table is returned so models can be
    translated back (populating the division-at-zero choices).
+
+An optional pass between 2 and 3 (``eliminate_definitions=True``, used
+by the triage layer's budget directives) recognizes top-level
+definition assertions ``(assert (= v t))`` with ``v`` not free in
+``t`` — exactly the shape of the fusion constraints that pin ``z`` in
+unsat fusion — and substitutes them away before DPLL(T) ever builds an
+abstraction over them. ``A ∧ (v = t)`` and ``A[v := t]`` are
+equisatisfiable in both directions, so every definite verdict is
+preserved; eliminated definitions are recorded so a model of the
+reduced formula extends back to the original variables.
 """
 
 from __future__ import annotations
@@ -30,6 +40,7 @@ from repro.smtlib.ast import (
     Const,
     Quantifier,
     Var,
+    free_names,
     fresh_name,
     has_quantifier,
     map_terms,
@@ -51,9 +62,14 @@ class PreprocessResult:
     # (op, numerator_term, denominator_term, fresh_var_name) for each
     # purified division-like application, in purification order.
     divisions: list = field(default_factory=list)
+    # (name, sort, defining_term) for each definition assertion
+    # substituted away, in elimination order; each recorded term refers
+    # only to surviving variables, so a model of the reduced formula
+    # extends to the eliminated names by evaluating the terms in order.
+    eliminated: list = field(default_factory=list)
 
 
-def preprocess(assertions):
+def preprocess(assertions, eliminate_definitions=False):
     """Run the full pipeline; returns a :class:`PreprocessResult`."""
     function_probe("preprocess.run")
     result = PreprocessResult(assertions=list(assertions))
@@ -74,6 +90,9 @@ def preprocess(assertions):
             return result
 
     result.assertions = [_normalize(t) for t in result.assertions]
+
+    if eliminate_definitions:
+        _eliminate_definitions(result)
 
     lifted = []
     extra = []
@@ -293,6 +312,77 @@ def _normalize_node(term):
                 parts.append(app("not", app("=", args[i], args[j])))
         return parts[0] if len(parts) == 1 else app("and", *parts)
     return term
+
+
+# ---------------------------------------------------------------------------
+# Definition elimination (the fusion-constraint fast path)
+# ---------------------------------------------------------------------------
+
+_ELIMINATION_MAX_DEFS = 16
+_ELIMINATION_MAX_TERM_NODES = 96
+
+
+def _definition_binding(term):
+    """``(var, defining_term)`` if ``term`` is ``(= v t)`` with ``v``
+    not free in ``t`` (either orientation), else ``None``."""
+    if not (isinstance(term, App) and term.op == "=" and len(term.args) == 2):
+        return None
+    left, right = term.args
+    if isinstance(left, Var) and left.name not in free_names(right):
+        return left, right
+    if isinstance(right, Var) and right.name not in free_names(left):
+        return right, left
+    return None
+
+
+def _eliminate_definitions(result):
+    """Substitute top-level definition assertions away, repeatedly.
+
+    Soundness: for quantifier-free ``A`` (this pass runs only after the
+    quantified early-return), ``A ∧ (v = t)`` with ``v ∉ free(t)`` is
+    equisatisfiable with ``A[v := t]`` — a model of the former
+    satisfies the latter directly, and a model of the latter extends by
+    ``v := eval(t)``. Each elimination is also back-substituted into
+    previously recorded defining terms, so every recorded term refers
+    only to surviving variables and the model reconstruction in
+    ``dpllt._assemble_model`` can evaluate them in any order.
+
+    Bounded on both axes (definition count, defining-term size): the
+    pass is a fast win on fused structure, never a blowup.
+    """
+    assertions = result.assertions
+    while len(result.eliminated) < _ELIMINATION_MAX_DEFS:
+        binding = None
+        position = -1
+        for i, term in enumerate(assertions):
+            candidate = _definition_binding(term)
+            if candidate is not None and (
+                candidate[1].node_count <= _ELIMINATION_MAX_TERM_NODES
+            ):
+                binding, position = candidate, i
+                break
+        if binding is None:
+            break
+        line_probe("preprocess.eliminate_definition")
+        var, definition = binding
+        mapping = {var: definition}
+        assertions = [
+            substitute(term, mapping) if var.name in free_names(term) else term
+            for i, term in enumerate(assertions)
+            if i != position
+        ]
+        result.eliminated = [
+            (
+                name,
+                sort,
+                substitute(term, mapping)
+                if var.name in free_names(term)
+                else term,
+            )
+            for name, sort, term in result.eliminated
+        ]
+        result.eliminated.append((var.name, var.sort, definition))
+    result.assertions = assertions
 
 
 # ---------------------------------------------------------------------------

@@ -48,7 +48,9 @@ class ProcessSolver:
         self.timeout = timeout
         self.unknown_on_timeout = unknown_on_timeout
 
-    def check_script(self, script):
+    def check_script(self, script, directive=None):
+        # External binaries get no budget knobs; a triage directive is
+        # accepted for interface parity and ignored.
         text = print_script(script)
         handle = tempfile.NamedTemporaryFile(
             "w", suffix=".smt2", delete=False, encoding="utf-8"

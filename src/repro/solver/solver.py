@@ -77,7 +77,7 @@ class ReferenceSolver:
         # timed). None costs a single truthiness test per check.
         self.telemetry = None
 
-    def check(self, source):
+    def check(self, source, directive=None):
         """Check an SMT-LIB script (text or :class:`Script`).
 
         Returns a :class:`CheckOutcome`; never raises on well-formed
@@ -85,32 +85,58 @@ class ReferenceSolver:
         """
         function_probe("solver.check")
         script = parse_script(source) if isinstance(source, str) else source
-        return self.check_script(script)
+        return self.check_script(script, directive=directive)
 
-    def check_script(self, script):
-        """Check a parsed :class:`Script`; returns a :class:`CheckOutcome`."""
+    def check_script(self, script, directive=None):
+        """Check a parsed :class:`Script`; returns a :class:`CheckOutcome`.
+
+        ``directive`` (a :class:`~repro.solver.budget.SolveDirective`)
+        scales the configured budgets for this one check and switches
+        on the fused-structure fast paths; ``None`` is exactly the
+        pre-triage behaviour.
+        """
         if not isinstance(script, Script):
             raise TypeError(f"expected a Script, got {type(script).__name__}")
         seconds = self.config.timeout_seconds
+        max_rounds = self.config.max_rounds
+        nonlinear_budget = self.config.nonlinear_budget
+        strings = self.config.strings
+        eliminate_definitions = False
+        model_guess = False
+        shrink_cores = True
+        if directive is not None:
+            seconds = directive.scaled_timeout(seconds)
+            max_rounds = directive.scaled_rounds(max_rounds)
+            nonlinear_budget = directive.scaled_nonlinear(nonlinear_budget)
+            strings = directive.scaled_strings(strings)
+            eliminate_definitions = directive.eliminate_definitions
+            model_guess = directive.model_guess
+            shrink_cores = directive.shrink_cores
         deadline = time.monotonic() + seconds if seconds > 0 else None
         tel = self.telemetry
         if tel is None:
             return check_assertions(
                 script.asserts,
-                string_config=self.config.strings,
+                string_config=strings,
                 seed=self.config.seed,
-                max_rounds=self.config.max_rounds,
-                nonlinear_budget=self.config.nonlinear_budget,
+                max_rounds=max_rounds,
+                nonlinear_budget=nonlinear_budget,
                 deadline=deadline,
+                eliminate_definitions=eliminate_definitions,
+                model_guess=model_guess,
+                shrink_cores=shrink_cores,
             )
         with tel.phase("solver.check"):
             outcome = check_assertions(
                 script.asserts,
-                string_config=self.config.strings,
+                string_config=strings,
                 seed=self.config.seed,
-                max_rounds=self.config.max_rounds,
-                nonlinear_budget=self.config.nonlinear_budget,
+                max_rounds=max_rounds,
+                nonlinear_budget=nonlinear_budget,
                 deadline=deadline,
+                eliminate_definitions=eliminate_definitions,
+                model_guess=model_guess,
+                shrink_cores=shrink_cores,
             )
         tel.count("solver.checks")
         tel.count("solver.result." + outcome.result.value)

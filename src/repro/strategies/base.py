@@ -75,6 +75,12 @@ class Mutant:
     logic: str = ""
     schemes: tuple = ()  # per-mutation labels (fusion schemes, op rewrites)
     strategy: str = "fusion"  # the registry name, journaled per record
+    # Optional triage hint: precomputed
+    # :class:`~repro.campaign.triage.DifficultyFeatures` a strategy may
+    # stamp when it already walked the script (must equal
+    # ``script_features(script)`` — triage falls back to computing that
+    # when the hint is absent, so the hint is a cache, never an input).
+    difficulty: object = None
 
 
 class MutationStrategy:

@@ -21,12 +21,12 @@ S = b.string_var("s")
 
 class TestTheoryDispatch:
     def test_empty_conjunction_sat(self):
-        status, model = _check_theory([], StringConfig(), 0)
+        status, model, kind = _check_theory([], StringConfig(), 0)
         assert status == "sat"
         assert isinstance(model, Model)
 
     def test_arith_conjunction(self):
-        status, model = _check_theory(
+        status, model, _kind = _check_theory(
             [lit(b.gt(X, 0)), lit(b.lt(X, 5))], StringConfig(), 0
         )
         assert status == "sat"
@@ -34,20 +34,20 @@ class TestTheoryDispatch:
         assert isinstance(model["x"], int)
 
     def test_arith_conflict(self):
-        status, _ = _check_theory(
+        status, _, _kind = _check_theory(
             [lit(b.gt(X, 0)), lit(b.gt(X, 0), False)], StringConfig(), 0
         )
         assert status == "unsat"
 
     def test_string_dispatch(self):
-        status, model = _check_theory(
+        status, model, _kind = _check_theory(
             [lit(b.eq(b.length(S), 2))], StringConfig(), 0
         )
         assert status == "sat"
         assert len(model["s"]) == 2
 
     def test_mixed_string_arith_goes_to_strings(self):
-        status, model = _check_theory(
+        status, model, _kind = _check_theory(
             [lit(b.eq(X, b.length(S))), lit(b.eq(b.length(S), 3))],
             StringConfig(),
             0,
@@ -56,7 +56,7 @@ class TestTheoryDispatch:
         assert model["x"] == 3
 
     def test_decided_false_atom(self):
-        status, _ = _check_theory([lit(b.lift(True), False)], StringConfig(), 0)
+        status, _, _kind = _check_theory([lit(b.lift(True), False)], StringConfig(), 0)
         assert status == "unsat"
 
 

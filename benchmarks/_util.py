@@ -8,7 +8,9 @@ the artifacts on disk for EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -20,6 +22,43 @@ def emit(name, text):
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text if text.endswith("\n") else text + "\n")
     print(f"\n{text}\n[saved to {path}]")
+
+
+def emit_json(name, payload):
+    """Persist a machine-readable result under benchmarks/results/.
+
+    The JSON twin of :func:`emit`: the text table stays the
+    human-facing artifact, the JSON file is for trend tooling (stable
+    keys, sorted, one committed snapshot per benchmark).
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[saved to {path}]")
+
+
+def git_rev():
+    """The repo's current commit hash, or "unknown" outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(__file__),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def smoke():
+    """True in CI's bench-smoke stage: tiny runs, no timing assertions,
+    and no result-file writes (a smoke run must never clobber the
+    committed full-run artifacts)."""
+    return bool(os.environ.get("REPRO_BENCH_SMOKE"))
 
 
 def once(benchmark, fn):

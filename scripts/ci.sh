@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # The tier-1 CI gate, runnable locally and in any runner.
 #
-# Six stages, strictly ordered so the cheapest failures surface first:
+# Seven stages, strictly ordered so the cheapest failures surface first:
 #
 #   1. AST lint  — term nodes must be built via the interning
 #      constructors, the observability layer must never import random
@@ -13,11 +13,12 @@
 #      opfuzz must journal identically across modes/worker counts.
 #   3. Telemetry determinism — journals must stay byte-identical with
 #      metrics off, on, or traced, across modes and worker counts.
-#   4. Triage determinism — with the tier policy on, journals must
-#      stay byte-identical across worker counts, every definite
+#   4. Triage + session determinism — with the tier policy on, journals
+#      must stay byte-identical across worker counts, every definite
 #      full-budget verdict must survive tiering (verdict equivalence),
 #      and a fault-injected campaign must find the same bugs with
-#      triage on and off.
+#      triage on and off; incremental sessions must uphold the same
+#      three properties versus the cold loop.
 #   5. Fast lane — the full suite minus the soak/slow markers
 #      (see pyproject.toml; run the slow and chaos lanes nightly:
 #      `pytest -m slow` / `pytest -m chaos`).
@@ -26,6 +27,10 @@
 #      journal byte-identical to a failure-free deterministic run, and
 #      a permanently poisonous iteration must be quarantined instead
 #      of aborting the campaign.
+#   7. Bench smoke — every benchmark row must *run* (tiny iteration
+#      counts, REPRO_BENCH_SMOKE=1: no timing assertions, no result
+#      files written), so a broken bench harness fails CI instead of
+#      the next full benchmark run.
 #
 # Stages 1-4 are subsets of stage 5; running them first just makes
 # the common failure modes fail in seconds instead of minutes.
@@ -33,24 +38,27 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== stage 1/6: AST lint (interning, no RNG in telemetry, strategy-agnostic core) =="
+echo "== stage 1/7: AST lint (interning, no RNG in telemetry, strategy-agnostic core) =="
 python -m pytest tests/test_ast_lint.py \
     "tests/test_observability.py::TestHotPathHygiene" -q
 
-echo "== stage 2/6: strategy determinism (golden fusion journal, opfuzz byte-identity) =="
+echo "== stage 2/7: strategy determinism (golden fusion journal, opfuzz byte-identity) =="
 python -m pytest tests/test_strategies.py -q -m "not slow"
 
-echo "== stage 3/6: telemetry determinism (journal byte-identity) =="
+echo "== stage 3/7: telemetry determinism (journal byte-identity) =="
 python -m pytest tests/test_parallel_determinism.py -q -m "not slow"
 
-echo "== stage 4/6: triage determinism (verdict equivalence, bug-finding power) =="
-python -m pytest tests/test_triage.py -q -m "not slow"
+echo "== stage 4/7: triage + session determinism (verdict equivalence, bug-finding power) =="
+python -m pytest tests/test_triage.py tests/test_session.py -q -m "not slow"
 
-echo "== stage 5/6: fast lane (full suite minus slow/chaos) =="
+echo "== stage 5/7: fast lane (full suite minus slow/chaos) =="
 python -m pytest -m "not slow and not chaos" -q
 
-echo "== stage 6/6: fault tolerance (chaos-kill determinism, poison quarantine) =="
+echo "== stage 6/7: fault tolerance (chaos-kill determinism, poison quarantine) =="
 python -m pytest tests/test_supervisor.py -q
 python -m pytest tests/test_supervised_campaign.py -q
+
+echo "== stage 7/7: bench smoke (every benchmark row runs; no timing assertions) =="
+REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_strategies.py -q
 
 echo "CI gate passed."

@@ -215,6 +215,7 @@ def run_campaign(
     containment=None,
     chaos_process=None,
     triage=None,
+    incremental=None,
 ):
     """Run the full campaign.
 
@@ -277,6 +278,17 @@ def run_campaign(
     unknown-kind split, and a resume refuses to mix triage and
     non-triage shards. ``None`` keeps journal bytes identical to the
     pre-triage campaign.
+
+    ``incremental`` switches on per-cell incremental solving: ``True``
+    (the default :class:`~repro.solver.session.SessionConfig`) or a
+    ready config. Each cell/shard builds a
+    :class:`~repro.solver.session.SolverSession` from its seed pool —
+    outcome/theory caches plus assumption-guarded warm SAT starts —
+    whose reuse is answer-invariant by construction, so journals stay
+    byte-identical across modes and worker counts (the journal records
+    the session spec; a resume refuses to mix incremental and cold
+    shards). ``None`` keeps the cold solve path and pre-session journal
+    bytes.
     """
     if mode not in EXECUTION_MODES:
         raise ValueError(f"mode must be one of {EXECUTION_MODES}, got {mode!r}")
@@ -292,6 +304,10 @@ def run_campaign(
         triage = TriagePolicy()
     elif isinstance(triage, str):
         triage = parse_budget_tiers(triage)
+    if incremental is True:
+        from repro.solver.session import SessionConfig
+
+        incremental = SessionConfig()
     if mode == "process":
         if solver_factory is None:
             if solvers is not None:
@@ -330,12 +346,20 @@ def run_campaign(
             # split counters ride every cell report.
             meta_params["triage"] = triage.describe()
             journal.unknown_split = True
+        if incremental is not None and incremental is not False:
+            # Same discipline as triage: stamp the session spec only
+            # when the feature is on (cold journal bytes stay stable)
+            # and refuse resumes that would mix warm and cold shards.
+            meta_params["incremental"] = incremental.describe()
         journal.ensure_meta(**meta_params)
         journal.ensure_strategy(strategy_name)
         if resume:
             completed = journal.completed_cells()
     config = YinYangConfig(
-        fusion=fusion_config or FusionConfig(), seed=seed, triage=triage
+        fusion=fusion_config or FusionConfig(),
+        seed=seed,
+        triage=triage,
+        incremental=incremental or None,
     )
     cells = _campaign_cells(solvers, corpora)
     # Resumed cells are folded in first, in canonical order, so the
@@ -446,6 +470,10 @@ def _run_cells_process(
         # be spliced into a non-triage resume (different budgets mean
         # different unknown counts for the same iterations).
         meta["triage"] = config.triage.describe()
+    if config.incremental:
+        # And likewise for incremental sessions: warm and cold partial
+        # shards may differ in unknown counts and must not be mixed.
+        meta["incremental"] = config.incremental.describe()
     partials = {}
     if journal is not None and resume:
         partials = load_sidecar_shards(journal.path, meta)

@@ -231,11 +231,20 @@ class SatSolver:
                     best_activity = act
         return best
 
-    def solve(self, max_conflicts=200000):
+    def solve(self, max_conflicts=200000, assumptions=()):
         """Search for a satisfying assignment.
 
         Returns ``True`` (model in :attr:`assignment`), ``False``
         (unsatisfiable), or ``None`` if the conflict budget is exhausted.
+
+        ``assumptions`` are literals decided (in order) before any free
+        decision, MiniSat-style: they live on the trail as decisions,
+        never as clauses, so conflict analysis cannot resolve them away
+        into learned clauses — which is what makes clauses learned under
+        assumptions valid without them. An assumption found False under
+        propagation makes the call return False (unsatisfiable *under
+        the assumptions*; the clause database itself may stay
+        satisfiable).
         """
         function_probe("sat.solve")
         # Restart search state but keep learned clauses.
@@ -245,6 +254,8 @@ class SatSolver:
         self.trail.clear()
         self.trail_lim.clear()
         self._qhead = 0
+        for lit in assumptions:
+            self.ensure_vars(abs(lit))
         if any(not clause for clause in self.clauses):
             line_probe("sat.solve.empty_clause")
             return False
@@ -291,6 +302,18 @@ class SatSolver:
                         self._unassign_to(0)
                     self._qhead = 0
                 continue
+            if len(self.trail_lim) < len(assumptions):
+                line_probe("sat.solve.assume")
+                lit = assumptions[len(self.trail_lim)]
+                current = self.value(lit)
+                if current is False:
+                    line_probe("sat.solve.assumption_conflict")
+                    return False
+                self.trail_lim.append(len(self.trail))
+                if current is None:
+                    self.decisions += 1
+                    self._assign(lit, None)
+                continue
             var = self._pick_branch_var()
             if var is None:
                 line_probe("sat.solve.sat")
@@ -303,6 +326,32 @@ class SatSolver:
     def model(self):
         """The satisfying assignment as var -> bool (after a True solve)."""
         return dict(self.assignment)
+
+    def clone(self):
+        """An independent copy with the same clauses and heuristic state.
+
+        The clone carries the clause database (original + learned), the
+        watch lists, VSIDS activities and saved phases — the warm-start
+        ordering — but no search state: assignments, trail and
+        statistics start fresh. Mutating either solver never affects
+        the other.
+        """
+        other = SatSolver.__new__(SatSolver)
+        other.num_vars = self.num_vars
+        other.clauses = [list(clause) for clause in self.clauses]
+        other.watches = {lit: list(indices) for lit, indices in self.watches.items()}
+        other.assignment = {}
+        other.level = {}
+        other.reason = {}
+        other.trail = []
+        other.trail_lim = []
+        other.activity = dict(self.activity)
+        other.phase = dict(self.phase)
+        other.var_inc = self.var_inc
+        other.conflicts = 0
+        other.decisions = 0
+        other.propagations = 0
+        return other
 
 
 declare_module_probes(__file__)

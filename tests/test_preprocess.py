@@ -167,3 +167,85 @@ class TestPurification:
         ops = {n.op for t in result.assertions for n in t.walk() if isinstance(n, App)}
         assert "to_int" not in ops
         assert any(op == "to_int" for op, _, _, _ in result.divisions)
+
+
+def pre_eliminating(text):
+    return preprocess(parse_script(text).asserts, eliminate_definitions=True)
+
+
+class TestDefinitionElimination:
+    def test_simple_definition_eliminated(self):
+        result = pre_eliminating(
+            "(declare-fun z () Int)(declare-fun x () Int)"
+            "(assert (= z (+ x 1)))(assert (> z 0))(check-sat)"
+        )
+        assert [name for name, _, _ in result.eliminated] == ["z"]
+        text = " ".join(str(t) for t in result.assertions)
+        assert "z" not in text.split()
+
+    def test_self_referential_definition_kept(self):
+        # (= z (+ z 1)) has z free on both sides: not a definition in
+        # either orientation, so nothing may be substituted away (the
+        # naive rewrite would loop or change satisfiability).
+        result = pre_eliminating(
+            "(declare-fun z () Int)"
+            "(assert (= z (+ z 1)))(check-sat)"
+        )
+        assert result.eliminated == []
+        assert len(result.assertions) == 1
+
+    def test_quantifier_shadowed_candidate_untouched(self):
+        # A binder shadowing the candidate name leaves a quantified
+        # residue, which stops the pipeline before elimination ever
+        # runs: the top-level (= z 5) must survive untouched rather
+        # than be substituted under the binder's unrelated z.
+        result = pre_eliminating(
+            "(declare-fun z () Int)"
+            "(assert (= z 5))"
+            "(assert (forall ((z Int)) (> (* z z) (- 0 1))))(check-sat)"
+        )
+        assert result.quantified
+        assert result.eliminated == []
+        texts = [str(t) for t in result.assertions]
+        assert any("(= z 5)" in t for t in texts)
+
+    def test_bounded_shadowing_forall_then_elimination(self):
+        # A *bounded* shadowing forall is expanded away (its bound z
+        # never aliases the free z), after which the top-level
+        # definition is eliminated normally.
+        result = pre_eliminating(
+            "(declare-fun z () Int)(declare-fun y () Int)"
+            "(assert (= z (+ y 1)))"
+            "(assert (forall ((z Int)) (=> (and (>= z 0) (<= z 1)) (>= (+ y z) y))))"
+            "(check-sat)"
+        )
+        assert not result.quantified
+        assert [name for name, _, _ in result.eliminated] == ["z"]
+
+    def test_multiple_candidates_back_substituted(self):
+        # Two chained definitions: both are eliminated, and the later
+        # recorded defining term is rewritten so every recorded term
+        # refers only to surviving variables (model reconstruction
+        # evaluates them without ordering constraints).
+        result = pre_eliminating(
+            "(declare-fun z () Int)(declare-fun w () Int)(declare-fun x () Int)"
+            "(assert (= z (+ x 1)))(assert (= w (* z 2)))"
+            "(assert (> (+ z w) 0))(check-sat)"
+        )
+        names = [name for name, _, _ in result.eliminated]
+        assert sorted(names) == ["w", "z"]
+        from repro.smtlib.ast import free_names
+
+        for _, _, term in result.eliminated:
+            assert not (free_names(term) & set(names))
+        survivors = " ".join(str(t) for t in result.assertions)
+        assert "z" not in survivors.split() and "w" not in survivors.split()
+
+    def test_equal_vars_eliminates_one_side(self):
+        # (= a b) is a definition in either orientation; exactly one of
+        # the two names survives.
+        result = pre_eliminating(
+            "(declare-fun a () Int)(declare-fun b () Int)"
+            "(assert (= a b))(assert (> a 0))(assert (< b 9))(check-sat)"
+        )
+        assert len(result.eliminated) == 1

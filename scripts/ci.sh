@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # The tier-1 CI gate, runnable locally and in any runner.
 #
-# Seven stages, strictly ordered so the cheapest failures surface first:
+# Eight stages, strictly ordered so the cheapest failures surface first:
 #
 #   1. AST lint  — term nodes must be built via the interning
 #      constructors, the observability layer must never import random
@@ -31,6 +31,10 @@
 #      counts, REPRO_BENCH_SMOKE=1: no timing assertions, no result
 #      files written), so a broken bench harness fails CI instead of
 #      the next full benchmark run.
+#   8. Distributed fleet — the tcp transport end-to-end through the
+#      real CLI: a two-worker localhost fleet under tiny budgets, plus
+#      the fleet chaos soak, must merge to the byte-identical serial
+#      journal (the nightly slow lane re-runs the 4-worker shapes).
 #
 # Stages 1-4 are subsets of stage 5; running them first just makes
 # the common failure modes fail in seconds instead of minutes.
@@ -38,27 +42,46 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== stage 1/7: AST lint (interning, no RNG in telemetry, strategy-agnostic core) =="
+echo "== stage 1/8: AST lint (interning, no RNG in telemetry, strategy-agnostic core) =="
 python -m pytest tests/test_ast_lint.py \
     "tests/test_observability.py::TestHotPathHygiene" -q
 
-echo "== stage 2/7: strategy determinism (golden fusion journal, opfuzz byte-identity) =="
+echo "== stage 2/8: strategy determinism (golden fusion journal, opfuzz byte-identity) =="
 python -m pytest tests/test_strategies.py -q -m "not slow"
 
-echo "== stage 3/7: telemetry determinism (journal byte-identity) =="
+echo "== stage 3/8: telemetry determinism (journal byte-identity) =="
 python -m pytest tests/test_parallel_determinism.py -q -m "not slow"
 
-echo "== stage 4/7: triage + session determinism (verdict equivalence, bug-finding power) =="
+echo "== stage 4/8: triage + session determinism (verdict equivalence, bug-finding power) =="
 python -m pytest tests/test_triage.py tests/test_session.py -q -m "not slow"
 
-echo "== stage 5/7: fast lane (full suite minus slow/chaos) =="
+echo "== stage 5/8: fast lane (full suite minus slow/chaos) =="
 python -m pytest -m "not slow and not chaos" -q
 
-echo "== stage 6/7: fault tolerance (chaos-kill determinism, poison quarantine) =="
+echo "== stage 6/8: fault tolerance (chaos-kill determinism, poison quarantine) =="
 python -m pytest tests/test_supervisor.py -q
 python -m pytest tests/test_supervised_campaign.py -q
 
-echo "== stage 7/7: bench smoke (every benchmark row runs; no timing assertions) =="
+echo "== stage 7/8: bench smoke (every benchmark row runs; no timing assertions) =="
 REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_strategies.py -q
+
+echo "== stage 8/8: distributed fleet (tcp campaign vs serial baseline, chaos soak) =="
+python -m pytest tests/test_distributed.py -q -m "not slow"
+fleetdir="$(mktemp -d)"
+trap 'rm -rf "$fleetdir"' EXIT
+python -m repro.cli campaign \
+    --mode tcp --workers 2 \
+    --iterations 6 --scale 0.0015 --seed 1 --deterministic \
+    --journal "$fleetdir/fleet.jsonl"
+python -m repro.cli campaign \
+    --iterations 6 --scale 0.0015 --seed 1 --deterministic \
+    --journal "$fleetdir/serial.jsonl" > /dev/null
+cmp "$fleetdir/fleet.jsonl" "$fleetdir/serial.jsonl" \
+    || { echo "tcp fleet journal differs from serial journal" >&2; exit 1; }
+if compgen -G "$fleetdir/fleet.jsonl.shard-*" > /dev/null; then
+    echo "fleet sidecar journals left behind" >&2
+    exit 1
+fi
+echo "fleet smoke OK: tcp journal byte-identical to serial"
 
 echo "CI gate passed."

@@ -11,7 +11,7 @@ solvers; ``run_campaign`` therefore accepts a
 and a :class:`~repro.robustness.journal.CampaignJournal` (crash-safe
 per-cell journaling with ``resume=True`` skipping completed cells).
 
-Campaigns run in one of three execution modes:
+Campaigns run in one of four execution modes:
 
 - ``serial`` — one process, one thread (the default);
 - ``thread`` — each cell's iterations sharded over a thread pool
@@ -19,7 +19,12 @@ Campaigns run in one of three execution modes:
 - ``process`` — each cell's iterations sharded over a persistent
   spawn-safe worker pool (:mod:`repro.core.parallel`): per-worker
   solver instances, parse caches, and crash-safe sidecar journals the
-  parent merges into the main journal.
+  parent merges into the main journal;
+- ``tcp`` — each cell's iterations leased to a socket worker fleet
+  (:mod:`repro.distributed`): separate ``yinyang worker`` processes
+  pull leases by work stealing, always under supervision, and the
+  coordinator merges their shipped shard payloads (plus a
+  coordinator-side fleet sidecar for resume).
 
 All modes and worker counts produce identical bug records and identical
 journal bytes for a fixed seed; sharding is invisible to the oracle.
@@ -48,6 +53,11 @@ from repro.robustness.journal import (
 from repro.solver.solver import ReferenceSolver, SolverConfig
 from repro.solver.strings import StringConfig
 from repro.strategies.registry import make_strategy
+
+#: The modes ``run_campaign`` accepts: YinYang's in-process trio plus
+#: the distributed socket fleet (campaign-level only — ``YinYang.test``
+#: has no tcp mode; a fleet needs the campaign's lease machinery).
+CAMPAIGN_MODES = EXECUTION_MODES + ("tcp",)
 
 
 def default_solvers(release="trunk", base_config=None):
@@ -216,6 +226,10 @@ def run_campaign(
     chaos_process=None,
     triage=None,
     incremental=None,
+    steal_seed=0,
+    listen=None,
+    spawn_workers=None,
+    net_chaos=None,
 ):
     """Run the full campaign.
 
@@ -279,6 +293,18 @@ def run_campaign(
     non-triage shards. ``None`` keeps journal bytes identical to the
     pre-triage campaign.
 
+    ``mode="tcp"`` runs the campaign over a socket worker fleet
+    (:class:`~repro.distributed.endpoint.TcpFleet`), always supervised:
+    ``listen`` is the coordinator's ``(host, port)`` (default
+    127.0.0.1 on an ephemeral port), ``spawn_workers`` the number of
+    local ``yinyang worker`` processes to start (default ``workers``;
+    0 to serve only externally-connected workers), ``steal_seed``
+    seeds the work-stealing permutation (any seed must merge to
+    identical journal bytes — that invariant is the product), and
+    ``net_chaos`` (a :class:`~repro.distributed.netchaos.NetChaos`)
+    injects planned disconnects and seeded frame faults for recovery
+    testing.
+
     ``incremental`` switches on per-cell incremental solving: ``True``
     (the default :class:`~repro.solver.session.SessionConfig`) or a
     ready config. Each cell/shard builds a
@@ -290,14 +316,23 @@ def run_campaign(
     shards). ``None`` keeps the cold solve path and pre-session journal
     bytes.
     """
-    if mode not in EXECUTION_MODES:
-        raise ValueError(f"mode must be one of {EXECUTION_MODES}, got {mode!r}")
-    supervised = bool(supervise) or containment is not None or chaos_process is not None
-    if supervised and mode != "process":
+    if mode not in CAMPAIGN_MODES:
+        raise ValueError(f"mode must be one of {CAMPAIGN_MODES}, got {mode!r}")
+    # A socket fleet is always supervised: worker disconnects are lease
+    # failures only the supervisor's retry machinery can absorb.
+    supervised = (
+        bool(supervise)
+        or containment is not None
+        or chaos_process is not None
+        or mode == "tcp"
+    )
+    if supervised and mode not in ("process", "tcp"):
         raise ValueError(
-            "supervise/containment/chaos_process need mode='process': "
-            "supervision works at the worker-process boundary"
+            "supervise/containment/chaos_process need mode='process' or "
+            "'tcp': supervision works at the worker boundary"
         )
+    if net_chaos is not None and mode != "tcp":
+        raise ValueError("net_chaos needs mode='tcp': it faults the wire")
     workers = max(1, workers)
     strategy_name = strategy if isinstance(strategy, str) else strategy.name
     if triage is True:
@@ -308,11 +343,11 @@ def run_campaign(
         from repro.solver.session import SessionConfig
 
         incremental = SessionConfig()
-    if mode == "process":
+    if mode in ("process", "tcp"):
         if solver_factory is None:
             if solvers is not None:
                 raise ValueError(
-                    "process mode needs solver_factory (a picklable callable); "
+                    f"{mode} mode needs solver_factory (a picklable callable); "
                     "live solver objects cannot be shipped to worker processes"
                 )
             solver_factory = default_solvers
@@ -371,7 +406,7 @@ def run_campaign(
             _absorb_cell(result, key, completed[key], journal=None)
         else:
             remaining.append((key, solver, seeds))
-    if mode == "process":
+    if mode in ("process", "tcp"):
         _run_cells_process(
             result,
             remaining,
@@ -388,6 +423,11 @@ def run_campaign(
             supervise=(supervise or True) if supervised else None,
             containment=containment,
             chaos_process=chaos_process,
+            mode=mode,
+            steal_seed=steal_seed,
+            listen=listen,
+            spawn_workers=spawn_workers,
+            net_chaos=net_chaos,
         )
         return result
     # One strategy instance shared across all cells and solvers: its
@@ -433,6 +473,11 @@ def _run_cells_process(
     supervise=None,
     containment=None,
     chaos_process=None,
+    mode="process",
+    steal_seed=0,
+    listen=None,
+    spawn_workers=None,
+    net_chaos=None,
 ):
     """Shard each remaining cell over a persistent worker pool.
 
@@ -482,8 +527,12 @@ def _run_cells_process(
         config=config,
         performance_threshold=performance_threshold,
         policy=policy,
-        journal_path=journal.path if journal is not None else None,
-        journal_meta=meta,
+        # tcp workers never see the journal's host path — the
+        # coordinator records fleet shards in its own sidecar instead.
+        journal_path=(
+            journal.path if journal is not None and mode == "process" else None
+        ),
+        journal_meta=meta if mode == "process" else {},
         telemetry=telemetry.config() if telemetry is not None else None,
         containment=containment,
         chaos_process=chaos_process,
@@ -501,6 +550,12 @@ def _run_cells_process(
             strategy=strategy,
             supervise=supervise,
             containment=containment,
+            mode=mode,
+            sidecar_meta=meta,
+            steal_seed=steal_seed,
+            listen=listen,
+            spawn_workers=spawn_workers,
+            net_chaos=net_chaos,
         )
         if journal is not None:
             remove_sidecars(journal.path)
@@ -590,26 +645,31 @@ def _run_cells_supervised(
     strategy="fusion",
     supervise=True,
     containment=None,
+    mode="process",
+    sidecar_meta=None,
+    steal_seed=0,
+    listen=None,
+    spawn_workers=None,
+    net_chaos=None,
 ):
     """Run the remaining cells as supervised shard leases.
 
-    One :class:`~repro.robustness.supervisor.Supervisor` spans the
-    campaign (restart budget and counters are campaign-global); each
-    cell's shards become leases whose checkpoints live in lease
-    progress files next to the journal, so a lease re-executed after a
-    worker death replays its completed iterations and the merged cell
-    report — and therefore the journal — matches a failure-free run
-    byte for byte. Poisoned iterations are journaled as ``poison``
-    entries and collected on ``result.poisoned``.
+    Builds the lease backend for ``mode`` — the in-process
+    :class:`~repro.core.parallel.SupervisedPoolBackend` or a socket
+    :class:`~repro.distributed.endpoint.TcpFleet` — and hands the cell
+    loop to the :class:`~repro.distributed.coordinator.Coordinator`:
+    one supervisor spans the campaign (restart budget and counters are
+    campaign-global), each cell's shards become leases whose
+    checkpoints live in lease progress files next to the journal, and
+    a lease re-executed after a worker death replays its completed
+    iterations — the merged cell report, and therefore the journal,
+    matches a failure-free run byte for byte. Poisoned iterations are
+    journaled as ``poison`` entries and collected on
+    ``result.poisoned``.
     """
-    from repro.core.parallel import (
-        ShardTask,
-        SupervisedPoolBackend,
-        collect_shard,
-        reconstruct_iteration_script,
-        serialize_seeds,
-    )
-    from repro.robustness.supervisor import Supervisor, SupervisorPolicy
+    from repro.core.parallel import reconstruct_iteration_script
+    from repro.distributed.coordinator import Coordinator
+    from repro.robustness.supervisor import SupervisorPolicy
 
     policy = supervise if isinstance(supervise, SupervisorPolicy) else SupervisorPolicy()
 
@@ -628,10 +688,24 @@ def _run_cells_supervised(
         if journal is not None and record.cell is not None:
             journal.record_poison(tuple(record.cell), record.as_dict())
 
-    quarantined = set()
-    seed_text_cache = {}
-    with SupervisedPoolBackend(workers, spec) as backend:
-        supervisor = Supervisor(
+    if mode == "tcp":
+        from repro.distributed.endpoint import TcpFleet
+
+        backend = TcpFleet(
+            workers,
+            spec,
+            listen=listen or ("127.0.0.1", 0),
+            steal_seed=steal_seed,
+            spawn_workers=spawn_workers,
+            net_chaos=net_chaos,
+            telemetry=telemetry,
+        )
+    else:
+        from repro.core.parallel import SupervisedPoolBackend
+
+        backend = SupervisedPoolBackend(workers, spec)
+    with backend:
+        coordinator = Coordinator(
             backend,
             policy=policy,
             containment=containment,
@@ -639,74 +713,15 @@ def _run_cells_supervised(
             poison_artifact=poison_artifact,
             on_poison=on_poison,
         )
-        for key, _solver, seeds in remaining:
-            cache_key = (key[1], key[2])
-            if cache_key not in seed_text_cache:
-                seed_text_cache[cache_key] = serialize_seeds(seeds)
-            texts, logics = seed_text_cache[cache_key]
-            have = {
-                shard: report
-                for (shard, of), report in partials.get(key, {}).items()
-                if of == workers
-            }
-            leases = []
-            for shard in range(workers):
-                indices = shard_indices(iterations_per_cell, shard, workers)
-                if len(indices) == 0 or shard in have:
-                    continue
-                progress_path = None
-                if journal is not None:
-                    from repro.robustness.journal import lease_progress_path
-
-                    progress_path = lease_progress_path(
-                        journal.path, key, shard, workers
-                    )
-                task = ShardTask(
-                    oracle=key[2],
-                    seed_texts=texts,
-                    logics=logics,
-                    iterations=iterations_per_cell,
-                    shard=shard,
-                    of=workers,
-                    seed=spec.config.seed,
-                    cell=key,
-                    solver_names=(key[0],),
-                    quarantined=tuple(sorted(quarantined)),
-                    strategy=strategy,
-                    progress_path=progress_path,
-                )
-                leases.append(supervisor.lease((key, shard), task, indices))
-            outcome = supervisor.run(leases)
-            shard_reports = dict(have)
-            counters = {
-                shard: {"shard": shard, "of": workers, "pid": None, "resumed": True}
-                for shard in have
-            }
-            for (_cell, shard), pairs in outcome.items():
-                reports = []
-                pid = None
-                for _lease, payload in pairs:
-                    reports.append(collect_shard(payload))
-                    pid = payload["pid"]
-                    if telemetry is not None and payload.get("telemetry") is not None:
-                        telemetry.merge_snapshot(payload["telemetry"])
-                shard_reports[shard] = (
-                    reports[0] if len(reports) == 1 else merge_shard_reports(reports)
-                )
-                counters[shard] = {
-                    "shard": shard,
-                    "of": workers,
-                    "pid": pid,
-                    "resumed": False,
-                }
-            for shard, report in shard_reports.items():
-                counters[shard].update(report.counters())
-                counters[shard]["elapsed"] = report.elapsed
-            merged = merge_shard_reports(
-                [shard_reports[shard] for shard in sorted(shard_reports)]
-            )
-            quarantined |= merged.quarantined
-            result.shard_counters[key] = [counters[shard] for shard in sorted(counters)]
-            _absorb_cell(result, key, merged, journal, telemetry)
-    result.poisoned = list(supervisor.poisoned)
-    result.supervision = dict(supervisor.counters)
+        coordinator.run_cells(
+            result,
+            remaining,
+            spec=spec,
+            iterations_per_cell=iterations_per_cell,
+            journal=journal,
+            partials=partials,
+            workers=workers,
+            strategy=strategy,
+            sidecar_meta=sidecar_meta,
+            fleet_sidecar=(mode == "tcp"),
+        )

@@ -14,6 +14,8 @@ Examples::
     yinyang generate --family QF_NRA --oracle unsat --count 5
     yinyang check formula.smt2 --solver reference
     yinyang strategies
+    yinyang campaign --mode tcp --workers 2 --deterministic
+    yinyang worker --connect 127.0.0.1:7777
 """
 
 from __future__ import annotations
@@ -332,6 +334,19 @@ def _cmd_reduce(args):
     return 0
 
 
+def _cmd_worker(args):
+    """Serve a fleet coordinator: ``yinyang worker --connect HOST:PORT``."""
+    from repro.distributed import parse_net_chaos, run_worker
+
+    net_chaos = parse_net_chaos(args.net_chaos) if args.net_chaos else None
+    return run_worker(
+        args.connect,
+        net_chaos=net_chaos,
+        codec=args.codec,
+        connect_timeout=args.connect_timeout,
+    )
+
+
 def _cmd_campaign(args):
     from repro.campaign import (
         figure8a_rows,
@@ -358,9 +373,22 @@ def _cmd_campaign(args):
         performance_threshold = None
     telemetry = _telemetry_from_args(args)
     supervise, containment = _supervision_from_args(args)
-    if supervise is not None and args.mode != "process":
-        print("--supervise and worker limits require --mode process", file=sys.stderr)
+    if supervise is not None and args.mode not in ("process", "tcp"):
+        print(
+            "--supervise and worker limits require --mode process or tcp",
+            file=sys.stderr,
+        )
         return 2
+    listen = None
+    if args.listen:
+        from repro.distributed.protocol import parse_address
+
+        listen = parse_address(args.listen)
+    net_chaos = None
+    if args.net_chaos:
+        from repro.distributed import parse_net_chaos
+
+        net_chaos = parse_net_chaos(args.net_chaos)
     result = run_campaign(
         corpora,
         iterations_per_cell=args.iterations,
@@ -378,6 +406,10 @@ def _cmd_campaign(args):
         containment=containment,
         triage=_triage_from_args(args),
         incremental=_incremental_from_args(args),
+        steal_seed=args.steal_seed,
+        listen=listen,
+        spawn_workers=args.spawn_workers,
+        net_chaos=net_chaos,
     )
     print(result.summary())
     _finish_telemetry(telemetry, args)
@@ -528,15 +560,49 @@ def build_parser():
     )
     p_campaign.add_argument(
         "--mode",
-        choices=["serial", "thread", "process"],
+        choices=["serial", "thread", "process", "tcp"],
         default="serial",
-        help="execution mode: process shards each cell over a worker pool",
+        help="execution mode: process shards each cell over a worker "
+        "pool; tcp leases shards to a socket worker fleet "
+        "(always supervised)",
     )
     p_campaign.add_argument(
         "--workers",
         type=int,
         default=1,
-        help="shard count for --mode thread/process",
+        help="shard count for --mode thread/process/tcp",
+    )
+    p_campaign.add_argument(
+        "--steal-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed of the tcp fleet's work-stealing permutation (any "
+        "seed produces identical journal bytes — vary it to check)",
+    )
+    p_campaign.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="tcp coordinator bind address (default 127.0.0.1 on an "
+        "ephemeral port); use with --spawn-workers 0 to serve "
+        "workers started in other terminals via `yinyang worker`",
+    )
+    p_campaign.add_argument(
+        "--spawn-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="local `yinyang worker` processes the tcp coordinator "
+        "starts itself (default: --workers; 0 = external workers only)",
+    )
+    p_campaign.add_argument(
+        "--net-chaos",
+        default=None,
+        metavar="SPEC",
+        help="seeded network fault plan for --mode tcp, e.g. "
+        "'disconnect=3,11;drop=0.2;dup=0.2;delay=0.05;seed=9' "
+        "(recovery testing; journals must stay byte-identical)",
     )
     _add_strategy_flag(p_campaign)
     _add_triage_flags(p_campaign)
@@ -656,6 +722,37 @@ def build_parser():
         "strategies", help="list the registered mutation strategies"
     )
     p_strategies.set_defaults(func=_cmd_strategies)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="serve a fleet coordinator: pull campaign leases over tcp",
+    )
+    p_worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="the coordinator's listen address (`campaign --mode tcp --listen`)",
+    )
+    p_worker.add_argument(
+        "--net-chaos",
+        default=None,
+        metavar="SPEC",
+        help="override the coordinator's network fault plan (testing)",
+    )
+    p_worker.add_argument(
+        "--codec",
+        choices=["json", "msgpack"],
+        default="json",
+        help="frame payload codec (msgpack only when installed)",
+    )
+    p_worker.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="keep retrying the connection this long before giving up",
+    )
+    p_worker.set_defaults(func=_cmd_worker)
 
     return parser
 

@@ -211,6 +211,28 @@ def _init_worker(spec):
     _STATE = _WorkerState(spec)
 
 
+def install_worker_state(spec):
+    """Adopt the calling process as a campaign worker (the backend seam).
+
+    Pool children get here via the executor's initializer; a socket
+    fleet worker (:mod:`repro.distributed.worker`) calls it directly
+    after receiving its spec frame. Either way the process ends up with
+    the same :class:`_WorkerState` — same solvers, caches, containment
+    — so every transport runs leases through identical machinery.
+    """
+    _init_worker(spec)
+
+
+def run_worker_task(task):
+    """Execute one :class:`ShardTask` against the installed worker state.
+
+    The public name for :func:`_run_shard`, for callers outside the
+    executor (tcp fleet workers). The returned payload is JSON-clean:
+    it crosses pickling pipes and socket frames identically.
+    """
+    return _run_shard(task)
+
+
 def _run_shard(task):
     """Run one shard in this worker; return a picklable payload."""
     from repro.robustness.journal import serialize_report
@@ -389,6 +411,7 @@ class ShardedPool:
         self.workers = max(1, workers)
         self.spec = spec
         self._futures = []
+        self._closed = False
         self._executor = ProcessPoolExecutor(
             max_workers=self.workers,
             mp_context=_spawn_context(),
@@ -397,6 +420,8 @@ class ShardedPool:
         )
 
     def submit(self, task):
+        if self._closed:
+            raise RuntimeError("cannot submit to a shut-down ShardedPool")
         future = self._executor.submit(_run_shard, task)
         self._futures.append(future)
         return future
@@ -413,6 +438,13 @@ class ShardedPool:
         return {pid: proc.exitcode for pid, proc in list(processes.items())}
 
     def shutdown(self, wait=True):
+        # Idempotent: teardown can arrive twice (context-manager exit
+        # after an explicit coordinator shutdown, or an error path that
+        # already closed the pool) and the second call must be a no-op
+        # rather than re-killing a pool another owner may have replaced.
+        if self._closed:
+            return
+        self._closed = True
         # cancel_futures: once the pool is coming down (error or exit),
         # queued shards must be dropped, not left to run against a
         # half-torn-down parent.
@@ -451,6 +483,7 @@ class SupervisedPoolBackend:
     def __init__(self, workers, spec, heartbeat_dir=None):
         self.workers = max(1, workers)
         self.spec = spec
+        self._closed = False
         self._own_heartbeat_dir = heartbeat_dir is None
         self.heartbeat_dir = (
             tempfile.mkdtemp(prefix="repro-heartbeat-")
@@ -464,6 +497,8 @@ class SupervisedPoolBackend:
 
     def respawn(self):
         """Replace the broken pool; return {pid: exitcode} of old workers."""
+        if self._closed:
+            raise RuntimeError("cannot respawn a closed SupervisedPoolBackend")
         old = self.pool
         processes = getattr(old._executor, "_processes", None)
         processes = dict(processes) if processes else {}
@@ -489,9 +524,18 @@ class SupervisedPoolBackend:
             pass  # already gone
 
     def close(self):
-        self.pool.shutdown()
-        if self._own_heartbeat_dir:
-            shutil.rmtree(self.heartbeat_dir, ignore_errors=True)
+        # Idempotent and exception-safe: a second close is a no-op, and
+        # the heartbeat dir is removed even when the pool's shutdown
+        # raises — a coordinator tearing down after an error must not
+        # leak temp dirs or double-kill a pool it already closed.
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.pool.shutdown()
+        finally:
+            if self._own_heartbeat_dir:
+                shutil.rmtree(self.heartbeat_dir, ignore_errors=True)
 
     def __enter__(self):
         return self

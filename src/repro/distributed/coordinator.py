@@ -1,0 +1,223 @@
+"""The campaign-plan owner: cells → shard leases → a supervised fleet.
+
+Extracted from the runner's supervised path so the same cell loop
+drives *any* lease backend — the in-process
+:class:`~repro.core.parallel.SupervisedPoolBackend` or a socket
+:class:`~repro.distributed.endpoint.TcpFleet`. The coordinator owns
+exactly three responsibilities:
+
+1. **planning** — each remaining (solver, family, oracle) cell becomes
+   ``workers`` strided shard leases (minus resumed partials), with
+   crash-safe progress paths next to the journal;
+2. **supervision** — one :class:`~repro.robustness.supervisor.Supervisor`
+   spans the whole campaign (restart budget and counters are
+   campaign-global) and drives every lease to completion through
+   retries, bisection and poison quarantine, whatever the transport;
+3. **merging** — shard payloads come home in *completion* order, from
+   any worker, possibly as several bisected fragments per shard; the
+   stable-global-id merge reassembles them into the canonical cell
+   report, so the journal's bytes are a pure function of the plan, not
+   of scheduling.
+
+For remote fleets the coordinator also writes the **fleet sidecar**
+(``<journal>.shard-fleet.jsonl``): tcp workers never see the journal's
+host path, so completed shards are recorded coordinator-side in the
+same sidecar format pool workers write — which is what lets a resumed
+campaign skip fleet-completed shards exactly as it skips pool ones.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.yinyang import merge_shard_reports, shard_indices
+from repro.robustness.supervisor import Supervisor, SupervisorPolicy
+
+
+class Coordinator:
+    """Runs campaign cells as supervised shard leases over a backend.
+
+    ``backend`` is anything the Supervisor can drive; the coordinator
+    does not know (or care) whether leases execute in pool children or
+    across sockets. ``poison_artifact`` / ``on_poison`` are forwarded
+    to the supervisor unchanged.
+    """
+
+    def __init__(
+        self,
+        backend,
+        policy=None,
+        containment=None,
+        telemetry=None,
+        poison_artifact=None,
+        on_poison=None,
+    ):
+        self.backend = backend
+        self.telemetry = telemetry
+        self.supervisor = Supervisor(
+            backend,
+            policy=policy if isinstance(policy, SupervisorPolicy) else None,
+            containment=containment,
+            telemetry=telemetry,
+            poison_artifact=poison_artifact,
+            on_poison=on_poison,
+        )
+
+    # -- planning ---------------------------------------------------------
+
+    def plan_cell(
+        self,
+        key,
+        texts,
+        logics,
+        iterations_per_cell,
+        workers,
+        seed,
+        strategy,
+        quarantined,
+        journal=None,
+        skip_shards=(),
+    ):
+        """The cell's shard leases (skipping resumed ``skip_shards``)."""
+        from repro.core.parallel import ShardTask
+
+        leases = []
+        for shard in range(workers):
+            indices = shard_indices(iterations_per_cell, shard, workers)
+            if len(indices) == 0 or shard in skip_shards:
+                continue
+            progress_path = None
+            if journal is not None:
+                from repro.robustness.journal import lease_progress_path
+
+                progress_path = lease_progress_path(journal.path, key, shard, workers)
+            task = ShardTask(
+                oracle=key[2],
+                seed_texts=texts,
+                logics=logics,
+                iterations=iterations_per_cell,
+                shard=shard,
+                of=workers,
+                seed=seed,
+                cell=key,
+                solver_names=(key[0],),
+                quarantined=tuple(sorted(quarantined)),
+                strategy=strategy,
+                progress_path=progress_path,
+            )
+            leases.append(self.supervisor.lease((key, shard), task, indices))
+        return leases
+
+    # -- the cell loop ----------------------------------------------------
+
+    def run_cells(
+        self,
+        result,
+        remaining,
+        spec,
+        iterations_per_cell,
+        journal,
+        partials,
+        workers,
+        strategy="fusion",
+        sidecar_meta=None,
+        fleet_sidecar=False,
+    ):
+        """Drive every remaining cell to completion; fold into ``result``.
+
+        Mirrors the runner's process path cell for cell: canonical
+        order, per-shard counters, quarantine aggregation between
+        cells, journal commits per completed cell. With
+        ``fleet_sidecar`` each merged shard is also recorded in the
+        coordinator-side fleet sidecar (resume support for remote
+        workers that cannot write host sidecars themselves).
+        """
+        from repro.campaign.runner import _absorb_cell
+        from repro.core.parallel import collect_shard, serialize_seeds
+
+        telemetry = self.telemetry
+        side = None
+        if fleet_sidecar and journal is not None:
+            side = _open_fleet_sidecar(journal, sidecar_meta or {})
+        quarantined = set()
+        seed_text_cache = {}
+        for key, _solver, seeds in remaining:
+            cache_key = (key[1], key[2])
+            if cache_key not in seed_text_cache:
+                seed_text_cache[cache_key] = serialize_seeds(seeds)
+            texts, logics = seed_text_cache[cache_key]
+            have = {
+                shard: report
+                for (shard, of), report in partials.get(key, {}).items()
+                if of == workers
+            }
+            leases = self.plan_cell(
+                key,
+                texts,
+                logics,
+                iterations_per_cell,
+                workers,
+                spec.config.seed,
+                strategy,
+                quarantined,
+                journal=journal,
+                skip_shards=have,
+            )
+            outcome = self.supervisor.run(leases)
+            shard_reports = dict(have)
+            counters = {
+                shard: {"shard": shard, "of": workers, "pid": None, "resumed": True}
+                for shard in have
+            }
+            for (_cell, shard), pairs in outcome.items():
+                reports = []
+                pid = None
+                for _lease, payload in pairs:
+                    reports.append(collect_shard(payload))
+                    pid = payload["pid"]
+                    if telemetry is not None and payload.get("telemetry") is not None:
+                        telemetry.merge_snapshot(payload["telemetry"])
+                shard_reports[shard] = (
+                    reports[0] if len(reports) == 1 else merge_shard_reports(reports)
+                )
+                counters[shard] = {
+                    "shard": shard,
+                    "of": workers,
+                    "pid": pid,
+                    "resumed": False,
+                }
+                if side is not None:
+                    side.record_shard(key, shard, workers, shard_reports[shard])
+            for shard, report in shard_reports.items():
+                counters[shard].update(report.counters())
+                counters[shard]["elapsed"] = report.elapsed
+            merged = merge_shard_reports(
+                [shard_reports[shard] for shard in sorted(shard_reports)]
+            )
+            quarantined |= merged.quarantined
+            result.shard_counters[key] = [counters[shard] for shard in sorted(counters)]
+            _absorb_cell(result, key, merged, journal, telemetry)
+        result.poisoned = list(self.supervisor.poisoned)
+        result.supervision = dict(self.supervisor.counters)
+        return result
+
+
+def _open_fleet_sidecar(journal, meta):
+    """The coordinator's own sidecar journal for remote-worker shards.
+
+    Same stale-handling as a pool worker's pid sidecar: a leftover
+    fleet sidecar stamped with different campaign parameters cannot
+    line up with this run's shards, so it is removed and restarted.
+    """
+    from repro.robustness.journal import CampaignJournal, JournalError, sidecar_path
+
+    path = sidecar_path(journal.path, "fleet")
+    try:
+        side = CampaignJournal(path)
+        side.ensure_meta(**meta)
+    except JournalError:
+        os.remove(path)
+        side = CampaignJournal(path)
+        side.ensure_meta(**meta)
+    side.unknown_split = True
+    return side

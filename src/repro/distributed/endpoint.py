@@ -1,0 +1,495 @@
+"""The coordinator's side of the fleet transport: :class:`TcpFleet`.
+
+A :class:`TcpFleet` is a drop-in backend for the
+:class:`~repro.robustness.supervisor.Supervisor` — same ``submit`` /
+``respawn`` / ``kill_worker`` / ``heartbeat_dir`` /
+``broken_exceptions`` surface as the process pool's
+:class:`~repro.core.parallel.SupervisedPoolBackend` — whose workers
+are *separate Python processes on sockets* instead of pool children.
+It listens on a TCP address, handshakes each connecting ``yinyang
+worker``, and schedules leases by **pull-based work stealing**: a
+worker that wants work sends ``ready``; the fleet hands it a pending
+lease chosen by a seeded RNG. Distinct ``steal_seed`` values produce
+distinct assignment interleavings — which worker ran which shard in
+which order — and the determinism matrix asserts the merged journal
+cannot tell them apart.
+
+Failure vocabulary (the part that keeps supervision honest):
+
+- A **worker disconnect** fails only *that worker's in-flight lease*,
+  with :class:`WorkerDisconnected` carrying the ``net-disconnect``
+  classification. It is an ordinary lease failure — retry with
+  backoff, then bisection — NOT pool breakage. This asymmetry with
+  ``BrokenProcessPool`` is deliberate: an executor shares one result
+  pipe, so one death poisons everything; a socket fleet loses exactly
+  one worker, and treating that as fleet-wide would re-run leases
+  still healthily in flight elsewhere, double-counting their payloads
+  in the merge. The fleet quietly respawns the lost worker (when it
+  was one we spawned) so capacity recovers without the supervisor's
+  involvement.
+- :class:`FleetBroken` is reserved for *the whole fleet* becoming
+  unusable (every spawned worker gone past the respawn budget): then
+  every pending and in-flight lease fails with it, the supervisor's
+  ``_recover`` path calls :meth:`TcpFleet.respawn`, and the campaign
+  restarts its capacity under the usual ``max_worker_restarts`` cap.
+
+Same-host note: heartbeat and progress files assume workers share the
+coordinator's filesystem (localhost or a mount) — see
+:mod:`repro.distributed.worker`.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+from collections import deque
+from concurrent.futures import Future
+from random import Random
+
+from repro.distributed.protocol import (
+    PROTOCOL_VERSION,
+    Disconnected,
+    FrameStream,
+    ProtocolError,
+    pack_blob,
+    task_to_wire,
+)
+from repro.errors import ReproError
+
+#: The classification a disconnect-failed lease carries into the
+#: supervisor's retry/bisection machinery.
+NET_DISCONNECT = "net-disconnect"
+
+
+class FleetBroken(ReproError):
+    """The whole fleet is gone — the supervisor should respawn it."""
+
+
+class WorkerDisconnected(ReproError):
+    """One worker's connection dropped with this lease in flight."""
+
+    classification = NET_DISCONNECT
+
+
+class RemoteLeaseError(ReproError):
+    """A lease failed in-process on a remote worker (which survived)."""
+
+    def __init__(self, message, classification):
+        super().__init__(message)
+        self.classification = classification
+
+
+class _Remote:
+    """One connected worker, as the coordinator sees it."""
+
+    def __init__(self, stream, pid, index):
+        self.stream = stream
+        self.pid = pid
+        self.index = index
+        self.alive = True
+        self.current = None  # (task, future) while a lease is in flight
+
+
+class TcpFleet:
+    """A supervisable lease backend over a socket worker fleet.
+
+    ``spawn_workers`` local ``yinyang worker`` processes are started
+    against the listen address (default: ``workers``, i.e. a
+    self-contained fleet); pass 0 to only serve externally-started
+    workers (the two-terminal setup). ``net_chaos`` ships to every
+    worker in its spec frame. The fleet is a context manager and
+    teardown is idempotent — ``close`` may be called any number of
+    times, including after a failed construction.
+    """
+
+    broken_exceptions = (FleetBroken,)
+
+    def __init__(
+        self,
+        workers,
+        spec,
+        listen=("127.0.0.1", 0),
+        steal_seed=0,
+        spawn_workers=None,
+        net_chaos=None,
+        heartbeat_dir=None,
+        telemetry=None,
+        codec="json",
+        max_worker_respawns=16,
+    ):
+        self.workers = max(1, workers)
+        self.spec = spec
+        self.net_chaos = net_chaos
+        self.telemetry = telemetry
+        self.codec = codec
+        self.steal_seed = steal_seed
+        self.max_worker_respawns = max_worker_respawns
+        self._own_heartbeat_dir = heartbeat_dir is None
+        self.heartbeat_dir = (
+            tempfile.mkdtemp(prefix="repro-heartbeat-")
+            if heartbeat_dir is None
+            else os.fspath(heartbeat_dir)
+        )
+        self._lock = threading.Lock()
+        self._queue = []  # [(task, future)] — pending leases, steal pool
+        self._ready = deque()  # _Remote instances asking for work
+        self._inflight = {}  # lease_id -> (_Remote, future)
+        self._remotes = {}  # worker index -> _Remote
+        self._procs = {}  # pid -> Popen (workers we spawned)
+        self._threads = []
+        self._next_index = 0
+        self._respawns = 0
+        self._closed = False
+        self._broken = False
+        # One RNG for the whole campaign's steal decisions: the seed
+        # names an interleaving family, and the determinism matrix runs
+        # several seeds to prove journals are interleaving-blind.
+        self._steal_rng = Random(f"fleet-steal:{steal_seed}")
+        host, port = listen
+        try:
+            self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._listener.bind((host, port))
+            self._listener.listen(max(8, 2 * self.workers))
+            self.address = self._listener.getsockname()
+            accept = threading.Thread(
+                target=self._accept_loop, name="fleet-accept", daemon=True
+            )
+            accept.start()
+            self._threads.append(accept)
+            target = self.workers if spawn_workers is None else spawn_workers
+            self._spawn_target = target
+            for _ in range(target):
+                self._spawn_one()
+        except BaseException:
+            self.close()
+            raise
+
+    # -- the supervisor-facing surface -----------------------------------
+
+    def submit(self, task):
+        if task.lease_id is None:
+            raise ValueError(
+                "TcpFleet only runs supervised leases (lease_id is stamped "
+                "by the Supervisor); use ShardedPool for bare shards"
+            )
+        with self._lock:
+            if self._closed or self._broken:
+                raise FleetBroken("the fleet is closed")
+            future = Future()
+            self._queue.append((task, future))
+            self._count("fleet.leases")
+            self._dispatch_locked()
+        return future
+
+    def respawn(self):
+        """Tear down every spawned worker; stand up a fresh fleet."""
+        with self._lock:
+            procs = dict(self._procs)
+            self._procs.clear()
+            remotes = list(self._remotes.values())
+            self._remotes.clear()
+            self._ready.clear()
+            self._broken = False
+            self._respawns = 0
+        exitcodes = {}
+        for remote in remotes:
+            remote.alive = False
+            remote.stream.close()
+        for pid, proc in procs.items():
+            if proc.poll() is None:
+                proc.terminate()
+            try:
+                exitcodes[pid] = proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                exitcodes[pid] = proc.wait(timeout=5)
+        self._count("fleet.respawns")
+        for _ in range(self._spawn_target):
+            self._spawn_one()
+        return exitcodes
+
+    def kill_worker(self, pid):
+        """SIGKILL one worker (hang recovery; same-host fleets)."""
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except OSError:
+            pass  # already gone
+
+    def close(self):
+        """Idempotent, exception-safe teardown (satellite of PR 9)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            remotes = list(self._remotes.values())
+            self._remotes.clear()
+            self._ready.clear()
+            pending = [entry for entry in self._queue]
+            self._queue.clear()
+            inflight = list(self._inflight.values())
+            self._inflight.clear()
+            procs = dict(self._procs)
+            self._procs.clear()
+        try:
+            listener = getattr(self, "_listener", None)
+            if listener is not None:
+                try:
+                    listener.close()
+                except OSError:
+                    pass
+            for _task, future in pending:
+                future.cancel()
+            for _remote, future in inflight:
+                if not future.done():
+                    future.set_exception(FleetBroken("fleet closed mid-lease"))
+            for remote in remotes:
+                remote.alive = False
+                try:
+                    remote.stream.send({"type": "shutdown"})
+                except Disconnected:
+                    pass
+                remote.stream.close()
+            for proc in procs.values():
+                try:
+                    proc.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait(timeout=5)
+        finally:
+            if self._own_heartbeat_dir:
+                shutil.rmtree(self.heartbeat_dir, ignore_errors=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    # -- spawning local workers ------------------------------------------
+
+    def _spawn_one(self):
+        host, port = self.address
+        env = dict(os.environ)
+        import repro
+
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        # Ship the coordinator's import path, exactly as multiprocessing
+        # spawn does: the spec blob may reference campaign objects (solver
+        # factories, policies) defined in modules only the parent's
+        # sys.path can resolve. Externally-started workers must arrange
+        # their own path instead.
+        paths = dict.fromkeys([src] + [p for p in sys.path if p])
+        if env.get("PYTHONPATH"):
+            paths.update(dict.fromkeys(env["PYTHONPATH"].split(os.pathsep)))
+        env["PYTHONPATH"] = os.pathsep.join(paths)
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "worker",
+                "--connect",
+                f"{host}:{port}",
+            ],
+            env=env,
+        )
+        with self._lock:
+            if self._closed:
+                proc.terminate()
+                return
+            self._procs[proc.pid] = proc
+
+    # -- the wire side ----------------------------------------------------
+
+    def _accept_loop(self):
+        while True:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: fleet teardown
+            thread = threading.Thread(
+                target=self._serve, args=(conn,), name="fleet-conn", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve(self, conn):
+        stream = FrameStream(conn, self.codec)
+        try:
+            hello = stream.recv()
+        except (Disconnected, ProtocolError):
+            stream.close()
+            return
+        if hello.get("type") != "hello" or hello.get("protocol") != PROTOCOL_VERSION:
+            stream.close()
+            return
+        with self._lock:
+            if self._closed:
+                remote = None
+            else:
+                index = self._next_index
+                self._next_index += 1
+                remote = _Remote(stream, pid=hello.get("pid"), index=index)
+                self._remotes[index] = remote
+        if remote is None:
+            stream.close()
+            return
+        try:
+            stream.send(
+                {
+                    "type": "spec",
+                    "blob": pack_blob(self.spec),
+                    "net_chaos": (
+                        pack_blob(self.net_chaos)
+                        if self.net_chaos is not None
+                        else None
+                    ),
+                    "worker_index": remote.index,
+                }
+            )
+        except Disconnected:
+            self._drop(remote)
+            return
+        self._count("fleet.connects")
+        try:
+            while True:
+                message = stream.recv()
+                self._on_message(remote, message)
+        except (Disconnected, ProtocolError):
+            self._drop(remote)
+
+    def _on_message(self, remote, message):
+        kind = message.get("type")
+        if kind == "ready":
+            with self._lock:
+                if remote.alive and not self._closed:
+                    self._ready.append(remote)
+                    self._dispatch_locked()
+        elif kind == "result":
+            with self._lock:
+                entry = self._inflight.pop(message.get("lease_id"), None)
+                if entry is not None:
+                    entry[0].current = None
+            if entry is None:
+                self._count("fleet.duplicate_results")  # chaos dup, or stale
+            else:
+                self._count("fleet.results")
+                entry[1].set_result(message["payload"])
+        elif kind == "error":
+            with self._lock:
+                entry = self._inflight.pop(message.get("lease_id"), None)
+                if entry is not None:
+                    entry[0].current = None
+            if entry is not None:
+                self._count("fleet.lease_errors")
+                entry[1].set_exception(
+                    RemoteLeaseError(
+                        message.get("message", "remote lease failed"),
+                        message.get("classification", "worker-error:remote"),
+                    )
+                )
+        elif kind == "status":
+            self._count("fleet.status_frames")
+        # unknown frame kinds are ignored: forward compatibility
+
+    def _dispatch_locked(self):
+        """Pair pending leases with ready workers (work stealing)."""
+        while self._queue and self._ready:
+            remote = self._ready.popleft()
+            if not remote.alive:
+                continue
+            choice = self._steal_rng.randrange(len(self._queue))
+            task, future = self._queue.pop(choice)
+            if future.done():
+                self._ready.appendleft(remote)
+                continue
+            remote.current = (task, future)
+            self._inflight[task.lease_id] = (remote, future)
+            try:
+                remote.stream.send({"type": "lease", "task": task_to_wire(task)})
+            except Disconnected:
+                # The worker died between ready and lease: requeue the
+                # lease for free (it never started) and drop the worker.
+                remote.current = None
+                self._inflight.pop(task.lease_id, None)
+                self._queue.insert(0, (task, future))
+                self._drop_locked(remote)
+            else:
+                self._count("fleet.steals")
+
+    def _drop(self, remote):
+        with self._lock:
+            respawn = self._drop_locked(remote)
+        if respawn:
+            self._count("fleet.worker_respawns")
+            self._spawn_one()
+
+    def _drop_locked(self, remote):
+        """Handle one worker's departure; return whether to respawn it.
+
+        Idempotent per worker (send-failure and recv-EOF paths can
+        race). Fails the worker's in-flight lease — only that lease —
+        and breaks the whole fleet only when the last spawned worker is
+        gone past the respawn budget.
+        """
+        if not remote.alive:
+            return False
+        remote.alive = False
+        self._remotes.pop(remote.index, None)
+        try:
+            self._ready.remove(remote)
+        except ValueError:
+            pass
+        remote.stream.close()
+        self._count("fleet.disconnects")
+        current = remote.current
+        remote.current = None
+        if current is not None:
+            task, future = current
+            self._inflight.pop(task.lease_id, None)
+            if not future.done():
+                future.set_exception(
+                    WorkerDisconnected(
+                        f"worker pid={remote.pid} disconnected holding "
+                        f"lease {task.lease_id}"
+                    )
+                )
+        if self._closed:
+            return False
+        proc = self._procs.pop(remote.pid, None)
+        if proc is not None:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+            if self._respawns < self.max_worker_respawns:
+                self._respawns += 1
+                return True
+        if not self._remotes and not self._procs and self._spawn_target > 0:
+            self._break_locked()
+        return False
+
+    def _break_locked(self):
+        """No capacity left and none coming: fail everything pending."""
+        self._broken = True
+        failures = [future for _task, future in self._queue]
+        self._queue.clear()
+        failures.extend(future for _remote, future in self._inflight.values())
+        self._inflight.clear()
+        for future in failures:
+            if not future.done():
+                future.set_exception(
+                    FleetBroken("every fleet worker is gone past the respawn budget")
+                )
+
+    def _count(self, name, n=1):
+        if self.telemetry is not None:
+            self.telemetry.count(name, n)

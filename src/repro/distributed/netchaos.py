@@ -1,0 +1,169 @@
+"""Seeded network fault injection for socket fleets.
+
+:class:`~repro.robustness.chaos.ProcessChaos` makes worker *processes*
+die on plan; :class:`NetChaos` extends the same discipline to the
+*wire*. Two fault families, matching how real networks fail:
+
+- **Planned disconnects** (``disconnect_at``): when a worker is about
+  to run a listed global iteration id — and the lease's attempt is
+  still below ``attempts`` — it closes its coordinator socket and
+  exits. From the coordinator's side this is indistinguishable from a
+  network partition or a remote host loss: the connection drops with a
+  lease outstanding. Attempt gating makes recovery provable, exactly
+  as for process chaos: ``attempts=1`` means the supervised retry of
+  the lease sails through on another worker.
+
+- **Seeded frame faults**: per-frame coin flips (one
+  ``random.Random(seed)`` per connection) that *drop*, *duplicate*, or
+  *delay* frames on the send path. Faults are restricted to frame
+  types the protocol is designed to survive — drops hit only
+  best-effort ``status`` frames (nothing depends on them), duplicates
+  hit only ``result`` frames (the coordinator dedupes by lease id),
+  and delays hit anything (TCP already reorders timing). A fault that
+  the protocol is *not* designed to survive (dropping a result) would
+  just be a hang, which is the heartbeat watchdog's job, not this
+  injector's.
+
+The payoff is the same as every chaos layer here: the soak test can
+assert that a campaign crossed by disconnects and frame noise merges
+to the byte-identical deterministic journal.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+#: NetChaos fault kinds.
+DISCONNECT, DROP, DUP, DELAY = "net-disconnect", "net-drop", "net-dup", "net-delay"
+
+#: The exit code a chaos-disconnected worker dies with. Distinct from
+#: real failure codes so a log reader can tell an injected partition
+#: from an organic crash; the coordinator treats any disconnect the
+#: same way regardless.
+DISCONNECT_EXIT = 70
+
+
+@dataclass(frozen=True)
+class NetChaos:
+    """A picklable plan of network faults for one fleet campaign.
+
+    ``disconnect_at`` names global iteration ids (gated on the lease
+    ``attempt`` like :class:`~repro.robustness.chaos.ProcessChaos`);
+    the probabilities drive per-frame seeded coin flips on each
+    connection's send path.
+    """
+
+    disconnect_at: tuple = ()
+    attempts: int = 1
+    p_drop_status: float = 0.0
+    p_dup_result: float = 0.0
+    p_delay: float = 0.0
+    delay_seconds: float = 0.01
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.attempts < 0:
+            raise ValueError("attempts must be >= 0")
+        for label, p in (
+            ("p_drop_status", self.p_drop_status),
+            ("p_dup_result", self.p_dup_result),
+            ("p_delay", self.p_delay),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1]")
+
+    def fault_for(self, index, attempt):
+        """The planned fault for this iteration/attempt, or None (pure)."""
+        if attempt >= self.attempts:
+            return None
+        if index in self.disconnect_at:
+            return DISCONNECT
+        return None
+
+    def bind(self, worker_id=0):
+        """A per-connection injector (own RNG stream, own counters)."""
+        return BoundNetChaos(self, worker_id)
+
+
+class BoundNetChaos:
+    """One connection's fault state: plugged into ``FrameStream.chaos``.
+
+    ``on_send(stream, message)`` returns True when it consumed the
+    frame (a drop) — the stream then skips its own send. Duplication
+    sends the extra copy here and returns False so the normal send
+    path delivers the second. The RNG stream is seeded per worker id,
+    so two workers' fault sequences are independent but each replays
+    exactly given the same frame sequence.
+    """
+
+    def __init__(self, plan, worker_id=0):
+        self.plan = plan
+        self.rng = random.Random(f"netchaos:{plan.seed}:{worker_id}")
+        self.injected = {DROP: 0, DUP: 0, DELAY: 0}
+
+    def on_send(self, stream, message):
+        plan = self.plan
+        if plan.p_delay > 0.0 and self.rng.random() < plan.p_delay:
+            self.injected[DELAY] += 1
+            time.sleep(plan.delay_seconds)
+        kind = message.get("type")
+        if (
+            kind == "status"
+            and plan.p_drop_status > 0.0
+            and self.rng.random() < plan.p_drop_status
+        ):
+            self.injected[DROP] += 1
+            return True
+        if (
+            kind == "result"
+            and plan.p_dup_result > 0.0
+            and self.rng.random() < plan.p_dup_result
+        ):
+            self.injected[DUP] += 1
+            stream._send_raw(message)  # first copy; caller sends the second
+        return False
+
+
+def parse_net_chaos(spec):
+    """A :class:`NetChaos` from its CLI spelling.
+
+    ``spec`` is semicolon-separated ``key=value`` pairs; iteration
+    lists are comma-separated. Example::
+
+        disconnect=3,11;attempts=1;drop=0.2;dup=0.2;delay=0.05;seed=9
+
+    Keys: ``disconnect`` (global iteration ids), ``attempts``,
+    ``drop`` (p of dropping a status frame), ``dup`` (p of duplicating
+    a result frame), ``delay`` (p of delaying any frame),
+    ``delay_seconds``, ``seed``.
+    """
+    kwargs = {}
+    for part in spec.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        if not sep:
+            raise ValueError(f"net-chaos field {part!r} is not key=value")
+        if key == "disconnect":
+            kwargs["disconnect_at"] = tuple(
+                int(item) for item in value.split(",") if item.strip()
+            )
+        elif key == "attempts":
+            kwargs["attempts"] = int(value)
+        elif key == "drop":
+            kwargs["p_drop_status"] = float(value)
+        elif key == "dup":
+            kwargs["p_dup_result"] = float(value)
+        elif key == "delay":
+            kwargs["p_delay"] = float(value)
+        elif key == "delay_seconds":
+            kwargs["delay_seconds"] = float(value)
+        elif key == "seed":
+            kwargs["seed"] = int(value)
+        else:
+            raise ValueError(f"unknown net-chaos field {key!r}")
+    return NetChaos(**kwargs)

@@ -104,6 +104,18 @@ def _metrics_sections(snapshot):
             "",
             render_table(["session", "value"], session, "Incremental sessions"),
         ]
+    fleet = [
+        (name.split(".", 1)[1], value)
+        for name, value in sorted(counters.items())
+        if name.startswith("fleet.")
+    ]
+    if fleet:
+        # Only tcp campaigns emit fleet.* counters, so dashboards of
+        # in-process runs render unchanged.
+        lines += [
+            "",
+            render_table(["fleet", "value"], fleet, "Distributed fleet"),
+        ]
     gauges = {
         n: v for n, v in snapshot.get("gauges", {}).items()
         if not n.startswith("coverage.")

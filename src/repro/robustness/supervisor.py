@@ -295,9 +295,14 @@ class Supervisor:
                     # The worker survived but the lease failed in-process:
                     # resource containment (MemoryError under RLIMIT_AS)
                     # or an unexpected worker-side error. Same retry path.
-                    self._failure(
-                        lease, classify_exception(exc, self.containment), pending
-                    )
+                    # Exceptions that already know their classification
+                    # (remote lease failures, worker disconnects — the
+                    # distributed backend attaches one) keep it; the
+                    # local classifier is the fallback.
+                    classification = getattr(exc, "classification", None)
+                    if not isinstance(classification, str):
+                        classification = classify_exception(exc, self.containment)
+                    self._failure(lease, classification, pending)
                 else:
                     results.setdefault(lease.key, []).append((lease, payload))
             if broken:

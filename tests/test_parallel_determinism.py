@@ -1,8 +1,8 @@
 """Cross-shard determinism suite: sharding must be invisible to the oracle.
 
 The headline guarantee of the parallel campaign architecture: for a
-fixed seed, every execution mode (serial / thread / process) and every
-worker count produces
+fixed seed, every execution mode (serial / thread / process / tcp
+fleet) and every worker count produces
 
 - identical bug records (byte-for-byte on their serialized form),
 - identical ``found_faults`` triage,
@@ -70,21 +70,26 @@ def fault_counts(result):
     }
 
 
-class TestThreadDeterminism:
-    @pytest.mark.parametrize("workers", [1, 2, 4])
-    def test_bug_records_match_serial(self, corpora, baseline, workers):
-        result = run_campaign(corpora, mode="thread", workers=workers, **CAMPAIGN)
-        assert records_of(result) == records_of(baseline[0])
+class TestFleetShapeDeterminism:
+    """The cross-shape matrix (``fleet`` fixture): serial, thread and
+    process pools and tcp worker fleets — including distinct
+    work-stealing orders — produce the same records and the same
+    journal bytes. This is the invariant every other suite leans on."""
 
+    def test_records_and_journal_bytes_match_serial(
+        self, corpora, baseline, tmp_path, fleet, run_fleet_campaign
+    ):
+        path = tmp_path / "fleet.jsonl"
+        result = run_fleet_campaign(corpora, fleet, journal=path, **CAMPAIGN)
+        assert records_of(result) == records_of(baseline[0])
+        assert path.read_bytes() == baseline[1]
+
+
+class TestThreadDeterminism:
     def test_counters_and_faults_match_serial(self, corpora, baseline):
         result = run_campaign(corpora, mode="thread", workers=4, **CAMPAIGN)
         assert result.summary_counters() == baseline[0].summary_counters()
         assert fault_counts(result) == fault_counts(baseline[0])
-
-    def test_thread_journal_bytes_match_serial(self, corpora, baseline, tmp_path):
-        path = tmp_path / "thread3.jsonl"
-        run_campaign(corpora, journal=path, mode="thread", workers=3, **CAMPAIGN)
-        assert path.read_bytes() == baseline[1]
 
 
 class TestProcessDeterminism:
@@ -109,16 +114,6 @@ class TestProcessDeterminism:
                 "iterations_per_cell"
             ]
             assert [c["shard"] for c in shards] == sorted(c["shard"] for c in shards)
-
-    @pytest.mark.slow
-    def test_four_workers_match_serial(self, corpora, baseline, tmp_path):
-        path = tmp_path / "process4.jsonl"
-        result = run_campaign(
-            corpora, journal=path, mode="process", workers=4, **CAMPAIGN
-        )
-        assert records_of(result) == records_of(baseline[0])
-        assert path.read_bytes() == baseline[1]
-
 
 class TestTelemetryInvisibility:
     """Telemetry is an observer: attaching it — metrics only or fully

@@ -30,7 +30,7 @@ import time
 
 from _util import emit, emit_json, git_rev, once, smoke
 
-from repro.campaign.runner import deterministic_solvers
+from repro.campaign.runner import deterministic_bv_solvers, deterministic_solvers
 from repro.campaign.triage import TriagePolicy
 from repro.core.config import YinYangConfig
 from repro.core.yinyang import YinYang
@@ -51,8 +51,8 @@ PRE_TRIAGE_BASELINE = 0.4
 TRIAGED_BASELINE = 7.0
 
 
-def _run_strategy(name, seeds, triage=None, incremental=None):
-    solvers = deterministic_solvers()
+def _run_strategy(name, seeds, triage=None, incremental=None, solvers=None):
+    solvers = solvers or deterministic_solvers()
     tool = YinYang(
         solvers,
         YinYangConfig(seed=SEED, triage=triage, incremental=incremental),
@@ -78,6 +78,19 @@ def _campaign():
         "fusion", seeds, triage=TriagePolicy(), incremental=SessionConfig()
     )
     rows["fusion+triage+incremental"] = (report, elapsed)
+    # The pluggable-theory row: the identical fusion loop over QF_BV
+    # seeds, solved by eager bit-blasting onto the same SAT core. Rates
+    # compare against arithmetic fusion, so this row tracks what the
+    # bit-blasted backend costs relative to the arithmetic fast paths.
+    bv_corpus = build_corpus("QF_BV", scale=0.02, seed=SEED)
+    report, elapsed = _run_strategy(
+        "fusion",
+        bv_corpus.by_oracle("sat"),
+        triage=TriagePolicy(),
+        incremental=SessionConfig(),
+        solvers=deterministic_bv_solvers(),
+    )
+    rows["fusion@QF_BV"] = (report, elapsed)
     return rows
 
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # The tier-1 CI gate, runnable locally and in any runner.
 #
-# Eight stages, strictly ordered so the cheapest failures surface first:
+# Nine stages, strictly ordered so the cheapest failures surface first:
 #
 #   1. AST lint  — term nodes must be built via the interning
 #      constructors, the observability layer must never import random
@@ -35,6 +35,10 @@
 #      real CLI: a two-worker localhost fleet under tiny budgets, plus
 #      the fleet chaos soak, must merge to the byte-identical serial
 #      journal (the nightly slow lane re-runs the 4-worker shapes).
+#   9. QF_BV theory — the pluggable-theory path end-to-end through the
+#      real CLI: deterministic bit-vector campaigns (fusion and opfuzz,
+#      --triage --incremental) run serially and on a two-worker process
+#      pool, and the journals must be byte-identical.
 #
 # Stages 1-4 are subsets of stage 5; running them first just makes
 # the common failure modes fail in seconds instead of minutes.
@@ -42,30 +46,30 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== stage 1/8: AST lint (interning, no RNG in telemetry, strategy-agnostic core) =="
+echo "== stage 1/9: AST lint (interning, no RNG in telemetry, strategy-agnostic core) =="
 python -m pytest tests/test_ast_lint.py \
     "tests/test_observability.py::TestHotPathHygiene" -q
 
-echo "== stage 2/8: strategy determinism (golden fusion journal, opfuzz byte-identity) =="
+echo "== stage 2/9: strategy determinism (golden fusion journal, opfuzz byte-identity) =="
 python -m pytest tests/test_strategies.py -q -m "not slow"
 
-echo "== stage 3/8: telemetry determinism (journal byte-identity) =="
+echo "== stage 3/9: telemetry determinism (journal byte-identity) =="
 python -m pytest tests/test_parallel_determinism.py -q -m "not slow"
 
-echo "== stage 4/8: triage + session determinism (verdict equivalence, bug-finding power) =="
+echo "== stage 4/9: triage + session determinism (verdict equivalence, bug-finding power) =="
 python -m pytest tests/test_triage.py tests/test_session.py -q -m "not slow"
 
-echo "== stage 5/8: fast lane (full suite minus slow/chaos) =="
+echo "== stage 5/9: fast lane (full suite minus slow/chaos) =="
 python -m pytest -m "not slow and not chaos" -q
 
-echo "== stage 6/8: fault tolerance (chaos-kill determinism, poison quarantine) =="
+echo "== stage 6/9: fault tolerance (chaos-kill determinism, poison quarantine) =="
 python -m pytest tests/test_supervisor.py -q
 python -m pytest tests/test_supervised_campaign.py -q
 
-echo "== stage 7/8: bench smoke (every benchmark row runs; no timing assertions) =="
+echo "== stage 7/9: bench smoke (every benchmark row runs; no timing assertions) =="
 REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_strategies.py -q
 
-echo "== stage 8/8: distributed fleet (tcp campaign vs serial baseline, chaos soak) =="
+echo "== stage 8/9: distributed fleet (tcp campaign vs serial baseline, chaos soak) =="
 python -m pytest tests/test_distributed.py -q -m "not slow"
 fleetdir="$(mktemp -d)"
 trap 'rm -rf "$fleetdir"' EXIT
@@ -83,5 +87,30 @@ if compgen -G "$fleetdir/fleet.jsonl.shard-*" > /dev/null; then
     exit 1
 fi
 echo "fleet smoke OK: tcp journal byte-identical to serial"
+
+echo "== stage 9/9: QF_BV theory (bit-blasting campaign, serial vs process byte-identity) =="
+python -m pytest tests/test_theory_registry.py tests/test_bv_properties.py -q
+bvdir="$(mktemp -d)"
+trap 'rm -rf "$fleetdir" "$bvdir"' EXIT
+for strategy in fusion opfuzz; do
+    python -m repro.cli campaign \
+        --logic QF_BV --strategy "$strategy" --deterministic \
+        --triage --incremental \
+        --iterations 20 --scale 0.02 --seed 0 \
+        --journal "$bvdir/$strategy-serial.jsonl" > /dev/null
+    python -m repro.cli campaign \
+        --logic QF_BV --strategy "$strategy" --deterministic \
+        --triage --incremental \
+        --mode process --workers 2 \
+        --iterations 20 --scale 0.02 --seed 0 \
+        --journal "$bvdir/$strategy-process2.jsonl" > /dev/null
+    cmp "$bvdir/$strategy-serial.jsonl" "$bvdir/$strategy-process2.jsonl" \
+        || { echo "QF_BV $strategy process journal differs from serial" >&2; exit 1; }
+    if compgen -G "$bvdir/$strategy-process2.jsonl.shard-*" > /dev/null; then
+        echo "QF_BV $strategy sidecar journals left behind" >&2
+        exit 1
+    fi
+done
+echo "QF_BV smoke OK: fusion and opfuzz journals byte-identical across shapes"
 
 echo "CI gate passed."

@@ -4,9 +4,12 @@ solvers over the Figure 7 corpora and regenerate the paper's tables.
 
 from repro.campaign.runner import (
     CampaignResult,
+    bv_solvers,
     default_solvers,
+    deterministic_bv_solvers,
     deterministic_solvers,
     run_campaign,
+    solver_factory_for_logic,
 )
 from repro.campaign.classify import attribute_fault, collect_found_faults
 from repro.campaign.report import (
@@ -23,8 +26,11 @@ from repro.campaign.report import (
 __all__ = [
     "CampaignResult",
     "run_campaign",
+    "bv_solvers",
     "default_solvers",
+    "deterministic_bv_solvers",
     "deterministic_solvers",
+    "solver_factory_for_logic",
     "attribute_fault",
     "collect_found_faults",
     "figure8a_rows",

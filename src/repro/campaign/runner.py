@@ -43,7 +43,7 @@ from repro.core.yinyang import (
     merge_shard_reports,
     shard_indices,
 )
-from repro.faults.catalog import cvc4_like_catalog, z3_like_catalog
+from repro.faults.catalog import bv_fault_catalog, cvc4_like_catalog, z3_like_catalog
 from repro.faults.faulty_solver import FaultySolver
 from repro.robustness.journal import (
     CampaignJournal,
@@ -95,6 +95,48 @@ def deterministic_solvers(release="trunk"):
         strings=StringConfig(max_assignments=600, max_len_per_var=3, max_total_len=6),
     )
     return default_solvers(release=release, base_config=config)
+
+
+def bv_solvers(release="trunk", base_config=None):
+    """The two solvers under test with the QF_BV fault catalogs.
+
+    The paper-shaped catalogs (44/13 faults) never fire on QF_BV
+    formulas — their triggers require arithmetic or string logics — so
+    BV campaigns attach :func:`~repro.faults.catalog.bv_fault_catalog`
+    instead, keeping ``result.catalogs`` (and "found every fault"
+    accounting) exact. Picklable, like :func:`default_solvers`.
+    """
+    base = ReferenceSolver(base_config or SolverConfig.fast())
+    z3 = FaultySolver(base, bv_fault_catalog("z3-like"), "z3-like", release=release)
+    cvc4 = FaultySolver(
+        base, bv_fault_catalog("cvc4-like"), "cvc4-like", release=release
+    )
+    return [z3, cvc4]
+
+
+def deterministic_bv_solvers(release="trunk"):
+    """:func:`bv_solvers` with all wall-clock dependence removed (the
+    QF_BV analogue of :func:`deterministic_solvers`)."""
+    config = replace(
+        SolverConfig.fast(),
+        timeout_seconds=0.0,
+        max_rounds=30,
+        nonlinear_budget=120,
+        strings=StringConfig(max_assignments=600, max_len_per_var=3, max_total_len=6),
+    )
+    return bv_solvers(release=release, base_config=config)
+
+
+def solver_factory_for_logic(logic, deterministic=False):
+    """The picklable campaign solver factory for ``logic``.
+
+    ``None`` (the default corpora) keeps the paper catalogs; ``QF_BV``
+    swaps in the BV catalogs. Factories must be module-level callables:
+    process/tcp campaigns ship them across the spawn boundary.
+    """
+    if logic == "QF_BV":
+        return deterministic_bv_solvers if deterministic else bv_solvers
+    return deterministic_solvers if deterministic else default_solvers
 
 
 @dataclass
@@ -226,6 +268,7 @@ def run_campaign(
     chaos_process=None,
     triage=None,
     incremental=None,
+    logic=None,
     steal_seed=0,
     listen=None,
     spawn_workers=None,
@@ -248,6 +291,11 @@ def run_campaign(
     resumed campaign produces the same records as an uninterrupted one
     — even when the resume uses a different ``mode`` or ``workers``
     than the original run.
+
+    ``logic`` names the campaign's logic restriction (e.g. ``"QF_BV"``)
+    for the journal header; like ``strategy``, it is stamped into the
+    journal meta only when set, so default-campaign journal bytes are
+    unchanged, and a resume refuses to mix logics.
 
     ``mode`` / ``workers`` select the execution mode (see the module
     docstring). ``solver_factory`` is a picklable zero-argument
@@ -386,6 +434,11 @@ def run_campaign(
             # when the feature is on (cold journal bytes stay stable)
             # and refuse resumes that would mix warm and cold shards.
             meta_params["incremental"] = incremental.describe()
+        if logic:
+            # Stamped only for logic-restricted campaigns (QF_BV):
+            # default journal bytes stay stable, and a resume with a
+            # different logic restriction mismatches and is refused.
+            meta_params["logic"] = logic
         journal.ensure_meta(**meta_params)
         journal.ensure_strategy(strategy_name)
         if resume:
@@ -420,6 +473,7 @@ def run_campaign(
             workers=workers,
             telemetry=telemetry,
             strategy=strategy_name,
+            logic=logic,
             supervise=(supervise or True) if supervised else None,
             containment=containment,
             chaos_process=chaos_process,
@@ -470,6 +524,7 @@ def _run_cells_process(
     workers,
     telemetry=None,
     strategy="fusion",
+    logic=None,
     supervise=None,
     containment=None,
     chaos_process=None,
@@ -519,6 +574,10 @@ def _run_cells_process(
         # And likewise for incremental sessions: warm and cold partial
         # shards may differ in unknown counts and must not be mixed.
         meta["incremental"] = config.incremental.describe()
+    if logic:
+        # A logic-restricted campaign's partial shards must never be
+        # spliced into a default campaign's resume (different catalogs).
+        meta["logic"] = logic
     partials = {}
     if journal is not None and resume:
         partials = load_sidecar_shards(journal.path, meta)

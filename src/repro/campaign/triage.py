@@ -34,10 +34,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.smtlib import theory as _theory
 from repro.smtlib.ast import App, Const, Quantifier, Var
 from repro.solver.budget import SolveDirective
 
 _ZERO = (0, 0, 0)
+
+# Difficulty-relevant operator sets, as declared by the registered
+# theories: ``*``/``bvmul`` (product enumeration / shift-and-add
+# blasting) and ``/``/``div``/``mod``/``bvshl``/``bvlshr`` (purified
+# division constraints / barrel shifters).
+_HARD_MUL_OPS = _theory.hard_mul_ops()
+_HARD_DIV_OPS = _theory.hard_div_ops()
 
 #: Per-feature weights of :func:`difficulty_score`. Nonlinear terms
 #: dominate (they exhaust the enumeration budget), quantifier residue
@@ -67,7 +75,7 @@ def _nonlinear_app(node):
     multiplication constraints the nonlinear core must solve).
     """
     op = node.op
-    if op == "*":
+    if op in _HARD_MUL_OPS:
         non_const = 0
         for a in node.args:
             if not isinstance(a, Const):
@@ -75,7 +83,7 @@ def _nonlinear_app(node):
                 if non_const >= 2:
                     return True
         return False
-    if op in ("/", "div", "mod"):
+    if op in _HARD_DIV_OPS:
         return any(not isinstance(a, Const) for a in node.args[1:])
     return False
 

@@ -361,16 +361,26 @@ def _cmd_campaign(args):
     if args.resume and not args.journal:
         print("--resume requires --journal", file=sys.stderr)
         return 2
-    corpora = build_all_corpora(scale=args.scale, seed=args.seed)
+    logic = getattr(args, "logic", None)
+    if logic:
+        # A logic-restricted campaign: one corpus family, with the
+        # matching fault catalogs (QF_BV swaps in the BV catalog).
+        corpora = {logic: build_corpus(logic, scale=args.scale, seed=args.seed)}
+    else:
+        corpora = build_all_corpora(scale=args.scale, seed=args.seed)
     solver_factory = None
     performance_threshold = args.perf_threshold or None
     if args.deterministic:
         # Reproducible byte-for-byte: no wall-clock solver deadline and
         # no wall-clock performance classification.
-        from repro.campaign import deterministic_solvers
+        from repro.campaign import solver_factory_for_logic
 
-        solver_factory = deterministic_solvers
+        solver_factory = solver_factory_for_logic(logic, deterministic=True)
         performance_threshold = None
+    elif logic:
+        from repro.campaign import solver_factory_for_logic
+
+        solver_factory = solver_factory_for_logic(logic)
     telemetry = _telemetry_from_args(args)
     supervise, containment = _supervision_from_args(args)
     if supervise is not None and args.mode not in ("process", "tcp"):
@@ -406,6 +416,7 @@ def _cmd_campaign(args):
         containment=containment,
         triage=_triage_from_args(args),
         incremental=_incremental_from_args(args),
+        logic=logic,
         steal_seed=args.steal_seed,
         listen=listen,
         spawn_workers=args.spawn_workers,
@@ -474,14 +485,13 @@ def _cmd_strategies(args):
     from repro.campaign.report import render_table
 
     rows = [
-        (name, str(seeds), kind, summary)
-        for name, seeds, kind, summary in (
-            s.describe() for s in iter_strategies()
-        )
+        (name, str(seeds), kind, theories, "/".join(s.logics()), summary)
+        for s in iter_strategies()
+        for name, seeds, kind, theories, summary in (s.describe(),)
     ]
     print(
         render_table(
-            ["strategy", "seeds/iter", "oracle", "description"],
+            ["strategy", "seeds/iter", "oracle", "theories", "logics", "description"],
             rows,
             "Registered mutation strategies",
         )
@@ -557,6 +567,13 @@ def build_parser():
         help="remove all wall-clock dependence (solver deadlines, "
         "performance classification): identical journals on every "
         "run, any mode, any worker count",
+    )
+    p_campaign.add_argument(
+        "--logic",
+        default=None,
+        metavar="LOGIC",
+        help="restrict the campaign to one logic's corpus and fault "
+        "catalog (e.g. QF_BV); default: all Figure 7 families",
     )
     p_campaign.add_argument(
         "--mode",

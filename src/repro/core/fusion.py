@@ -45,9 +45,15 @@ from repro.smtlib.ast import (
     skip_fresh_names,
     substitute,
 )
-from repro.smtlib.sorts import INT, REAL, STRING
+from repro.smtlib import theory as _theory
+from repro.smtlib.sorts import INT, REAL, STRING  # noqa: F401  (re-export)
 
-FUSIBLE_SORTS = (INT, REAL, STRING)
+# Sorts eligible for variable-pair fusion, in theory-registration order
+# ((Int, Real, String) first, then each bit-vector generator width).
+# Iteration below draws no randomness for sorts absent from a seed, so
+# appending new theories here leaves existing-campaign RNG streams (and
+# therefore golden journals) untouched.
+FUSIBLE_SORTS = tuple(_theory.fusible_sorts())
 
 
 @dataclass

@@ -143,6 +143,53 @@ def _make_affine(sort, divider):
     return instantiate
 
 
+# -- Bit-vector families (Figure-6 style, modular arithmetic) -------------
+#
+# Every BV fusion function is exactly invertible: addition is a group
+# operation modulo 2^w (so bvsub recovers either operand) and xor is its
+# own inverse. No divider analogue is needed.
+
+
+def _make_bv_addition(sort, width):
+    def instantiate(rng, config):
+        return FusionInstance(
+            scheme=f"bv{width}-addition",
+            sort=sort,
+            fusion=lambda x, y: b.bvadd(x, y),
+            invert_x=lambda x, y, z: b.bvsub(z, y),
+            invert_y=lambda x, y, z: b.bvsub(z, x),
+        )
+
+    return instantiate
+
+
+def _make_bv_addition_constant(sort, width):
+    def instantiate(rng, config):
+        c = b.bv(rng.randint(0, (1 << width) - 1), width)
+        return FusionInstance(
+            scheme=f"bv{width}-addition-constant",
+            sort=sort,
+            fusion=lambda x, y: b.bvadd(b.bvadd(x, c), y),
+            invert_x=lambda x, y, z: b.bvsub(b.bvsub(z, c), y),
+            invert_y=lambda x, y, z: b.bvsub(b.bvsub(z, c), x),
+        )
+
+    return instantiate
+
+
+def _make_bv_xor(sort, width):
+    def instantiate(rng, config):
+        return FusionInstance(
+            scheme=f"bv{width}-xor",
+            sort=sort,
+            fusion=lambda x, y: b.bvxor(x, y),
+            invert_x=lambda x, y, z: b.bvxor(z, y),
+            invert_y=lambda x, y, z: b.bvxor(z, x),
+        )
+
+    return instantiate
+
+
 # -- String families (rows 5-7 of Figure 6) ------------------------------
 
 
@@ -218,6 +265,25 @@ def _register_builtins():
     register_scheme(FusionScheme("string-concat-substr", STRING, _string_concat_substr))
     register_scheme(FusionScheme("string-concat-replace", STRING, _string_concat_replace))
     register_scheme(FusionScheme("string-concat-infix", STRING, _string_concat_infix))
+
+    from repro.smtlib.bitvec import GENERATOR_WIDTHS
+    from repro.smtlib.sorts import bitvec_sort
+
+    for width in GENERATOR_WIDTHS:
+        sort = bitvec_sort(width)
+        register_scheme(
+            FusionScheme(f"bv{width}-addition", sort, _make_bv_addition(sort, width))
+        )
+        register_scheme(
+            FusionScheme(
+                f"bv{width}-addition-constant",
+                sort,
+                _make_bv_addition_constant(sort, width),
+            )
+        )
+        register_scheme(
+            FusionScheme(f"bv{width}-xor", sort, _make_bv_xor(sort, width))
+        )
 
 
 _register_builtins()

@@ -352,6 +352,106 @@ def demo_rewrite_faults():
     ]
 
 
+def bv_fault_catalog(solver_name):
+    """Injected QF_BV defects for ``solver_name``.
+
+    Kept out of :func:`z3_like_catalog` / :func:`cvc4_like_catalog`:
+    those two reproduce the paper's Figure 8 counts exactly (44 and 13)
+    and are pinned by regression tests. BV campaigns attach this
+    catalog instead (``yinyang campaign --logic QF_BV``); its faults
+    all have observable effects (wrong answers, unsound rewrites,
+    crashes), so a campaign can find every one of them.
+    """
+    if solver_name == "z3-like":
+        return [
+            _make(
+                "z3-like",
+                0,
+                "soundness",
+                "QF_BV",
+                "bv-fusion-constraint",
+                fault_id="z3-bv-soundness-000",
+                status="confirmed",
+                wrong_answer="sat",
+                salt=0,
+                modulus=2,
+                description="bit-blaster drops a fused definition clause",
+            ),
+            _make(
+                "z3-like",
+                1,
+                "soundness",
+                "QF_BV",
+                "bv-compare",
+                fault_id="z3-bv-soundness-001",
+                status="confirmed",
+                wrong_answer="unsat",
+                salt=0,
+                modulus=2,
+                description="unsigned comparator miscompares equal prefixes",
+            ),
+            _make(
+                "z3-like",
+                0,
+                "crash",
+                "QF_BV",
+                "bv-extract|bv-concat",
+                fault_id="z3-bv-crash-000",
+                status="confirmed",
+                salt=1,
+                modulus=2,
+                description="width bookkeeping assertion fails on slicing",
+            ),
+            _make(
+                "z3-like",
+                0,
+                "soundness",
+                "QF_BV",
+                "bv-negation",
+                fault_id="z3-bv-negnot",
+                effect="rewrite",
+                status="confirmed",
+                description="rewriter folds bvneg to bvnot (missing the +1)",
+            ),
+        ]
+    if solver_name == "cvc4-like":
+        return [
+            _make(
+                "cvc4-like",
+                0,
+                "soundness",
+                "QF_BV",
+                "bv-product",
+                fault_id="cvc4-bv-soundness-000",
+                status="confirmed",
+                wrong_answer="sat",
+                description="shift-and-add multiplier drops the carry row",
+            ),
+            _make(
+                "cvc4-like",
+                0,
+                "crash",
+                "QF_BV",
+                "bv-shift-var",
+                fault_id="cvc4-bv-crash-000",
+                status="confirmed",
+                description="barrel shifter indexes past the width",
+            ),
+            _make(
+                "cvc4-like",
+                0,
+                "soundness",
+                "QF_BV",
+                "bv-compare",
+                fault_id="cvc4-bv-ult-ule",
+                effect="rewrite",
+                status="confirmed",
+                description="rewriter weakens bvult to bvule",
+            ),
+        ]
+    raise KeyError(f"no BV catalog for {solver_name!r}")
+
+
 def catalog_for(solver_name):
     if solver_name == "z3-like":
         return z3_like_catalog()

@@ -27,7 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.smtlib.ast import App, Const, Quantifier, Var
-from repro.smtlib.sorts import INT, REAL, STRING
+from repro.smtlib.bitvec import EXTRACT_PREFIX, BV_OPS
+from repro.smtlib.sorts import INT, REAL, STRING, is_bitvec
 
 # ---------------------------------------------------------------------------
 # Formula analysis
@@ -72,7 +73,7 @@ def analyze_script(script):
             elif isinstance(node, App):
                 ops.add(node.op)
                 _collect_patterns(node, patterns)
-                if node.op == "*" and sum(
+                if node.op in ("*", "bvmul") and sum(
                     0 if _is_constant(a) else 1 for a in node.args
                 ) >= 2:
                     nonlinear = True
@@ -145,6 +146,29 @@ def _collect_patterns(node, patterns):
     if op in ("<", "<=", ">", ">="):
         if any(isinstance(a, App) and a.op in ("/", "div") for a in node.args):
             patterns.add("compare-division")
+    # --- bit-vectors -------------------------------------------------------
+    if op == "bvmul" and sum(0 if _is_constant(a) else 1 for a in node.args) >= 2:
+        patterns.add("bv-product")
+    if op in ("bvshl", "bvlshr") and not _is_constant(node.args[-1]):
+        patterns.add("bv-shift-var")
+    if op in ("bvneg", "bvnot"):
+        patterns.add("bv-negation")
+    if op in ("bvand", "bvor", "bvxor"):
+        patterns.add("bv-bitwise")
+    if op in ("bvult", "bvule"):
+        patterns.add("bv-compare")
+    if op == "concat":
+        patterns.add("bv-concat")
+    if op.startswith(EXTRACT_PREFIX):
+        patterns.add("bv-extract")
+    if op == "=":
+        for a, b in ((node.args[0], node.args[-1]), (node.args[-1], node.args[0])):
+            if (
+                isinstance(a, Var)
+                and isinstance(b, App)
+                and b.op in ("bvadd", "bvsub", "bvxor")
+            ):
+                patterns.add("bv-fusion-constraint")
 
 
 def _infer_logic(sorts, ops, quantified, nonlinear):
@@ -154,6 +178,11 @@ def _infer_logic(sorts, ops, quantified, nonlinear):
     variables* (pure ``str.len`` facts keep it in QF_S, matching how
     the paper's benchmark suites are split).
     """
+    has_bv = any(is_bitvec(s) for s in sorts) or any(
+        op in BV_OPS or op.startswith(EXTRACT_PREFIX) for op in ops
+    )
+    if has_bv:
+        return "QF_BV"
     has_strings = STRING in sorts or any(op.startswith(("str.", "re.")) for op in ops)
     if has_strings:
         if INT in sorts:
@@ -189,6 +218,14 @@ ALL_PATTERNS = (
     "many-asserts",
     "string-int-mix",
     "cross-theory",
+    "bv-product",
+    "bv-shift-var",
+    "bv-negation",
+    "bv-bitwise",
+    "bv-compare",
+    "bv-concat",
+    "bv-extract",
+    "bv-fusion-constraint",
 )
 
 

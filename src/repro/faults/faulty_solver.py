@@ -183,9 +183,33 @@ def _rewrite_replace_var(term):
     return term
 
 
+def _rewrite_bv_negnot(term):
+    """Unsound: ``bvneg x`` is folded to ``bvnot x`` — the classic
+    two's-complement rewrite bug that forgets the ``+1``."""
+    if isinstance(term, App):
+        args = tuple(_rewrite_bv_negnot(a) for a in term.args)
+        term = mk_app(term.op, args, term.sort)
+        if term.op == "bvneg":
+            return mk("bvnot", term.args[0])
+    return term
+
+
+def _rewrite_bv_ult_ule(term):
+    """Unsound: ``bvult`` is weakened to ``bvule`` (strictness lost in
+    a comparator simplification)."""
+    if isinstance(term, App):
+        args = tuple(_rewrite_bv_ult_ule(a) for a in term.args)
+        term = mk_app(term.op, args, term.sort)
+        if term.op == "bvult":
+            return mk("bvule", term.args[0], term.args[1])
+    return term
+
+
 _REWRITES = {
     "demo-toint-empty": _rewrite_toint_empty,
     "demo-replace-var": _rewrite_replace_var,
+    "z3-bv-negnot": _rewrite_bv_negnot,
+    "cvc4-bv-ult-ule": _rewrite_bv_ult_ule,
 }
 
 

@@ -63,6 +63,10 @@ def _header_lines(journal):
         # Fusion journals omit the key (byte-stability); only other
         # strategies surface here.
         parts.append(f"strategy {meta['strategy']}")
+    if "logic" in meta:
+        # Logic-restricted campaigns (e.g. --logic QF_BV) stamp the
+        # logic; all-families campaigns omit it, like strategy above.
+        parts.append(f"logic {meta['logic']}")
     if "iterations_per_cell" in meta:
         parts.append(f"{meta['iterations_per_cell']} iterations/cell")
     if "workers" in meta:

@@ -1,0 +1,228 @@
+"""Bit-vector seed generation (QF_BV).
+
+Mirrors :mod:`repro.seeds.arith_gen`: satisfiable seeds are built *from
+a model* — random bit-vector terms are evaluated exactly under the
+model and a relation that holds is asserted, so the ``sat`` label is
+certain and the witnessing model ships with the seed.  Unsatisfiable
+seeds embed one of a library of modular-arithmetic contradiction
+templates (algebraic identities that the bit-blasted solver must
+refute) under satisfiable-looking noise.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.oracle import LabeledSeed
+from repro.errors import EvaluationError
+from repro.seeds.spec import LOGICS
+from repro.semantics.evaluator import evaluate
+from repro.semantics.model import Model
+from repro.smtlib import builder as b
+from repro.smtlib.ast import (
+    Assert,
+    CheckSat,
+    DeclareFun,
+    Script,
+    SetLogic,
+    free_vars,
+    mk_var,
+)
+from repro.smtlib.bitvec import GENERATOR_WIDTHS, bv_const
+from repro.smtlib.sorts import BOOL, bitvec_sort
+
+
+def _random_value(width, rng):
+    return rng.randint(0, (1 << width) - 1)
+
+
+def _random_term(variables, rng, width, depth=2):
+    """A random bit-vector term over ``variables`` (all of ``width``)."""
+    roll = rng.random()
+    if depth <= 0 or roll < 0.35:
+        if rng.random() < 0.7 and variables:
+            return rng.choice(variables)
+        return bv_const(_random_value(width, rng), width)
+    if roll < 0.45:
+        return b.bvnot(_random_term(variables, rng, width, depth - 1))
+    left = _random_term(variables, rng, width, depth - 1)
+    right = _random_term(variables, rng, width, depth - 1)
+    op = rng.choice(
+        [
+            b.bvadd,
+            b.bvadd,
+            b.bvsub,
+            b.bvand,
+            b.bvor,
+            b.bvxor,
+            b.bvmul,
+            b.bvshl,
+            b.bvlshr,
+            "slice",
+        ]
+    )
+    if op == "slice":
+        # Width-preserving concat/extract: the low ``width`` bits of
+        # (concat left right) are exactly ``right``, but the slicing
+        # structure exercises the blaster's width bookkeeping.
+        return b.bv_extract(width - 1, 0, b.bv_concat(left, right))
+    return op(left, right)
+
+
+def _true_atom(term, model, rng, width):
+    """An atom over ``term`` that holds under ``model``."""
+    value = evaluate(term, model)
+    top = (1 << width) - 1
+    roll = rng.random()
+    if roll < 0.35:
+        return b.eq(term, bv_const(value, width))
+    if roll < 0.55 and value < top:
+        bound = rng.randint(value + 1, top)
+        return b.bvult(term, bv_const(bound, width))
+    if roll < 0.75 and value > 0:
+        bound = rng.randint(0, value - 1)
+        return b.bvult(bv_const(bound, width), term)
+    return b.bvule(term, bv_const(rng.randint(value, top), width))
+
+
+def _structured_assert(atom, variables, model, rng, bool_pool):
+    """Wrap a true atom in boolean structure that stays true."""
+    roll = rng.random()
+    if roll < 0.5:
+        return [atom]
+    if roll < 0.65:
+        # Paper phi1 style: (= w atom) and assert w.
+        w = mk_var(f"w{len(bool_pool)}", BOOL)
+        bool_pool.append(w)
+        model[w.name] = True
+        return [b.eq(w, atom), w]
+    if roll < 0.8:
+        width = _width_of(variables[0])
+        other = _random_term(variables, rng, width)
+        noise = b.bvule(other, bv_const(_random_value(width, rng), width))
+        branches = [atom, noise]
+        rng.shuffle(branches)
+        return [b.or_(*branches)]
+    if roll < 0.9:
+        return [b.not_(b.not_(atom))]
+    # ite with the condition known under the model.
+    width = _width_of(variables[0])
+    cond_var = rng.choice(variables)
+    cond = b.bvule(cond_var, bv_const(model[cond_var.name], width))
+    return [b.ite(cond, atom, b.eq(cond_var, cond_var))]
+
+
+def _width_of(var):
+    from repro.smtlib.sorts import bitvec_width
+
+    return bitvec_width(var.sort)
+
+
+# ---------------------------------------------------------------------------
+# Contradiction templates (the UNSAT library)
+# ---------------------------------------------------------------------------
+
+
+def _contradiction(variables, rng, width):
+    """A list of assertions that cannot all hold (modulo 2^width)."""
+    x = rng.choice(variables)
+    y = rng.choice(variables)
+    kind = rng.choice(
+        ["ult-window", "neg-not", "or-below-and", "extract-concat", "diseq", "shift"]
+    )
+    if kind == "ult-window":
+        # Unsigned order is strict: x < y and y < x cannot both hold.
+        return [b.bvult(x, y), b.bvult(y, x)]
+    if kind == "neg-not":
+        # bvneg x = (bvnot x) + 1, so they are never equal.
+        return [b.eq(b.bvneg(x), b.bvnot(x))]
+    if kind == "or-below-and":
+        # Bitwise AND is a lower bound of OR: or < and is impossible.
+        return [b.bvult(b.bvor(x, y), b.bvand(x, y))]
+    if kind == "extract-concat":
+        # The low bits of (concat y x) are exactly x.
+        return [b.distinct(b.bv_extract(width - 1, 0, b.bv_concat(y, x)), x)]
+    if kind == "diseq":
+        return [b.distinct(x, x)]
+    # shift: (c1 + x) + c2 != (c1 + c2) + x, the paper's phi3 mod 2^w.
+    c1 = _random_value(width, rng)
+    c2 = _random_value(width, rng)
+    lhs = b.bvadd(b.bvadd(bv_const(c1, width), x), bv_const(c2, width))
+    rhs = b.bvadd(bv_const((c1 + c2) % (1 << width), width), x)
+    return [b.not_(b.eq(lhs, rhs))]
+
+
+def _noise_atom(variables, rng, width):
+    term = _random_term(variables, rng, width)
+    bound = bv_const(_random_value(width, rng), width)
+    op = rng.choice([b.bvult, b.bvule, b.eq])
+    if op is b.bvult and rng.random() < 0.5:
+        return op(bound, term)
+    return op(term, bound)
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def generate_bv_seed(logic_name, oracle, rng=None, num_vars=None):
+    """Generate one labeled QF_BV seed.
+
+    Returns a :class:`~repro.core.oracle.LabeledSeed`; sat seeds carry
+    their witnessing model.
+    """
+    spec = LOGICS[logic_name]
+    rng = rng or random.Random()
+    width = rng.choice(GENERATOR_WIDTHS)
+    sort = bitvec_sort(width)
+    n = num_vars or rng.randint(2, 4)
+    variables = [mk_var(f"b{i}", sort) for i in range(n)]
+
+    if oracle == "sat":
+        return _generate_sat(spec, variables, width, rng)
+    return _generate_unsat(spec, variables, width, rng)
+
+
+def _generate_sat(spec, variables, width, rng):
+    model = Model({v.name: _random_value(width, rng) for v in variables})
+    bool_pool = []
+    asserts = []
+    for _ in range(rng.randint(2, 5)):
+        term = _random_term(variables, rng, width)
+        try:
+            atom = _true_atom(term, model, rng, width)
+        except EvaluationError:  # pragma: no cover - defensive
+            continue
+        asserts.extend(_structured_assert(atom, variables, model, rng, bool_pool))
+    if not asserts:
+        asserts = [b.bvule(variables[0], bv_const((1 << width) - 1, width))]
+    complete = model.complete(variables)
+    for term in asserts:
+        if not evaluate(term, complete):  # pragma: no cover - generator invariant
+            raise AssertionError("generated sat seed is not satisfied by its model")
+    script = _finish(spec, variables + bool_pool, asserts)
+    return LabeledSeed(script, "sat", spec.name, complete, origin="bv-gen")
+
+
+def _generate_unsat(spec, variables, width, rng):
+    asserts = list(_contradiction(variables, rng, width))
+    for _ in range(rng.randint(0, 3)):
+        asserts.append(_noise_atom(variables, rng, width))
+    rng.shuffle(asserts)
+    extra_vars = sorted(
+        {v for t in asserts for v in free_vars(t)} - set(variables),
+        key=lambda v: v.name,
+    )
+    script = _finish(spec, variables + extra_vars, asserts)
+    return LabeledSeed(script, "unsat", spec.name, None, origin="bv-gen")
+
+
+def _finish(spec, variables, asserts):
+    commands = [SetLogic(spec.name)]
+    for var in variables:
+        commands.append(DeclareFun(var.name, (), var.sort))
+    for term in asserts:
+        commands.append(Assert(term))
+    commands.append(CheckSat())
+    return Script(commands)

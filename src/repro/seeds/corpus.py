@@ -13,7 +13,8 @@ import random
 
 from repro.core.oracle import SeedCorpus
 from repro.seeds.arith_gen import generate_arith_seed
-from repro.seeds.spec import PAPER_SEED_COUNTS
+from repro.seeds.bv_gen import generate_bv_seed
+from repro.seeds.spec import EXTRA_SEED_COUNTS, PAPER_SEED_COUNTS
 from repro.seeds.string_gen import generate_string_seed
 from repro.seeds.stringfuzz_gen import generate_stringfuzz_seed
 
@@ -26,9 +27,12 @@ def _scaled(count, scale, keep_zero):
 
 def build_corpus(family, scale=0.01, seed=0):
     """Build one family's corpus (a Figure 7 row), labels included."""
-    if family not in PAPER_SEED_COUNTS:
+    if family in PAPER_SEED_COUNTS:
+        unsat_count, sat_count = PAPER_SEED_COUNTS[family]
+    elif family in EXTRA_SEED_COUNTS:
+        unsat_count, sat_count = EXTRA_SEED_COUNTS[family]
+    else:
         raise KeyError(f"unknown benchmark family {family!r}")
-    unsat_count, sat_count = PAPER_SEED_COUNTS[family]
     # Seeding with a string hashes it with SHA-512 (stable), unlike
     # hash(family) which is randomized per process: the same (family,
     # seed) must yield the same corpus in every process, or journal
@@ -46,6 +50,8 @@ def _generate(family, oracle, rng):
         return generate_stringfuzz_seed(oracle, rng)
     if family in ("QF_S", "QF_SLIA"):
         return generate_string_seed(family, oracle, rng)
+    if family == "QF_BV":
+        return generate_bv_seed(family, oracle, rng)
     return generate_arith_seed(family, oracle, rng)
 
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.smtlib.sorts import INT, REAL, STRING
+from repro.smtlib.sorts import INT, REAL, STRING, bitvec_sort
 
 
 @dataclass(frozen=True)
@@ -16,9 +16,12 @@ class LogicSpec:
     quantified: bool
     nonlinear: bool
     strings: bool = False
+    bitvec: bool = False
 
     @property
     def family(self):
+        if self.bitvec:
+            return "bitvector"
         if self.strings:
             return "string"
         return "arithmetic"
@@ -36,6 +39,9 @@ LOGICS = {
     "QF_S": LogicSpec("QF_S", STRING, quantified=False, nonlinear=False, strings=True),
     "QF_SLIA": LogicSpec(
         "QF_SLIA", STRING, quantified=False, nonlinear=False, strings=True
+    ),
+    "QF_BV": LogicSpec(
+        "QF_BV", bitvec_sort(8), quantified=False, nonlinear=False, bitvec=True
     ),
 }
 
@@ -56,3 +62,12 @@ PAPER_SEED_COUNTS = {
 PAPER_TOTAL_SEEDS = 75097
 PAPER_TOTAL_SAT = 46760
 PAPER_TOTAL_UNSAT = 28337
+
+# Benchmark families beyond the paper's Figure 7 (#UNSAT, #SAT).
+# Kept in a separate table: ``PAPER_SEED_COUNTS`` drives
+# ``build_all_corpora`` and the golden-journal regression oracle, so its
+# keys and counts are frozen.  ``QF_BV`` campaigns opt in explicitly
+# (``build_corpus("QF_BV")`` / ``yinyang campaign --logic QF_BV``).
+EXTRA_SEED_COUNTS = {
+    "QF_BV": (160, 240),
+}

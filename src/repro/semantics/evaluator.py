@@ -20,6 +20,7 @@ from repro.coverage.probes import declare_probes, line_probe
 from repro.errors import EvaluationError
 from repro.semantics import regex as rx
 from repro.semantics.values import euclidean_div, euclidean_mod
+from repro.smtlib import theory as _theory
 from repro.smtlib.ast import App, Const, Quantifier, Var, free_names
 from repro.smtlib.sorts import BOOL, INT, REAL, STRING
 
@@ -53,8 +54,9 @@ def evaluate_script(script, model):
 
 _UNSET = object()
 
-# Operators whose arguments must not be evaluated eagerly.
-_LAZY_OPS = frozenset(("and", "or", "ite", "=>", "str.in.re"))
+# Operators whose arguments must not be evaluated eagerly, as declared
+# by the registered theories (core's connectives, strings' str.in.re).
+_LAZY_OPS = _theory.lazy_ops()
 
 
 def _memoizable(node, bound):
@@ -370,6 +372,11 @@ def _apply_op(op, args, term, model):
     if op == "str.from.int":
         n = args[0]
         return str(n) if n >= 0 else ""
+
+    # --- registered theories (bitvectors) ---------------------------------
+    hook = _theory.evaluator_for(op)
+    if hook is not None:
+        return hook(op, args, term, model)
 
     raise EvaluationError(f"cannot evaluate operator {op!r}")
 

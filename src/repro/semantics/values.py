@@ -10,7 +10,7 @@ from __future__ import annotations
 from fractions import Fraction
 
 from repro.smtlib.ast import mk_const
-from repro.smtlib.sorts import BOOL, INT, REAL, STRING
+from repro.smtlib.sorts import BOOL, INT, REAL, STRING, bitvec_width, is_bitvec
 
 
 def default_value(sort):
@@ -23,6 +23,8 @@ def default_value(sort):
         return Fraction(0)
     if sort == STRING:
         return ""
+    if is_bitvec(sort):
+        return 0
     raise ValueError(f"no default value for sort {sort}")
 
 
@@ -58,6 +60,11 @@ def check_value(value, sort):
             return Fraction(value)
     elif sort == STRING:
         if isinstance(value, str):
+            return value
+    elif is_bitvec(sort):
+        if isinstance(value, bool):
+            raise TypeError("bool is not a bitvector value")
+        if isinstance(value, int) and 0 <= value < (1 << bitvec_width(sort)):
             return value
     raise TypeError(f"value {value!r} does not belong to sort {sort}")
 

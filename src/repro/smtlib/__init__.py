@@ -30,6 +30,11 @@ from repro.smtlib.ast import (
 from repro.smtlib.parser import parse_script, parse_term
 from repro.smtlib.printer import print_script, print_term
 
+# Importing the package completes the theory registry: typecheck (via
+# parser above) registers core/arithmetic/strings, and this import adds
+# bitvectors, so every consumer of repro.smtlib sees all theories.
+from repro.smtlib import bitvec as _bitvec  # noqa: F401  (registration)
+
 __all__ = [
     "BOOL",
     "INT",

@@ -1,0 +1,263 @@
+"""The fixed-width bitvector theory (QF_BV), registered as a plug-in.
+
+This module is the reference client of the theory registry: everything
+QF_BV contributes to the stack — sorts, operator signatures and
+mutation classes, ``#b``/``#x`` literal syntax, constant printing,
+evaluation semantics, fusion metadata, triage difficulty features, and
+the bit-blasting solver backend name — is declared here and flows to
+the rest of the system through :mod:`repro.smtlib.theory`. No other
+module mentions a bitvector operator by name.
+
+Values are plain non-negative ints in ``[0, 2**width)``; the width
+lives in the sort (``(_ BitVec 8)``), which term interning and printing
+already key on. Semantics follow SMT-LIB: modular arithmetic, unsigned
+comparisons, shifts that saturate to zero at or beyond the width.
+
+The binary operators are registered with *shared handlers*, which is
+how the registry declares OpFuzz type-equivalence classes:
+``{bvadd, bvsub, bvmul}``, ``{bvand, bvor, bvxor}``, ``{bvnot, bvneg}``,
+``{bvshl, bvlshr}`` and ``{bvult, bvule}`` are mutation partners.
+
+``extract`` is an *indexed* operator: the application carries the full
+SMT-LIB spelling ``(_ extract i j)`` as its op string, so the default
+application printer emits ``((_ extract i j) x)`` verbatim and the
+parser rebuilds the identical interned node.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import SortError
+from repro.smtlib import theory as _theory
+from repro.smtlib.ast import mk_app, mk_const
+from repro.smtlib.sorts import BOOL, bitvec_sort, bitvec_width, is_bitvec
+
+# The widths the seed generator and fusion schemes work over. Kept
+# deliberately small: 8-bit terms exercise every carry chain while
+# staying cheap to bit-blast; the 4-bit sort exists so concat/extract
+# seeds can cross widths.
+GENERATOR_WIDTHS = (8, 4)
+
+_EXTRACT_RE = re.compile(r"^\(_ extract (\d+) (\d+)\)$")
+EXTRACT_PREFIX = "(_ extract "
+
+
+def bv_const(value, width):
+    """The interned constant ``value mod 2**width`` of ``(_ BitVec width)``."""
+    return mk_const(value & ((1 << width) - 1), bitvec_sort(width))
+
+
+def extract_op(high, low):
+    """The indexed-operator spelling ``(_ extract high low)``."""
+    return f"(_ extract {high} {low})"
+
+
+def parse_extract_indices(op):
+    """``(high, low)`` of an extract spelling, or ``None``."""
+    match = _EXTRACT_RE.match(op)
+    if match is None:
+        return None
+    return int(match.group(1)), int(match.group(2))
+
+
+# -- typecheck handlers ----------------------------------------------------
+#
+# These mirror the style of the handlers in ``typecheck`` (arity check,
+# sort check, ``mk_app``); the helpers are imported lazily to avoid a
+# circular import at package-init time (typecheck registers the base
+# theories before this module loads).
+
+
+def _fail(op, args, why):
+    rendered = ", ".join(str(a.sort) for a in args)
+    raise SortError(f"ill-sorted ({op} ...): argument sorts [{rendered}]: {why}")
+
+
+def _bv_sort(op, args):
+    sort = args[0].sort
+    if not is_bitvec(sort):
+        _fail(op, args, "expected bitvector arguments")
+    for a in args:
+        if a.sort is not sort and a.sort != sort:
+            _fail(op, args, "expected bitvector arguments of equal width")
+    return sort
+
+
+def _expect_arity(op, args, n):
+    if len(args) != n:
+        _fail(op, args, f"expected {n} argument(s), got {len(args)}")
+
+
+def _h_bv_arith(op, args):
+    _expect_arity(op, args, 2)
+    return mk_app(op, args, _bv_sort(op, args))
+
+
+def _h_bv_bitwise(op, args):
+    _expect_arity(op, args, 2)
+    return mk_app(op, args, _bv_sort(op, args))
+
+
+def _h_bv_unary(op, args):
+    _expect_arity(op, args, 1)
+    return mk_app(op, args, _bv_sort(op, args))
+
+
+def _h_bv_shift(op, args):
+    _expect_arity(op, args, 2)
+    return mk_app(op, args, _bv_sort(op, args))
+
+
+def _h_bv_compare(op, args):
+    _expect_arity(op, args, 2)
+    _bv_sort(op, args)
+    return mk_app(op, args, BOOL)
+
+
+def _h_bv_concat(op, args):
+    _expect_arity(op, args, 2)
+    for a in args:
+        if not is_bitvec(a.sort):
+            _fail(op, args, "expected bitvector arguments")
+    width = bitvec_width(args[0].sort) + bitvec_width(args[1].sort)
+    return mk_app(op, args, bitvec_sort(width))
+
+
+def _h_bv_extract(op, args):
+    indices = parse_extract_indices(op)
+    if indices is None:
+        raise SortError(f"malformed extract operator: {op!r}")
+    high, low = indices
+    _expect_arity(op, args, 1)
+    if not is_bitvec(args[0].sort):
+        _fail(op, args, "expected a bitvector argument")
+    width = bitvec_width(args[0].sort)
+    if not 0 <= low <= high < width:
+        _fail(op, args, f"extract [{high}:{low}] out of range for width {width}")
+    return mk_app(op, args, bitvec_sort(high - low + 1))
+
+
+# -- literal syntax --------------------------------------------------------
+
+
+def parse_bv_literal(text):
+    """Decode a ``#b``/``#x`` literal token to a Const, or ``None``."""
+    if text.startswith("#b"):
+        bits = text[2:]
+        if bits and all(c in "01" for c in bits):
+            return mk_const(int(bits, 2), bitvec_sort(len(bits)))
+        return None
+    if text.startswith("#x"):
+        digits = text[2:]
+        if digits and all(c in "0123456789abcdefABCDEF" for c in digits):
+            return mk_const(int(digits, 16), bitvec_sort(4 * len(digits)))
+    return None
+
+
+def print_bv_const(value, sort):
+    """The canonical ``#b`` spelling, zero-padded to the sort's width.
+
+    Printing always chooses binary (even for ``#x`` inputs) so that
+    print -> parse -> print is a fixed point on the first print.
+    """
+    return f"#b{value:0{bitvec_width(sort)}b}"
+
+
+# -- evaluation semantics --------------------------------------------------
+
+
+def _mask(width):
+    return (1 << width) - 1
+
+
+def _eval_bv(op, args, term, model):
+    if op == "bvadd":
+        return (args[0] + args[1]) & _mask(bitvec_width(term.sort))
+    if op == "bvsub":
+        return (args[0] - args[1]) & _mask(bitvec_width(term.sort))
+    if op == "bvmul":
+        return (args[0] * args[1]) & _mask(bitvec_width(term.sort))
+    if op == "bvand":
+        return args[0] & args[1]
+    if op == "bvor":
+        return args[0] | args[1]
+    if op == "bvxor":
+        return args[0] ^ args[1]
+    if op == "bvnot":
+        return args[0] ^ _mask(bitvec_width(term.sort))
+    if op == "bvneg":
+        return (-args[0]) & _mask(bitvec_width(term.sort))
+    if op == "bvshl":
+        width = bitvec_width(term.sort)
+        return (args[0] << args[1]) & _mask(width) if args[1] < width else 0
+    if op == "bvlshr":
+        width = bitvec_width(term.sort)
+        return args[0] >> args[1] if args[1] < width else 0
+    if op == "bvult":
+        return args[0] < args[1]
+    if op == "bvule":
+        return args[0] <= args[1]
+    if op == "concat":
+        low_width = bitvec_width(term.args[1].sort)
+        return (args[0] << low_width) | args[1]
+    indices = parse_extract_indices(op)
+    if indices is not None:
+        high, low = indices
+        return (args[0] >> low) & _mask(high - low + 1)
+    raise AssertionError(f"bitvector evaluator missed operator {op!r}")
+
+
+BV_OPS = frozenset((
+    "bvadd", "bvsub", "bvmul",
+    "bvand", "bvor", "bvxor",
+    "bvnot", "bvneg",
+    "bvshl", "bvlshr",
+    "bvult", "bvule",
+    "concat",
+))
+
+
+def is_bv_op(op):
+    """True for a bitvector operator, including extract spellings."""
+    return op in BV_OPS or op.startswith(EXTRACT_PREFIX)
+
+
+# -- registration ----------------------------------------------------------
+
+THEORY = _theory.register_theory(_theory.Theory(
+    name="bitvectors",
+    sorts=tuple(bitvec_sort(w) for w in GENERATOR_WIDTHS),
+    handlers={
+        "bvadd": _h_bv_arith,
+        "bvsub": _h_bv_arith,
+        "bvmul": _h_bv_arith,
+        "bvand": _h_bv_bitwise,
+        "bvor": _h_bv_bitwise,
+        "bvxor": _h_bv_bitwise,
+        "bvnot": _h_bv_unary,
+        "bvneg": _h_bv_unary,
+        "bvshl": _h_bv_shift,
+        "bvlshr": _h_bv_shift,
+        "bvult": _h_bv_compare,
+        "bvule": _h_bv_compare,
+        "concat": _h_bv_concat,
+    },
+    hard_mul_ops=("bvmul",),
+    hard_div_ops=("bvshl", "bvlshr"),
+    fusible_sorts=tuple(bitvec_sort(w) for w in GENERATOR_WIDTHS),
+    fusion_schemes=tuple(
+        f"bv{w}-{kind}"
+        for w in GENERATOR_WIDTHS
+        for kind in ("addition", "addition-constant", "xor")
+    ),
+    logics=("QF_BV",),
+    seed_families=("QF_BV",),
+    solver_backend="bitblast",
+))
+
+_theory.register_indexed_sort("BitVec", bitvec_sort)
+_theory.register_indexed_op(EXTRACT_PREFIX, _h_bv_extract)
+_theory.register_literal_hook(parse_bv_literal)
+_theory.register_const_printer(is_bitvec, print_bv_const)
+_theory.register_eval_hook(is_bv_op, _eval_bv)

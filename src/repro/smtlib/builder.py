@@ -264,6 +264,80 @@ def re_range(lo, hi):
     return _lifted("re.range", lo, hi)
 
 
+# Bit-vectors ---------------------------------------------------------------
+
+
+def bv_var(name, width):
+    from repro.smtlib.sorts import bitvec_sort
+
+    return mk_var(name, bitvec_sort(width))
+
+
+def bv(value, width):
+    from repro.smtlib.bitvec import bv_const
+
+    return bv_const(value, width)
+
+
+def bvadd(a, b):
+    return _lifted("bvadd", a, b)
+
+
+def bvsub(a, b):
+    return _lifted("bvsub", a, b)
+
+
+def bvmul(a, b):
+    return _lifted("bvmul", a, b)
+
+
+def bvand(a, b):
+    return _lifted("bvand", a, b)
+
+
+def bvor(a, b):
+    return _lifted("bvor", a, b)
+
+
+def bvxor(a, b):
+    return _lifted("bvxor", a, b)
+
+
+def bvnot(a):
+    return _lifted("bvnot", a)
+
+
+def bvneg(a):
+    return _lifted("bvneg", a)
+
+
+def bvshl(a, b):
+    return _lifted("bvshl", a, b)
+
+
+def bvlshr(a, b):
+    return _lifted("bvlshr", a, b)
+
+
+def bvult(a, b):
+    return _lifted("bvult", a, b)
+
+
+def bvule(a, b):
+    return _lifted("bvule", a, b)
+
+
+def bv_concat(a, b):
+    return _lifted("concat", a, b)
+
+
+def bv_extract(high, low, a):
+    from repro.smtlib.bitvec import extract_op
+    from repro.smtlib.typecheck import app
+
+    return app(extract_op(high, low), a if isinstance(a, Term) else lift(a))
+
+
 # Quantifiers ---------------------------------------------------------------
 
 

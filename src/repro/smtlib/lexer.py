@@ -87,6 +87,17 @@ def tokenize(text):
             else:
                 tokens.append(Token(NUMERAL, text[i:j], line, col))
             i = j
+        elif ch == "#":
+            # Bitvector literals (#b0101, #xAF) are symbol-shaped tokens;
+            # the parser decodes them via the theory registry's literal
+            # hooks.
+            j = i + 1
+            while j < n and _is_symbol_char(text[j]):
+                j += 1
+            if j == i + 1:
+                raise ParseError("dangling '#'", line, col)
+            tokens.append(Token(SYMBOL, text[i:j], line, col))
+            i = j
         elif _is_symbol_char(ch):
             j = i
             while j < n and _is_symbol_char(text[j]):

@@ -30,6 +30,7 @@ from repro.smtlib.ast import (
     mk_var,
     substitute,
 )
+from repro.smtlib import theory as _theory
 from repro.smtlib.sorts import BOOL, INT, REAL, STRING, sort_by_name
 from repro.smtlib.typecheck import app, is_known_op
 
@@ -102,11 +103,47 @@ class _Env:
 def _parse_sort(sexpr):
     name = _atom_text(sexpr)
     if name is None:
-        raise ParseError("expected a sort", *_loc(sexpr))
+        return _parse_indexed_sort(sexpr)
     try:
         return sort_by_name(name)
     except KeyError as exc:
         raise ParseError(str(exc), sexpr.line, sexpr.column) from exc
+
+
+def _parse_indexed_sort(sexpr):
+    """Parse an indexed sort family application like ``(_ BitVec 8)``."""
+    if (
+        isinstance(sexpr, list)
+        and len(sexpr) >= 3
+        and _atom_text(sexpr[0]) == "_"
+    ):
+        head = _atom_text(sexpr[1])
+        if head is not None and _theory.is_indexed_sort_head(head):
+            indices = []
+            for part in sexpr[2:]:
+                text = _atom_text(part)
+                if text is None or not text.isdigit():
+                    raise ParseError(
+                        "indexed sort indices must be numerals", *_loc(sexpr)
+                    )
+                indices.append(int(text))
+            try:
+                return _theory.indexed_sort(head, indices)
+            except (KeyError, ValueError) as exc:
+                raise ParseError(str(exc), *_loc(sexpr)) from exc
+    raise ParseError("expected a sort", *_loc(sexpr))
+
+
+def _indexed_op_text(head):
+    """The op spelling of an indexed-operator head like ``(_ extract 3 0)``,
+    or ``None`` if the s-expression is not one."""
+    if not (isinstance(head, list) and len(head) >= 2 and _atom_text(head[0]) == "_"):
+        return None
+    parts = [_atom_text(part) for part in head]
+    if any(part is None for part in parts):
+        return None
+    op = f"({' '.join(parts)})"
+    return op if is_known_op(op) else None
 
 
 def _parse_term(sexpr, env):
@@ -117,7 +154,14 @@ def _parse_term(sexpr, env):
     head = sexpr[0]
     head_text = _atom_text(head)
     if head_text is None:
-        raise ParseError("application head must be a symbol", *_loc(sexpr))
+        op = _indexed_op_text(head)
+        if op is None:
+            raise ParseError("application head must be a symbol", *_loc(sexpr))
+        args = [_parse_term(e, env) for e in sexpr[1:]]
+        try:
+            return app(op, *args)
+        except Exception as exc:
+            raise ParseError(str(exc), *_loc(sexpr)) from exc
     if head_text == "let":
         return _parse_let(sexpr, env)
     if head_text in ("forall", "exists"):
@@ -159,6 +203,10 @@ def _parse_atom(tok, env):
             return _expand_macro(env.macros[text], [], tok)
         if text in _NULLARY_REGEX:
             return app("re.none" if text == "re.nostr" else text)
+        const = _theory.parse_literal(text)
+        if const is not None:
+            # Theory-specific literal spellings (bitvector #b/#x).
+            return const
         raise ParseError(f"undeclared symbol {text!r}", tok.line, tok.column)
     raise ParseError(f"unexpected token {tok.text!r}", tok.line, tok.column)
 

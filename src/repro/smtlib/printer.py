@@ -19,6 +19,7 @@ from repro.smtlib.ast import (
     SetOption,
     Var,
 )
+from repro.smtlib import theory as _theory
 from repro.smtlib.sorts import BOOL, INT, REAL, STRING
 
 
@@ -64,6 +65,10 @@ def _print_const(term):
         return _print_real(Fraction(term.value))
     if term.sort == STRING:
         return _print_string(term.value)
+    printer = _theory.const_printer_for(term.sort)
+    if printer is not None:
+        # Registered-theory literal spellings (bitvector #b constants).
+        return printer(term.value, term.sort)
     raise TypeError(f"cannot print constant of sort {term.sort}")
 
 

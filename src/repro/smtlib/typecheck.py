@@ -22,38 +22,16 @@ from __future__ import annotations
 from fractions import Fraction
 
 from repro.errors import SortError
+from repro.smtlib import theory as _theory
 from repro.smtlib.ast import Const, Term, mk_app, mk_const
 from repro.smtlib.sorts import BOOL, INT, REAL, REGLAN, STRING
 
-# Canonical operator spellings follow the paper's figures (SMT-LIB 2.5
-# style for strings, e.g. ``str.to.int``); 2.6 spellings are accepted
-# as aliases and normalized on construction.
-OP_ALIASES = {
-    "str.to_int": "str.to.int",
-    "str.from_int": "str.from.int",
-    "int.to.str": "str.from.int",
-    "str.in_re": "str.in.re",
-    "str.to_re": "str.to.re",
-    "str.substring": "str.substr",
-    "=>": "=>",
-}
-
-CORE_OPS = {"not", "and", "or", "xor", "=>", "=", "distinct", "ite"}
-ARITH_OPS = {
-    "+", "-", "*", "/", "div", "mod", "abs",
-    "<", "<=", ">", ">=", "to_real", "to_int", "is_int",
-}
-STRING_OPS = {
-    "str.++", "str.len", "str.at", "str.substr", "str.indexof",
-    "str.replace", "str.prefixof", "str.suffixof", "str.contains",
-    "str.to.int", "str.from.int", "str.in.re", "str.to.re",
-}
-REGEX_OPS = {
-    "re.none", "re.all", "re.allchar", "re.++", "re.union", "re.inter",
-    "re.*", "re.+", "re.opt", "re.range", "re.comp",
-}
-
-ALL_OPS = CORE_OPS | ARITH_OPS | STRING_OPS | REGEX_OPS
+# The merged operator universe and alias map are *live* registry views:
+# they are populated by the theory registrations at the bottom of this
+# module (core, arithmetic, strings) and grow when further theories
+# register (e.g. :mod:`repro.smtlib.bitvec` at package import).
+OP_ALIASES = _theory.alias_table()
+ALL_OPS = _theory.all_ops()
 
 
 def canonical_op(op):
@@ -63,7 +41,7 @@ def canonical_op(op):
 
 def is_known_op(op):
     """True if ``op`` (possibly an alias) is a supported operator."""
-    return canonical_op(op) in ALL_OPS
+    return canonical_op(op) in ALL_OPS or _theory.is_indexed_op(op)
 
 
 def _fail(op, args, why):
@@ -340,56 +318,124 @@ def _h_re_range(op, args):
     return mk_app(op, args, REGLAN)
 
 
-_HANDLERS = {
-    "not": _h_not,
-    "and": _h_bool_nary,
-    "or": _h_bool_nary,
-    "xor": _h_bool_nary,
-    "=>": _h_bool_nary,
-    "=": _h_eq,
-    "distinct": _h_eq,
-    "ite": _h_ite,
-    "+": _h_add_mul,
-    "*": _h_add_mul,
-    "-": _h_sub,
-    "/": _h_real_div,
-    "div": _h_div_mod,
-    "mod": _h_div_mod,
-    "abs": _h_abs,
-    "<": _h_compare,
-    "<=": _h_compare,
-    ">": _h_compare,
-    ">=": _h_compare,
-    "to_real": _h_to_real,
-    "to_int": _h_to_int,
-    "is_int": _h_is_int,
-    "str.++": _h_str_concat,
-    "str.len": _h_str_len,
-    "str.at": _h_str_at,
-    "str.substr": _h_str_substr,
-    "str.indexof": _h_str_indexof,
-    "str.replace": _h_str_replace,
-    "str.prefixof": _h_str_pred,
-    "str.suffixof": _h_str_pred,
-    "str.contains": _h_str_pred,
-    "str.to.int": _h_str_to_int,
-    "str.from.int": _h_str_from_int,
-    "str.in.re": _h_str_in_re,
-    "str.to.re": _h_str_to_re,
-    "re.none": _h_re_nullary,
-    "re.all": _h_re_nullary,
-    "re.allchar": _h_re_nullary,
-    "re.++": _h_re_nary,
-    "re.union": _h_re_nary,
-    "re.inter": _h_re_nary,
-    "re.*": _h_re_unary,
-    "re.+": _h_re_unary,
-    "re.opt": _h_re_unary,
-    "re.comp": _h_re_unary,
-    "re.range": _h_re_range,
-}
+# -- theory registrations --------------------------------------------------
+#
+# Canonical operator spellings follow the paper's figures (SMT-LIB 2.5
+# style for strings, e.g. ``str.to.int``); 2.6 spellings are accepted
+# as aliases and normalized on construction. Sharing a handler object
+# between two operators declares them type-equivalent (see below), so
+# each theory's handler table doubles as its mutation-class definition.
 
-assert set(_HANDLERS) == ALL_OPS
+_CORE = _theory.register_theory(_theory.Theory(
+    name="core",
+    sorts=(BOOL,),
+    handlers={
+        "not": _h_not,
+        "and": _h_bool_nary,
+        "or": _h_bool_nary,
+        "xor": _h_bool_nary,
+        "=>": _h_bool_nary,
+        "=": _h_eq,
+        "distinct": _h_eq,
+        "ite": _h_ite,
+    },
+    aliases={"=>": "=>"},
+    lazy_ops=("and", "or", "ite", "=>"),
+    connectives=("not", "and", "or", "xor", "=>", "ite", "=", "distinct"),
+))
+
+_ARITHMETIC = _theory.register_theory(_theory.Theory(
+    name="arithmetic",
+    sorts=(INT, REAL),
+    handlers={
+        "+": _h_add_mul,
+        "*": _h_add_mul,
+        "-": _h_sub,
+        "/": _h_real_div,
+        "div": _h_div_mod,
+        "mod": _h_div_mod,
+        "abs": _h_abs,
+        "<": _h_compare,
+        "<=": _h_compare,
+        ">": _h_compare,
+        ">=": _h_compare,
+        "to_real": _h_to_real,
+        "to_int": _h_to_int,
+        "is_int": _h_is_int,
+    },
+    hard_mul_ops=("*",),
+    hard_div_ops=("/", "div", "mod"),
+    fusible_sorts=(INT, REAL),
+    fusion_schemes=(
+        "int-addition", "int-addition-constant",
+        "int-multiplication", "int-affine",
+        "real-addition", "real-addition-constant",
+        "real-multiplication", "real-affine",
+    ),
+    logics=(
+        "LIA", "LRA", "NIA", "NRA",
+        "QF_LIA", "QF_LRA", "QF_NIA", "QF_NRA",
+    ),
+    seed_families=("QF_LIA", "QF_LRA", "QF_NIA", "QF_NRA", "LIA", "NIA", "NRA"),
+    solver_backend="nonlinear",
+))
+
+_STRINGS = _theory.register_theory(_theory.Theory(
+    name="strings",
+    sorts=(STRING, REGLAN),
+    handlers={
+        "str.++": _h_str_concat,
+        "str.len": _h_str_len,
+        "str.at": _h_str_at,
+        "str.substr": _h_str_substr,
+        "str.indexof": _h_str_indexof,
+        "str.replace": _h_str_replace,
+        "str.prefixof": _h_str_pred,
+        "str.suffixof": _h_str_pred,
+        "str.contains": _h_str_pred,
+        "str.to.int": _h_str_to_int,
+        "str.from.int": _h_str_from_int,
+        "str.in.re": _h_str_in_re,
+        "str.to.re": _h_str_to_re,
+        "re.none": _h_re_nullary,
+        "re.all": _h_re_nullary,
+        "re.allchar": _h_re_nullary,
+        "re.++": _h_re_nary,
+        "re.union": _h_re_nary,
+        "re.inter": _h_re_nary,
+        "re.*": _h_re_unary,
+        "re.+": _h_re_unary,
+        "re.opt": _h_re_unary,
+        "re.comp": _h_re_unary,
+        "re.range": _h_re_range,
+    },
+    aliases={
+        "str.to_int": "str.to.int",
+        "str.from_int": "str.from.int",
+        "int.to.str": "str.from.int",
+        "str.in_re": "str.in.re",
+        "str.to_re": "str.to.re",
+        "str.substring": "str.substr",
+    },
+    lazy_ops=("str.in.re",),
+    fusible_sorts=(STRING,),
+    fusion_schemes=(
+        "string-concat-substr", "string-concat-replace", "string-concat-infix",
+    ),
+    logics=("QF_S", "QF_SLIA"),
+    seed_families=("QF_S", "QF_SLIA"),
+    solver_backend="strings",
+))
+
+# Historical per-theory op sets, now derived from the registrations.
+CORE_OPS = set(_CORE.handlers)
+ARITH_OPS = set(_ARITHMETIC.handlers)
+STRING_OPS = {op for op in _STRINGS.handlers if op.startswith("str.")}
+REGEX_OPS = {op for op in _STRINGS.handlers if op.startswith("re.")}
+
+# The live merged dispatch table (the registry mutates it in place when
+# later theories — bitvectors — register their handlers).
+_HANDLERS = _theory.handler_table()
 
 
 # -- type-equivalence classes (OpFuzz-style operator mutation) -------------
@@ -421,7 +467,18 @@ def _equivalence_by_op():
     }
 
 
-_EQUIV_BY_OP = _equivalence_by_op()
+# The class map is cached against the registry version: theories that
+# register after this module's import (bitvectors) extend the dispatch
+# table, and their operators must join the right class on first use.
+_EQUIV_CACHE = (-1, {})
+
+
+def _equiv_map():
+    global _EQUIV_CACHE
+    version = _theory.registry_version()
+    if _EQUIV_CACHE[0] != version:
+        _EQUIV_CACHE = (version, _equivalence_by_op())
+    return _EQUIV_CACHE[1]
 
 
 def operator_equivalence_classes():
@@ -430,7 +487,7 @@ def operator_equivalence_classes():
     Returns a sorted tuple of sorted operator tuples, one per class
     with at least two members (singletons have no mutation partners).
     """
-    return tuple(sorted({ops for ops in _EQUIV_BY_OP.values()}))
+    return tuple(sorted({ops for ops in _equiv_map().values()}))
 
 
 def mutation_alternatives(op, arity):
@@ -441,7 +498,7 @@ def mutation_alternatives(op, arity):
     operator is unknown, alone in its class, or no classmate admits the
     arity — i.e. exactly when this occurrence cannot be mutated.
     """
-    ops = _EQUIV_BY_OP.get(canonical_op(op))
+    ops = _equiv_map().get(canonical_op(op))
     if not ops:
         return ()
     return tuple(
@@ -458,6 +515,10 @@ def app(op, *args):
     if handler is None:
         op = OP_ALIASES.get(op, op)
         handler = _HANDLERS.get(op)
+        if handler is None:
+            # Indexed operator spellings ("(_ extract 3 0)") carry their
+            # indices in the op string; the owning theory parses them.
+            handler = _theory.indexed_handler_for(op)
         if handler is None:
             raise SortError(f"unknown operator: {op!r}")
     try:

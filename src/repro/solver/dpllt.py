@@ -28,8 +28,8 @@ from repro.semantics.evaluator import evaluate
 from repro.semantics.model import Model
 from repro.semantics.values import default_value
 from repro.smtlib.ast import Const, Var, free_vars, mk_const
-from repro.smtlib.sorts import BOOL, INT, REAL, STRING
-from repro.solver import nonlinear, strings, tseitin
+from repro.smtlib.sorts import BOOL, INT, REAL, STRING, is_bitvec
+from repro.solver import bitblast, nonlinear, strings, tseitin
 from repro.solver.preprocess import instantiate_for_refutation, preprocess
 from repro.solver.result import CheckOutcome, SolverResult
 from repro.solver.sat import SatSolver
@@ -419,6 +419,10 @@ def _check_theory(theory_literals, string_config, seed, nonlinear_budget=900, de
             theory_literals, string_config, seed, deadline
         )
         return status, model, BUDGET_UNKNOWN if status == UNKNOWN else ""
+    if branch_probe("dpllt.uses_bv", bitblast.involves_bv(atoms)):
+        return bitblast.check_bv(
+            theory_literals, nonlinear_budget=nonlinear_budget, deadline=deadline
+        )
 
     poly_atoms = []
     int_vars = set()
@@ -486,6 +490,8 @@ def _one_value(sort):
         return Fraction(1)
     if sort == BOOL:
         return True
+    if is_bitvec(sort):
+        return 1
     return "a"
 
 

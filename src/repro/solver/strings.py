@@ -43,6 +43,7 @@ from repro.errors import EvaluationError, ReproError
 from repro.semantics import regex as rx
 from repro.semantics.evaluator import evaluate
 from repro.semantics.model import Model
+from repro.smtlib import theory as _theory
 from repro.smtlib.ast import App, Const, Var, free_vars, mk_app, mk_const, mk_var
 from repro.smtlib.sorts import INT, REAL, STRING
 from repro.solver import nonlinear
@@ -52,11 +53,12 @@ SAT = "sat"
 UNSAT = "unsat"
 UNKNOWN = "unknown"
 
-_STRING_OPS = {
-    "str.++", "str.len", "str.at", "str.substr", "str.indexof",
-    "str.replace", "str.prefixof", "str.suffixof", "str.contains",
-    "str.to.int", "str.from.int", "str.in.re", "str.to.re",
-}
+# The string theory's operator set, from the registry (str.* only:
+# regex combinators are REGLAN-sorted, so the sort check below already
+# routes any atom containing them here).
+_STRING_OPS = frozenset(
+    op for op in _theory.theory_ops("strings") if op.startswith("str.")
+)
 
 
 @dataclass

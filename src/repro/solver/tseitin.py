@@ -13,12 +13,13 @@ from __future__ import annotations
 
 from repro.coverage.probes import declare_module_probes, function_probe, line_probe
 from repro.errors import ReproError
+from repro.smtlib import theory as _theory
 from repro.smtlib.ast import App, Const, Quantifier, Var
 from repro.smtlib.sorts import BOOL
 
-# Boolean connectives handled structurally; everything else Bool-sorted
-# is a theory atom.
-_CONNECTIVES = {"not", "and", "or", "xor", "=>", "ite", "=", "distinct"}
+# Boolean connectives handled structurally (as declared by the core
+# theory in the registry); everything else Bool-sorted is a theory atom.
+_CONNECTIVES = _theory.connectives()
 
 
 def is_theory_atom(term):

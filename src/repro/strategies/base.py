@@ -125,14 +125,39 @@ class MutationStrategy:
             return work.oracle
         return ""
 
+    def theories(self):
+        """Names of the registered theories this strategy can mutate
+        over. The default — every value theory — fits structural
+        strategies (concatenation works over any vocabulary); strategies
+        with theory-specific machinery override it with a registry
+        query (fusion needs fusion schemes, opfuzz needs multi-member
+        operator equivalence classes)."""
+        from repro.smtlib import theory as _theory
+
+        return tuple(t.name for t in _theory.value_theories())
+
+    def logics(self):
+        """The SMT-LIB logics covered by :meth:`theories`, in theory
+        registration order."""
+        from repro.smtlib import theory as _theory
+
+        out = []
+        for name in self.theories():
+            for logic in _theory.theory(name).logics:
+                if logic not in out:
+                    out.append(logic)
+        return tuple(out)
+
     def describe(self):
-        """One registry row: (name, seeds/iter, oracle kind, summary)."""
+        """One registry row: (name, seeds/iter, oracle kind, theories,
+        summary)."""
         doc = (self.__doc__ or "").strip().splitlines()
         summary = doc[0].rstrip(".") if doc else ""
         return (
             self.name,
             self.seeds_per_iteration,
             self.oracle_preservation,
+            "/".join(self.theories()),
             summary,
         )
 

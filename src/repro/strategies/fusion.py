@@ -42,6 +42,15 @@ class FusionStrategy(MutationStrategy):
     def __init__(self, config=None):
         self.config = config or FusionConfig()
 
+    def theories(self):
+        """Fusion needs fusion schemes: only theories that registered
+        Figure 6 fusion-function families participate."""
+        from repro.smtlib import theory as _theory
+
+        return tuple(
+            t.name for t in _theory.value_theories() if t.fusion_schemes
+        )
+
     def mutate(self, rng, work, tel=NULL_TELEMETRY):
         scripts = work.scripts
         with tel.phase("seed_pick"):
@@ -91,6 +100,8 @@ class MixedFusionStrategy(MutationStrategy):
             raise ValueError(f"want must be 'sat' or 'unsat', got {want!r}")
         self.want = want
         self.config = config or FusionConfig()
+
+    theories = FusionStrategy.theories
 
     def prepare_pools(self, sat_scripts, unsat_scripts):
         """The mixed-mode work item (two pools instead of one)."""

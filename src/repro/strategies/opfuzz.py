@@ -108,6 +108,22 @@ class OpFuzzStrategy(MutationStrategy):
         self.config = config
         self._oracle_solver = None
 
+    def theories(self):
+        """Operator mutation needs replacement candidates: only theories
+        owning at least one operator in a multi-member type-equivalence
+        class (a lone op in its class has nothing to rewrite to)."""
+        from repro.smtlib import theory as _theory
+        from repro.smtlib.typecheck import operator_equivalence_classes
+
+        mutable = {
+            _theory.op_theory(op)
+            for ops in operator_equivalence_classes()
+            for op in ops
+        }
+        return tuple(
+            t.name for t in _theory.value_theories() if t.name in mutable
+        )
+
     # -- the trusted ground-truth solver ---------------------------------
 
     def _reference(self):

@@ -105,3 +105,108 @@ def test_mutator_import_lint_detects_violations(tmp_path):
         (1, "repro.core.fusion"),
         (2, "repro.core.concatfuzz"),
     ]
+
+
+# ---------------------------------------------------------------------------
+# Theory-registry lint: sorts and operator tables live in repro/smtlib.
+# ---------------------------------------------------------------------------
+
+# Only the sort layer itself may call the Sort dataclass constructor;
+# everyone else uses the interned singletons (BOOL/INT/...) or the
+# indexed-family constructors (bitvec_sort). A stray Sort("Int") would
+# still compare equal but evades the intern table's identity guarantee
+# and bypasses the registry as the one place sorts are defined.
+_SMTLIB = SRC / "smtlib"
+
+
+def _sort_constructions(path):
+    """(line,) for every direct ``Sort(...)`` call in ``path``."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    hits = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            fn = node.func
+            name = fn.id if isinstance(fn, ast.Name) else (
+                fn.attr if isinstance(fn, ast.Attribute) else None
+            )
+            if name == "Sort":
+                hits.append((node.lineno,))
+    return hits
+
+
+@pytest.mark.parametrize(
+    "path",
+    sorted(p for p in SRC.rglob("*.py") if _SMTLIB not in p.parents),
+    ids=lambda p: str(p.relative_to(SRC)),
+)
+def test_no_direct_sort_construction_outside_smtlib(path):
+    hits = _sort_constructions(path)
+    assert not hits, (
+        f"{path.relative_to(SRC)} constructs Sort objects directly; use the "
+        f"interned singletons or an indexed constructor like bitvec_sort "
+        f"(lines {[h[0] for h in hits]})"
+    )
+
+
+def test_sort_lint_detects_violations(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("s = Sort('Int')\nt = sorts.Sort('(_ BitVec 8)')\n")
+    assert _sort_constructions(bad) == [(1,), (2,)]
+
+
+def _operator_tables(path, op_names, threshold=3):
+    """(line, keys) for dict literals keyed by ``threshold``+ operator
+    names — the shape of an ad-hoc operator dispatch/signature table.
+
+    Such tables belong in the theory registry (``repro/smtlib``): a
+    per-module copy silently falls out of sync the moment a theory adds
+    an operator, which is exactly the drift the registry refactor
+    removed.
+    """
+    tree = ast.parse(path.read_text(), filename=str(path))
+    hits = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Dict):
+            continue
+        keys = [
+            k.value
+            for k in node.keys
+            if isinstance(k, ast.Constant) and isinstance(k.value, str)
+        ]
+        ops = [k for k in keys if k in op_names]
+        if len(ops) >= threshold and len(ops) == len(keys):
+            hits.append((node.lineno, tuple(ops)))
+    return hits
+
+
+def _registered_op_names():
+    from repro.smtlib import theory
+
+    names = set()
+    for t in theory.theories():
+        names.update(t.handlers)
+        names.update(t.aliases)
+    return names
+
+
+@pytest.mark.parametrize(
+    "path",
+    sorted(p for p in SRC.rglob("*.py") if _SMTLIB not in p.parents),
+    ids=lambda p: str(p.relative_to(SRC)),
+)
+def test_no_adhoc_operator_tables_outside_smtlib(path):
+    hits = _operator_tables(path, _registered_op_names())
+    assert not hits, (
+        f"{path.relative_to(SRC)} keeps an ad-hoc operator table; register "
+        f"it with the theory (repro.smtlib.theory) instead: {hits}"
+    )
+
+
+def test_operator_table_lint_detects_violations(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "HANDLERS = {'bvadd': f, 'bvsub': g, 'bvmul': h}\n"
+        "ok = {'bvadd': f, 'note': 1}\n"  # mixed keys: not an op table
+    )
+    hits = _operator_tables(bad, {"bvadd", "bvsub", "bvmul"})
+    assert hits == [(1, ("bvadd", "bvsub", "bvmul"))]

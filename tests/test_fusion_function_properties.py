@@ -29,13 +29,15 @@ from repro.semantics.model import Model
 from repro.smtlib.ast import Assert, CheckSat, DeclareFun, Script, Var
 from repro.smtlib.parser import parse_script
 from repro.smtlib.printer import print_script
-from repro.smtlib.sorts import INT, REAL, STRING
+from repro.smtlib.bitvec import GENERATOR_WIDTHS
+from repro.smtlib.sorts import INT, REAL, STRING, bitvec_sort, bitvec_width, is_bitvec
 
 _SETTINGS = settings(
     max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
 )
 
 _SORTS = {"Int": INT, "Real": REAL, "String": STRING}
+_SORTS.update({f"BV{w}": bitvec_sort(w) for w in GENERATOR_WIDTHS})
 
 
 def _scheme(name):
@@ -63,6 +65,10 @@ def _draw_value(sort, rng):
         while numerator == 0:
             numerator = rng.randint(-50, 50)
         return Fraction(numerator, rng.randint(1, 9))
+    if is_bitvec(sort):
+        # BV schemes invert exactly everywhere (addition is a group
+        # operation mod 2^w, xor is self-inverse): zero included.
+        return rng.randint(0, (1 << bitvec_width(sort)) - 1)
     return "".join(rng.choice("abcdef") for _ in range(rng.randint(0, 5)))
 
 

@@ -149,7 +149,13 @@ class TestCorpora:
 
     def test_unknown_family_rejected(self):
         with pytest.raises(KeyError):
-            build_corpus("QF_BV", scale=0.01)
+            build_corpus("QF_FP", scale=0.01)
+
+    def test_extra_family_qf_bv(self):
+        corpus = build_corpus("QF_BV", scale=0.01, seed=0)
+        unsat, sat, total = corpus.counts()
+        assert unsat >= 1 and sat >= 1 and total == unsat + sat
+        assert all(seed.origin == "bv-gen" for seed in corpus.seeds)
 
     def test_validate_against_reference(self, solver):
         corpus = build_corpus("QF_LIA", scale=0.003, seed=4)

@@ -145,11 +145,22 @@ class TestRegistry:
 
     def test_describe_rows(self):
         for strategy in iter_strategies():
-            name, seeds, kind, summary = strategy.describe()
+            name, seeds, kind, theories, summary = strategy.describe()
             assert name == strategy.name
             assert seeds >= 1
             assert kind in ("oracle-preserving", "differential")
             assert summary
+            assert theories == "/".join(strategy.theories())
+
+    def test_strategy_theories_from_registry(self):
+        # Fusion requires registered fusion schemes; opfuzz requires
+        # multi-member operator equivalence classes; concatfuzz works
+        # over any value theory. All three value theories qualify today.
+        for strategy in iter_strategies():
+            theories = strategy.theories()
+            assert {"arithmetic", "strings", "bitvectors"} <= set(theories)
+            logics = strategy.logics()
+            assert "QF_BV" in logics and "QF_SLIA" in logics
 
     def test_yinyang_accepts_name_instance_and_default(self, solver):
         assert isinstance(YinYang(solver).strategy, FusionStrategy)

@@ -1,0 +1,111 @@
+"""The theory registry: one place that knows what a theory is.
+
+Sorts, operator signatures, literal syntax, evaluator semantics, fusion
+schemes, seed families, triage difficulty features and the solver
+backend all hang off :mod:`repro.smtlib.theory`. These tests pin the
+registry's merged-table invariants — the contracts every ported
+consumer (typecheck, fusion, seeds, triage, faults, strategies) relies
+on — and that registering a conflicting theory fails loudly instead of
+silently shadowing an operator.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.smtlib import theory
+from repro.smtlib.bitvec import GENERATOR_WIDTHS
+from repro.smtlib.sorts import INT, REAL, STRING, bitvec_sort
+from repro.smtlib.typecheck import mutation_alternatives, operator_equivalence_classes
+
+
+class TestRegistrationOrder:
+    def test_value_theories_prefix_is_frozen(self):
+        # Fusion's FUSIBLE_SORTS and the seed-family iteration order
+        # derive from registration order; the (arithmetic, strings)
+        # prefix must never move or every pre-BV RNG stream shifts.
+        names = [t.name for t in theory.value_theories()]
+        assert names[:2] == ["arithmetic", "strings"]
+        assert names[2] == "bitvectors"
+
+    def test_fusible_sorts_prefix(self):
+        sorts = theory.fusible_sorts()
+        assert sorts[:3] == (INT, REAL, STRING)
+        assert sorts[3:] == tuple(bitvec_sort(w) for w in GENERATOR_WIDTHS)
+
+
+class TestMergedTables:
+    def test_op_theory_ownership(self):
+        assert theory.op_theory("+") == "arithmetic"
+        assert theory.op_theory("str.++") == "strings"
+        assert theory.op_theory("bvadd") == "bitvectors"
+        assert theory.op_theory("and") == "core"
+        assert theory.op_theory("no-such-op") == ""
+
+    def test_supported_logics_union(self):
+        logics = theory.supported_logics()
+        assert "QF_LIA" in logics
+        assert "QF_SLIA" in logics
+        assert "QF_BV" in logics
+
+    def test_hard_op_tables(self):
+        # Triage's difficulty features read these instead of literals.
+        assert "*" in theory.hard_mul_ops()
+        assert "bvmul" in theory.hard_mul_ops()
+        assert "div" in theory.hard_div_ops()
+        assert "bvshl" in theory.hard_div_ops()
+
+    def test_solver_backend_hook(self):
+        assert theory.theory("bitvectors").solver_backend == "bitblast"
+        assert theory.theory("strings").solver_backend == "strings"
+        assert theory.theory("core").solver_backend == ""
+
+
+class TestFusionSchemes:
+    def test_bv_schemes_registered_per_width(self):
+        schemes = set(theory.theory("bitvectors").fusion_schemes)
+        for width in GENERATOR_WIDTHS:
+            assert f"bv{width}-addition" in schemes
+            assert f"bv{width}-addition-constant" in schemes
+            assert f"bv{width}-xor" in schemes
+
+    def test_schemes_resolve_to_fusion_functions(self):
+        from repro.core.fusion_functions import all_scheme_names
+
+        registered = set(all_scheme_names())
+        for t in theory.value_theories():
+            for scheme in t.fusion_schemes:
+                assert scheme in registered, scheme
+
+
+class TestEquivalenceClasses:
+    def test_bv_ops_are_mutation_partners(self):
+        classes = operator_equivalence_classes()
+        by_op = {op: ops for ops in classes for op in ops}
+        assert "bvsub" in by_op.get("bvadd", ())
+        assert "bvule" in by_op.get("bvult", ())
+
+    def test_alternatives_stay_in_theory(self):
+        for alt in mutation_alternatives("bvadd", 2):
+            assert theory.op_theory(alt) == "bitvectors"
+
+
+class TestCollisions:
+    def test_duplicate_theory_rejected(self):
+        with pytest.raises(ReproError, match="already registered"):
+            theory.register_theory(theory.Theory(name="arithmetic"))
+
+    def test_operator_collision_rejected(self):
+        probe = theory.Theory(
+            name="probe-collision",
+            handlers={"bvadd": lambda op, args: None},
+        )
+        with pytest.raises(ReproError, match="bvadd"):
+            theory.register_theory(probe)
+        # The failed registration must not have leaked into the tables.
+        assert "probe-collision" not in [t.name for t in theory.theories()]
+
+    def test_registry_version_monotonic(self):
+        before = theory.registry_version()
+        with pytest.raises(ReproError):
+            theory.register_theory(theory.Theory(name="arithmetic"))
+        assert theory.registry_version() == before
